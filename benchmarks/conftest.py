@@ -1,0 +1,155 @@
+"""Shared fixtures for the paper-reproduction benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper.  The
+expensive artefacts (timing campaigns, trained installations) are cached
+process-wide in :class:`repro.bench.runner.ExperimentContext`, so the
+pytest-benchmark timings measure the per-experiment analysis, not
+redundant re-training.
+
+Rendered tables/figures are written to ``benchmarks/results/<name>.txt``
+so the reproduction output survives alongside ``bench_output.txt``.
+
+Reproduction settings (documented deviations in DESIGN.md):
+
+* ``budget="fast"`` — ensemble sizes scaled down from the paper's
+  defaults so the whole suite runs in minutes on a laptop.
+* ``label_transform="identity"`` — the paper regresses raw runtime.
+* ``eval_time_scale=0.025`` — models the paper's compiled C++ runtime
+  evaluation; our interpreted predict path is ~40x slower than the
+  deployment the paper measures.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import ExperimentContext
+
+MB = 1024 * 1024
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Candidate thread counts per platform (trimmed grids keeping the
+#: endpoints and the structure visible in the paper's histograms).
+SETONIX_GRID = [1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128, 160, 192, 224, 256]
+GADI_GRID = [1, 2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 80, 96]
+
+#: Shared installation settings for the reproduction bundles.
+INSTALL_SETTINGS = dict(
+    n_shapes=200,
+    memory_cap_mb=500,
+    budget="fast",
+    label_transform="identity",
+    eval_time_scale=0.025,
+    tune_iters=2,
+    cv_folds=2,
+)
+
+
+def grid_for(machine: str):
+    return SETONIX_GRID if machine == "setonix" else GADI_GRID
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext.get()
+
+
+@pytest.fixture(scope="session")
+def setonix_bundle(ctx):
+    return ctx.bundle("setonix", thread_grid=SETONIX_GRID, **INSTALL_SETTINGS)
+
+
+@pytest.fixture(scope="session")
+def gadi_bundle(ctx):
+    return ctx.bundle("gadi", thread_grid=GADI_GRID, **INSTALL_SETTINGS)
+
+
+def _production_bundle(ctx, machine: str, hyperthreading: bool = True):
+    """The deployment configuration used for end-to-end speedup
+    experiments: log labels (the library default — scale-free loss over
+    the us..s runtime range) and the tree-family shortlist the paper's
+    selection converges to.  The identity-label bundles above exist to
+    reproduce the Tables III/IV accuracy comparison in the paper's
+    literal raw-runtime setup.
+    """
+    from repro.core.training import InstallationWorkflow
+    from repro.ml.registry import candidate_models
+
+    sim = ctx.simulator(machine, hyperthreading=hyperthreading)
+    grid = [t for t in grid_for(machine) if t <= sim.max_threads(hyperthreading)]
+    cands = [c for c in candidate_models(budget="fast")
+             if c.name in ("XGBoost", "LightGBM", "Random Forest")]
+    workflow = InstallationWorkflow(
+        sim, memory_cap_bytes=500 * MB, n_shapes=200, thread_grid=grid,
+        label_transform="log", candidates=cands, tune_iters=2, cv_folds=2,
+        eval_time_scale=0.025, seed=0)
+    return workflow.run()
+
+
+@pytest.fixture(scope="session")
+def setonix_prod_bundle(ctx):
+    return _production_bundle(ctx, "setonix")
+
+
+@pytest.fixture(scope="session")
+def gadi_prod_bundle(ctx):
+    return _production_bundle(ctx, "gadi")
+
+
+@pytest.fixture(scope="session")
+def setonix_prod_bundle_noht(ctx):
+    return _production_bundle(ctx, "setonix", hyperthreading=False)
+
+
+@pytest.fixture(scope="session")
+def gadi_prod_bundle_noht(ctx):
+    return _production_bundle(ctx, "gadi", hyperthreading=False)
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Write one experiment's rendered output to benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _save(name: str, text: str) -> str:
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        return path
+
+    return _save
+
+
+def measured_speedups(ctx, machine: str, bundle, memory_cap_mb: int,
+                      n_shapes: int = 174, hyperthreading: bool = True,
+                      seed: int = 12345) -> np.ndarray:
+    """Per-GEMM speedups of ADSALA over the max-thread baseline.
+
+    The paper's Section VI-C protocol: a fresh scrambled-Halton test set,
+    measured (noisy) runtimes, speedup inclusive of model evaluation
+    time.  With ``hyperthreading=False`` the candidate grid and the
+    baseline are restricted to physical cores, as in Table VI.
+    """
+    from repro.core.predictor import ThreadPredictor
+    from repro.core.features import FeatureBuilder
+
+    sim = ctx.simulator(machine, hyperthreading=hyperthreading)
+    grid = [t for t in bundle.config.thread_grid
+            if t <= sim.max_threads(hyperthreading)]
+    predictor = ThreadPredictor(
+        FeatureBuilder(bundle.config.feature_groups), bundle.pipeline,
+        bundle.model, grid)
+    eval_time = predictor.measure_eval_time() * 0.025
+    shapes = ctx.fresh_test_shapes(memory_cap_mb, n=n_shapes, seed=seed)
+    speedups = []
+    for spec in shapes:
+        p = predictor.predict_threads(spec.m, spec.k, spec.n)
+        t_ml = sim.timed_run(spec, p, repeats=10,
+                             hyperthreading=hyperthreading)
+        t_base = sim.timed_run(spec, max(grid), repeats=10,
+                               hyperthreading=hyperthreading)
+        speedups.append(t_base / (t_ml + eval_time))
+    return np.asarray(speedups)

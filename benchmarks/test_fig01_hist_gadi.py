@@ -1,0 +1,36 @@
+"""Fig. 1 — histogram of optimal thread counts on Gadi, SGEMM <= 100 MB.
+
+Paper finding: with 96 logical CPUs available, the measured-fastest
+thread count is usually far below the maximum; "thread counts lower than
+48 often provide better GEMM wall-time".
+"""
+
+import numpy as np
+
+from benchmarks.conftest import GADI_GRID
+from repro.bench.report import ascii_histogram
+
+
+def _optimal_hist(ctx):
+    data = ctx.dataset("gadi", n_shapes=220, memory_cap_mb=100,
+                       thread_grid=GADI_GRID)
+    _, best_t, _, _ = data.optimal_threads()
+    return best_t
+
+
+def test_fig01_optimal_thread_histogram(benchmark, ctx, save_result):
+    best_t = benchmark(_optimal_hist, ctx)
+
+    text = ascii_histogram(
+        best_t, bins=12,
+        title="Fig 1: optimal thread count histogram (Gadi, <=100 MB SGEMM)")
+    save_result("fig01_hist_gadi", text)
+
+    # Paper shape: the bulk of optima sit below half the maximum...
+    frac_below_half = float(np.mean(best_t < 48))
+    assert frac_below_half > 0.5, f"only {frac_below_half:.0%} below 48 threads"
+    # ...and the maximum (96) is rarely the best choice.
+    frac_max = float(np.mean(best_t == 96))
+    assert frac_max < 0.25
+    # Yet some large squarish shapes do want many threads.
+    assert best_t.max() >= 48

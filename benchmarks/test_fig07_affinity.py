@@ -1,0 +1,53 @@
+"""Fig. 7 — core-based vs thread-based affinity on both platforms.
+
+Paper finding: core-based placement (``OMP_PLACES=cores``) is faster
+whenever the team is below roughly half the logical CPU count, and the
+two policies converge at the maximum.
+"""
+
+import numpy as np
+
+from repro.gemm.interface import GemmSpec
+from repro.machine.affinity import AffinityPolicy
+from repro.sampling.domain import GemmDomainSampler
+
+MB = 1024 * 1024
+
+
+def _affinity_curves(ctx, machine):
+    sim = ctx.simulator(machine)
+    shapes = GemmDomainSampler(memory_cap_bytes=500 * MB, seed=42).sample(25)
+    max_t = sim.max_threads()
+    grid = sorted({1, 2, 4, 8, max_t // 8, max_t // 4, max_t // 2,
+                   3 * max_t // 4, max_t})
+    rows = []
+    for p in grid:
+        t_cores = np.mean([sim.true_time(s, p, affinity=AffinityPolicy.CORES)
+                           for s in shapes])
+        t_threads = np.mean([sim.true_time(s, p, affinity=AffinityPolicy.THREADS)
+                             for s in shapes])
+        rows.append((p, t_cores, t_threads))
+    return rows
+
+
+def test_fig07_affinity_comparison(benchmark, ctx, save_result):
+    curves = {"setonix": _affinity_curves(ctx, "setonix"),
+              "gadi": benchmark(_affinity_curves, ctx, "gadi")}
+
+    lines = ["Fig 7: mean GEMM time (ms), core-based vs thread-based affinity"]
+    for machine, rows in curves.items():
+        lines.append(f"-- {machine}")
+        lines.append(f"{'threads':>8} {'cores-based':>12} {'thread-based':>13} {'ratio':>7}")
+        for p, tc, tt in rows:
+            lines.append(f"{p:8d} {tc * 1e3:12.3f} {tt * 1e3:13.3f} {tt / tc:7.2f}")
+    save_result("fig07_affinity", "\n".join(lines))
+
+    for machine, rows in curves.items():
+        max_t = rows[-1][0]
+        for p, t_cores, t_threads in rows:
+            if p <= max_t // 2 and p > 1:
+                # Core-based wins below half the logical CPUs.
+                assert t_cores <= t_threads * 1.01, (machine, p)
+        # Policies converge at the maximum thread count.
+        p, tc, tt = rows[-1]
+        assert abs(tt - tc) / tc < 0.05, (machine, p)

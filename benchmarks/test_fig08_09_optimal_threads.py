@@ -1,0 +1,64 @@
+"""Figs. 8 & 9 — structure of the optimal thread count (Setonix & Gadi).
+
+Fig. 8: for shapes with at least one dimension below 1000, the fastest
+thread count tends to be less than half the maximum (Setonix, 500 MB).
+Fig. 9: heatmaps of the optimal thread count over (m, k, n); large
+squarish shapes want roughly half the maximum (i.e. all physical cores),
+small/skinny shapes far fewer.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import GADI_GRID, SETONIX_GRID
+from repro.bench.report import ascii_histogram, heatmap_summary
+
+
+def _campaign(ctx, machine, grid):
+    return ctx.dataset(machine, n_shapes=200, memory_cap_mb=500,
+                       thread_grid=grid)
+
+
+def test_fig08_small_dim_histogram(benchmark, ctx, save_result):
+    data = _campaign(ctx, "setonix", SETONIX_GRID)
+    filtered = benchmark(data.min_dim_below, 1000)
+    _, best_t, _, _ = filtered.optimal_threads()
+
+    text = ascii_histogram(
+        best_t, bins=12,
+        title="Fig 8: optimal threads, min(m,k,n) < 1000 (Setonix, 500 MB)")
+    save_result("fig08_hist_small_dim", text)
+
+    # Paper: "the fastest number of threads tends to be less than half
+    # of the maximum available number" (max = 256).
+    assert float(np.mean(best_t < 128)) > 0.6
+    assert float(np.median(best_t)) < 128
+
+
+def test_fig09_optimal_thread_heatmaps(benchmark, ctx, save_result):
+    sections = []
+    results = {}
+    for machine, grid in (("setonix", SETONIX_GRID), ("gadi", GADI_GRID)):
+        data = _campaign(ctx, machine, grid)
+        if machine == "setonix":
+            shapes, best_t, _, _ = benchmark(data.optimal_threads)
+        else:
+            shapes, best_t, _, _ = data.optimal_threads()
+        results[machine] = (shapes, best_t)
+        sections.append(f"== Fig 9 ({machine}): optimal threads over (m, k) ==")
+        sections.append(heatmap_summary(
+            shapes[:, 0], shapes[:, 1], best_t.astype(float),
+            x_label="m", y_label="k", value_label="optimal threads"))
+    save_result("fig09_optimal_heatmap", "\n".join(sections))
+
+    for machine, (shapes, best_t) in results.items():
+        max_t = max(SETONIX_GRID) if machine == "setonix" else max(GADI_GRID)
+        phys = max_t // 2
+        size = shapes.prod(axis=1).astype(float)
+        aspect = shapes.max(axis=1) / shapes.min(axis=1)
+        big_square = (size > np.quantile(size, 0.75)) & (aspect < 20)
+        small = size < np.quantile(size, 0.25)
+        if big_square.any() and small.any():
+            # Large squarish shapes want far more threads than small ones,
+            # landing near the physical core count ("half the maximum").
+            assert np.median(best_t[big_square]) >= 3 * np.median(best_t[small]), machine
+            assert np.median(best_t[big_square]) >= phys // 2, machine

@@ -1,0 +1,46 @@
+"""Fig. 10 — speedup heatmaps over (m, k, n) on both platforms.
+
+Paper findings: GEMMs with large n are significantly accelerated on
+Setonix; small-footprint shapes gain the most on both platforms; the
+speedup pattern is asymmetric in the three dimensions.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import measured_speedups
+from repro.bench.report import heatmap_summary
+from repro.bench.runner import ExperimentContext
+
+
+def _speedups_with_shapes(ctx, machine, bundle, seed=12345):
+    shapes = ctx.fresh_test_shapes(500, n=174, seed=seed)
+    s = measured_speedups(ctx, machine, bundle, memory_cap_mb=500,
+                          n_shapes=174, seed=seed)
+    dims = np.array([spec.dims for spec in shapes])
+    mem = np.array([spec.memory_mb for spec in shapes])
+    return dims, mem, s
+
+
+def test_fig10_speedup_heatmaps(benchmark, ctx, save_result,
+                                setonix_prod_bundle, gadi_prod_bundle):
+    result = {}
+    result["setonix"] = benchmark.pedantic(
+        _speedups_with_shapes, args=(ctx, "setonix", setonix_prod_bundle),
+        rounds=1, iterations=1)
+    result["gadi"] = _speedups_with_shapes(ctx, "gadi", gadi_prod_bundle)
+
+    sections = []
+    for machine, (dims, mem, s) in result.items():
+        sections.append(f"== Fig 10 ({machine}): speedup over (m, k) ==")
+        sections.append(heatmap_summary(dims[:, 0], dims[:, 1], s,
+                                        x_label="m", y_label="k",
+                                        value_label="speedup"))
+    save_result("fig10_speedup_heatmap", "\n".join(sections))
+
+    for machine, (dims, mem, s) in result.items():
+        small = mem < np.quantile(mem, 0.3)
+        large = mem > np.quantile(mem, 0.7)
+        # Small-footprint GEMMs gain more than large ones on average.
+        assert np.median(s[small]) > np.median(s[large]) * 0.9, machine
+        # Strong accelerations exist somewhere in the domain.
+        assert s.max() > 2.0, machine

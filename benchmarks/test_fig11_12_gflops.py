@@ -1,0 +1,59 @@
+"""Figs. 11 & 12 — GFLOPS by memory bucket, baseline vs ML (both platforms).
+
+Paper findings: ~30% throughput gain in the 0-100 MB bucket on both
+platforms; on Setonix the advantage persists across the whole 0-500 MB
+range, while on Gadi it fades toward parity as footprints grow.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.gflops import bucket_gflops
+from repro.bench.report import format_table
+from repro.core.features import FeatureBuilder
+from repro.core.predictor import ThreadPredictor
+
+
+def _gflops_buckets(ctx, machine, bundle):
+    sim = ctx.simulator(machine)
+    predictor = ThreadPredictor(FeatureBuilder(bundle.config.feature_groups),
+                                bundle.pipeline, bundle.model,
+                                bundle.config.thread_grid)
+    shapes = ctx.fresh_test_shapes(500, n=174, seed=12345)
+    max_t = max(bundle.config.thread_grid)
+    mem, flops, t_base, t_ml = [], [], [], []
+    for spec in shapes:
+        p = predictor.predict_threads(spec.m, spec.k, spec.n)
+        mem.append(spec.memory_mb)
+        flops.append(spec.flops)
+        t_base.append(sim.timed_run(spec, max_t, repeats=10))
+        t_ml.append(sim.timed_run(spec, p, repeats=10))
+    return bucket_gflops(mem, flops, t_base, t_ml)
+
+
+@pytest.mark.parametrize("platform", ["setonix", "gadi"])
+def test_figs_11_12_gflops_by_bucket(platform, benchmark, ctx, save_result,
+                                     setonix_prod_bundle, gadi_prod_bundle):
+    bundle = setonix_prod_bundle if platform == "setonix" else gadi_prod_bundle
+    buckets = benchmark.pedantic(_gflops_buckets, args=(ctx, platform, bundle),
+                                 rounds=1, iterations=1)
+
+    fig = "11" if platform == "setonix" else "12"
+    rows = [{"bucket (MB)": b.label, "n": b.n,
+             "baseline GFLOPS": round(b.baseline_gflops, 1),
+             "ML GFLOPS": round(b.ml_gflops, 1),
+             "ratio": round(b.speedup, 2)} for b in buckets]
+    save_result(f"fig{fig}_gflops_{platform}",
+                format_table(rows, title=f"Fig {fig} ({platform}): GFLOPS "
+                                         "baseline (max threads) vs ML"))
+
+    populated = [b for b in buckets if b.n > 0]
+    assert len(populated) >= 3
+    # ML never loses throughput in aggregate in any bucket...
+    for b in populated:
+        assert b.speedup > 0.95, b.label
+    # ...and the 0-100 MB bucket shows a clear gain (paper: ~30%).
+    assert populated[0].speedup > 1.15
+    if platform == "gadi":
+        # Gadi's advantage fades as the footprint grows (converges to 1).
+        assert populated[-1].speedup < populated[0].speedup

@@ -1,0 +1,48 @@
+"""Extension — which Table II features drive the runtime model?
+
+The paper motivates its two feature groups (serial terms and per-thread
+parallel terms) from the GEMM cost structure.  Gain-based feature
+importances of the trained boosting model let us check that story
+directly: the FLOP-related terms (m*k*n and its per-thread variant) and
+the thread count itself should dominate.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import GADI_GRID
+from repro.core.features import FeatureBuilder
+from repro.ml.xgb import XGBRegressor
+
+
+def _importances(ctx):
+    data = ctx.dataset("gadi", n_shapes=200, memory_cap_mb=500,
+                       thread_grid=GADI_GRID)
+    fb = FeatureBuilder("both")
+    X = fb.build(data.m, data.k, data.n, data.threads)
+    y = np.log(data.runtime)
+    model = XGBRegressor(n_estimators=60, random_state=0).fit(X, y)
+    return fb.names, model.feature_importances_
+
+
+def test_feature_importances_match_cost_structure(benchmark, ctx, save_result):
+    names, imp = benchmark.pedantic(_importances, args=(ctx,),
+                                    rounds=1, iterations=1)
+
+    order = np.argsort(-imp)
+    lines = ["Extension: gain importances of the runtime model (Gadi, XGBoost)"]
+    for i in order:
+        bar = "#" * int(round(50 * imp[i] / imp[order[0]]))
+        lines.append(f"{names[i]:>18} {imp[i]:7.3f} {bar}")
+    save_result("interpretation_importances", "\n".join(lines))
+
+    by_name = dict(zip(names, imp))
+    # The FLOP terms (serial + per-thread) carry the bulk of the signal.
+    flop_mass = by_name["m*k*n"] + by_name["m*k*n/p"]
+    assert flop_mass > 0.2
+    # Thread-dependent features (Group 2 + n_threads itself) matter:
+    # without them the model could not rank thread counts at all.
+    thread_mass = sum(v for k, v in by_name.items() if "/p" in k) \
+        + by_name["n_threads"]
+    assert thread_mass > 0.1
+    # Importances are a distribution.
+    np.testing.assert_allclose(imp.sum(), 1.0)

@@ -1,0 +1,73 @@
+"""Extension — does ADSALA's headroom grow with core count?
+
+The paper's conclusion: "as a general rule platforms with high CPU core
+counts can potentially benefit more from ML-based GEMM and for larger
+aggregate matrix sizes."  We test the claim directly by synthesising a
+family of Cascade-Lake-like nodes with 8..64 cores per socket and
+measuring the *oracle headroom* — the mean speedup of the per-shape best
+thread count over the max-thread default — on a fixed shape sample.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.gemm.partition import choose_thread_grid
+from repro.machine.noise import QUIET
+from repro.machine.presets import gadi, gadi_topology
+from repro.machine.simulator import MachineSimulator
+from repro.sampling.domain import GemmDomainSampler
+
+MB = 1024 * 1024
+
+
+def scaled_node(cores_per_socket: int):
+    """A gadi-flavoured node with a different core count per socket.
+
+    Memory bandwidth scales sub-linearly with cores (channel counts do
+    not grow with core count), which is exactly why bigger sockets have
+    more to gain from thread throttling.
+    """
+    topo = replace(gadi_topology(),
+                   name=f"clx{cores_per_socket}",
+                   cores_per_module=cores_per_socket,
+                   mem_bw_gbs_per_socket=141.0 * np.sqrt(cores_per_socket / 24.0))
+    return replace(gadi(), topology=topo)
+
+
+def _headroom(cores_per_socket: int, shapes) -> float:
+    sim = MachineSimulator(scaled_node(cores_per_socket), noise=QUIET)
+    grid = choose_thread_grid(sim.max_threads())
+    speedups = []
+    for spec in shapes:
+        best = sim.optimal_threads(spec, grid)
+        speedups.append(sim.true_time(spec, sim.max_threads())
+                        / sim.true_time(spec, best))
+    return float(np.exp(np.mean(np.log(speedups))))  # geometric mean
+
+
+def test_headroom_grows_with_core_count(benchmark, save_result):
+    shapes = GemmDomainSampler(memory_cap_bytes=100 * MB, seed=21).sample(40)
+    sizes = [8, 16, 32, 64]
+    headrooms = {}
+    for cores in sizes:
+        if cores == 24:
+            continue
+        headrooms[cores] = (benchmark(_headroom, cores, shapes)
+                            if cores == sizes[0] else _headroom(cores, shapes))
+
+    lines = ["Extension: oracle speedup headroom vs socket core count "
+             "(2-socket CLX-like nodes, 100 MB shape sample)",
+             f"{'cores/socket':>13} {'logical CPUs':>13} {'geomean headroom':>17}"]
+    for cores in sizes:
+        lines.append(f"{cores:13d} {cores * 4:13d} {headrooms[cores]:17.2f}")
+    save_result("scaling_study", "\n".join(lines))
+
+    values = [headrooms[c] for c in sizes]
+    # The paper's conclusion: more cores, more to gain.
+    assert values[-1] > values[0]
+    # And monotone across the sweep (weakly, allowing one inversion).
+    inversions = sum(1 for a, b in zip(values, values[1:]) if b < a * 0.98)
+    assert inversions <= 1
+    # Even the small node benefits (> 1).
+    assert min(values) > 1.0

@@ -1,0 +1,69 @@
+"""Tables V & VI — speedup statistics on the fresh 174-shape test set.
+
+Table V (hyper-threading on) and Table VI (off), for the 0-500 MB and
+0-100 MB memory ranges on both platforms.  Paper findings:
+
+* mean speedup > 1 everywhere; the 0-100 MB range beats 0-500 MB on the
+  percentile profile;
+* Setonix gains more than Gadi in the 0-500 MB range (1.32x vs 1.07x);
+* occasional very large maxima from pathological small/skinny shapes.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import measured_speedups
+from repro.bench.report import format_table
+from repro.bench.stats import speedup_stats
+
+
+def _speedup_table(ctx, bundles, hyperthreading):
+    rows, raw = [], {}
+    for machine, bundle in bundles.items():
+        for cap in (500, 100):
+            s = measured_speedups(ctx, machine, bundle, memory_cap_mb=cap,
+                                  n_shapes=174,
+                                  hyperthreading=hyperthreading)
+            raw[(machine, cap)] = s
+            row = {"Platform / range": f"{machine} 0-{cap} MB"}
+            row.update(speedup_stats(s).as_dict())
+            rows.append(row)
+    return rows, raw
+
+
+@pytest.mark.parametrize("ht", [True, False], ids=["table5_ht_on", "table6_ht_off"])
+def test_tables_5_6_speedup_statistics(ht, benchmark, ctx, save_result,
+                                       setonix_prod_bundle, gadi_prod_bundle,
+                                       setonix_prod_bundle_noht,
+                                       gadi_prod_bundle_noht):
+    # The hyper-threading-off experiment installs on the HT-off machine,
+    # as a real deployment would (its campaign never sees SMT counts).
+    if ht:
+        bundles = {"setonix": setonix_prod_bundle, "gadi": gadi_prod_bundle}
+    else:
+        bundles = {"setonix": setonix_prod_bundle_noht,
+                   "gadi": gadi_prod_bundle_noht}
+    rows, raw = benchmark.pedantic(_speedup_table, args=(ctx, bundles, ht),
+                                   rounds=1, iterations=1)
+
+    name = "table5_speedup_ht" if ht else "table6_speedup_noht"
+    title = ("Table V: ADSALA speedup stats (hyper-threading ON)" if ht
+             else "Table VI: ADSALA speedup stats (hyper-threading OFF)")
+    save_result(name, format_table(rows, title=title))
+
+    for (machine, cap), s in raw.items():
+        stats = speedup_stats(s)
+        # The core claim: ADSALA helps on average on every platform/range.
+        assert stats.mean > 1.0, (machine, cap, stats.mean)
+        # Medians at or above parity; occasional regressions allowed
+        # (paper Table V min speedups go down to 0.76).
+        assert stats.median >= 0.95, (machine, cap)
+        # Pathological shapes produce large maxima (paper: up to 9.05).
+        assert stats.maximum > 1.5, (machine, cap)
+
+    if ht:
+        s_set = speedup_stats(raw[("setonix", 500)])
+        s_gadi = speedup_stats(raw[("gadi", 500)])
+        # Paper: Setonix 1.32x vs Gadi 1.07x in 0-500 MB — Setonix keeps
+        # the larger advantage on the wide range.
+        assert s_set.median >= s_gadi.median * 0.95

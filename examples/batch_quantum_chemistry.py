@@ -1,0 +1,79 @@
+"""Batched tensor-contraction GEMMs from a quantum-chemistry workload.
+
+Fock-matrix builds and integral transformations in quantum chemistry
+reduce to streams of modest, irregularly-shaped GEMMs — exactly the
+regime (small and irregular shapes, many calls) the paper targets.  This
+example simulates an SCF-iteration-like workload on the Setonix node:
+shell-pair batches produce GEMMs whose dimensions depend on basis-set
+block sizes, repeated over iterations.
+
+It reports per-shape thread choices and the cumulative speedup, and
+shows the node-hours accounting for the whole run.
+
+Run with::
+
+    python examples/batch_quantum_chemistry.py
+"""
+
+import numpy as np
+
+from repro import AdsalaGemm, GemmSpec, quick_install
+
+#: Cartesian-shell block sizes (s, p, d, f aggregates) typical of a
+#: contracted Gaussian basis.
+BLOCK_SIZES = [1, 3, 6, 10, 15]
+N_OCCUPIED = 64      # occupied orbitals
+N_BASIS = 512        # basis functions
+SCF_ITERATIONS = 8
+
+
+def contraction_shapes(rng):
+    """GEMM shapes of one SCF iteration's contraction stream."""
+    shapes = []
+    # (ij|P) half-transformations: (block*block) x naux x nocc-ish tiles
+    for _ in range(24):
+        bi = int(rng.choice(BLOCK_SIZES))
+        bj = int(rng.choice(BLOCK_SIZES))
+        shapes.append(GemmSpec(bi * bj, N_BASIS, N_OCCUPIED))
+    # Exchange build: nocc x nbasis x nbasis
+    shapes.append(GemmSpec(N_OCCUPIED, N_BASIS, N_BASIS))
+    # Coulomb build: nbasis x nbasis x nocc
+    shapes.append(GemmSpec(N_BASIS, N_BASIS, N_OCCUPIED))
+    # Density update: nbasis x nocc x nbasis
+    shapes.append(GemmSpec(N_BASIS, N_OCCUPIED, N_BASIS))
+    return shapes
+
+
+def main():
+    print("Installing ADSALA on simulated 'setonix'...")
+    bundle, sim = quick_install("setonix", n_shapes=120, memory_cap_mb=100,
+                                thread_grid=[1, 2, 4, 8, 16, 32, 64, 128, 256])
+    print(f"  selected model: {bundle.config.model_name}\n")
+
+    rng = np.random.default_rng(7)
+    total_ml, total_base = 0.0, 0.0
+    choices = {}
+    with AdsalaGemm(bundle, sim) as gemm:
+        for it in range(SCF_ITERATIONS):
+            for spec in contraction_shapes(rng):
+                record = gemm.run(spec)
+                total_ml += record.runtime
+                total_base += gemm.run_baseline(spec)
+                choices.setdefault(spec.dims, record.n_threads)
+
+    print(f"{'shape (m,k,n)':>22} {'chosen threads':>15}")
+    for dims, threads in sorted(choices.items())[:12]:
+        print(f"{str(dims):>22} {threads:15d}")
+    if len(choices) > 12:
+        print(f"{'...':>22} ({len(choices)} distinct shapes total)")
+
+    calls = SCF_ITERATIONS * 27
+    print(f"\n{SCF_ITERATIONS} SCF iterations, {calls} GEMM calls")
+    print(f"  default (256 threads): {total_base * 1e3:9.2f} ms")
+    print(f"  ADSALA:                {total_ml * 1e3:9.2f} ms")
+    print(f"  workload speedup:      {total_base / total_ml:9.2f}x")
+    print(f"\nSimulated machine time consumed: {sim.clock.node_hours:.5f} node hours")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""The full installation -> artefacts -> deployment lifecycle.
+
+Walks the paper's Fig. 2 / Fig. 3 pipeline explicitly, stage by stage:
+
+1. quasi-random domain sampling and the timing campaign (Fig. 2 left);
+2. preprocessing + hyper-parameter tuning + model bake-off (Fig. 2
+   right), printing the Tables III/IV-style report;
+3. saving the two artefacts (config JSON + model pickle);
+4. a separate "user program" loading them and running GEMMs (Fig. 3).
+
+Run with::
+
+    python examples/install_and_deploy.py
+"""
+
+import tempfile
+
+from repro.bench.report import format_table
+from repro.core.library import AdsalaGemm
+from repro.core.serialize import load_bundle, save_bundle
+from repro.core.training import InstallationWorkflow
+from repro.gemm.interface import GemmSpec
+from repro.machine.presets import by_name
+from repro.machine.simulator import MachineSimulator
+
+MB = 1024 * 1024
+
+
+def install(machine: str, directory: str):
+    """Installation side: benchmark, train, select, persist."""
+    simulator = MachineSimulator(by_name(machine), seed=0)
+    workflow = InstallationWorkflow(
+        simulator,
+        memory_cap_bytes=100 * MB,
+        n_shapes=150,
+        thread_grid=[1, 2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96],
+        label_transform="log",
+        tune_iters=2,
+        cv_folds=2,
+        seed=0,
+    )
+
+    print("[install] gathering timing data (quasi-random campaign)...")
+    data = workflow.gather()
+    print(f"[install]   {len(data)} timing records "
+          f"({workflow.n_shapes} shapes x {len(workflow.thread_grid)} thread counts)")
+    print(f"[install]   campaign cost: {simulator.clock.node_hours:.4f} node hours")
+
+    print("[install] preprocessing, tuning and selecting models...")
+    bundle = workflow.run(data)
+
+    print(format_table(bundle.report.as_table(),
+                       title="[install] model bake-off (Tables III/IV format)"))
+    print(f"[install] selected: {bundle.report.selected}")
+
+    save_bundle(bundle, directory)
+    print(f"[install] artefacts written to {directory}/")
+    return simulator
+
+
+def deploy(directory: str, simulator):
+    """User-program side: load artefacts, call GEMM inside a loop."""
+    print("\n[deploy] loading installation artefacts...")
+    bundle = load_bundle(directory)
+    print(f"[deploy]   machine={bundle.config.machine} "
+          f"model={bundle.config.model_name}")
+
+    workload = [GemmSpec(64, 2048, 64), GemmSpec(512, 512, 512),
+                GemmSpec(2000, 100, 2000), GemmSpec(3000, 3000, 3000)]
+    with AdsalaGemm(bundle, simulator) as gemm:
+        print(f"[deploy] {'shape':>20} {'threads':>8} {'time':>10} {'baseline':>10} {'speedup':>8}")
+        for spec in workload:
+            record = gemm.run(spec)
+            baseline = gemm.run_baseline(spec)
+            print(f"[deploy] {str(spec.dims):>20} {record.n_threads:8d} "
+                  f"{record.runtime * 1e3:9.3f}ms {baseline * 1e3:9.3f}ms "
+                  f"{baseline / record.runtime:7.2f}x")
+    print("[deploy] instance closed; model memory released.")
+
+
+def main():
+    with tempfile.TemporaryDirectory() as directory:
+        simulator = install("gadi", directory)
+        deploy(directory, simulator)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Benchmark harness utilities shared by the ``benchmarks/`` suite.
+
+- :mod:`repro.bench.stats` — the speedup statistics of Tables V/VI.
+- :mod:`repro.bench.gflops` — GFLOPS aggregation by memory bucket
+  (Figs. 11/12) and per-panel sweeps (Figs. 13/14).
+- :mod:`repro.bench.report` — ASCII tables, histograms and heatmap
+  summaries standing in for the paper's figures.
+- :mod:`repro.bench.runner` — cached installation runs so several
+  benchmarks can share one trained bundle per platform.
+"""
+
+from repro.bench.stats import SpeedupStats, speedup_stats
+from repro.bench.gflops import bucket_gflops, MemoryBucket
+from repro.bench.report import (ascii_histogram, format_table, heatmap_summary)
+from repro.bench.runner import ExperimentContext
+
+__all__ = [
+    "SpeedupStats",
+    "speedup_stats",
+    "bucket_gflops",
+    "MemoryBucket",
+    "ascii_histogram",
+    "format_table",
+    "heatmap_summary",
+    "ExperimentContext",
+]

@@ -1,0 +1,70 @@
+"""GFLOPS aggregation by memory bucket (paper Figs. 11/12)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MemoryBucket:
+    """One bar group of Figs. 11/12."""
+
+    lo_mb: float
+    hi_mb: float
+    baseline_gflops: float
+    ml_gflops: float
+    n: int
+
+    @property
+    def label(self) -> str:
+        return f"{int(self.lo_mb)}-{int(self.hi_mb)}"
+
+    @property
+    def speedup(self) -> float:
+        if self.baseline_gflops <= 0:
+            return float("nan")
+        return self.ml_gflops / self.baseline_gflops
+
+
+def bucket_gflops(memory_mb, flops, t_baseline, t_ml, edges_mb=None) -> list:
+    """Aggregate achieved GFLOPS into memory-footprint buckets.
+
+    GFLOPS per bucket is the *throughput of the bucket as a whole*
+    (total FLOPs over total wall time), matching how a bar summarising
+    many GEMMs is computed.
+
+    Parameters
+    ----------
+    memory_mb, flops, t_baseline, t_ml:
+        Per-GEMM arrays: footprint, FLOP count, baseline (max threads)
+        runtime and ML-selected runtime, all aligned.
+    edges_mb:
+        Bucket boundaries; default 0..500 in steps of 100 (the paper's).
+    """
+    memory_mb = np.asarray(memory_mb, dtype=np.float64)
+    flops = np.asarray(flops, dtype=np.float64)
+    t_baseline = np.asarray(t_baseline, dtype=np.float64)
+    t_ml = np.asarray(t_ml, dtype=np.float64)
+    for name, arr in (("flops", flops), ("t_baseline", t_baseline), ("t_ml", t_ml)):
+        if arr.shape != memory_mb.shape:
+            raise ValueError(f"{name} misaligned with memory_mb")
+    if edges_mb is None:
+        edges_mb = [0, 100, 200, 300, 400, 500]
+    edges_mb = list(edges_mb)
+
+    buckets = []
+    for lo, hi in zip(edges_mb[:-1], edges_mb[1:]):
+        mask = (memory_mb > lo) & (memory_mb <= hi)
+        if not mask.any():
+            buckets.append(MemoryBucket(lo, hi, 0.0, 0.0, 0))
+            continue
+        total_flops = flops[mask].sum()
+        buckets.append(MemoryBucket(
+            lo_mb=lo, hi_mb=hi,
+            baseline_gflops=total_flops / t_baseline[mask].sum() / 1e9,
+            ml_gflops=total_flops / t_ml[mask].sum() / 1e9,
+            n=int(mask.sum()),
+        ))
+    return buckets

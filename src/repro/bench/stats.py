@@ -1,0 +1,52 @@
+"""Speedup statistics in the exact shape of the paper's Tables V/VI."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SpeedupStats:
+    """Mean/std/percentile summary of a speedup sample."""
+
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+    n: int
+
+    def as_dict(self) -> dict:
+        return {
+            "Mean Speedup": round(self.mean, 2),
+            "Standard Deviation": round(self.std, 2),
+            "Min Speedup": round(self.minimum, 2),
+            "25th Percentile": round(self.p25, 2),
+            "50th Percentile": round(self.median, 2),
+            "75th Percentile": round(self.p75, 2),
+            "Max Speedup": round(self.maximum, 2),
+            "N": self.n,
+        }
+
+
+def speedup_stats(speedups) -> SpeedupStats:
+    """Summarise a vector of per-GEMM speedups (Tables V/VI rows)."""
+    s = np.asarray(speedups, dtype=np.float64)
+    if s.size == 0:
+        raise ValueError("empty speedup sample")
+    if (s <= 0).any():
+        raise ValueError("speedups must be positive")
+    return SpeedupStats(
+        mean=float(s.mean()),
+        std=float(s.std(ddof=1)) if s.size > 1 else 0.0,
+        minimum=float(s.min()),
+        p25=float(np.percentile(s, 25)),
+        median=float(np.percentile(s, 50)),
+        p75=float(np.percentile(s, 75)),
+        maximum=float(s.max()),
+        n=int(s.size),
+    )

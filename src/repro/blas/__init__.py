@@ -1,0 +1,35 @@
+"""Other level-2/3 BLAS routines — the paper's stated future work.
+
+Section VII: "In the future, we plan to extend our ML-driven runtime
+thread selection approach to other BLAS operations."  This package
+implements that extension for two representative routines:
+
+- :mod:`repro.blas.syrk` — symmetric rank-k update ``C <- a*A*A^T + b*C``
+  (level 3, compute-bound like GEMM but with half the FLOPs of the
+  equivalent product and a triangular output);
+- :mod:`repro.blas.gemv` — matrix-vector product ``y <- a*A*x + b*y``
+  (level 2, memory-bound — thread counts saturate at the bandwidth
+  ceiling far below the core count).
+
+:mod:`repro.blas.adapter` maps each routine onto the machine cost model
+(via a GEMM-equivalent plus routine-specific corrections) and exposes the
+same ``timed_run`` protocol the ADSALA gatherer and runtime library use,
+so the *entire* installation workflow — sampling, feature engineering,
+training, selection — is reused unchanged for the new routines.
+"""
+
+from repro.blas.syrk import SyrkSpec, syrk_reference
+from repro.blas.gemv import GemvSpec, gemv_reference
+from repro.blas.trsm import TrsmSpec, trsm_reference
+from repro.blas.adapter import RoutineSimulator, install_for_routine
+
+__all__ = [
+    "SyrkSpec",
+    "syrk_reference",
+    "GemvSpec",
+    "gemv_reference",
+    "TrsmSpec",
+    "trsm_reference",
+    "RoutineSimulator",
+    "install_for_routine",
+]

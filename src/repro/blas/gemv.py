@@ -1,0 +1,82 @@
+"""GEMV: matrix-vector product, ``y <- alpha * A @ x + beta * y``.
+
+A level-2 BLAS routine: ``2*m*n`` FLOPs over ``m*n`` matrix elements
+read once — arithmetic intensity ~2 FLOPs/element, firmly memory-bound.
+Its optimal thread count therefore saturates at the bandwidth ceiling
+(a handful of threads per socket), far below the core count: an even
+more extreme version of the paper's small-GEMM observation, and a good
+stress test for the generalised thread selector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gemm.counts import DTYPE_BYTES
+from repro.gemm.interface import GemmSpec
+
+
+@dataclass(frozen=True)
+class GemvSpec:
+    """One GEMV problem: ``y (m) <- alpha * A (m x n) @ x (n) + beta * y``."""
+
+    m: int
+    n: int
+    dtype: str = "float32"
+    alpha: float = 1.0
+    beta: float = 0.0
+
+    def __post_init__(self):
+        for name in ("m", "n"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, np.integer)) or value < 1:
+                raise ValueError(f"GemvSpec.{name} must be a positive integer")
+            object.__setattr__(self, name, int(value))
+        dtype = str(np.dtype(self.dtype))
+        if dtype not in ("float32", "float64"):
+            raise ValueError("dtype must be float32 or float64")
+        object.__setattr__(self, "dtype", dtype)
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.m * self.n + 2 * self.m
+
+    @property
+    def memory_bytes(self) -> int:
+        itemsize = DTYPE_BYTES[self.dtype]
+        return itemsize * (self.m * self.n + self.n + 2 * self.m)
+
+    @property
+    def memory_mb(self) -> float:
+        return self.memory_bytes / (1024.0 * 1024.0)
+
+    def equivalent_gemm(self) -> GemmSpec:
+        """GEMV is GEMM with a single output column."""
+        return GemmSpec(m=self.m, k=self.n, n=1, dtype=self.dtype)
+
+    @property
+    def work_fraction(self) -> float:
+        return 1.0
+
+    @property
+    def dims(self) -> tuple:
+        """Dimension triple in the GEMM feature convention (m, k, n)."""
+        return (self.m, self.n, 1)
+
+
+def gemv_reference(spec: GemvSpec, a: np.ndarray, x: np.ndarray,
+                   y: np.ndarray) -> np.ndarray:
+    """Reference GEMV with BLAS alpha/beta semantics."""
+    if a.shape != (spec.m, spec.n):
+        raise ValueError(f"A has shape {a.shape}, expected {(spec.m, spec.n)}")
+    if x.shape != (spec.n,):
+        raise ValueError(f"x has shape {x.shape}, expected {(spec.n,)}")
+    if y.shape != (spec.m,):
+        raise ValueError(f"y has shape {y.shape}, expected {(spec.m,)}")
+    product = spec.alpha * (a.astype(np.float64) @ x.astype(np.float64))
+    if spec.beta != 0.0:
+        product = product + spec.beta * y.astype(np.float64)
+    y[...] = product.astype(y.dtype)
+    return y

@@ -1,0 +1,91 @@
+"""SYRK: symmetric rank-k update, ``C <- alpha * A @ A.T + beta * C``.
+
+A level-3 BLAS routine with GEMM-like blocking and threading structure
+but only ``n*(n+1)*k`` useful FLOPs (half of the full ``n x k x n``
+product — the output is symmetric and only one triangle is computed).
+ADSALA treats it exactly like GEMM: features come from the routine's
+dimensions and the thread count; the cost model charges a GEMM of the
+same shape scaled by the work fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gemm.counts import DTYPE_BYTES
+from repro.gemm.interface import GemmSpec
+
+
+@dataclass(frozen=True)
+class SyrkSpec:
+    """One SYRK problem: ``C (n x n) <- alpha * A (n x k) @ A.T + beta * C``."""
+
+    n: int
+    k: int
+    dtype: str = "float32"
+    alpha: float = 1.0
+    beta: float = 0.0
+    lower: bool = True
+
+    def __post_init__(self):
+        for name in ("n", "k"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, np.integer)) or value < 1:
+                raise ValueError(f"SyrkSpec.{name} must be a positive integer")
+            object.__setattr__(self, name, int(value))
+        dtype = str(np.dtype(self.dtype))
+        if dtype not in ("float32", "float64"):
+            raise ValueError("dtype must be float32 or float64")
+        object.__setattr__(self, "dtype", dtype)
+
+    @property
+    def flops(self) -> int:
+        """Useful FLOPs: one triangle of the n x n output."""
+        return self.n * (self.n + 1) * self.k + self.n * self.n
+
+    @property
+    def memory_bytes(self) -> int:
+        """Operand footprint: A plus the (full-storage) symmetric C."""
+        itemsize = DTYPE_BYTES[self.dtype]
+        return itemsize * (self.n * self.k + self.n * self.n)
+
+    @property
+    def memory_mb(self) -> float:
+        return self.memory_bytes / (1024.0 * 1024.0)
+
+    def equivalent_gemm(self) -> GemmSpec:
+        """The GEMM whose schedule/traffic SYRK's implementation mirrors."""
+        return GemmSpec(m=self.n, k=self.k, n=self.n, dtype=self.dtype)
+
+    @property
+    def work_fraction(self) -> float:
+        """SYRK work relative to its equivalent GEMM (~0.5 for large n)."""
+        return (self.n + 1) / (2.0 * self.n)
+
+    @property
+    def dims(self) -> tuple:
+        """Dimension triple in the GEMM feature convention (m, k, n)."""
+        return (self.n, self.k, self.n)
+
+
+def syrk_reference(spec: SyrkSpec, a: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Reference SYRK updating only the requested triangle of ``C``.
+
+    The untouched triangle keeps its previous values, matching BLAS
+    semantics (callers symmetrise explicitly if they need full storage).
+    """
+    if a.shape != (spec.n, spec.k):
+        raise ValueError(f"A has shape {a.shape}, expected {(spec.n, spec.k)}")
+    if c.shape != (spec.n, spec.n):
+        raise ValueError(f"C has shape {c.shape}, expected {(spec.n, spec.n)}")
+    full = spec.alpha * (a.astype(np.float64) @ a.T.astype(np.float64))
+    if spec.beta == 0.0:
+        updated = full
+    else:
+        updated = full + spec.beta * c.astype(np.float64)
+    mask = np.tril(np.ones((spec.n, spec.n), dtype=bool)) if spec.lower \
+        else np.triu(np.ones((spec.n, spec.n), dtype=bool))
+    c[mask] = updated.astype(c.dtype)[mask]
+    return c

@@ -1,0 +1,91 @@
+"""TRSM: triangular solve with multiple right-hand sides.
+
+``X <- alpha * inv(L) @ B`` for a lower-triangular ``L`` (the
+left/lower/no-transpose variant; the full BLAS interface has 16
+variants which differ only in bookkeeping).  Level-3, GEMM-like FLOP
+count (``m^2 * n`` for an ``m x m`` triangle and ``m x n`` RHS), but the
+forward-substitution dependency chain limits parallelism over the
+``m`` dimension — implementations parallelise over RHS columns, which
+the routine adapter reflects by mapping to a GEMM with the triangle
+dimension in ``k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gemm.counts import DTYPE_BYTES
+from repro.gemm.interface import GemmSpec
+
+
+@dataclass(frozen=True)
+class TrsmSpec:
+    """One TRSM problem: ``X (m x n) <- alpha * inv(L (m x m)) @ B``."""
+
+    m: int
+    n: int
+    dtype: str = "float32"
+    alpha: float = 1.0
+
+    def __post_init__(self):
+        for name in ("m", "n"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, np.integer)) or value < 1:
+                raise ValueError(f"TrsmSpec.{name} must be a positive integer")
+            object.__setattr__(self, name, int(value))
+        dtype = str(np.dtype(self.dtype))
+        if dtype not in ("float32", "float64"):
+            raise ValueError("dtype must be float32 or float64")
+        object.__setattr__(self, "dtype", dtype)
+
+    @property
+    def flops(self) -> int:
+        """One multiply-add per strictly-lower entry per RHS column,
+        plus a divide per diagonal entry per column."""
+        return self.m * self.m * self.n + self.m * self.n
+
+    @property
+    def memory_bytes(self) -> int:
+        itemsize = DTYPE_BYTES[self.dtype]
+        return itemsize * (self.m * self.m + 2 * self.m * self.n)
+
+    @property
+    def memory_mb(self) -> float:
+        return self.memory_bytes / (1024.0 * 1024.0)
+
+    def equivalent_gemm(self) -> GemmSpec:
+        """Parallelism lives in the RHS columns: GEMM (m x m x n)."""
+        return GemmSpec(m=self.m, k=self.m, n=self.n, dtype=self.dtype)
+
+    @property
+    def work_fraction(self) -> float:
+        """Half the equivalent product (the triangle), like SYRK."""
+        return 0.5 + 0.5 / self.m
+
+    @property
+    def dims(self) -> tuple:
+        return (self.m, self.m, self.n)
+
+
+def trsm_reference(spec: TrsmSpec, l_mat: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Reference forward substitution, solving in place into ``b``.
+
+    ``L`` must be lower-triangular with a non-singular diagonal (the
+    strictly-upper part is ignored, matching BLAS semantics).
+    """
+    if l_mat.shape != (spec.m, spec.m):
+        raise ValueError(f"L has shape {l_mat.shape}, expected {(spec.m, spec.m)}")
+    if b.shape != (spec.m, spec.n):
+        raise ValueError(f"B has shape {b.shape}, expected {(spec.m, spec.n)}")
+    diag = np.diagonal(l_mat)
+    if (np.abs(diag) < 1e-300).any():
+        raise ValueError("L has a (near-)singular diagonal")
+    tri = np.tril(l_mat).astype(np.float64)
+    x = np.empty((spec.m, spec.n), dtype=np.float64)
+    rhs = spec.alpha * b.astype(np.float64)
+    for i in range(spec.m):
+        x[i] = (rhs[i] - tri[i, :i] @ x[:i]) / tri[i, i]
+    b[...] = x.astype(b.dtype)
+    return b

@@ -1,0 +1,128 @@
+"""Command-line interface: install, predict, benchmark.
+
+Mirrors how a deployed ADSALA would be driven::
+
+    python -m repro install --machine gadi --shapes 150 --cap-mb 100 --out ./install
+    python -m repro predict --install ./install 64 2048 64
+    python -m repro demo    --machine setonix
+
+The ``install`` command runs the full installation workflow (on the
+named simulated machine, or ``--machine host`` for real execution) and
+writes the two artefacts; ``predict`` loads them and reports the thread
+choice for a shape; ``demo`` runs a quick before/after comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.library import AdsalaGemm
+from repro.core.serialize import load_bundle, save_bundle
+from repro.core.training import InstallationWorkflow
+from repro.gemm.interface import GemmSpec
+from repro.gemm.partition import choose_thread_grid
+from repro.machine.host import HostMachine
+from repro.machine.presets import PRESETS, by_name
+from repro.machine.simulator import MachineSimulator
+
+MB = 1024 * 1024
+
+
+def _machine(name: str, seed: int):
+    if name == "host":
+        return HostMachine(seed=seed)
+    return MachineSimulator(by_name(name), seed=seed)
+
+
+def cmd_install(args) -> int:
+    machine = _machine(args.machine, args.seed)
+    grid = choose_thread_grid(machine.max_threads())
+    workflow = InstallationWorkflow(
+        machine, memory_cap_bytes=args.cap_mb * MB, n_shapes=args.shapes,
+        thread_grid=grid, budget=args.budget,
+        label_transform=args.label_transform, tune_iters=args.tune_iters,
+        cv_folds=args.cv_folds, seed=args.seed)
+    print(f"installing on {args.machine}: {args.shapes} shapes, "
+          f"<= {args.cap_mb} MB, grid {grid}")
+    bundle = workflow.run()
+    from repro.bench.report import format_table
+
+    print(format_table(bundle.report.as_table(), title="model bake-off"))
+    print(f"selected: {bundle.report.selected}")
+    save_bundle(bundle, args.out)
+    print(f"artefacts written to {args.out}/")
+    return 0
+
+
+def cmd_predict(args) -> int:
+    bundle = load_bundle(args.install)
+    predictor = bundle.predictor()
+    p = predictor.predict_threads(args.m, args.k, args.n)
+    spec = GemmSpec(args.m, args.k, args.n)
+    print(f"GEMM {spec.dims} ({spec.memory_mb:.1f} MB): "
+          f"predicted optimal threads = {p} "
+          f"(grid max {int(predictor.thread_grid.max())})")
+    return 0
+
+
+def cmd_demo(args) -> int:
+    machine = _machine(args.machine, args.seed)
+    workflow = InstallationWorkflow(
+        machine, memory_cap_bytes=100 * MB, n_shapes=args.shapes,
+        tune_iters=2, cv_folds=2, seed=args.seed)
+    print(f"quick install on {args.machine}...")
+    bundle = workflow.run()
+    print(f"selected: {bundle.report.selected}")
+    with AdsalaGemm(bundle, machine) as gemm:
+        for dims in [(64, 2048, 64), (1024, 1024, 1024), (3000, 3000, 3000)]:
+            spec = GemmSpec(*dims)
+            record = gemm.run(spec)
+            baseline = gemm.run_baseline(spec)
+            print(f"  {str(dims):>20}: threads={record.n_threads:4d} "
+                  f"speedup vs max = {baseline / record.runtime:6.2f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ADSALA: ML-guided GEMM thread selection")
+    sub = parser.add_subparsers(dest="command", required=True)
+    machines = sorted(PRESETS) + ["host"]
+
+    p = sub.add_parser("install", help="run the installation workflow")
+    p.add_argument("--machine", choices=machines, default="gadi")
+    p.add_argument("--shapes", type=int, default=150)
+    p.add_argument("--cap-mb", type=int, default=100)
+    p.add_argument("--budget", choices=["fast", "full"], default="fast")
+    p.add_argument("--label-transform", choices=["log", "sqrt", "identity"],
+                   default="log")
+    p.add_argument("--tune-iters", type=int, default=3)
+    p.add_argument("--cv-folds", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True, help="artefact output directory")
+    p.set_defaults(func=cmd_install)
+
+    p = sub.add_parser("predict", help="query a saved installation")
+    p.add_argument("--install", required=True, help="artefact directory")
+    p.add_argument("m", type=int)
+    p.add_argument("k", type=int)
+    p.add_argument("n", type=int)
+    p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("demo", help="quick install + before/after comparison")
+    p.add_argument("--machine", choices=machines, default="gadi")
+    p.add_argument("--shapes", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_demo)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

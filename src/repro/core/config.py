@@ -1,0 +1,107 @@
+"""ADSALA configuration artefact.
+
+The installation workflow (paper Fig. 2) emits two files: a config file
+describing the data preprocessing / machine / thread grid, and the
+trained model.  :class:`AdsalaConfig` is the first of those, JSON
+round-trippable so the runtime library can be pointed at a directory and
+reconstruct the exact installation state.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass
+class AdsalaConfig:
+    """Everything the runtime library needs besides the model weights.
+
+    Attributes
+    ----------
+    machine:
+        Preset name of the node the installation ran on.
+    dtype:
+        GEMM precision the timings were collected for.
+    thread_grid:
+        Candidate thread counts evaluated at runtime.
+    feature_groups:
+        Feature-builder selection ("both" reproduces Table II).
+    label_transform:
+        Transform applied to runtimes before regression ("log",
+        "sqrt" or "identity").  Monotone, so the runtime argmin over
+        thread counts is unchanged; "log" equalises the loss across the
+        microsecond-to-second runtime range and is the library default
+        (see DESIGN.md for the deviation note).
+    model_name:
+        The selected candidate (Tables III/IV row name).
+    model_params:
+        Tuned hyper-parameters of the selected model.
+    memory_cap_bytes / n_shapes / seed:
+        Data-gathering provenance.
+    preprocessing:
+        Pipeline settings (correlation threshold, LOF settings, ...).
+    hyperthreading / affinity:
+        Execution environment of the campaign.
+    """
+
+    machine: str
+    dtype: str = "float32"
+    thread_grid: list = field(default_factory=list)
+    feature_groups: str = "both"
+    label_transform: str = "log"
+    model_name: str = ""
+    model_params: dict = field(default_factory=dict)
+    memory_cap_bytes: int = 0
+    n_shapes: int = 0
+    seed: int = 0
+    preprocessing: dict = field(default_factory=dict)
+    hyperthreading: bool = True
+    affinity: str = "cores"
+
+    def __post_init__(self):
+        if self.label_transform not in ("log", "sqrt", "identity"):
+            raise ValueError(f"unknown label_transform {self.label_transform!r}")
+        if self.dtype not in ("float32", "float64"):
+            raise ValueError(f"unknown dtype {self.dtype!r}")
+        self.thread_grid = [int(t) for t in self.thread_grid]
+        if self.thread_grid and min(self.thread_grid) < 1:
+            raise ValueError("thread_grid entries must be >= 1")
+
+    # -- label transform helpers ----------------------------------------
+    def transform_label(self, runtime):
+        import numpy as np
+
+        runtime = np.asarray(runtime, dtype=float)
+        if self.label_transform == "log":
+            return np.log(runtime)
+        if self.label_transform == "sqrt":
+            return np.sqrt(runtime)
+        return runtime
+
+    def inverse_label(self, value):
+        import numpy as np
+
+        value = np.asarray(value, dtype=float)
+        if self.label_transform == "log":
+            return np.exp(value)
+        if self.label_transform == "sqrt":
+            return value ** 2
+        return value
+
+    # -- persistence -----------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "AdsalaConfig":
+        return cls(**json.loads(text))
+
+    def save(self, path) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "AdsalaConfig":
+        with open(path) as fh:
+            return cls.from_json(fh.read())

@@ -1,0 +1,106 @@
+"""Post-installation diagnostics: how good are the thread choices?
+
+Beyond the paper's aggregate speedup tables, a deployed ADSALA wants to
+know *where* its model errs.  This module compares the predictor's
+choices against the oracle (exhaustive measurement) on a shape sample
+and reports:
+
+- **regret** per shape: ``t(chosen) / t(best)`` (1.0 = perfect choice);
+- **top-1 accuracy** and accuracy-within-one-grid-step;
+- a breakdown by memory bucket, which localises the regimes where the
+  model needs more data (actionable for targeted re-campaigns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ChoiceDiagnostics:
+    """Aggregated thread-choice quality over a shape sample."""
+
+    n_shapes: int
+    top1_accuracy: float
+    within_one_step: float
+    mean_regret: float
+    median_regret: float
+    p95_regret: float
+    by_bucket: tuple = field(default=())
+
+    def as_dict(self) -> dict:
+        return {
+            "n_shapes": self.n_shapes,
+            "top1_accuracy": round(self.top1_accuracy, 3),
+            "within_one_step": round(self.within_one_step, 3),
+            "mean_regret": round(self.mean_regret, 3),
+            "median_regret": round(self.median_regret, 3),
+            "p95_regret": round(self.p95_regret, 3),
+        }
+
+
+@dataclass(frozen=True)
+class BucketDiagnostics:
+    """Per-memory-bucket slice of the diagnostics."""
+
+    lo_mb: float
+    hi_mb: float
+    n: int
+    mean_regret: float
+    top1_accuracy: float
+
+
+def diagnose_choices(predictor, machine, shapes, thread_grid=None,
+                     bucket_edges_mb=(0, 10, 100, 500)) -> ChoiceDiagnostics:
+    """Compare predictor choices against the noise-free oracle.
+
+    Parameters
+    ----------
+    predictor:
+        A fitted :class:`~repro.core.predictor.ThreadPredictor`.
+    machine:
+        Anything exposing ``true_time(spec, p)`` (the simulator) — the
+        oracle uses noise-free times so regret reflects model error, not
+        measurement luck.
+    shapes:
+        Iterable of :class:`~repro.gemm.interface.GemmSpec`.
+    """
+    grid = np.asarray(sorted(thread_grid) if thread_grid is not None
+                      else predictor.thread_grid)
+    if grid.size == 0:
+        raise ValueError("empty thread grid")
+
+    regrets, correct, near, mems = [], [], [], []
+    for spec in shapes:
+        chosen = predictor.predict_threads(spec.m, spec.k, spec.n)
+        times = np.array([machine.true_time(spec, int(p)) for p in grid])
+        best_idx = int(np.argmin(times))
+        chosen_idx = int(np.argmin(np.abs(grid - chosen)))
+        regrets.append(times[chosen_idx] / times[best_idx])
+        correct.append(chosen_idx == best_idx)
+        near.append(abs(chosen_idx - best_idx) <= 1)
+        mems.append(spec.memory_mb)
+    regrets = np.asarray(regrets)
+    correct = np.asarray(correct)
+    mems = np.asarray(mems)
+
+    buckets = []
+    for lo, hi in zip(bucket_edges_mb[:-1], bucket_edges_mb[1:]):
+        mask = (mems > lo) & (mems <= hi)
+        if mask.any():
+            buckets.append(BucketDiagnostics(
+                lo_mb=lo, hi_mb=hi, n=int(mask.sum()),
+                mean_regret=float(regrets[mask].mean()),
+                top1_accuracy=float(correct[mask].mean())))
+
+    return ChoiceDiagnostics(
+        n_shapes=len(regrets),
+        top1_accuracy=float(np.mean(correct)),
+        within_one_step=float(np.mean(near)),
+        mean_regret=float(regrets.mean()),
+        median_regret=float(np.median(regrets)),
+        p95_regret=float(np.percentile(regrets, 95)),
+        by_bucket=tuple(buckets),
+    )

@@ -1,0 +1,102 @@
+"""Feature engineering: the paper's Table II.
+
+Two groups of features derived from the GEMM dimensions and the thread
+count:
+
+Group 1 (serial-runtime terms)
+    ``m, k, n, n_threads, m*k, m*n, k*n, m*k*n, m*k + k*n + m*n``
+Group 2 (parallel-runtime terms, everything divided by n_threads)
+    ``m/p, k/p, n/p, m*k/p, m*n/p, k*n/p, m*k*n/p, (m*k+k*n+m*n)/p``
+
+The paper generated many candidate combinations and kept these after
+correlation pruning; the pruning itself happens later in the pipeline
+(:mod:`repro.preprocessing.correlation`), so the builder emits the full
+table and records names so pruned models stay interpretable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+FEATURE_NAMES_GROUP1 = (
+    "m", "k", "n", "n_threads",
+    "m*k", "m*n", "k*n", "m*k*n", "m*k+k*n+m*n",
+)
+FEATURE_NAMES_GROUP2 = (
+    "m/p", "k/p", "n/p",
+    "m*k/p", "m*n/p", "k*n/p", "m*k*n/p", "(m*k+k*n+m*n)/p",
+)
+
+
+class FeatureBuilder:
+    """Builds the Table II feature matrix from ``(m, k, n, p)`` arrays.
+
+    Parameters
+    ----------
+    groups:
+        Which feature groups to emit: "both" (paper default), "group1",
+        "group2", or "raw" (just ``m, k, n, p`` — the ablation baseline).
+    """
+
+    def __init__(self, groups: str = "both"):
+        if groups not in ("both", "group1", "group2", "raw"):
+            raise ValueError(f"unknown feature group selection {groups!r}")
+        self.groups = groups
+
+    @property
+    def names(self) -> tuple:
+        if self.groups == "raw":
+            return ("m", "k", "n", "n_threads")
+        if self.groups == "group1":
+            return FEATURE_NAMES_GROUP1
+        if self.groups == "group2":
+            return FEATURE_NAMES_GROUP2
+        return FEATURE_NAMES_GROUP1 + FEATURE_NAMES_GROUP2
+
+    @property
+    def n_features(self) -> int:
+        return len(self.names)
+
+    def build(self, m, k, n, p) -> np.ndarray:
+        """Feature matrix of shape ``(len(m), n_features)``.
+
+        Inputs broadcast against each other, so a single shape with a
+        vector of candidate thread counts works directly (the runtime
+        predictor's hot path).
+        """
+        m, k, n, p = np.broadcast_arrays(
+            np.asarray(m, dtype=np.float64), np.asarray(k, dtype=np.float64),
+            np.asarray(n, dtype=np.float64), np.asarray(p, dtype=np.float64))
+        if (m < 1).any() or (k < 1).any() or (n < 1).any():
+            raise ValueError("GEMM dimensions must be >= 1")
+        if (p < 1).any():
+            raise ValueError("thread counts must be >= 1")
+
+        mk, mn, kn = m * k, m * n, k * n
+        mkn = mk * n
+        total = mk + kn + mn
+        if self.groups == "raw":
+            cols = [m, k, n, p]
+        elif self.groups == "group1":
+            cols = [m, k, n, p, mk, mn, kn, mkn, total]
+        elif self.groups == "group2":
+            cols = [m / p, k / p, n / p, mk / p, mn / p, kn / p, mkn / p, total / p]
+        else:
+            cols = [m, k, n, p, mk, mn, kn, mkn, total,
+                    m / p, k / p, n / p, mk / p, mn / p, kn / p, mkn / p, total / p]
+        return np.column_stack([c.ravel() for c in cols])
+
+    def build_for_grid(self, m: int, k: int, n: int, thread_grid) -> np.ndarray:
+        """Features for one shape across every candidate thread count."""
+        p = np.asarray(list(thread_grid), dtype=np.float64)
+        if p.size == 0:
+            raise ValueError("thread_grid must be non-empty")
+        return self.build(np.full(p.size, m), np.full(p.size, k),
+                          np.full(p.size, n), p)
+
+    def config(self) -> dict:
+        return {"groups": self.groups}
+
+    @classmethod
+    def from_config(cls, cfg: dict) -> "FeatureBuilder":
+        return cls(groups=cfg.get("groups", "both"))

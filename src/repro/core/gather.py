@@ -1,0 +1,82 @@
+"""Installation-time data gathering (paper Fig. 2, left box).
+
+For every sampled GEMM shape and every candidate thread count, the
+gatherer runs the repetition-loop timing protocol on the machine
+(simulator) and records the reduced runtime.  Following the paper's
+protocol, experiments at different thread counts are independent (the
+simulator has no cross-call state to perturb, but the structure is kept
+so a real-backend gatherer behaves correctly), and the campaign can be
+sharded across "nodes" (paper: 15 nodes on Gadi) purely as an
+embarrassingly-parallel split of the shape list.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import TimingDataset, TimingRecord
+from repro.gemm.partition import choose_thread_grid
+from repro.machine.simulator import MachineSimulator
+from repro.sampling.domain import GemmDomainSampler
+
+
+class DataGatherer:
+    """Runs timing campaigns on a simulated machine.
+
+    Parameters
+    ----------
+    simulator:
+        The machine executing the GEMMs.
+    thread_grid:
+        Candidate thread counts; defaults to
+        :func:`repro.gemm.partition.choose_thread_grid` over the
+        machine's maximum.
+    repeats / reduce:
+        Timing-loop protocol (paper: 10 iterations, we reduce by median
+        for robustness to noise spikes).
+    """
+
+    def __init__(self, simulator: MachineSimulator, thread_grid=None,
+                 repeats: int = 10, reduce: str = "median"):
+        self.simulator = simulator
+        self.thread_grid = (list(thread_grid) if thread_grid is not None
+                            else choose_thread_grid(simulator.max_threads()))
+        if not self.thread_grid:
+            raise ValueError("thread_grid must be non-empty")
+        if max(self.thread_grid) > simulator.max_threads():
+            raise ValueError("thread_grid exceeds the machine's capacity")
+        self.repeats = repeats
+        self.reduce = reduce
+
+    def gather_for_specs(self, specs, shard: int = 0, n_shards: int = 1) -> TimingDataset:
+        """Time every (shape, thread count) pair; optionally sharded.
+
+        ``shard``/``n_shards`` splits the shape list round-robin so a
+        campaign can be distributed across nodes and merged afterwards,
+        like the paper's 15-node gathering run on Gadi.
+        """
+        if not 0 <= shard < n_shards:
+            raise ValueError("need 0 <= shard < n_shards")
+        records = []
+        for i, spec in enumerate(specs):
+            if i % n_shards != shard:
+                continue
+            for p in self.thread_grid:
+                runtime = self.simulator.timed_run(spec, p, repeats=self.repeats,
+                                                   reduce=self.reduce)
+                records.append(TimingRecord(spec.m, spec.k, spec.n, p, runtime))
+        if not records:
+            raise ValueError("no shapes assigned to this shard")
+        return TimingDataset.from_records(records, dtype=specs[0].dtype)
+
+    def gather(self, n_shapes: int, memory_cap_bytes: int, seed: int = 0,
+               dtype: str = "float32") -> TimingDataset:
+        """Sample shapes quasi-randomly and time them (the full campaign)."""
+        sampler = GemmDomainSampler(memory_cap_bytes=memory_cap_bytes,
+                                    dtype=dtype, seed=seed)
+        specs = sampler.sample(n_shapes)
+        return self.gather_for_specs(specs)
+
+    def node_hours(self) -> float:
+        """Simulated node hours consumed so far (paper Section VI-A)."""
+        return self.simulator.clock.node_hours

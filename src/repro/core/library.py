@@ -1,0 +1,130 @@
+"""The ADSALA runtime library (paper Fig. 3).
+
+:class:`AdsalaGemm` is the class a user program instantiates: it loads
+the config file and trained model produced at installation, then every
+GEMM call predicts the optimal thread count on-the-fly and dispatches to
+the underlying GEMM implementation with that team size.  Repeated calls
+with the same dimensions reuse the memoised prediction, and the instance
+is a context manager so "the class instance holding the ML model can be
+safely destroyed to free the memory space".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.predictor import ThreadPredictor
+from repro.core.serialize import load_bundle
+from repro.gemm.interface import GemmSpec
+from repro.machine.simulator import MachineSimulator
+
+
+@dataclass
+class GemmCallRecord:
+    """Bookkeeping for one dispatched GEMM call."""
+
+    spec: GemmSpec
+    n_threads: int
+    runtime: float
+    memoised: bool
+
+    @property
+    def gflops(self) -> float:
+        return self.spec.flops / self.runtime / 1e9
+
+
+class AdsalaGemm:
+    """ML-thread-selected GEMM front end.
+
+    Parameters
+    ----------
+    bundle:
+        A :class:`~repro.core.training.TrainedBundle` (or use
+        :meth:`from_directory` to load saved artefacts).
+    machine:
+        Execution backend.  A :class:`MachineSimulator` executes
+        simulated GEMMs; any object with a compatible
+        ``timed_run(spec, n_threads, repeats)`` also works (e.g. a
+        wrapper over :class:`repro.gemm.parallel.ParallelGemm` for real
+        execution).
+    repeats:
+        Timing-loop repetitions per dispatched call.
+    """
+
+    def __init__(self, bundle, machine: MachineSimulator, repeats: int = 1):
+        self.bundle = bundle
+        self.machine = machine
+        self.repeats = repeats
+        self._predictor: ThreadPredictor = bundle.predictor()
+        self.history: list = []
+        self._closed = False
+
+    @classmethod
+    def from_directory(cls, directory, machine, repeats: int = 1) -> "AdsalaGemm":
+        """Load the installation artefacts saved by ``save_bundle``."""
+        return cls(load_bundle(directory), machine, repeats=repeats)
+
+    # ------------------------------------------------------------------
+    @property
+    def thread_grid(self):
+        return self._predictor.thread_grid
+
+    def predict_threads(self, m: int, k: int, n: int) -> int:
+        """The model's thread choice for a shape (no execution)."""
+        self._ensure_open()
+        return self._predictor.predict_threads(m, k, n)
+
+    def run(self, spec: GemmSpec) -> GemmCallRecord:
+        """Predict the thread count and execute the GEMM."""
+        self._ensure_open()
+        hits_before = self._predictor.n_memo_hits
+        n_threads = self._predictor.predict_threads(spec.m, spec.k, spec.n)
+        runtime = self.machine.timed_run(spec, n_threads, repeats=self.repeats)
+        record = GemmCallRecord(spec=spec, n_threads=n_threads, runtime=runtime,
+                                memoised=self._predictor.n_memo_hits > hits_before)
+        self.history.append(record)
+        return record
+
+    def gemm(self, m: int, k: int, n: int, dtype: str = "float32") -> GemmCallRecord:
+        """Convenience wrapper building the spec inline."""
+        return self.run(GemmSpec(m=m, k=k, n=n, dtype=dtype))
+
+    def run_baseline(self, spec: GemmSpec, n_threads: int = None) -> float:
+        """Traditional GEMM runtime (default: the maximum thread count)."""
+        self._ensure_open()
+        if n_threads is None:
+            n_threads = int(self.thread_grid.max())
+        return self.machine.timed_run(spec, n_threads, repeats=self.repeats)
+
+    def speedup_over_baseline(self, spec: GemmSpec) -> float:
+        """Measured ``t_baseline / t_adsala`` for one shape."""
+        record = self.run(spec)
+        baseline = self.run_baseline(spec)
+        return baseline / record.runtime
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        """Release the model (paper: destroy the instance after last call)."""
+        self._predictor = None
+        self.bundle = None
+        self._closed = True
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("AdsalaGemm instance has been closed")
+
+    def __enter__(self) -> "AdsalaGemm":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- stats -----------------------------------------------------------
+    @property
+    def memo_hit_rate(self) -> float:
+        """Fraction of calls answered from the memoised prediction."""
+        if not self.history:
+            return 0.0
+        return sum(r.memoised for r in self.history) / len(self.history)

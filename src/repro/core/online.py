@@ -1,0 +1,136 @@
+"""Online refinement of thread choices at runtime.
+
+The paper contrasts its offline-trained approach with the *online*
+thread auto-tuning of Luan et al. [28] and notes the two are
+complementary: the ML model gives a strong prior instantly, and runtime
+measurements can correct it where it errs.  :class:`OnlineRefiner`
+implements that hybrid:
+
+- every shape starts from the model's prediction;
+- with probability ``explore_prob`` (and always for the first
+  ``min_trials`` calls of a shape) a *neighbouring* thread count on the
+  grid is tried instead;
+- measured runtimes accumulate per (shape, thread count); once a
+  neighbour has proven reliably faster, it becomes the shape's choice.
+
+Exploration only perturbs to adjacent grid entries, so the cost of a bad
+probe is bounded, and a shape's steady-state choice converges to the
+locally optimal grid point even when the model was wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class _ShapeState:
+    """Per-shape measurement history."""
+
+    model_choice: int
+    calls: int = 0
+    # thread count -> (sum of runtimes, count)
+    stats: dict = field(default_factory=dict)
+
+    def record(self, threads: int, runtime: float) -> None:
+        total, count = self.stats.get(threads, (0.0, 0))
+        self.stats[threads] = (total + runtime, count + 1)
+        self.calls += 1
+
+    def mean(self, threads: int) -> float:
+        total, count = self.stats.get(threads, (0.0, 0))
+        return total / count if count else np.inf
+
+    def count(self, threads: int) -> int:
+        return self.stats.get(threads, (0.0, 0))[1]
+
+
+class OnlineRefiner:
+    """Epsilon-greedy local refinement on top of a ThreadPredictor.
+
+    Parameters
+    ----------
+    predictor:
+        The trained :class:`~repro.core.predictor.ThreadPredictor`.
+    explore_prob:
+        Probability of probing a neighbouring grid entry once the
+        minimum trials are done.
+    min_trials:
+        Measurements required for a thread count before it can be
+        trusted as the steady-state choice.
+    seed:
+        RNG seed for exploration decisions.
+    """
+
+    def __init__(self, predictor, explore_prob: float = 0.1,
+                 min_trials: int = 2, seed: int = 0):
+        if not 0.0 <= explore_prob < 1.0:
+            raise ValueError("explore_prob must be in [0, 1)")
+        if min_trials < 1:
+            raise ValueError("min_trials must be >= 1")
+        self.predictor = predictor
+        self.grid = np.asarray(predictor.thread_grid)
+        self.explore_prob = float(explore_prob)
+        self.min_trials = int(min_trials)
+        self._rng = np.random.default_rng(seed)
+        self._shapes = {}
+        self.n_explorations = 0
+
+    # ------------------------------------------------------------------
+    def _state_for(self, m: int, k: int, n: int) -> _ShapeState:
+        key = (int(m), int(k), int(n))
+        if key not in self._shapes:
+            self._shapes[key] = _ShapeState(
+                model_choice=self.predictor.predict_threads(m, k, n))
+        return self._shapes[key]
+
+    def _neighbours(self, threads: int) -> list:
+        idx = int(np.argmin(np.abs(self.grid - threads)))
+        return [int(self.grid[j]) for j in (idx - 1, idx + 1)
+                if 0 <= j < self.grid.size]
+
+    def _best_known(self, state: _ShapeState) -> int:
+        """Best sufficiently-measured thread count, else the model's."""
+        candidates = [(t, state.mean(t)) for t in state.stats
+                      if state.count(t) >= self.min_trials]
+        if not candidates:
+            return state.model_choice
+        return min(candidates, key=lambda tc: tc[1])[0]
+
+    def choose_threads(self, m: int, k: int, n: int) -> int:
+        """The thread count to use for the next call of this shape."""
+        state = self._state_for(m, k, n)
+        base = self._best_known(state)
+        # Prioritise establishing the baseline measurements.
+        if state.count(base) < self.min_trials:
+            return base
+        under_explored = [t for t in self._neighbours(base)
+                          if state.count(t) < self.min_trials]
+        if under_explored and self._rng.random() < max(self.explore_prob, 0.5):
+            self.n_explorations += 1
+            return under_explored[0]
+        if self._rng.random() < self.explore_prob:
+            neighbours = self._neighbours(base)
+            if neighbours:
+                self.n_explorations += 1
+                return int(self._rng.choice(neighbours))
+        return base
+
+    def record(self, m: int, k: int, n: int, threads: int, runtime: float) -> None:
+        """Feed back a measured runtime for the executed call."""
+        if runtime <= 0:
+            raise ValueError("runtime must be positive")
+        self._state_for(m, k, n).record(int(threads), float(runtime))
+
+    def run(self, spec, machine, repeats: int = 1):
+        """Choose, execute on ``machine`` and record in one step."""
+        threads = self.choose_threads(spec.m, spec.k, spec.n)
+        runtime = machine.timed_run(spec, threads, repeats=repeats)
+        self.record(spec.m, spec.k, spec.n, threads, runtime)
+        return threads, runtime
+
+    def steady_choice(self, m: int, k: int, n: int) -> int:
+        """Current exploitation choice (no exploration)."""
+        return self._best_known(self._state_for(m, k, n))

@@ -1,0 +1,145 @@
+"""Speedup estimation and model selection (paper Section IV-D).
+
+The selection criterion combines predictive accuracy and evaluation
+overhead through the estimated speedup::
+
+    s = t_original / (t_ADSALA + t_eval)
+
+where ``t_original`` is the measured runtime at the maximum thread
+count, ``t_ADSALA`` the measured runtime at the model-chosen thread
+count, and ``t_eval`` the measured model evaluation time.  Both the
+per-GEMM *mean* speedup and the total-wall-time *aggregate* speedup are
+reported, exactly as Tables III/IV do, alongside the normalised test
+RMSE and the "ideal" speedups that ignore evaluation overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dataset import TimingDataset
+from repro.ml.metrics import normalised_rmse
+
+
+@dataclass(frozen=True)
+class SpeedupEstimate:
+    """Speedup statistics of one model over a test shape set."""
+
+    ideal_mean: float
+    ideal_aggregate: float
+    eval_time_s: float
+    estimated_mean: float
+    estimated_aggregate: float
+    per_shape: np.ndarray = field(repr=False, default=None)
+
+    @property
+    def eval_time_us(self) -> float:
+        return self.eval_time_s * 1e6
+
+
+def estimate_speedup(predictor, test_data: TimingDataset,
+                     eval_time_s: float = None) -> SpeedupEstimate:
+    """Estimate speedups of ``predictor`` on measured test timings.
+
+    For every unique shape in ``test_data`` the predictor chooses a
+    thread count; ``t_ADSALA`` is the *measured* runtime of that shape at
+    the chosen count (nearest grid entry present in the data), and
+    ``t_original`` the measured runtime at the maximum thread count —
+    the paper's "traditional GEMM" baseline.
+    """
+    if eval_time_s is None:
+        eval_time_s = predictor.measure_eval_time()
+    shapes = test_data.unique_shapes()
+    if shapes.shape[0] == 0:
+        raise ValueError("test data has no shapes")
+
+    t_orig = np.empty(shapes.shape[0])
+    t_adsala = np.empty(shapes.shape[0])
+    for i, (m, k, n) in enumerate(shapes):
+        mask = (test_data.m == m) & (test_data.k == k) & (test_data.n == n)
+        threads = test_data.threads[mask]
+        runtime = test_data.runtime[mask]
+        t_orig[i] = runtime[np.argmax(threads)]
+        choice = predictor.predict_threads(int(m), int(k), int(n))
+        # Nearest measured thread count to the prediction.
+        j = int(np.argmin(np.abs(threads - choice)))
+        t_adsala[i] = runtime[j]
+
+    ideal = t_orig / t_adsala
+    estimated = t_orig / (t_adsala + eval_time_s)
+    return SpeedupEstimate(
+        ideal_mean=float(ideal.mean()),
+        ideal_aggregate=float(t_orig.sum() / t_adsala.sum()),
+        eval_time_s=float(eval_time_s),
+        estimated_mean=float(estimated.mean()),
+        estimated_aggregate=float(t_orig.sum() / (t_adsala + eval_time_s).sum()),
+        per_shape=estimated,
+    )
+
+
+@dataclass
+class ModelSelectionRow:
+    """One row of the Tables III/IV bake-off."""
+
+    name: str
+    nrmse: float
+    speedup: SpeedupEstimate
+    best_params: dict
+
+    def as_dict(self) -> dict:
+        return {
+            "model": self.name,
+            "normalised_test_rmse": round(self.nrmse, 3),
+            "ideal_mean_speedup": round(self.speedup.ideal_mean, 2),
+            "ideal_aggregate_speedup": round(self.speedup.ideal_aggregate, 2),
+            "eval_time_us": round(self.speedup.eval_time_us, 2),
+            "estimated_mean_speedup": round(self.speedup.estimated_mean, 2),
+            "estimated_aggregate_speedup": round(self.speedup.estimated_aggregate, 2),
+        }
+
+
+@dataclass
+class ModelSelectionReport:
+    """All bake-off rows plus the winner."""
+
+    rows: list
+    selected: str
+
+    def row(self, name: str) -> ModelSelectionRow:
+        for r in self.rows:
+            if r.name == name:
+                return r
+        raise KeyError(f"no model named {name!r}")
+
+    def as_table(self) -> list:
+        return [r.as_dict() for r in self.rows]
+
+    @classmethod
+    def select(cls, rows) -> "ModelSelectionReport":
+        """Pick the model with the highest estimated mean speedup.
+
+        Ties break toward the lower evaluation time, then the lower
+        RMSE — matching the paper's narrative that XGBoost wins by
+        combining best accuracy with fast evaluation.
+        """
+        rows = list(rows)
+        if not rows:
+            raise ValueError("no rows to select from")
+        best = max(rows, key=lambda r: (r.speedup.estimated_mean,
+                                        -r.speedup.eval_time_s, -r.nrmse))
+        return cls(rows=rows, selected=best.name)
+
+
+def test_set_nrmse(model, pipeline, config, features, runtimes) -> float:
+    """Normalised RMSE of a fitted model on (already-built) test features.
+
+    The comparison happens in the label-transform space the model was
+    trained in, mirroring how the paper evaluates its regressors on the
+    preprocessed data.
+    """
+    X = features if pipeline is None else pipeline.transform(features)
+    pred = model.predict(X)
+    y = config.transform_label(runtimes)
+    return normalised_rmse(y, pred)

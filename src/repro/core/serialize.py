@@ -1,0 +1,47 @@
+"""Persistence of the installation artefacts.
+
+A trained bundle is the pair the paper's Fig. 2 outputs: the config
+(JSON, human-readable) plus the fitted preprocessing pipeline and model
+(pickle — the models are plain numpy-holding Python objects, and pickle
+is the appropriate tool for same-trust-domain persistence, exactly as
+scikit-learn recommends for its own estimators).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+from repro.core.config import AdsalaConfig
+
+CONFIG_FILENAME = "adsala_config.json"
+MODEL_FILENAME = "adsala_model.pkl"
+
+
+def save_bundle(bundle, directory) -> None:
+    """Write ``bundle`` (a :class:`~repro.core.training.TrainedBundle`).
+
+    Creates ``adsala_config.json`` and ``adsala_model.pkl`` in
+    ``directory`` (created if missing).
+    """
+    os.makedirs(directory, exist_ok=True)
+    bundle.config.save(os.path.join(directory, CONFIG_FILENAME))
+    with open(os.path.join(directory, MODEL_FILENAME), "wb") as fh:
+        pickle.dump({"pipeline": bundle.pipeline, "model": bundle.model,
+                     "report": bundle.report}, fh)
+
+
+def load_bundle(directory):
+    """Load a bundle saved by :func:`save_bundle`."""
+    from repro.core.training import TrainedBundle
+
+    config_path = os.path.join(directory, CONFIG_FILENAME)
+    model_path = os.path.join(directory, MODEL_FILENAME)
+    for path in (config_path, model_path):
+        if not os.path.exists(path):
+            raise FileNotFoundError(f"missing installation artefact: {path}")
+    config = AdsalaConfig.load(config_path)
+    with open(model_path, "rb") as fh:
+        payload = pickle.load(fh)
+    return TrainedBundle(config=config, pipeline=payload["pipeline"],
+                         model=payload["model"], report=payload.get("report"))

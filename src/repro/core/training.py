@@ -1,0 +1,267 @@
+"""The installation workflow (paper Fig. 2).
+
+End-to-end: gather timings on the target machine, engineer features,
+preprocess (Yeo-Johnson -> standardise -> LOF outlier removal ->
+correlation pruning), tune every candidate model with cross-validation,
+measure each tuned model's evaluation time, estimate speedups on a
+held-out test set, and select the model with the best estimated mean
+speedup.  The output is a :class:`TrainedBundle` — the config file plus
+production-ready model of the paper's diagram.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import AdsalaConfig
+from repro.core.dataset import TimingDataset
+from repro.core.features import FeatureBuilder
+from repro.core.gather import DataGatherer
+from repro.core.predictor import ThreadPredictor
+from repro.core.selection import (ModelSelectionReport, ModelSelectionRow,
+                                  estimate_speedup)
+from repro.gemm.partition import choose_thread_grid
+from repro.ml.metrics import normalised_rmse
+from repro.ml.model_selection import KFold, stratify_bins
+from repro.ml.registry import candidate_models
+from repro.ml.tuning import RandomizedSearchCV
+from repro.preprocessing.correlation import CorrelationPruner
+from repro.preprocessing.lof import LocalOutlierFactor
+from repro.preprocessing.pipeline import Pipeline
+from repro.preprocessing.standard import StandardScaler
+from repro.preprocessing.yeo_johnson import YeoJohnsonTransformer
+
+
+@dataclass
+class TrainedBundle:
+    """The two installation artefacts plus the bake-off report."""
+
+    config: AdsalaConfig
+    pipeline: Pipeline
+    model: object
+    report: ModelSelectionReport = None
+
+    def predictor(self) -> ThreadPredictor:
+        return ThreadPredictor(
+            feature_builder=FeatureBuilder(self.config.feature_groups),
+            pipeline=self.pipeline,
+            model=self.model,
+            thread_grid=self.config.thread_grid,
+        )
+
+
+class InstallationWorkflow:
+    """Configurable end-to-end ADSALA installation.
+
+    Parameters mirror the paper's methodology; the defaults are scaled
+    for simulator-speed experimentation and every stage can be toggled
+    for the ablation benchmarks.
+
+    Parameters
+    ----------
+    simulator:
+        The target machine.
+    memory_cap_bytes:
+        Sampling domain bound (paper: 100 MB / 500 MB).
+    n_shapes:
+        GEMM shapes in the campaign (paper: 1763).
+    thread_grid:
+        Candidate thread counts (default: derived from the machine).
+    budget:
+        Candidate-registry budget ("fast" or "full").
+    label_transform:
+        "log" (default; loss is scale-free across the us..s runtime
+        range), "sqrt", or "identity" (the paper's literal setup).
+    use_yeo_johnson / use_lof:
+        Toggle preprocessing stages (ablations).
+    tune_iters / cv_folds / tune_subsample:
+        Hyper-parameter search effort; tuning runs on at most
+        ``tune_subsample`` rows, then the best config refits on all.
+    test_fraction:
+        Held-out *shape* fraction (split at shape granularity so every
+        (shape, thread) row of a test shape stays unseen).
+    eval_time_scale:
+        Multiplier applied to the measured Python model-evaluation time
+        before it enters the speedup estimate.  The paper's runtime
+        library evaluates its models from compiled C++ (Section III-C),
+        roughly 40x faster than our interpreted predict path; the
+        paper-reproduction benchmarks pass 0.025 to model that deployment
+        while unit tests keep the honest default of 1.0.
+    """
+
+    def __init__(self, simulator, memory_cap_bytes: int, n_shapes: int = 300,
+                 thread_grid=None, budget: str = "fast",
+                 label_transform: str = "log", feature_groups: str = "both",
+                 use_yeo_johnson: bool = True, use_lof: bool = True,
+                 corr_threshold: float = 0.8, lof_neighbors: int = 20,
+                 lof_contamination: float = 0.02, test_fraction: float = 0.3,
+                 tune_iters: int = 3, cv_folds: int = 3,
+                 tune_subsample: int = 4000, repeats: int = 10,
+                 candidates=None, seed: int = 0, eval_time_scale: float = 1.0,
+                 dtype: str = "float32"):
+        self.simulator = simulator
+        self.memory_cap_bytes = int(memory_cap_bytes)
+        self.n_shapes = int(n_shapes)
+        self.thread_grid = (list(thread_grid) if thread_grid is not None
+                            else choose_thread_grid(simulator.max_threads()))
+        self.budget = budget
+        self.label_transform = label_transform
+        self.feature_groups = feature_groups
+        self.use_yeo_johnson = use_yeo_johnson
+        self.use_lof = use_lof
+        self.corr_threshold = corr_threshold
+        self.lof_neighbors = lof_neighbors
+        self.lof_contamination = lof_contamination
+        self.test_fraction = test_fraction
+        self.tune_iters = tune_iters
+        self.cv_folds = cv_folds
+        self.tune_subsample = tune_subsample
+        self.repeats = repeats
+        self.candidates = candidates
+        self.seed = int(seed)
+        if str(dtype) not in ("float32", "float64"):
+            raise ValueError(f"unsupported dtype {dtype!r}")
+        self.dtype = str(dtype)
+        if eval_time_scale <= 0:
+            raise ValueError("eval_time_scale must be positive")
+        self.eval_time_scale = float(eval_time_scale)
+        self.feature_builder = FeatureBuilder(feature_groups)
+        self.timings_ = {}
+
+    # ------------------------------------------------------------------
+    def gather(self) -> TimingDataset:
+        """Stage 1: the timing campaign."""
+        t0 = time.perf_counter()
+        gatherer = DataGatherer(self.simulator, thread_grid=self.thread_grid,
+                                repeats=self.repeats)
+        data = gatherer.gather(self.n_shapes, self.memory_cap_bytes,
+                               seed=self.seed, dtype=self.dtype)
+        self.timings_["gather_s"] = time.perf_counter() - t0
+        return data
+
+    def split_shapes(self, data: TimingDataset):
+        """Stage 2: stratified 70/30 split at shape granularity."""
+        shapes = data.unique_shapes()
+        itemsize = 4.0 if self.dtype == "float32" else 8.0
+        mem = np.log(itemsize * (shapes[:, 0] * shapes[:, 1]
+                            + shapes[:, 1] * shapes[:, 2]
+                            + shapes[:, 0] * shapes[:, 2]))
+        bins = stratify_bins(mem, n_bins=min(8, max(2, shapes.shape[0] // 8)))
+        rng = np.random.default_rng(self.seed)
+        test_shape_idx = []
+        for b in np.unique(bins):
+            members = np.nonzero(bins == b)[0]
+            members = rng.permutation(members)
+            n_test = max(1, int(round(members.size * self.test_fraction)))
+            if members.size >= 2:
+                n_test = min(n_test, members.size - 1)
+            test_shape_idx.extend(members[:n_test].tolist())
+        test_set = {tuple(shapes[i]) for i in test_shape_idx}
+        keys = list(zip(data.m.tolist(), data.k.tolist(), data.n.tolist()))
+        is_test = np.array([key in test_set for key in keys])
+        return data.select(~is_test), data.select(is_test)
+
+    def preprocess(self, train: TimingDataset):
+        """Stage 3: fit the preprocessing on training rows.
+
+        Returns ``(pipeline, X_train, y_train)`` where the pipeline
+        replays transform-only stages at inference time and the training
+        rows have had LOF outliers removed.
+        """
+        X = self.feature_builder.build(train.m, train.k, train.n, train.threads)
+        stages = []
+        if self.use_yeo_johnson:
+            yj = YeoJohnsonTransformer()
+            X = yj.fit_transform(X)
+            stages.append(("yeo_johnson", yj))
+        scaler = StandardScaler()
+        X = scaler.fit_transform(X)
+        stages.append(("scaler", scaler))
+
+        y = np.asarray(self._config_stub().transform_label(train.runtime))
+        if self.use_lof:
+            lof = LocalOutlierFactor(n_neighbors=self.lof_neighbors,
+                                     contamination=self.lof_contamination)
+            X, y = lof.filter(X, y)
+        pruner = CorrelationPruner(threshold=self.corr_threshold)
+        X = pruner.fit_transform(X)
+        stages.append(("corr_prune", pruner))
+        return Pipeline.from_fitted(stages), X, y
+
+    def _config_stub(self) -> AdsalaConfig:
+        return AdsalaConfig(
+            machine=self.simulator.name,
+            dtype=self.dtype,
+            thread_grid=self.thread_grid,
+            feature_groups=self.feature_groups,
+            label_transform=self.label_transform,
+            memory_cap_bytes=self.memory_cap_bytes,
+            n_shapes=self.n_shapes,
+            seed=self.seed,
+            preprocessing={
+                "use_yeo_johnson": self.use_yeo_johnson,
+                "use_lof": self.use_lof,
+                "corr_threshold": self.corr_threshold,
+                "lof_neighbors": self.lof_neighbors,
+                "lof_contamination": self.lof_contamination,
+            },
+            hyperthreading=self.simulator.hyperthreading,
+            affinity=self.simulator.affinity.value,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, data: TimingDataset = None) -> TrainedBundle:
+        """Run the full installation; returns the selected bundle."""
+        if data is None:
+            data = self.gather()
+        train, test = self.split_shapes(data)
+        pipeline, X_train, y_train = self.preprocess(train)
+        config = self._config_stub()
+
+        # Test features go through the same pipeline (no LOF on test).
+        X_test_raw = self.feature_builder.build(test.m, test.k, test.n, test.threads)
+        X_test = pipeline.transform(X_test_raw)
+        y_test = config.transform_label(test.runtime)
+
+        rng = np.random.default_rng(self.seed)
+        if X_train.shape[0] > self.tune_subsample:
+            tune_rows = rng.choice(X_train.shape[0], size=self.tune_subsample,
+                                   replace=False)
+        else:
+            tune_rows = np.arange(X_train.shape[0])
+
+        candidates = self.candidates or candidate_models(budget=self.budget,
+                                                         random_state=self.seed)
+        rows = []
+        fitted = {}
+        t0 = time.perf_counter()
+        for cand in candidates:
+            search = RandomizedSearchCV(
+                cand.build(), cand.search_space, n_iter=self.tune_iters,
+                cv=KFold(n_splits=self.cv_folds, shuffle=True,
+                         random_state=self.seed),
+                random_state=self.seed)
+            search.fit(X_train[tune_rows], y_train[tune_rows])
+            model = cand.build(**search.best_params_)
+            model.fit(X_train, y_train)
+            fitted[cand.name] = model
+
+            predictor = ThreadPredictor(self.feature_builder, pipeline, model,
+                                        self.thread_grid)
+            eval_time = predictor.measure_eval_time() * self.eval_time_scale
+            speedup = estimate_speedup(predictor, test, eval_time_s=eval_time)
+            nrmse = normalised_rmse(y_test, model.predict(X_test))
+            rows.append(ModelSelectionRow(name=cand.name, nrmse=nrmse,
+                                          speedup=speedup,
+                                          best_params=search.best_params_))
+        self.timings_["train_s"] = time.perf_counter() - t0
+
+        report = ModelSelectionReport.select(rows)
+        winner = fitted[report.selected]
+        config.model_name = report.selected
+        config.model_params = report.row(report.selected).best_params
+        return TrainedBundle(config=config, pipeline=pipeline, model=winner,
+                             report=report)

@@ -1,0 +1,49 @@
+"""GEMM substrate: BLAS-style interfaces, kernels, packing and threading.
+
+This package provides the matrix-multiplication machinery that ADSALA
+treats as a black box:
+
+- :mod:`repro.gemm.interface` — the BLAS-style problem description
+  (:class:`GemmSpec`) with transpose flags, scaling factors and leading
+  dimensions, plus FLOP and memory accounting.
+- :mod:`repro.gemm.reference` — a strict reference implementation used
+  as the correctness oracle in tests.
+- :mod:`repro.gemm.blocked` — a single-threaded cache-blocked kernel.
+- :mod:`repro.gemm.packing` — panel packing into contiguous per-thread
+  workspaces with copy-volume accounting (the "data copy" component the
+  paper profiles in Table VII).
+- :mod:`repro.gemm.partition` — 1D/2D thread-wise job assignment.
+- :mod:`repro.gemm.parallel` — a real multi-threaded blocked GEMM built
+  on a Python thread pool (numpy's inner dot releases the GIL), with
+  per-phase instrumentation mirroring the paper's profiler breakdown.
+"""
+
+from repro.gemm.interface import GemmSpec, Transpose, gemm, sgemm, dgemm
+from repro.gemm.counts import gemm_flops, gemm_memory_bytes
+from repro.gemm.reference import gemm_reference
+from repro.gemm.blocked import BlockSizes, gemm_blocked
+from repro.gemm.partition import Partition1D, Partition2D, choose_thread_grid, split_range
+from repro.gemm.packing import PackingBuffer, pack_block, packing_volume
+from repro.gemm.parallel import ParallelGemm, GemmTimings
+
+__all__ = [
+    "GemmSpec",
+    "Transpose",
+    "gemm",
+    "sgemm",
+    "dgemm",
+    "gemm_flops",
+    "gemm_memory_bytes",
+    "gemm_reference",
+    "BlockSizes",
+    "gemm_blocked",
+    "Partition1D",
+    "Partition2D",
+    "choose_thread_grid",
+    "split_range",
+    "PackingBuffer",
+    "pack_block",
+    "packing_volume",
+    "ParallelGemm",
+    "GemmTimings",
+]

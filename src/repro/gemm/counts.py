@@ -1,0 +1,64 @@
+"""FLOP and memory accounting for GEMM problems.
+
+The paper's data-gathering step bounds the sampled GEMM shapes by their
+aggregate memory footprint (Section IV-B): ``4(mk + kn + mn)`` bytes for
+single precision and ``8(mk + kn + mn)`` for double precision.  These
+helpers centralise that arithmetic so that the sampler, the simulator and
+the benchmark harness all agree on it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Bytes per element for the two precisions the paper considers.
+DTYPE_BYTES = {"float32": 4, "float64": 8}
+
+
+def gemm_flops(m: int, k: int, n: int) -> int:
+    """Number of floating point operations for ``C <- A @ B`` (+ update).
+
+    Each of the ``m * n`` output elements requires ``k`` multiplications
+    and ``k`` additions, i.e. ``2 * m * k * n`` FLOPs.  The ``alpha`` and
+    ``beta`` scalings add ``O(m * n)`` work which is accounted for as well
+    because for very skinny problems (e.g. ``k = 1``) it is not negligible.
+    """
+    _validate_dims(m, k, n)
+    return 2 * m * k * n + 2 * m * n
+
+
+def gemm_memory_bytes(m: int, k: int, n: int, dtype: str = "float32") -> int:
+    """Aggregate memory footprint of the three GEMM operands in bytes.
+
+    Mirrors the paper's Section IV-B formula: ``s * (m*k + k*n + m*n)``
+    where ``s`` is the element size (4 for SGEMM, 8 for DGEMM).
+    """
+    _validate_dims(m, k, n)
+    try:
+        itemsize = DTYPE_BYTES[str(np.dtype(dtype))]
+    except KeyError as exc:  # pragma: no cover - defensive
+        raise ValueError(f"unsupported dtype {dtype!r}; expected float32/float64") from exc
+    return itemsize * (m * k + k * n + m * n)
+
+
+def gemm_arithmetic_intensity(m: int, k: int, n: int, dtype: str = "float32") -> float:
+    """FLOPs per byte of operand traffic, used by the roofline cost model."""
+    return gemm_flops(m, k, n) / gemm_memory_bytes(m, k, n, dtype)
+
+
+def max_dim_for_memory(memory_bytes: int, dtype: str = "float32") -> int:
+    """Largest square dimension ``d`` such that a ``d x d x d`` GEMM fits.
+
+    Used by the domain sampler to derive per-dimension upper bounds from a
+    memory cap: for square matrices the footprint is ``3 * s * d**2``.
+    """
+    if memory_bytes <= 0:
+        raise ValueError("memory_bytes must be positive")
+    itemsize = DTYPE_BYTES[str(np.dtype(dtype))]
+    return max(1, int(np.sqrt(memory_bytes / (3.0 * itemsize))))
+
+
+def _validate_dims(m: int, k: int, n: int) -> None:
+    for name, value in (("m", m), ("k", k), ("n", n)):
+        if int(value) != value or value < 1:
+            raise ValueError(f"GEMM dimension {name} must be a positive integer, got {value!r}")

@@ -1,0 +1,167 @@
+"""Thread-wise job assignment for multi-threaded GEMM.
+
+Multi-thread BLAS implementations assign matrix blocks to threads
+(Section I of the paper: "for multi-thread GEMM implementations, blocking
+is also used for thread-wise job assignments").  The two classic layouts
+are a 1D split of the ``m`` (or ``n``) dimension and a 2D grid over both.
+The cost model in :mod:`repro.machine.costmodel` and the real threaded
+executor in :mod:`repro.gemm.parallel` share these partitioners, so the
+simulated copy volumes correspond to an actual implementable schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def split_range(extent: int, parts: int):
+    """Split ``range(extent)`` into ``parts`` contiguous chunks.
+
+    Chunks differ in length by at most one (the BLIS-style balanced
+    partition).  Empty chunks are produced when ``parts > extent``; the
+    caller decides whether those threads idle or the thread count is
+    clamped.
+
+    Returns a list of ``(start, stop)`` tuples of length ``parts``.
+    """
+    if extent < 0:
+        raise ValueError("extent must be non-negative")
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    base, extra = divmod(extent, parts)
+    bounds = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def factor_grid(p: int, m: int, n: int):
+    """Choose a ``pm x pn`` thread grid (``pm * pn == p``) matching C's aspect.
+
+    Picks the factorisation whose ``pm / pn`` ratio is closest (in log
+    space) to ``m / n``, which minimises the perimeter-to-area ratio of
+    per-thread C blocks and hence the packed-panel replication volume.
+    """
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    target = np.log(max(m, 1) / max(n, 1))
+    best, best_err = (1, p), float("inf")
+    for pm in range(1, p + 1):
+        if p % pm:
+            continue
+        pn = p // pm
+        err = abs(np.log(pm / pn) - target)
+        if err < best_err:
+            best, best_err = (pm, pn), err
+    return best
+
+
+@dataclass(frozen=True)
+class Partition1D:
+    """Split the ``m`` dimension of C across ``p`` threads.
+
+    Every thread consumes the whole of B, so the packed-B panel is either
+    shared (single packing pass, but synchronised) or replicated per
+    thread.  The paper's Table VII data-copy blow-up at 96 threads on a
+    ``64 x 2048 x 64`` problem is a direct consequence of this replication.
+    """
+
+    m: int
+    k: int
+    n: int
+    p: int
+
+    def __post_init__(self):
+        if self.p < 1:
+            raise ValueError("thread count must be >= 1")
+
+    def thread_blocks(self):
+        """Yield ``(row_range, col_range)`` per thread; columns are full."""
+        return [((lo, hi), (0, self.n)) for lo, hi in split_range(self.m, self.p)]
+
+    def active_threads(self) -> int:
+        """Threads that actually receive rows (p may exceed m)."""
+        return min(self.p, self.m)
+
+
+@dataclass(frozen=True)
+class Partition2D:
+    """Split C across a ``pm x pn`` thread grid.
+
+    A-panels are shared along grid rows and replicated across grid
+    columns; B-panels vice versa.  This is the layout used by MKL/BLIS
+    for squarish problems.
+    """
+
+    m: int
+    k: int
+    n: int
+    pm: int
+    pn: int
+
+    def __post_init__(self):
+        if self.pm < 1 or self.pn < 1:
+            raise ValueError("grid dims must be >= 1")
+
+    @classmethod
+    def for_threads(cls, m: int, k: int, n: int, p: int) -> "Partition2D":
+        pm, pn = factor_grid(p, m, n)
+        return cls(m=m, k=k, n=n, pm=pm, pn=pn)
+
+    @property
+    def p(self) -> int:
+        return self.pm * self.pn
+
+    def thread_blocks(self):
+        """Yield ``(row_range, col_range)`` for every grid cell, row-major."""
+        rows = split_range(self.m, self.pm)
+        cols = split_range(self.n, self.pn)
+        return [(r, c) for r in rows for c in cols]
+
+    def active_threads(self) -> int:
+        return min(self.pm, self.m) * min(self.pn, self.n)
+
+    def packed_a_volume(self) -> int:
+        """Elements of A packed in total: each grid column packs its rows.
+
+        A is ``m x k``; the rows are split across ``pm`` but every one of
+        the ``pn`` grid columns needs the full k-extent of its row block,
+        so the aggregate A-pack volume is ``m * k * pn`` elements.
+        """
+        return self.m * self.k * self.pn
+
+    def packed_b_volume(self) -> int:
+        """Elements of B packed in total (replicated across grid rows)."""
+        return self.k * self.n * self.pm
+
+
+def choose_thread_grid(max_threads: int, include_all: bool = False):
+    """Candidate thread counts for data gathering and runtime prediction.
+
+    The paper separates experiments per thread count and (Fig. 1) appears
+    to cover the full 1..max range on Gadi.  Evaluating the model for
+    every integer up to 256 at runtime would be wasteful, so by default we
+    use a geometric-ish grid refined with intermediate points (matching
+    the granularity visible in the paper's histograms); pass
+    ``include_all=True`` for the exhaustive grid.
+    """
+    if max_threads < 1:
+        raise ValueError("max_threads must be >= 1")
+    if include_all:
+        return list(range(1, max_threads + 1))
+    grid = set()
+    value = 1
+    while value < max_threads:
+        grid.add(value)
+        grid.add(min(max_threads, value + value // 2) if value >= 4 else value)
+        value *= 2
+    grid.add(max_threads)
+    # Refine the upper half where the histograms show fine structure.
+    step = max(1, max_threads // 16)
+    grid.update(range(step, max_threads + 1, step))
+    return sorted(t for t in grid if 1 <= t <= max_threads)

@@ -1,0 +1,55 @@
+"""Strict reference GEMM used as the correctness oracle.
+
+This implementation privileges obviousness over speed: it materialises
+``op(A)`` and ``op(B)``, multiplies in float64 regardless of the storage
+precision (so rounding in optimised kernels can be compared against a
+higher-precision truth), and applies ``alpha``/``beta`` exactly as the
+BLAS specification dictates — including the ``beta == 0`` case where the
+previous contents of ``C`` must be ignored even if they contain NaNs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gemm.interface import GemmSpec, Transpose
+
+
+def gemm_reference(spec: GemmSpec, a, b, c):
+    """Compute ``C <- alpha * op(A) @ op(B) + beta * C`` in place.
+
+    Parameters
+    ----------
+    spec:
+        Problem description.
+    a, b, c:
+        numpy arrays whose shapes match ``spec.a_shape()`` etc.  ``c`` is
+        modified in place and also returned.
+    """
+    _check_operands(spec, a, b, c)
+    op_a = a.T if spec.transa is Transpose.YES else a
+    op_b = b.T if spec.transb is Transpose.YES else b
+    product = op_a.astype(np.float64) @ op_b.astype(np.float64)
+    if spec.beta == 0.0:
+        # BLAS semantics: beta==0 means C is write-only; pre-existing
+        # NaN/Inf values must not propagate.
+        result = spec.alpha * product
+    else:
+        result = spec.alpha * product + spec.beta * c.astype(np.float64)
+    c[...] = result.astype(c.dtype)
+    return c
+
+
+def _check_operands(spec: GemmSpec, a, b, c) -> None:
+    expectations = (
+        ("A", a, spec.a_shape()),
+        ("B", b, spec.b_shape()),
+        ("C", c, spec.c_shape()),
+    )
+    for name, arr, shape in expectations:
+        if not isinstance(arr, np.ndarray):
+            raise TypeError(f"operand {name} must be a numpy array, got {type(arr).__name__}")
+        if arr.shape != shape:
+            raise ValueError(f"operand {name} has shape {arr.shape}, expected {shape}")
+        if str(arr.dtype) != spec.dtype:
+            raise ValueError(f"operand {name} has dtype {arr.dtype}, expected {spec.dtype}")

@@ -1,0 +1,57 @@
+"""Simulated shared-memory HPC node substrate.
+
+The paper's experiments ran on two supercomputer nodes (Setonix: 2-socket
+AMD Milan, Gadi: 2-socket Intel Cascade Lake) with MKL/BLIS supplying the
+multi-threaded GEMM.  Neither the hardware nor the vendor BLAS is
+available here, so this package provides a white-box analytical +
+stochastic simulator of multi-threaded GEMM wall-time:
+
+- :mod:`repro.machine.topology` — socket / CCX-module / core / SMT tree
+  with NUMA domains and cache capacities.
+- :mod:`repro.machine.presets` — Setonix and Gadi node descriptions and a
+  small generic node for fast tests.
+- :mod:`repro.machine.affinity` — core-based vs thread-based OpenMP-style
+  thread placement (paper Fig. 7).
+- :mod:`repro.machine.costmodel` — the three wall-time components the
+  paper's profiler identifies (thread sync, data copy, kernel), built on
+  the *same* partitioning/packing arithmetic as the real executor in
+  :mod:`repro.gemm`.
+- :mod:`repro.machine.noise` — heteroscedastic measurement noise.
+- :mod:`repro.machine.simulator` — ties it together; deterministic given
+  a seed, so every experiment in the paper can be regenerated exactly.
+- :mod:`repro.machine.profile` — the Table VII-style breakdown report.
+- :mod:`repro.machine.clock` — accumulates simulated node-seconds so the
+  harness can report "node hours" like the paper's Section VI-A.
+"""
+
+from repro.machine.topology import NodeTopology
+from repro.machine.presets import setonix, gadi, tiny_test_node
+from repro.machine.affinity import AffinityPolicy, place_threads, Placement
+from repro.machine.costmodel import CostModel, CostBreakdown
+from repro.machine.noise import NoiseModel
+from repro.machine.simulator import MachineSimulator, SimResult
+from repro.machine.profile import ProfileReport, profile_gemm
+from repro.machine.clock import SimClock
+from repro.machine.numa import NumaMode, NumaPolicy
+from repro.machine.host import HostMachine
+
+__all__ = [
+    "NodeTopology",
+    "setonix",
+    "gadi",
+    "tiny_test_node",
+    "AffinityPolicy",
+    "place_threads",
+    "Placement",
+    "CostModel",
+    "CostBreakdown",
+    "NoiseModel",
+    "MachineSimulator",
+    "SimResult",
+    "ProfileReport",
+    "profile_gemm",
+    "SimClock",
+    "NumaMode",
+    "NumaPolicy",
+    "HostMachine",
+]

@@ -1,0 +1,42 @@
+"""Simulated time accounting.
+
+The paper reports the cost of its installation-time data gathering in
+node hours (112 node hours on Setonix, Section VI-A).  The simulator
+executes in microseconds of real time, so :class:`SimClock` accumulates
+the *simulated* seconds each experiment would have consumed on the
+modelled node, letting the harness report comparable figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimClock:
+    """Accumulates simulated wall-seconds, optionally per category."""
+
+    elapsed: float = 0.0
+    by_category: dict = field(default_factory=dict)
+
+    def advance(self, seconds: float, category: str = "default") -> None:
+        """Record ``seconds`` of simulated time."""
+        if seconds < 0:
+            raise ValueError("cannot advance the clock by a negative duration")
+        self.elapsed += seconds
+        self.by_category[category] = self.by_category.get(category, 0.0) + seconds
+
+    @property
+    def node_hours(self) -> float:
+        """Total simulated node hours (single node)."""
+        return self.elapsed / 3600.0
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.by_category.clear()
+
+    def report(self) -> str:
+        lines = [f"simulated time: {self.elapsed:.3f} s ({self.node_hours:.4f} node hours)"]
+        for cat in sorted(self.by_category):
+            lines.append(f"  {cat}: {self.by_category[cat]:.3f} s")
+        return "\n".join(lines)

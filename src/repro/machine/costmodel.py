@@ -1,0 +1,255 @@
+"""Analytical wall-time model for multi-threaded GEMM.
+
+The paper's profiler analysis (Section VI-D, Table VII) decomposes the
+parallel SGEMM wall-time into three components:
+
+1. **Thread synchronisation** — barrier waits; grows with team size and
+   jumps when the team spans sockets.
+2. **Data copies** — packing operand panels into per-thread workspaces;
+   the packed volume *grows with the thread count* because panels are
+   replicated across the thread grid (see
+   :func:`repro.gemm.packing.packing_volume`), and the effective copy
+   bandwidth degrades under contention.  This is what makes "all the
+   cores" catastrophically slow for small/skinny GEMM.
+3. **Kernel calls** — the actual FLOPs, modelled with a roofline: the
+   compute rate is capped both by per-core peak (derated for SMT sharing,
+   fringe tiles and short-k ramp) and by the memory bandwidth available
+   to the sockets in use.
+
+The model is intentionally built on the *same* partitioning/packing
+arithmetic as the real threaded executor in :mod:`repro.gemm`, so the
+simulated schedule is implementable, and every coefficient is an explicit
+dataclass field so ablation benchmarks can perturb them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gemm.interface import GemmSpec
+from repro.gemm.partition import Partition2D, split_range
+from repro.machine.affinity import AffinityPolicy, Placement, place_threads
+from repro.machine.topology import NodeTopology
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Seconds spent in each wall-time component for one GEMM call."""
+
+    sync: float
+    copy: float
+    kernel: float
+
+    @property
+    def total(self) -> float:
+        return self.sync + self.copy + self.kernel
+
+    def as_dict(self) -> dict:
+        return {"sync": self.sync, "copy": self.copy,
+                "kernel": self.kernel, "total": self.total}
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Deterministic (noise-free) GEMM wall-time model for one node.
+
+    Coefficients
+    ------------
+    kernel_efficiency:
+        Fraction of per-core peak the vendor micro-kernel sustains on
+        large, well-shaped tiles.
+    kernel_ramp_flops:
+        Per-thread work (FLOPs) at which kernel efficiency reaches half
+        of its asymptote — models startup/loop overhead on tiny blocks.
+    fringe_tile_m / fringe_tile_n:
+        Micro-kernel register tile; partial tiles on block edges waste
+        compute proportionally.
+    kc_block:
+        The k-blocking factor; determines how many packing rounds a call
+        performs.
+    sync_base_us / sync_per_thread_us / sync_cross_socket_us:
+        Barrier latency model: ``base + per_thread * p`` per barrier,
+        plus a cross-socket surcharge when the team spans sockets.
+    pack_latency_us:
+        Fixed cost of one packing round per thread (buffer setup, TLB,
+        write allocation) before contention scaling.
+    pack_contention:
+        How quickly latency-bound packing degrades as the team saturates
+        the node (dimensionless; larger = more collapse under full
+        occupancy on cache-resident operands).
+    copy_bw_fraction:
+        Fraction of DRAM bandwidth achievable by streaming pack copies.
+    cache_line_latency_ns:
+        Base cost of one latency-bound (non-streamed) cache-line
+        transfer during packing of tiny panels.
+    latency_panel_bytes:
+        Per-pack panel size below which packing is latency-bound rather
+        than streaming (the crossover of the two copy regimes).
+    smt_yield:
+        Total throughput multiplier of a core running two SMT threads
+        relative to one (FP-saturated GEMM kernels gain little from SMT
+        and can lose to front-end contention, so values slightly below
+        1.0 are legitimate).
+    malleable_bw:
+        Fraction of socket bandwidth a single module can actually pull
+        (cross-CCD fabric limits on Milan).
+    """
+
+    topology: NodeTopology
+    kernel_efficiency: float
+    kernel_ramp_flops: float
+    fringe_tile_m: int
+    fringe_tile_n: int
+    kc_block: int
+    sync_base_us: float
+    sync_per_thread_us: float
+    sync_cross_socket_us: float
+    pack_latency_us: float
+    pack_contention: float
+    copy_bw_fraction: float
+    smt_yield: float
+    malleable_bw: float
+    cache_line_latency_ns: float = 100.0
+    latency_panel_bytes: float = 65536.0
+
+    def __post_init__(self):
+        if not 0 < self.kernel_efficiency <= 1:
+            raise ValueError("kernel_efficiency must be in (0, 1]")
+        if not 0 < self.copy_bw_fraction <= 1:
+            raise ValueError("copy_bw_fraction must be in (0, 1]")
+        if not 0.5 <= self.smt_yield <= 1.5:
+            raise ValueError("smt_yield must be within [0.5, 1.5]")
+
+    # ------------------------------------------------------------------
+    def breakdown(self, spec: GemmSpec, n_threads: int,
+                  affinity=AffinityPolicy.CORES,
+                  hyperthreading: bool = True) -> CostBreakdown:
+        """Noise-free wall-time decomposition of one GEMM call."""
+        placement = place_threads(self.topology, n_threads, affinity, hyperthreading)
+        part = Partition2D.for_threads(spec.m, spec.k, spec.n, n_threads)
+        rounds = max(1, int(np.ceil(spec.k / self.kc_block)))
+        return CostBreakdown(
+            sync=self._sync_time(placement, rounds),
+            copy=self._copy_time(spec, part, placement, rounds),
+            kernel=self._kernel_time(spec, part, placement),
+        )
+
+    def total_time(self, spec: GemmSpec, n_threads: int,
+                   affinity=AffinityPolicy.CORES,
+                   hyperthreading: bool = True) -> float:
+        return self.breakdown(spec, n_threads, affinity, hyperthreading).total
+
+    # -- component models ----------------------------------------------
+    def _sync_time(self, placement: Placement, rounds: int) -> float:
+        """Barrier costs: one join barrier per packing round plus entry/exit."""
+        p = placement.n_threads
+        if p == 1:
+            return 0.0
+        per_barrier = self.sync_base_us + self.sync_per_thread_us * p
+        if placement.sockets_used > 1:
+            per_barrier += self.sync_cross_socket_us
+        n_barriers = rounds + 2
+        return n_barriers * per_barrier * 1e-6
+
+    def _copy_time(self, spec: GemmSpec, part: Partition2D,
+                   placement: Placement, rounds: int) -> float:
+        """Packing: replicated panel volume under two traffic regimes.
+
+        The aggregate packed volume (A panels replicated across grid
+        columns, B panels across grid rows) is split between:
+
+        * a *streaming* regime — large per-pack panels move at a derated
+          fraction of the DRAM bandwidth of the sockets in use;
+        * a *latency-bound* regime — tiny per-pack panels degenerate to
+          individual cache-line transfers; when the operands are
+          cache-resident and the whole node is occupied, the threads
+          serialise on each other's lines (false sharing, cross-socket
+          snoops) and effective parallelism collapses.  This is the
+          mechanism behind the paper's Table VII observation that a
+          96-thread GEMM on ~1 MB of operands spends almost all its wall
+          time copying.
+
+        A small fixed per-round setup cost per thread is added on top.
+        """
+        p = placement.n_threads
+        if p == 1:
+            # Single-thread BLIS still packs, but panels are streamed
+            # once and the copies overlap with compute almost entirely.
+            return 0.0
+        itemsize = np.dtype(spec.dtype).itemsize
+        packed_bytes = float(part.packed_a_volume() + part.packed_b_volume()) * itemsize
+
+        # -- streaming regime ------------------------------------------
+        bw = (self.topology.mem_bw_gbs_per_socket * 1e9 * placement.sockets_used
+              * self.copy_bw_fraction)
+        if placement.modules_used == 1:
+            bw *= self.malleable_bw
+        stream_time = packed_bytes / bw
+
+        # -- latency-bound regime --------------------------------------
+        occupancy = p / self.topology.logical_cpus
+        panel_bytes = packed_bytes / max(1, p * rounds)
+        # Fraction of packing traffic that is latency-bound: ~1 for
+        # KB-sized panels, ~0 for MB-sized streaming panels.  Squared in
+        # the time term because tiny panels both transfer line-by-line
+        # *and* revisit the same source lines from many threads.
+        lat_fraction = self.latency_panel_bytes / (self.latency_panel_bytes + panel_bytes)
+        lines = packed_bytes / 64.0
+        line_lat = self.cache_line_latency_ns * 1e-9
+        if placement.sockets_used > 1:
+            line_lat *= 1.0 + occupancy  # cross-socket snoop traffic
+        parallel_eff = p / (1.0 + self.pack_contention * occupancy * p * lat_fraction / 8.0)
+        latency_time = lines * line_lat * lat_fraction ** 2 / max(parallel_eff, 0.25)
+
+        # -- fixed per-round setup -------------------------------------
+        setup_time = rounds * self.pack_latency_us * 1e-6 * (1.0 + occupancy)
+
+        return stream_time + latency_time + setup_time
+
+    def _kernel_time(self, spec: GemmSpec, part: Partition2D,
+                     placement: Placement) -> float:
+        """Roofline kernel time of the slowest thread."""
+        p = placement.n_threads
+        # Load imbalance: the largest partition cell sets the pace.
+        rows = split_range(spec.m, part.pm)
+        cols = split_range(spec.n, part.pn)
+        max_mb = max(hi - lo for lo, hi in rows)
+        max_nb = max(hi - lo for lo, hi in cols)
+        if max_mb == 0 or max_nb == 0:
+            max_mb, max_nb = max(max_mb, 1), max(max_nb, 1)
+        thread_flops = 2.0 * max_mb * spec.k * max_nb
+
+        # Compute rate of the busiest thread.
+        core_peak = self.topology.peak_gflops_core(spec.dtype) * 1e9
+        share = placement.max_threads_per_core
+        thread_peak = core_peak * (self.smt_yield / share if share > 1 else 1.0)
+
+        eff = self.kernel_efficiency
+        eff *= thread_flops / (thread_flops + self.kernel_ramp_flops)
+        eff *= _fringe_factor(max_mb, self.fringe_tile_m)
+        eff *= _fringe_factor(max_nb, self.fringe_tile_n)
+        compute_time = thread_flops / (thread_peak * eff)
+
+        # Bandwidth ceiling: all threads stream their panels concurrently.
+        itemsize = np.dtype(spec.dtype).itemsize
+        total_bytes = (spec.m * spec.k + spec.k * spec.n + 2 * spec.m * spec.n) * itemsize
+        bw = self.topology.mem_bw_gbs_per_socket * 1e9 * placement.sockets_used
+        if placement.modules_used == 1:
+            bw *= self.malleable_bw
+        bandwidth_time = total_bytes / bw
+
+        return max(compute_time, bandwidth_time)
+
+
+def _fringe_factor(extent: int, tile: int) -> float:
+    """Fraction of useful lanes when ``extent`` is tiled by ``tile``.
+
+    A 10-row block on a 16-row micro-kernel wastes 6 of 16 lanes on its
+    only tile: factor 10/16.  Large extents asymptote to 1.
+    """
+    if extent <= 0:
+        return 1.0
+    tiles = int(np.ceil(extent / tile))
+    return extent / (tiles * tile)

@@ -1,0 +1,174 @@
+"""Node presets matching the paper's two experimentation platforms.
+
+Hardware parameters follow the paper's Section V-A descriptions plus
+public specifications of the CPUs involved:
+
+* **Setonix** (Pawsey): 2x AMD EPYC 7763 "Milan" 64-core @ 2.55 GHz,
+  Zen 3 cores (2x 256-bit FMA => 32 SP FLOP/cycle), 8 CCDs per socket
+  each with 8 cores sharing 32 MB L3, 4 NUMA domains per socket (NPS4),
+  8 memory channels (~204 GB/s per socket), 256 GB RAM, SMT2
+  => 128 physical cores / 256 logical CPUs per node.
+
+* **Gadi** (NCI): 2x Intel Xeon Platinum 8274 "Cascade Lake" 24-core
+  @ 3.2 GHz (2x 512-bit FMA => 64 SP FLOP/cycle), monolithic 35.75 MB L3
+  per socket, 2 NUMA domains per socket (sub-NUMA clustering), 6 memory
+  channels (~141 GB/s per socket), 192 GB RAM, SMT2
+  => 48 physical cores / 96 logical CPUs per node.
+
+Each preset also carries the cost-model coefficients calibrated so the
+simulator reproduces the paper's qualitative behaviour (see
+``EXPERIMENTS.md`` for the calibration notes).
+"""
+
+from __future__ import annotations
+
+from repro.machine.costmodel import CostModel
+from repro.machine.topology import NodeTopology
+
+
+def setonix_topology() -> NodeTopology:
+    """The 2-socket AMD Milan node of Fig. 5."""
+    return NodeTopology(
+        name="setonix",
+        sockets=2,
+        modules_per_socket=8,
+        cores_per_module=8,
+        smt=2,
+        freq_ghz=2.55,
+        flops_per_cycle_sp=32,
+        l2_kb=512,
+        l3_mb_per_module=32.0,
+        numa_domains_per_socket=4,
+        mem_bw_gbs_per_socket=204.8,
+        mem_gb=256,
+    )
+
+
+def gadi_topology() -> NodeTopology:
+    """The 2-socket Intel Cascade Lake node of Fig. 6."""
+    return NodeTopology(
+        name="gadi",
+        sockets=2,
+        modules_per_socket=1,
+        cores_per_module=24,
+        smt=2,
+        freq_ghz=3.2,
+        flops_per_cycle_sp=64,
+        l2_kb=1024,
+        l3_mb_per_module=35.75,
+        numa_domains_per_socket=2,
+        mem_bw_gbs_per_socket=141.0,
+        mem_gb=192,
+    )
+
+
+def setonix() -> CostModel:
+    """BLIS-flavoured cost model on the Setonix node.
+
+    Calibration intent: many small L3 domains and a deep socket/CCD
+    hierarchy make sync and packing relatively expensive, so optimal
+    thread counts sit well below the maximum across most of the sampled
+    domain (paper Figs. 8-9a) and ADSALA keeps a stable ~1.3x speedup
+    even at 500 MB (Fig. 11).
+    """
+    return CostModel(
+        topology=setonix_topology(),
+        kernel_efficiency=0.80,
+        kernel_ramp_flops=6.0e6,
+        fringe_tile_m=16,
+        fringe_tile_n=16,
+        kc_block=256,
+        sync_base_us=1.2,
+        sync_per_thread_us=1.4,
+        sync_cross_socket_us=14.0,
+        pack_latency_us=10.0,
+        pack_contention=7.0,
+        copy_bw_fraction=0.55,
+        smt_yield=0.95,
+        malleable_bw=0.85,
+        cache_line_latency_ns=110.0,
+        latency_panel_bytes=65536.0,
+    )
+
+
+def gadi() -> CostModel:
+    """MKL-flavoured cost model on the Gadi node.
+
+    Calibration intent: fewer, wider sockets with monolithic L3 mean the
+    max-thread configuration is close to optimal for large squarish GEMM
+    (speedup converges to ~1 in Fig. 12) while small/skinny GEMM still
+    suffers badly from packing replication at 96 threads (Table VII),
+    giving the occasional extreme speedups of Fig. 14.
+    """
+    return CostModel(
+        topology=gadi_topology(),
+        kernel_efficiency=0.78,
+        kernel_ramp_flops=2.5e6,
+        fringe_tile_m=16,
+        fringe_tile_n=16,
+        kc_block=384,
+        sync_base_us=0.8,
+        sync_per_thread_us=1.1,
+        sync_cross_socket_us=22.0,
+        pack_latency_us=12.0,
+        pack_contention=10.0,
+        copy_bw_fraction=0.55,
+        smt_yield=1.0,
+        malleable_bw=0.92,
+        cache_line_latency_ns=130.0,
+        latency_panel_bytes=65536.0,
+    )
+
+
+def tiny_test_node() -> CostModel:
+    """A small 2-socket, 8-core node for fast unit tests.
+
+    Keeps every structural feature (two sockets, two modules per socket,
+    SMT) while having a thread grid small enough that exhaustive
+    assertions are cheap.
+    """
+    topology = NodeTopology(
+        name="tiny",
+        sockets=2,
+        modules_per_socket=2,
+        cores_per_module=2,
+        smt=2,
+        freq_ghz=2.0,
+        flops_per_cycle_sp=16,
+        l2_kb=512,
+        l3_mb_per_module=8.0,
+        numa_domains_per_socket=1,
+        mem_bw_gbs_per_socket=50.0,
+        mem_gb=32,
+    )
+    return CostModel(
+        topology=topology,
+        kernel_efficiency=0.8,
+        kernel_ramp_flops=1.0e6,
+        fringe_tile_m=8,
+        fringe_tile_n=8,
+        kc_block=128,
+        sync_base_us=1.0,
+        sync_per_thread_us=1.0,
+        sync_cross_socket_us=10.0,
+        pack_latency_us=10.0,
+        pack_contention=4.0,
+        copy_bw_fraction=0.5,
+        smt_yield=1.1,
+        malleable_bw=0.9,
+    )
+
+
+PRESETS = {
+    "setonix": setonix,
+    "gadi": gadi,
+    "tiny": tiny_test_node,
+}
+
+
+def by_name(name: str) -> CostModel:
+    """Look up a preset cost model by node name."""
+    try:
+        return PRESETS[name.lower()]()
+    except KeyError as exc:
+        raise KeyError(f"unknown machine preset {name!r}; known: {sorted(PRESETS)}") from exc

@@ -1,0 +1,60 @@
+"""From-scratch machine-learning substrate (numpy only).
+
+The paper's candidate models (Table I) come from scikit-learn, XGBoost
+and LightGBM; none of those are available here, so this package
+implements every candidate the paper trains, plus the model-selection
+machinery around them:
+
+Linear family
+    :class:`LinearRegression`, :class:`Ridge`, :class:`ElasticNet`
+    (coordinate descent), :class:`BayesianRidge` (evidence maximisation).
+Tree family
+    :class:`DecisionTreeRegressor` (exact-greedy CART),
+    :class:`RandomForestRegressor`, :class:`AdaBoostRegressor`
+    (AdaBoost.R2), :class:`XGBRegressor` (second-order boosting with
+    regularised leaf weights), :class:`LGBMRegressor` (histogram bins +
+    leaf-wise growth).
+Other
+    :class:`KNeighborsRegressor`, :class:`LinearSVR`.
+Infrastructure
+    metrics, train/test splitting with stratification on a continuous
+    target, K-fold cross-validation, grid/random hyper-parameter search,
+    learning curves, and the candidate-model registry used by ADSALA's
+    installation workflow.
+
+The estimator API intentionally mirrors scikit-learn (``fit`` /
+``predict`` / ``get_params`` / ``set_params``) so the ADSALA core reads
+like the paper describes.
+"""
+
+from repro.ml.base import BaseEstimator, RegressorMixin, clone, check_array, check_X_y
+from repro.ml.metrics import (mean_absolute_error, mean_squared_error,
+                              normalised_rmse, r2_score, rmse)
+from repro.ml.linear import LinearRegression, Ridge
+from repro.ml.elasticnet import ElasticNet
+from repro.ml.bayes import BayesianRidge
+from repro.ml.tree import DecisionTreeRegressor
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.adaboost import AdaBoostRegressor
+from repro.ml.xgb import XGBRegressor
+from repro.ml.lgbm import LGBMRegressor
+from repro.ml.knn import KNeighborsRegressor
+from repro.ml.svr import LinearSVR
+from repro.ml.model_selection import (KFold, cross_val_score, stratify_bins,
+                                      train_test_split)
+from repro.ml.tuning import GridSearchCV, ParameterGrid, RandomizedSearchCV
+from repro.ml.learning_curve import learning_curve
+from repro.ml.registry import CandidateModel, candidate_models
+
+__all__ = [
+    "BaseEstimator", "RegressorMixin", "clone", "check_array", "check_X_y",
+    "mean_absolute_error", "mean_squared_error", "normalised_rmse",
+    "r2_score", "rmse",
+    "LinearRegression", "Ridge", "ElasticNet", "BayesianRidge",
+    "DecisionTreeRegressor", "RandomForestRegressor", "AdaBoostRegressor",
+    "XGBRegressor", "LGBMRegressor", "KNeighborsRegressor", "LinearSVR",
+    "KFold", "cross_val_score", "stratify_bins", "train_test_split",
+    "GridSearchCV", "ParameterGrid", "RandomizedSearchCV",
+    "learning_curve",
+    "CandidateModel", "candidate_models",
+]

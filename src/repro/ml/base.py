@@ -1,0 +1,85 @@
+"""Estimator base classes and validation helpers.
+
+A deliberately small re-implementation of the scikit-learn estimator
+contract: constructor arguments are hyper-parameters, ``fit`` learns
+state stored in trailing-underscore attributes, ``get_params`` /
+``set_params`` / ``clone`` enable generic hyper-parameter search.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import numpy as np
+
+
+def check_array(X, name: str = "X", ensure_2d: bool = True) -> np.ndarray:
+    """Coerce to a float64 numpy array and validate finiteness."""
+    arr = np.asarray(X, dtype=np.float64)
+    if ensure_2d:
+        if arr.ndim == 1:
+            arr = arr.reshape(-1, 1)
+        if arr.ndim != 2:
+            raise ValueError(f"{name} must be 2-dimensional, got ndim={arr.ndim}")
+        if arr.shape[0] == 0:
+            raise ValueError(f"{name} has no samples")
+    if not np.isfinite(arr).all():
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def check_X_y(X, y):
+    """Validate a feature matrix / target vector pair."""
+    X = check_array(X, "X")
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if y.shape[0] != X.shape[0]:
+        raise ValueError(f"X has {X.shape[0]} samples but y has {y.shape[0]}")
+    if not np.isfinite(y).all():
+        raise ValueError("y contains NaN or infinite values")
+    return X, y
+
+
+class BaseEstimator:
+    """Base class providing parameter introspection and cloning."""
+
+    @classmethod
+    def _param_names(cls):
+        sig = inspect.signature(cls.__init__)
+        return [p.name for p in sig.parameters.values()
+                if p.name != "self" and p.kind != p.VAR_KEYWORD]
+
+    def get_params(self) -> dict:
+        """Hyper-parameters as a dict (constructor arguments only)."""
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self, **params) -> "BaseEstimator":
+        """Update hyper-parameters in place; unknown names raise."""
+        valid = set(self._param_names())
+        for key, value in params.items():
+            if key not in valid:
+                raise ValueError(
+                    f"invalid parameter {key!r} for {type(self).__name__}; valid: {sorted(valid)}")
+            setattr(self, key, value)
+        return self
+
+    def _check_fitted(self, attr: str) -> None:
+        if not hasattr(self, attr):
+            raise RuntimeError(f"{type(self).__name__} is not fitted yet (missing {attr})")
+
+    def __repr__(self):
+        params = ", ".join(f"{k}={v!r}" for k, v in sorted(self.get_params().items()))
+        return f"{type(self).__name__}({params})"
+
+
+class RegressorMixin:
+    """Adds the default R^2 ``score`` used by cross-validation."""
+
+    def score(self, X, y) -> float:
+        from repro.ml.metrics import r2_score
+
+        return r2_score(np.asarray(y, dtype=np.float64).ravel(), self.predict(X))
+
+
+def clone(estimator):
+    """Fresh unfitted copy with identical hyper-parameters."""
+    return type(estimator)(**estimator.get_params())

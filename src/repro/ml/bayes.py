@@ -1,0 +1,92 @@
+"""Bayesian ridge regression via evidence (type-II ML) maximisation.
+
+Implements the classic Tipping/Bishop iterative scheme the paper's
+"Bayes Regression" candidate refers to: a Gaussian prior ``w ~ N(0,
+alpha^-1 I)`` and noise ``y ~ N(Xw, beta^-1)``, with ``alpha`` and
+``beta`` re-estimated from the data until convergence.  Evaluation is a
+single dot product, which is why the paper measures it as the fastest
+model on both platforms (7.9 us on Setonix, Table III).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, RegressorMixin, check_array, check_X_y
+
+
+class BayesianRidge(BaseEstimator, RegressorMixin):
+    """Evidence-maximising Bayesian linear regression.
+
+    Parameters
+    ----------
+    max_iter, tol:
+        Hyper-parameter re-estimation loop controls.
+    alpha_init, beta_init:
+        Optional starting precisions (prior / noise); sensible defaults
+        are derived from the data when omitted.
+    """
+
+    def __init__(self, max_iter: int = 300, tol: float = 1e-4,
+                 alpha_init: float = None, beta_init: float = None):
+        self.max_iter = max_iter
+        self.tol = tol
+        self.alpha_init = alpha_init
+        self.beta_init = beta_init
+
+    def fit(self, X, y) -> "BayesianRidge":
+        X, y = check_X_y(X, y)
+        n_samples, n_features = X.shape
+        x_mean, y_mean = X.mean(axis=0), y.mean()
+        Xc, yc = X - x_mean, y - y_mean
+
+        y_var = float(np.var(yc))
+        alpha = self.alpha_init if self.alpha_init is not None else 1.0
+        beta = self.beta_init if self.beta_init is not None else (
+            1.0 / y_var if y_var > 0 else 1.0)
+
+        # Work in the eigenbasis of X^T X so each iteration is O(d^2).
+        gram = Xc.T @ Xc
+        eigvals, eigvecs = np.linalg.eigh(gram)
+        eigvals = np.clip(eigvals, 0.0, None)
+        Xty = Xc.T @ yc
+        proj = eigvecs.T @ Xty
+
+        mean = np.zeros(n_features)
+        for _ in range(self.max_iter):
+            # Posterior mean in eigenbasis: (alpha + beta*lam)^-1 beta proj
+            denom = alpha + beta * eigvals
+            mean_eig = beta * proj / denom
+            mean_new = eigvecs @ mean_eig
+            gamma = float(np.sum(beta * eigvals / denom))  # effective dof
+            residual = yc - Xc @ mean_new
+            rss = float(residual @ residual)
+            # Clamp the precision re-estimates: degenerate data (constant
+            # features or targets) drives gamma and rss to zero, and the
+            # raw updates would diverge to 0 or infinity.
+            alpha_new = float(np.clip(
+                gamma / max(float(mean_new @ mean_new), 1e-12), 1e-10, 1e10))
+            beta_new = float(np.clip(
+                max(n_samples - gamma, 1e-12) / max(rss, 1e-12), 1e-10, 1e10))
+            converged = (abs(np.log(alpha_new / alpha)) < self.tol
+                         and abs(np.log(beta_new / beta)) < self.tol)
+            alpha, beta, mean = alpha_new, beta_new, mean_new
+            if converged:
+                break
+
+        self.alpha_ = alpha
+        self.beta_ = beta
+        self.coef_ = mean
+        self.intercept_ = float(y_mean - x_mean @ mean)
+        # Posterior covariance for predictive uncertainty.
+        self.sigma_ = eigvecs @ np.diag(1.0 / (alpha + beta * eigvals)) @ eigvecs.T
+        return self
+
+    def predict(self, X, return_std: bool = False):
+        self._check_fitted("coef_")
+        X = check_array(X)
+        mean = X @ self.coef_ + self.intercept_
+        if not return_std:
+            return mean
+        var = 1.0 / self.beta_ + np.einsum("ij,jk,ik->i", X, self.sigma_, X)
+        return mean, np.sqrt(np.clip(var, 0.0, None))

@@ -1,0 +1,102 @@
+"""ElasticNet regression via cyclic coordinate descent.
+
+Minimises::
+
+    (1 / 2n) * ||y - Xw - b||^2 + alpha * l1_ratio * ||w||_1
+        + 0.5 * alpha * (1 - l1_ratio) * ||w||^2
+
+which matches scikit-learn's objective, so hyper-parameter ranges from
+the literature transfer directly.  The solver is the standard cyclic
+coordinate descent with the soft-thresholding update; features are
+cycled until the largest coefficient update falls below ``tol``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, RegressorMixin, check_array, check_X_y
+
+
+def soft_threshold(value: float, threshold: float) -> float:
+    """The proximal operator of the L1 norm."""
+    if value > threshold:
+        return value - threshold
+    if value < -threshold:
+        return value + threshold
+    return 0.0
+
+
+class ElasticNet(BaseEstimator, RegressorMixin):
+    """L1+L2 regularised linear regression.
+
+    Parameters
+    ----------
+    alpha:
+        Overall regularisation strength.
+    l1_ratio:
+        Mix between L1 (1.0 = lasso) and L2 (0.0 = ridge).
+    max_iter, tol:
+        Coordinate-descent stopping controls.
+    """
+
+    def __init__(self, alpha: float = 1.0, l1_ratio: float = 0.5,
+                 fit_intercept: bool = True, max_iter: int = 1000, tol: float = 1e-6):
+        self.alpha = alpha
+        self.l1_ratio = l1_ratio
+        self.fit_intercept = fit_intercept
+        self.max_iter = max_iter
+        self.tol = tol
+
+    def fit(self, X, y) -> "ElasticNet":
+        if self.alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        if not 0.0 <= self.l1_ratio <= 1.0:
+            raise ValueError("l1_ratio must be in [0, 1]")
+        X, y = check_X_y(X, y)
+        n_samples, n_features = X.shape
+        if self.fit_intercept:
+            x_mean, y_mean = X.mean(axis=0), y.mean()
+            Xc, yc = X - x_mean, y - y_mean
+        else:
+            x_mean, y_mean = np.zeros(n_features), 0.0
+            Xc, yc = X, y
+
+        l1 = self.alpha * self.l1_ratio * n_samples
+        l2 = self.alpha * (1.0 - self.l1_ratio) * n_samples
+        col_sq = np.einsum("ij,ij->j", Xc, Xc)  # ||x_j||^2 per feature
+
+        w = np.zeros(n_features)
+        residual = yc.copy()  # residual = yc - Xc @ w, maintained incrementally
+        self.n_iter_ = self.max_iter
+        for it in range(self.max_iter):
+            max_update = 0.0
+            for j in range(n_features):
+                if col_sq[j] == 0.0:
+                    continue
+                w_old = w[j]
+                # rho = x_j . (residual + x_j * w_j)
+                rho = Xc[:, j] @ residual + col_sq[j] * w_old
+                w_new = soft_threshold(rho, l1) / (col_sq[j] + l2)
+                if w_new != w_old:
+                    residual += Xc[:, j] * (w_old - w_new)
+                    w[j] = w_new
+                    max_update = max(max_update, abs(w_new - w_old))
+            if max_update <= self.tol:
+                self.n_iter_ = it + 1
+                break
+
+        self.coef_ = w
+        self.intercept_ = float(y_mean - x_mean @ w)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("coef_")
+        X = check_array(X)
+        return X @ self.coef_ + self.intercept_
+
+    @property
+    def sparsity_(self) -> float:
+        """Fraction of exactly-zero coefficients after fitting."""
+        self._check_fitted("coef_")
+        return float(np.mean(self.coef_ == 0.0))

@@ -1,0 +1,105 @@
+"""Random forest regressor over histogram trees.
+
+Bootstrap resampling plus per-tree feature subsampling, averaged at
+prediction time (Breiman 2001, the paper's reference [33]).  Trees are
+grown deep by default (no depth cap, small leaves), which is what makes
+the forest accurate but *slow to evaluate* — the property that, in the
+paper's Tables III/IV, erases its speedup despite the second-best RMSE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml._histtree import TreeParams, bin_features, build_hist_tree, quantile_bin_edges
+from repro.ml.base import BaseEstimator, RegressorMixin, check_array, check_X_y
+
+
+class RandomForestRegressor(BaseEstimator, RegressorMixin):
+    """Bagged ensemble of deep variance-reduction trees.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees.
+    max_depth:
+        Depth cap per tree; ``None`` grows until ``min_samples_leaf``.
+    max_features:
+        Features considered per tree ("sqrt", "log2", int or None=all).
+    bootstrap:
+        Sample rows with replacement per tree.
+    max_leaves:
+        Leaf cap per tree, grown best-first.  Bounds the cost of deep
+        forests while splitting where the variance reduction is largest;
+        0 disables the cap (classic unbounded CART forest).
+    max_bins:
+        Histogram resolution for split finding.
+    """
+
+    def __init__(self, n_estimators: int = 100, max_depth=None,
+                 min_samples_leaf: int = 2, max_features=None,
+                 bootstrap: bool = True, max_leaves: int = 256,
+                 max_bins: int = 64, random_state=None):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.max_leaves = max_leaves
+        self.max_bins = max_bins
+        self.random_state = random_state
+
+    def _n_features_per_tree(self, d: int) -> int:
+        if self.max_features is None:
+            return d
+        if isinstance(self.max_features, str):
+            if self.max_features == "sqrt":
+                return max(1, int(np.sqrt(d)))
+            if self.max_features == "log2":
+                return max(1, int(np.log2(d)) or 1)
+            raise ValueError(f"unknown max_features {self.max_features!r}")
+        return max(1, min(int(self.max_features), d))
+
+    def fit(self, X, y) -> "RandomForestRegressor":
+        if self.n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        X, y = check_X_y(X, y)
+        n, d = X.shape
+        rng = np.random.default_rng(self.random_state)
+        self.edges_ = quantile_bin_edges(X, self.max_bins)
+        codes = bin_features(X, self.edges_)
+        params = TreeParams(
+            max_depth=self.max_depth if self.max_depth else 0,
+            max_leaves=self.max_leaves,
+            min_samples_leaf=self.min_samples_leaf,
+            reg_lambda=0.0,
+        )
+        h = np.ones(n)
+        k = self._n_features_per_tree(d)
+        self.trees_ = []
+        for _ in range(self.n_estimators):
+            rows = rng.integers(0, n, size=n) if self.bootstrap else None
+            feats = rng.choice(d, size=k, replace=False) if k < d else None
+            tree = build_hist_tree(codes, self.edges_, g=y, h=h, params=params,
+                                   feature_subset=feats, sample_indices=rows)
+            self.trees_.append(tree)
+        self.n_features_ = d
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("trees_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_:
+            raise ValueError(f"X has {X.shape[1]} features, expected {self.n_features_}")
+        out = np.zeros(X.shape[0])
+        for tree in self.trees_:
+            out += tree.predict(X)
+        return out / len(self.trees_)
+
+    @property
+    def feature_importances_(self):
+        """Gain-based importances, normalised to sum to 1."""
+        self._check_fitted("trees_")
+        from repro.ml._histtree import ensemble_importances
+
+        return ensemble_importances(self.trees_, self.n_features_)

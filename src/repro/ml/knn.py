@@ -1,0 +1,74 @@
+"""k-nearest-neighbours regression (brute force).
+
+Included because the paper's Table I lists it as a candidate and
+Section VI-B notes that despite reasonable RMSE its slow evaluation
+disqualifies it — which a brute-force implementation demonstrates
+honestly: every prediction scans the training set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, RegressorMixin, check_array, check_X_y
+
+
+class KNeighborsRegressor(BaseEstimator, RegressorMixin):
+    """Brute-force kNN with optional inverse-distance weighting.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Number of neighbours averaged per query.
+    weights:
+        "uniform" or "distance" (inverse-distance weighting).
+    chunk_size:
+        Queries processed per distance-matrix block, bounding memory.
+    """
+
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform",
+                 chunk_size: int = 256):
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+        self.chunk_size = chunk_size
+
+    def fit(self, X, y) -> "KNeighborsRegressor":
+        if self.n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        if self.weights not in ("uniform", "distance"):
+            raise ValueError(f"unknown weights {self.weights!r}")
+        X, y = check_X_y(X, y)
+        if self.n_neighbors > X.shape[0]:
+            raise ValueError(
+                f"n_neighbors={self.n_neighbors} exceeds training size {X.shape[0]}")
+        self.X_ = X
+        self.y_ = y
+        self._sq_norms = np.einsum("ij,ij->i", X, X)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("X_")
+        X = check_array(X)
+        if X.shape[1] != self.X_.shape[1]:
+            raise ValueError(f"X has {X.shape[1]} features, expected {self.X_.shape[1]}")
+        out = np.empty(X.shape[0])
+        k = self.n_neighbors
+        for start in range(0, X.shape[0], self.chunk_size):
+            q = X[start:start + self.chunk_size]
+            # ||q - x||^2 = ||q||^2 - 2 q.x + ||x||^2 (vectorised).
+            d2 = (np.einsum("ij,ij->i", q, q)[:, None]
+                  - 2.0 * q @ self.X_.T + self._sq_norms[None, :])
+            np.maximum(d2, 0.0, out=d2)
+            nn = np.argpartition(d2, k - 1, axis=1)[:, :k]
+            rows = np.arange(q.shape[0])[:, None]
+            if self.weights == "uniform":
+                out[start:start + q.shape[0]] = self.y_[nn].mean(axis=1)
+            else:
+                dist = np.sqrt(d2[rows, nn])
+                w = 1.0 / np.maximum(dist, 1e-12)
+                # Exact matches dominate entirely.
+                exact = dist <= 1e-12
+                w[exact.any(axis=1)] = 0.0
+                w[exact] = 1.0
+                out[start:start + q.shape[0]] = (w * self.y_[nn]).sum(axis=1) / w.sum(axis=1)
+        return out

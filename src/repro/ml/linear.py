@@ -1,0 +1,71 @@
+"""Ordinary least squares and ridge regression.
+
+The paper's linear candidates exist mainly to bound the accuracy/speed
+trade-off: they evaluate in microseconds but cannot represent the highly
+non-linear runtime surface, so their normalised RMSE sits near 1.0
+(Tables III/IV).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, RegressorMixin, check_array, check_X_y
+
+
+class LinearRegression(BaseEstimator, RegressorMixin):
+    """Ordinary least squares via numpy's lstsq (SVD-based, rank-safe)."""
+
+    def __init__(self, fit_intercept: bool = True):
+        self.fit_intercept = fit_intercept
+
+    def fit(self, X, y) -> "LinearRegression":
+        X, y = check_X_y(X, y)
+        if self.fit_intercept:
+            x_mean, y_mean = X.mean(axis=0), y.mean()
+            coef, *_ = np.linalg.lstsq(X - x_mean, y - y_mean, rcond=None)
+            self.coef_ = coef
+            self.intercept_ = float(y_mean - x_mean @ coef)
+        else:
+            coef, *_ = np.linalg.lstsq(X, y, rcond=None)
+            self.coef_ = coef
+            self.intercept_ = 0.0
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("coef_")
+        X = check_array(X)
+        return X @ self.coef_ + self.intercept_
+
+
+class Ridge(BaseEstimator, RegressorMixin):
+    """L2-regularised least squares, solved in closed form.
+
+    Solves ``(X^T X + alpha I) w = X^T y`` on centred data so the
+    intercept is not penalised.
+    """
+
+    def __init__(self, alpha: float = 1.0, fit_intercept: bool = True):
+        self.alpha = alpha
+        self.fit_intercept = fit_intercept
+
+    def fit(self, X, y) -> "Ridge":
+        if self.alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        X, y = check_X_y(X, y)
+        if self.fit_intercept:
+            x_mean, y_mean = X.mean(axis=0), y.mean()
+            Xc, yc = X - x_mean, y - y_mean
+        else:
+            x_mean, y_mean = np.zeros(X.shape[1]), 0.0
+            Xc, yc = X, y
+        n_features = X.shape[1]
+        gram = Xc.T @ Xc + self.alpha * np.eye(n_features)
+        self.coef_ = np.linalg.solve(gram, Xc.T @ yc)
+        self.intercept_ = float(y_mean - x_mean @ self.coef_)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("coef_")
+        X = check_array(X)
+        return X @ self.coef_ + self.intercept_

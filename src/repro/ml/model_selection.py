@@ -1,0 +1,137 @@
+"""Data splitting and cross-validation.
+
+The paper (Section IV-C) uses stratified sampling for the train/test and
+validation splits "to ensure a similar distribution in the train set,
+test set, and validation sets", and k-fold cross-validation (rather than
+leave-one-out) for hyper-parameter tuning.  The target here is
+continuous (GEMM runtime), so stratification works on quantile bins of
+the target, which is the standard adaptation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import clone
+
+
+def stratify_bins(y, n_bins: int = 10) -> np.ndarray:
+    """Quantile-bin a continuous target for stratified splitting."""
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if n_bins < 2:
+        raise ValueError("n_bins must be >= 2")
+    n_bins = min(n_bins, max(2, y.size // 2))
+    edges = np.quantile(y, np.linspace(0, 1, n_bins + 1)[1:-1])
+    return np.searchsorted(np.unique(edges), y, side="left")
+
+
+def train_test_split(X, y, test_size: float = 0.3, stratify=None,
+                     random_state=None):
+    """Split arrays into train and test subsets.
+
+    Parameters
+    ----------
+    test_size:
+        Fraction of samples in the test set.
+    stratify:
+        Optional label array (use :func:`stratify_bins` on a continuous
+        target); splitting then preserves per-label proportions.
+
+    Returns ``X_train, X_test, y_train, y_test``.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    n = X.shape[0]
+    if y.shape[0] != n:
+        raise ValueError("X and y disagree on sample count")
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1)")
+    rng = np.random.default_rng(random_state)
+
+    if stratify is None:
+        perm = rng.permutation(n)
+        n_test = max(1, int(round(n * test_size)))
+        test_idx, train_idx = perm[:n_test], perm[n_test:]
+    else:
+        labels = np.asarray(stratify).ravel()
+        if labels.shape[0] != n:
+            raise ValueError("stratify labels disagree on sample count")
+        test_parts, train_parts = [], []
+        for lab in np.unique(labels):
+            members = np.nonzero(labels == lab)[0]
+            members = rng.permutation(members)
+            n_test = int(round(members.size * test_size))
+            # Keep at least one sample on each side when possible.
+            if members.size >= 2:
+                n_test = min(max(n_test, 1), members.size - 1)
+            test_parts.append(members[:n_test])
+            train_parts.append(members[n_test:])
+        test_idx = np.concatenate(test_parts)
+        train_idx = np.concatenate(train_parts)
+        rng.shuffle(test_idx)
+        rng.shuffle(train_idx)
+
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+class KFold:
+    """K-fold cross-validator with optional shuffling and stratification.
+
+    ``split`` yields ``(train_indices, val_indices)`` pairs.  When
+    ``stratify_on`` labels are provided, each fold receives a
+    proportional share of every label (stratified k-fold).
+    """
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, random_state=None):
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X, stratify_on=None):
+        n = np.asarray(X).shape[0]
+        if n < self.n_splits:
+            raise ValueError(f"cannot split {n} samples into {self.n_splits} folds")
+        rng = np.random.default_rng(self.random_state)
+
+        if stratify_on is None:
+            idx = rng.permutation(n) if self.shuffle else np.arange(n)
+            folds = np.array_split(idx, self.n_splits)
+        else:
+            labels = np.asarray(stratify_on).ravel()
+            folds = [[] for _ in range(self.n_splits)]
+            for lab in np.unique(labels):
+                members = np.nonzero(labels == lab)[0]
+                if self.shuffle:
+                    members = rng.permutation(members)
+                for i, chunk in enumerate(np.array_split(members, self.n_splits)):
+                    folds[i].extend(chunk.tolist())
+            folds = [np.asarray(sorted(f), dtype=np.int64) for f in folds]
+
+        for i in range(self.n_splits):
+            val = np.asarray(folds[i], dtype=np.int64)
+            train = np.concatenate([np.asarray(folds[j], dtype=np.int64)
+                                    for j in range(self.n_splits) if j != i])
+            yield train, val
+
+
+def cross_val_score(estimator, X, y, cv: KFold = None, scoring=None,
+                    stratify_on=None) -> np.ndarray:
+    """Per-fold scores for an estimator (higher is better).
+
+    ``scoring`` is a callable ``(y_true, y_pred) -> float``; the default
+    is R^2.  The estimator is cloned per fold so no state leaks.
+    """
+    from repro.ml.metrics import r2_score
+
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64).ravel()
+    cv = cv or KFold(n_splits=5, shuffle=True, random_state=0)
+    scoring = scoring or r2_score
+    scores = []
+    for train_idx, val_idx in cv.split(X, stratify_on=stratify_on):
+        model = clone(estimator)
+        model.fit(X[train_idx], y[train_idx])
+        scores.append(scoring(y[val_idx], model.predict(X[val_idx])))
+    return np.asarray(scores)

@@ -1,0 +1,104 @@
+"""Hyper-parameter search: grid and randomised.
+
+The paper tunes every candidate model's hyper-parameters with k-fold
+cross-validation before the final model selection (Sections III-B and
+IV-C).  Both searchers refit the best configuration on the full data,
+mirroring scikit-learn semantics.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, RegressorMixin, clone
+from repro.ml.model_selection import KFold, cross_val_score
+
+
+class ParameterGrid:
+    """Iterate over the cartesian product of a dict of value lists."""
+
+    def __init__(self, grid: dict):
+        if not isinstance(grid, dict):
+            raise TypeError("grid must be a dict of parameter: values-list")
+        for key, values in grid.items():
+            if not hasattr(values, "__iter__") or isinstance(values, str):
+                raise ValueError(f"grid[{key!r}] must be an iterable of values")
+        self.grid = {k: list(v) for k, v in grid.items()}
+
+    def __iter__(self):
+        keys = sorted(self.grid)
+        for combo in itertools.product(*(self.grid[k] for k in keys)):
+            yield dict(zip(keys, combo))
+
+    def __len__(self):
+        out = 1
+        for values in self.grid.values():
+            out *= len(values)
+        return out
+
+
+class _BaseSearchCV(BaseEstimator, RegressorMixin):
+    """Shared fit/refit logic for the two searchers."""
+
+    def __init__(self, estimator, cv=None, scoring=None):
+        self.estimator = estimator
+        self.cv = cv
+        self.scoring = scoring
+
+    def _candidates(self, rng):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def fit(self, X, y, stratify_on=None):
+        rng = np.random.default_rng(getattr(self, "random_state", None))
+        cv = self.cv or KFold(n_splits=3, shuffle=True, random_state=0)
+        results = []
+        for params in self._candidates(rng):
+            model = clone(self.estimator).set_params(**params)
+            scores = cross_val_score(model, X, y, cv=cv, scoring=self.scoring,
+                                     stratify_on=stratify_on)
+            results.append((params, float(np.mean(scores)), scores))
+        if not results:
+            raise ValueError("empty hyper-parameter search space")
+        results.sort(key=lambda r: r[1], reverse=True)
+        self.cv_results_ = [{"params": p, "mean_score": m, "scores": s}
+                            for p, m, s in results]
+        self.best_params_ = results[0][0]
+        self.best_score_ = results[0][1]
+        self.best_estimator_ = clone(self.estimator).set_params(**self.best_params_)
+        self.best_estimator_.fit(X, y)
+        return self
+
+    def predict(self, X):
+        self._check_fitted("best_estimator_")
+        return self.best_estimator_.predict(X)
+
+
+class GridSearchCV(_BaseSearchCV):
+    """Exhaustive search over a parameter grid with CV scoring."""
+
+    def __init__(self, estimator, param_grid: dict, cv=None, scoring=None):
+        super().__init__(estimator, cv=cv, scoring=scoring)
+        self.param_grid = param_grid
+
+    def _candidates(self, rng):
+        return iter(ParameterGrid(self.param_grid))
+
+
+class RandomizedSearchCV(_BaseSearchCV):
+    """Randomised search: ``n_iter`` draws from the grid without replacement."""
+
+    def __init__(self, estimator, param_grid: dict, n_iter: int = 10,
+                 cv=None, scoring=None, random_state=None):
+        super().__init__(estimator, cv=cv, scoring=scoring)
+        self.param_grid = param_grid
+        self.n_iter = n_iter
+        self.random_state = random_state
+
+    def _candidates(self, rng):
+        space = list(ParameterGrid(self.param_grid))
+        if self.n_iter >= len(space):
+            return iter(space)
+        picks = rng.choice(len(space), size=self.n_iter, replace=False)
+        return iter([space[i] for i in picks])

@@ -1,0 +1,138 @@
+"""XGBoost-style gradient boosting (Chen & Guestrin 2016).
+
+Second-order gradient boosting over histogram trees with regularised
+leaf weights.  For squared loss the gradients are simply the residuals
+and all hessians are one, but the regularisation (``reg_lambda``,
+``gamma``), shrinkage, and row/column subsampling all behave as in the
+reference implementation — this is the model the paper selects on both
+platforms for its combination of best RMSE and microsecond-scale
+evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml._histtree import TreeParams, bin_features, build_hist_tree, quantile_bin_edges
+from repro.ml.base import BaseEstimator, RegressorMixin, check_array, check_X_y
+
+
+class XGBRegressor(BaseEstimator, RegressorMixin):
+    """Regularised second-order boosting for squared loss.
+
+    Parameters
+    ----------
+    n_estimators / learning_rate / max_depth:
+        The classic boosting trio.
+    reg_lambda:
+        L2 penalty on leaf weights.
+    gamma:
+        Minimum split gain (complexity pruning).
+    subsample / colsample_bytree:
+        Stochastic row / feature sampling per tree.
+    early_stopping_rounds:
+        If set together with ``eval_fraction``, training stops when the
+        held-out loss fails to improve for that many rounds.
+    """
+
+    def __init__(self, n_estimators: int = 200, learning_rate: float = 0.1,
+                 max_depth: int = 6, reg_lambda: float = 1.0, gamma: float = 0.0,
+                 subsample: float = 1.0, colsample_bytree: float = 1.0,
+                 min_child_weight: float = 1.0, max_bins: int = 64,
+                 early_stopping_rounds: int = None, eval_fraction: float = 0.1,
+                 random_state=None):
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.reg_lambda = reg_lambda
+        self.gamma = gamma
+        self.subsample = subsample
+        self.colsample_bytree = colsample_bytree
+        self.min_child_weight = min_child_weight
+        self.max_bins = max_bins
+        self.early_stopping_rounds = early_stopping_rounds
+        self.eval_fraction = eval_fraction
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "XGBRegressor":
+        if not 0 < self.subsample <= 1 or not 0 < self.colsample_bytree <= 1:
+            raise ValueError("subsample and colsample_bytree must be in (0, 1]")
+        if self.n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        X, y = check_X_y(X, y)
+        rng = np.random.default_rng(self.random_state)
+        n, d = X.shape
+
+        eval_idx = None
+        if self.early_stopping_rounds:
+            n_eval = max(1, int(n * self.eval_fraction))
+            perm = rng.permutation(n)
+            eval_idx, train_idx = perm[:n_eval], perm[n_eval:]
+        else:
+            train_idx = np.arange(n)
+
+        self.edges_ = quantile_bin_edges(X, self.max_bins)
+        codes = bin_features(X, self.edges_)
+        params = TreeParams(
+            max_depth=self.max_depth,
+            min_child_weight=self.min_child_weight,
+            reg_lambda=self.reg_lambda,
+            gamma=self.gamma,
+            leaf_shrinkage=self.learning_rate,
+        )
+
+        self.base_score_ = float(y[train_idx].mean())
+        pred = np.full(n, self.base_score_)
+        self.trees_ = []
+        best_eval, rounds_since_best = np.inf, 0
+        n_cols = max(1, int(round(d * self.colsample_bytree)))
+        n_rows = max(2, int(round(train_idx.size * self.subsample)))
+
+        for _ in range(self.n_estimators):
+            residual = y - pred  # gradient of squared loss (negated)
+            rows = (train_idx if n_rows >= train_idx.size
+                    else rng.choice(train_idx, size=n_rows, replace=False))
+            feats = rng.choice(d, size=n_cols, replace=False) if n_cols < d else None
+            tree = build_hist_tree(codes, self.edges_, g=residual, h=np.ones(n),
+                                   params=params, feature_subset=feats,
+                                   sample_indices=rows)
+            self.trees_.append(tree)
+            pred += tree.predict(X)
+            if eval_idx is not None:
+                eval_loss = float(np.mean((y[eval_idx] - pred[eval_idx]) ** 2))
+                if eval_loss < best_eval - 1e-12:
+                    best_eval, rounds_since_best = eval_loss, 0
+                else:
+                    rounds_since_best += 1
+                    if rounds_since_best >= self.early_stopping_rounds:
+                        break
+
+        self.n_features_ = d
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("trees_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_:
+            raise ValueError(f"X has {X.shape[1]} features, expected {self.n_features_}")
+        out = np.full(X.shape[0], self.base_score_)
+        for tree in self.trees_:
+            out += tree.predict(X)
+        return out
+
+    def staged_predict(self, X):
+        """Yield predictions after each boosting round (for diagnostics)."""
+        self._check_fitted("trees_")
+        X = check_array(X)
+        out = np.full(X.shape[0], self.base_score_)
+        for tree in self.trees_:
+            out = out + tree.predict(X)
+            yield out.copy()
+
+    @property
+    def feature_importances_(self):
+        """Gain-based importances, normalised to sum to 1."""
+        self._check_fitted("trees_")
+        from repro.ml._histtree import ensemble_importances
+
+        return ensemble_importances(self.trees_, self.n_features_)

@@ -1,0 +1,35 @@
+"""Data preprocessing: the paper's Section II-C / IV-C pipeline.
+
+Order of operations in ADSALA's installation workflow (Section IV-C):
+
+1. :class:`YeoJohnsonTransformer` — per-feature power transform with the
+   MLE-estimated lambda, mapping skewed feature distributions to
+   near-Gaussian (paper Fig. 4).
+2. :class:`StandardScaler` — zero-mean/unit-variance scaling, required
+   before LOF "because LOF is a density-based method and thus requires a
+   similar scale in all dimensions".
+3. :class:`LocalOutlierFactor` — density-based local outlier removal
+   (Breunig et al. 2000).
+4. :func:`correlation_prune` — drop features whose pairwise correlation
+   exceeds 80 %, removing the one with the larger total correlation.
+
+:class:`Pipeline` chains fitted transformers so the runtime library can
+replay exactly the transformation fitted at installation time.
+"""
+
+from repro.preprocessing.standard import StandardScaler
+from repro.preprocessing.yeo_johnson import YeoJohnsonTransformer, yeo_johnson, yeo_johnson_mle_lambda
+from repro.preprocessing.lof import LocalOutlierFactor
+from repro.preprocessing.correlation import CorrelationPruner, correlation_prune
+from repro.preprocessing.pipeline import Pipeline
+
+__all__ = [
+    "StandardScaler",
+    "YeoJohnsonTransformer",
+    "yeo_johnson",
+    "yeo_johnson_mle_lambda",
+    "LocalOutlierFactor",
+    "CorrelationPruner",
+    "correlation_prune",
+    "Pipeline",
+]

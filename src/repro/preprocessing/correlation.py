@@ -1,0 +1,79 @@
+"""Correlation-based feature pruning.
+
+Paper Section IV-C: "We then remove features with correlation
+coefficients with other features larger than a threshold of 80%.  For
+each correlation feature pair, we remove the feature with the larger
+total correlation with the other features."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_array
+
+
+def correlation_prune(X: np.ndarray, threshold: float = 0.8):
+    """Indices of features to keep after greedy correlation pruning.
+
+    Pairs exceeding ``threshold`` absolute Pearson correlation are
+    processed from the most correlated down; within a pair, the feature
+    with the larger total absolute correlation against all remaining
+    features is dropped.
+
+    Returns
+    -------
+    keep : ndarray of kept feature indices (sorted)
+    dropped : list of (dropped_index, partner_index, correlation)
+    """
+    X = check_array(X)
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    d = X.shape[1]
+    if d == 1:
+        return np.array([0]), []
+
+    with np.errstate(invalid="ignore"):
+        corr = np.corrcoef(X, rowvar=False)
+    corr = np.nan_to_num(corr, nan=0.0)  # constant features correlate with nothing
+    abs_corr = np.abs(corr)
+    np.fill_diagonal(abs_corr, 0.0)
+
+    alive = np.ones(d, dtype=bool)
+    dropped = []
+    while True:
+        masked = abs_corr.copy()
+        masked[~alive, :] = 0.0
+        masked[:, ~alive] = 0.0
+        i, j = np.unravel_index(np.argmax(masked), masked.shape)
+        if masked[i, j] <= threshold:
+            break
+        total_i = masked[i, alive].sum()
+        total_j = masked[j, alive].sum()
+        victim, partner = (i, j) if total_i >= total_j else (j, i)
+        alive[victim] = False
+        dropped.append((int(victim), int(partner), float(corr[i, j])))
+    return np.nonzero(alive)[0], dropped
+
+
+class CorrelationPruner(BaseEstimator):
+    """Fit/transform wrapper around :func:`correlation_prune`."""
+
+    def __init__(self, threshold: float = 0.8):
+        self.threshold = threshold
+
+    def fit(self, X, y=None) -> "CorrelationPruner":
+        X = check_array(X)
+        self.keep_, self.dropped_ = correlation_prune(X, self.threshold)
+        self.n_features_ = X.shape[1]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted("keep_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_:
+            raise ValueError(f"X has {X.shape[1]} features, expected {self.n_features_}")
+        return X[:, self.keep_]
+
+    def fit_transform(self, X, y=None) -> np.ndarray:
+        return self.fit(X).transform(X)

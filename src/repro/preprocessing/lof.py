@@ -1,0 +1,93 @@
+"""Local Outlier Factor (Breunig et al., SIGMOD 2000).
+
+Density-based outlier scoring: each point's *local reachability density*
+is compared with that of its k nearest neighbours; points whose density
+is much lower than their neighbourhood's receive LOF scores well above 1
+and are flagged as local outliers.  The paper applies LOF after
+standardisation to remove both global and local outliers from the
+gathered timing data (Section IV-C).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_array
+
+
+class LocalOutlierFactor(BaseEstimator):
+    """Brute-force LOF with a contamination- or threshold-based cutoff.
+
+    Parameters
+    ----------
+    n_neighbors:
+        The ``k`` of the k-distance neighbourhood.
+    contamination:
+        If set (0..0.5), the fraction of points flagged as outliers (the
+        highest LOF scores).  Otherwise points with ``lof > threshold``
+        are flagged.
+    threshold:
+        Score cutoff used when ``contamination`` is None.
+    """
+
+    def __init__(self, n_neighbors: int = 20, contamination: float = None,
+                 threshold: float = 1.5, chunk_size: int = 512):
+        self.n_neighbors = n_neighbors
+        self.contamination = contamination
+        self.threshold = threshold
+        self.chunk_size = chunk_size
+
+    def fit(self, X, y=None) -> "LocalOutlierFactor":
+        """Score every sample; sets ``lof_scores_`` and ``inlier_mask_``."""
+        if self.n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        if self.contamination is not None and not 0.0 < self.contamination <= 0.5:
+            raise ValueError("contamination must be in (0, 0.5]")
+        X = check_array(X)
+        n = X.shape[0]
+        k = min(self.n_neighbors, n - 1)
+        if k < 1:
+            raise ValueError("need at least 2 samples for LOF")
+
+        # k nearest neighbours (excluding self), chunked distance matrix.
+        neigh_idx = np.empty((n, k), dtype=np.int64)
+        neigh_dist = np.empty((n, k))
+        sq = np.einsum("ij,ij->i", X, X)
+        for start in range(0, n, self.chunk_size):
+            q = X[start:start + self.chunk_size]
+            d2 = sq[start:start + q.shape[0], None] - 2.0 * q @ X.T + sq[None, :]
+            np.maximum(d2, 0.0, out=d2)
+            rows = np.arange(q.shape[0])
+            d2[rows, np.arange(start, start + q.shape[0])] = np.inf  # drop self
+            part = np.argpartition(d2, k - 1, axis=1)[:, :k]
+            pd = d2[rows[:, None], part]
+            order = np.argsort(pd, axis=1)
+            neigh_idx[start:start + q.shape[0]] = part[rows[:, None], order]
+            neigh_dist[start:start + q.shape[0]] = np.sqrt(pd[rows[:, None], order])
+
+        # k-distance of each point = distance to its k-th neighbour.
+        k_dist = neigh_dist[:, -1]
+        # reach-dist_k(p, o) = max(k-distance(o), d(p, o))
+        reach = np.maximum(k_dist[neigh_idx], neigh_dist)
+        lrd = 1.0 / np.maximum(reach.mean(axis=1), 1e-12)
+        self.lof_scores_ = lrd[neigh_idx].mean(axis=1) / lrd
+
+        if self.contamination is not None:
+            n_out = max(1, int(round(n * self.contamination)))
+            cutoff = np.partition(self.lof_scores_, n - n_out)[n - n_out]
+            self.inlier_mask_ = self.lof_scores_ < max(cutoff, 1.0 + 1e-12)
+        else:
+            self.inlier_mask_ = self.lof_scores_ <= self.threshold
+        return self
+
+    def fit_predict(self, X) -> np.ndarray:
+        """+1 for inliers, -1 for outliers (sklearn convention)."""
+        self.fit(X)
+        return np.where(self.inlier_mask_, 1, -1)
+
+    def filter(self, X, *arrays):
+        """Fit on ``X`` and return all arrays with outlier rows removed."""
+        self.fit(X)
+        mask = self.inlier_mask_
+        filtered = [np.asarray(a)[mask] for a in (X,) + arrays]
+        return filtered[0] if not arrays else tuple(filtered)

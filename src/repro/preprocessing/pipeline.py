@@ -1,0 +1,67 @@
+"""Sequential transformer pipeline.
+
+Chains fit/transform stages so the exact preprocessing fitted at
+installation time can be replayed on every runtime feature vector (the
+"Config File (For data preprocessing)" of the paper's Figs. 2-3).
+"""
+
+from __future__ import annotations
+
+from repro.ml.base import BaseEstimator
+
+
+class Pipeline(BaseEstimator):
+    """Ordered list of named transformers.
+
+    Every stage must expose ``fit``/``transform``.  Unlike sklearn's
+    pipeline there is no final estimator — ADSALA keeps the model
+    separate because runtime evaluation transforms a single feature
+    batch then queries the model many times.
+    """
+
+    def __init__(self, steps=None):
+        self.steps = list(steps or [])
+        names = [name for name, _ in self.steps]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate step names in {names}")
+
+    def fit(self, X, y=None) -> "Pipeline":
+        data = X
+        for _, stage in self.steps:
+            stage.fit(data, y)
+            data = stage.transform(data)
+        self.fitted_ = True
+        return self
+
+    @classmethod
+    def from_fitted(cls, steps) -> "Pipeline":
+        """Assemble a pipeline from already-fitted stages.
+
+        The installation workflow fits stages interleaved with row
+        filtering (LOF removes training rows between transforms), so the
+        inference pipeline is assembled afterwards from the fitted
+        pieces rather than via :meth:`fit`.
+        """
+        pipe = cls(steps)
+        pipe.fitted_ = True
+        return pipe
+
+    def transform(self, X):
+        self._check_fitted("fitted_")
+        data = X
+        for _, stage in self.steps:
+            data = stage.transform(data)
+        return data
+
+    def fit_transform(self, X, y=None):
+        self.fit(X, y)
+        return self.transform(X)
+
+    def named_step(self, name: str):
+        for step_name, stage in self.steps:
+            if step_name == name:
+                return stage
+        raise KeyError(f"no step named {name!r}; have {[n for n, _ in self.steps]}")
+
+    def __len__(self):
+        return len(self.steps)

@@ -1,0 +1,46 @@
+"""Feature standardisation (zero mean, unit variance)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_array
+
+
+class StandardScaler(BaseEstimator):
+    """Per-feature standardisation fitted on training data.
+
+    Constant features get unit scale so they pass through unchanged
+    (minus centring) instead of dividing by zero.
+    """
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True):
+        self.with_mean = with_mean
+        self.with_std = with_std
+
+    def fit(self, X, y=None) -> "StandardScaler":
+        X = check_array(X)
+        self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
+        if self.with_std:
+            std = X.std(axis=0)
+            std[std == 0.0] = 1.0
+            self.scale_ = std
+        else:
+            self.scale_ = np.ones(X.shape[1])
+        self.n_features_ = X.shape[1]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted("mean_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_:
+            raise ValueError(f"X has {X.shape[1]} features, expected {self.n_features_}")
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X, y=None) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        self._check_fitted("mean_")
+        X = check_array(X)
+        return X * self.scale_ + self.mean_

@@ -1,0 +1,29 @@
+"""Quasi-random sampling of the GEMM input domain.
+
+The paper samples GEMM shapes with a *scrambled* Halton sequence
+(Section IV-B) so the training set covers slim/square and big/small
+matrices evenly under a memory cap, using bases 2, 3 and 4(->5) for the
+m, k and n dimensions.
+
+- :mod:`repro.sampling.halton` — radical-inverse Halton and the
+  permutation-scrambled variant (Mascagni & Chi 2004).
+- :mod:`repro.sampling.domain` — maps unit-cube samples to integer GEMM
+  shapes bounded by a memory footprint.
+- :mod:`repro.sampling.predesigned` — the structured sweeps of the
+  paper's Figs. 13/14 (square, one-small-dim, two-small-dims).
+"""
+
+from repro.sampling.halton import halton_sequence, scrambled_halton_sequence, radical_inverse
+from repro.sampling.sobol import sobol_sequence
+from repro.sampling.domain import GemmDomainSampler
+from repro.sampling.predesigned import predesigned_cases, PredesignedCase
+
+__all__ = [
+    "halton_sequence",
+    "scrambled_halton_sequence",
+    "radical_inverse",
+    "sobol_sequence",
+    "GemmDomainSampler",
+    "predesigned_cases",
+    "PredesignedCase",
+]

@@ -1,0 +1,122 @@
+"""GEMM shape sampling under a memory cap.
+
+Maps scrambled-Halton unit-cube points to integer ``(m, k, n)`` triples.
+Dimensions are drawn on a *square-root scale* (matching the axes of the
+paper's Figs. 9/10, whose domain reaches ~74k for the 500 MB cap: a
+square-root-uniform draw up to ``dim_max`` with memory rejection
+produces exactly that wedge-shaped domain), and triples whose aggregate
+operand footprint exceeds the cap are rejected, with the quasi-random
+sequence simply continuing until enough accepted samples exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gemm.counts import DTYPE_BYTES, gemm_memory_bytes
+from repro.gemm.interface import GemmSpec
+from repro.sampling.halton import scrambled_halton_sequence
+
+
+@dataclass
+class GemmDomainSampler:
+    """Quasi-random sampler of GEMM shapes below a memory footprint.
+
+    Parameters
+    ----------
+    memory_cap_bytes:
+        Aggregate operand footprint limit (paper: 100 MB / 500 MB).
+    dtype:
+        Element type, determining bytes per element.
+    dim_min / dim_max:
+        Inclusive dimension bounds.  ``dim_max`` defaults to
+        ``6.5 * sqrt(cap_elements)``, which reproduces the ~74k upper
+        edge visible in the paper's 500 MB heatmaps.
+    bases:
+        Halton bases per dimension.  The paper states (2, 3, 4); base 4
+        is fine once scrambled, but (2, 3, 5) is the default here since
+        coprime bases have strictly better discrepancy.
+    sequence:
+        Quasi-random family: "halton" (the paper's choice) or "sobol".
+    seed:
+        Scrambling seed.
+    """
+
+    memory_cap_bytes: int
+    dtype: str = "float32"
+    dim_min: int = 1
+    dim_max: int = None
+    bases: tuple = (2, 3, 5)
+    sequence: str = "halton"
+    seed: int = 0
+    rejected_: int = field(default=0, init=False)
+    accepted_: int = field(default=0, init=False)
+
+    def __post_init__(self):
+        if self.memory_cap_bytes <= 0:
+            raise ValueError("memory_cap_bytes must be positive")
+        if len(self.bases) != 3:
+            raise ValueError("need exactly three Halton bases (m, k, n)")
+        if self.sequence not in ("halton", "sobol"):
+            raise ValueError(f"unknown sequence {self.sequence!r}")
+        itemsize = DTYPE_BYTES[str(np.dtype(self.dtype))]
+        cap_elements = self.memory_cap_bytes / itemsize
+        if self.dim_max is None:
+            self.dim_max = int(6.5 * np.sqrt(cap_elements))
+        if not 1 <= self.dim_min <= self.dim_max:
+            raise ValueError(f"invalid dim bounds [{self.dim_min}, {self.dim_max}]")
+        # The smallest possible triple must fit, otherwise nothing does.
+        if gemm_memory_bytes(self.dim_min, self.dim_min, self.dim_min,
+                             self.dtype) > self.memory_cap_bytes:
+            raise ValueError("memory cap excludes even the minimal shape")
+
+    def _map_unit(self, u: np.ndarray) -> np.ndarray:
+        """Unit cube -> integer dims on a square-root scale."""
+        lo, hi = np.sqrt(self.dim_min), np.sqrt(self.dim_max)
+        dims = np.round((lo + u * (hi - lo)) ** 2).astype(np.int64)
+        return np.clip(dims, self.dim_min, self.dim_max)
+
+    def sample(self, n: int, start_index: int = 1):
+        """Return ``n`` accepted :class:`GemmSpec` shapes.
+
+        Rejection keeps consuming the quasi-random sequence, so the
+        accepted set is still low-discrepancy *within* the feasible
+        wedge.  ``rejected_`` records how many candidates were dropped.
+        """
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        specs = []
+        self.rejected_ = 0
+        self.accepted_ = 0
+        index = start_index
+        batch = max(64, 4 * n)
+        while len(specs) < n:
+            if self.sequence == "halton":
+                u = scrambled_halton_sequence(batch, self.bases, seed=self.seed,
+                                              start_index=index)
+            else:
+                from repro.sampling.sobol import sobol_sequence
+
+                u = sobol_sequence(index + batch - 1, 3, scramble=True,
+                                   seed=self.seed)[index - 1:]
+            index += batch
+            dims = self._map_unit(u)
+            for m, k, n_dim in dims:
+                mem = gemm_memory_bytes(int(m), int(k), int(n_dim), self.dtype)
+                if mem <= self.memory_cap_bytes:
+                    specs.append(GemmSpec(int(m), int(k), int(n_dim), dtype=self.dtype))
+                    self.accepted_ += 1
+                    if len(specs) == n:
+                        break
+                else:
+                    self.rejected_ += 1
+        return specs
+
+    def acceptance_rate(self) -> float:
+        """Fraction of candidates accepted in the last ``sample`` call."""
+        total = self.accepted_ + self.rejected_
+        if total == 0:
+            raise RuntimeError("call sample() before acceptance_rate()")
+        return self.accepted_ / total

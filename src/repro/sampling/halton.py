@@ -1,0 +1,87 @@
+"""Halton low-discrepancy sequences, plain and scrambled.
+
+The Halton sequence in base ``b`` is the radical inverse of the integer
+index: write ``i`` in base ``b``, mirror the digits around the radix
+point.  Multi-dimensional Halton uses coprime bases per dimension, but
+high-dimensional / non-coprime pairs show strong correlation artefacts;
+*scrambling* (applying a fixed pseudo-random digit permutation per base,
+Mascagni & Chi 2004) breaks those correlations, which is why the paper
+uses the scrambled variant.
+
+Note the paper says bases "2, 3, and 4" — 4 is not prime (Halton theory
+wants coprime bases), so we accept any base >= 2 and default ADSALA's
+sampler to (2, 3, 5) while allowing (2, 3, 4) for a literal
+reproduction; the scrambling makes base 4 usable in practice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def radical_inverse(index: int, base: int, permutation=None) -> float:
+    """Radical inverse of ``index`` in ``base``; optionally scrambled.
+
+    ``permutation`` is a digit permutation (array of length ``base``
+    with ``perm[0] == 0`` conventionally kept so 0 maps to 0).
+    """
+    if base < 2:
+        raise ValueError("base must be >= 2")
+    if index < 0:
+        raise ValueError("index must be non-negative")
+    result = 0.0
+    frac = 1.0 / base
+    i = index
+    while i > 0:
+        digit = i % base
+        if permutation is not None:
+            digit = int(permutation[digit])
+        result += digit * frac
+        i //= base
+        frac /= base
+    return result
+
+
+def _digit_permutation(base: int, rng: np.random.Generator) -> np.ndarray:
+    """A random digit permutation fixing 0 (keeps the sequence anchored)."""
+    perm = np.arange(base)
+    tail = perm[1:]
+    rng.shuffle(tail)
+    perm[1:] = tail
+    return perm
+
+
+def halton_sequence(n: int, bases, start_index: int = 1) -> np.ndarray:
+    """Plain Halton points in the unit cube; shape ``(n, len(bases))``.
+
+    ``start_index`` defaults to 1: index 0 maps to the origin in every
+    dimension, which is degenerate for sampling.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    bases = list(bases)
+    out = np.empty((n, len(bases)))
+    for j, b in enumerate(bases):
+        out[:, j] = [radical_inverse(i, b) for i in range(start_index, start_index + n)]
+    return out
+
+
+def scrambled_halton_sequence(n: int, bases, seed: int = 0,
+                              start_index: int = 1) -> np.ndarray:
+    """Permutation-scrambled Halton points in the unit cube.
+
+    A fixed permutation per base (derived from ``seed``) is applied to
+    every digit, which destroys the inter-dimensional correlation of
+    plain Halton for non-coprime or large bases while preserving the
+    low-discrepancy structure.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    bases = list(bases)
+    rng = np.random.default_rng(seed)
+    perms = [_digit_permutation(b, rng) for b in bases]
+    out = np.empty((n, len(bases)))
+    for j, (b, perm) in enumerate(zip(bases, perms)):
+        out[:, j] = [radical_inverse(i, b, perm)
+                     for i in range(start_index, start_index + n)]
+    return out

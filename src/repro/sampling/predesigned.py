@@ -1,0 +1,89 @@
+"""The pre-designed GEMM shape sweeps of the paper's Figs. 13/14.
+
+Three families:
+
+* ``square`` — ``m = k = n`` swept over the size grid;
+* ``one_small`` — one dimension pinned to a small value (32..256), the
+  other two swept together (rows 1-3 of Fig. 13: panels like
+  "n,k (m=64)");
+* ``two_small`` — two dimensions pinned small and equal, the third
+  swept (rows 4-6: panels like "m (k,n=64)").
+
+The grids match the figure axes: swept sizes 128..4096 (powers of two),
+small values 32..256.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gemm.interface import GemmSpec
+
+SWEEP_SIZES = (128, 256, 512, 1024, 2048, 4096)
+SMALL_VALUES = (32, 64, 128, 256)
+#: Which dimension(s) are small per family row, matching figure order.
+ONE_SMALL_ROWS = ("m", "k", "n")
+TWO_SMALL_ROWS = (("k", "n"), ("m", "n"), ("m", "k"))
+
+
+@dataclass(frozen=True)
+class PredesignedCase:
+    """One point of a Fig. 13/14 panel."""
+
+    family: str       # "square" | "one_small" | "two_small"
+    row: str          # e.g. "n,k (m=?)" row id: the small dim(s), "-" for square
+    small_value: int  # the pinned small value (0 for square)
+    swept_value: int  # the x-axis value
+    spec: GemmSpec
+
+    @property
+    def panel(self) -> str:
+        """Panel label as printed in the figures, e.g. 'n,k (m=64)'."""
+        if self.family == "square":
+            return "m=k=n"
+        if self.family == "one_small":
+            # Figure row order: "n,k (m=...)", "m,n (k=...)", "m,k (n=...)".
+            others = {"m": "n,k", "k": "m,n", "n": "m,k"}[self.row]
+            return f"{others} ({self.row}={self.small_value})"
+        fixed = ",".join(self.row)
+        swept = [d for d in "mkn" if d not in self.row][0]
+        return f"{swept} ({fixed}={self.small_value})"
+
+
+def _spec_with(dims: dict) -> GemmSpec:
+    return GemmSpec(m=dims["m"], k=dims["k"], n=dims["n"], dtype="float32")
+
+
+def predesigned_cases(families=("square", "one_small", "two_small"),
+                      sweep_sizes=SWEEP_SIZES, small_values=SMALL_VALUES):
+    """Generate all cases for the requested families, figure ordering."""
+    valid = {"square", "one_small", "two_small"}
+    unknown = set(families) - valid
+    if unknown:
+        raise ValueError(f"unknown families {sorted(unknown)}; valid: {sorted(valid)}")
+    cases = []
+    if "square" in families:
+        for s in sweep_sizes:
+            cases.append(PredesignedCase(
+                family="square", row="-", small_value=0, swept_value=s,
+                spec=_spec_with({"m": s, "k": s, "n": s})))
+    if "one_small" in families:
+        for small_dim in ONE_SMALL_ROWS:
+            for sv in small_values:
+                for s in sweep_sizes:
+                    dims = {"m": s, "k": s, "n": s}
+                    dims[small_dim] = sv
+                    cases.append(PredesignedCase(
+                        family="one_small", row=small_dim, small_value=sv,
+                        swept_value=s, spec=_spec_with(dims)))
+    if "two_small" in families:
+        for pair in TWO_SMALL_ROWS:
+            for sv in small_values:
+                for s in sweep_sizes:
+                    dims = {"m": s, "k": s, "n": s}
+                    for d in pair:
+                        dims[d] = sv
+                    cases.append(PredesignedCase(
+                        family="two_small", row="".join(pair), small_value=sv,
+                        swept_value=s, spec=_spec_with(dims)))
+    return cases

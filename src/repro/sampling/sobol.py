@@ -1,0 +1,79 @@
+"""Sobol low-discrepancy sequences (up to 4 dimensions).
+
+A second quasi-random family alongside Halton, used by the sampling
+ablation to check that ADSALA's campaign quality is not an artefact of
+the specific sequence the paper chose.  Gray-code construction with
+Joe-Kuo direction numbers for the first four dimensions; optional
+digital-shift scrambling (XOR with a random word per dimension), the
+Sobol analogue of the Halton digit permutation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+MAX_BITS = 30
+
+#: Joe-Kuo primitive-polynomial data per dimension (beyond the first):
+#: (degree s, polynomial coefficient a, initial direction numbers m).
+_DIMENSION_DATA = [
+    (1, 0, (1,)),        # dimension 2
+    (2, 1, (1, 3)),      # dimension 3
+    (3, 1, (1, 3, 1)),   # dimension 4
+]
+
+
+def _direction_numbers(dim_index: int) -> np.ndarray:
+    """Direction integers v_k (scaled by 2^MAX_BITS) for one dimension."""
+    v = np.zeros(MAX_BITS + 1, dtype=np.int64)  # 1-indexed
+    if dim_index == 0:
+        # First dimension: van der Corput in base 2.
+        for k in range(1, MAX_BITS + 1):
+            v[k] = 1 << (MAX_BITS - k)
+        return v
+    if dim_index - 1 >= len(_DIMENSION_DATA):
+        raise ValueError(
+            f"Sobol supported up to {len(_DIMENSION_DATA) + 1} dimensions")
+    s, a, m = _DIMENSION_DATA[dim_index - 1]
+    for k in range(1, s + 1):
+        v[k] = m[k - 1] << (MAX_BITS - k)
+    for k in range(s + 1, MAX_BITS + 1):
+        value = v[k - s] ^ (v[k - s] >> s)
+        for i in range(1, s):
+            if (a >> (s - 1 - i)) & 1:
+                value ^= v[k - i]
+        v[k] = value
+    return v
+
+
+def sobol_sequence(n: int, d: int, scramble: bool = False,
+                   seed: int = 0) -> np.ndarray:
+    """First ``n`` Sobol points in ``[0, 1)^d`` (Gray-code order).
+
+    Skips the all-zeros point at index 0, like the Halton helpers.  With
+    ``scramble=True`` a random digital shift per dimension is XORed in.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if not 1 <= d <= len(_DIMENSION_DATA) + 1:
+        raise ValueError(f"d must be in [1, {len(_DIMENSION_DATA) + 1}]")
+    directions = [_direction_numbers(j) for j in range(d)]
+    shift = np.zeros(d, dtype=np.int64)
+    if scramble:
+        rng = np.random.default_rng(seed)
+        shift = rng.integers(0, 1 << MAX_BITS, size=d, dtype=np.int64)
+
+    out = np.empty((n, d))
+    state = np.zeros(d, dtype=np.int64)
+    denom = float(1 << MAX_BITS)
+    for i in range(1, n + 1):
+        # Gray code: flip the direction of the lowest zero bit of i-1.
+        c = 1
+        value = i - 1
+        while value & 1:
+            value >>= 1
+            c += 1
+        for j in range(d):
+            state[j] ^= directions[j][c]
+            out[i - 1, j] = ((state[j] ^ shift[j]) & ((1 << MAX_BITS) - 1)) / denom
+    return out

@@ -1,0 +1,98 @@
+"""TimingDataset container semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import TimingDataset, TimingRecord
+
+
+@pytest.fixture
+def small_dataset():
+    # Two shapes x three thread counts, runtimes minimised at p=2 and p=4.
+    records = [
+        TimingRecord(8, 8, 8, 1, 1.0),
+        TimingRecord(8, 8, 8, 2, 0.4),
+        TimingRecord(8, 8, 8, 4, 0.9),
+        TimingRecord(64, 16, 64, 1, 5.0),
+        TimingRecord(64, 16, 64, 2, 3.0),
+        TimingRecord(64, 16, 64, 4, 2.0),
+    ]
+    return TimingDataset.from_records(records)
+
+
+class TestConstruction:
+    def test_from_records_round_trip(self, small_dataset):
+        records = small_dataset.records()
+        assert len(records) == 6
+        assert records[0] == TimingRecord(8, 8, 8, 1, 1.0)
+
+    def test_column_length_mismatch(self):
+        with pytest.raises(ValueError):
+            TimingDataset([1], [1, 2], [1], [1], [1.0])
+
+    def test_nonpositive_runtime_rejected(self):
+        with pytest.raises(ValueError):
+            TimingDataset([1], [1], [1], [1], [0.0])
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(ValueError):
+            TimingDataset.from_records([])
+
+
+class TestDerivedColumns:
+    def test_memory_formula(self, small_dataset):
+        expected = 4 * (8 * 8 * 3)
+        assert small_dataset.memory_bytes[0] == expected
+
+    def test_spec_accessor(self):
+        rec = TimingRecord(3, 4, 5, 2, 0.1)
+        assert rec.spec.dims == (3, 4, 5)
+
+
+class TestFilters:
+    def test_within_memory(self, small_dataset):
+        small = small_dataset.within_memory(4 * (8 * 8 * 3))
+        assert len(small) == 3
+        assert (small.m == 8).all()
+
+    def test_min_dim_below(self, small_dataset):
+        filtered = small_dataset.min_dim_below(50)
+        assert len(filtered) == 6  # both shapes have a dim < 50
+        assert len(small_dataset.min_dim_below(9)) == 3
+
+    def test_select_mask(self, small_dataset):
+        sel = small_dataset.select(small_dataset.threads == 2)
+        assert len(sel) == 2
+
+
+class TestOptimalThreads:
+    def test_argmin_per_shape(self, small_dataset):
+        shapes, best_t, best_rt, max_rt = small_dataset.optimal_threads()
+        assert shapes.shape == (2, 3)
+        lookup = {tuple(s): (t, rt, mx) for s, t, rt, mx in
+                  zip(shapes, best_t, best_rt, max_rt)}
+        assert lookup[(8, 8, 8)] == (2, 0.4, 0.9)     # max-thread rt at p=4
+        assert lookup[(64, 16, 64)] == (4, 2.0, 2.0)
+
+    def test_unique_shapes_sorted(self, small_dataset):
+        shapes = small_dataset.unique_shapes()
+        assert shapes.shape[0] == 2
+
+
+class TestPersistence:
+    def test_json_round_trip(self, small_dataset, tmp_path):
+        path = tmp_path / "data.json"
+        small_dataset.save(path)
+        loaded = TimingDataset.load(path)
+        np.testing.assert_array_equal(loaded.m, small_dataset.m)
+        np.testing.assert_array_equal(loaded.runtime, small_dataset.runtime)
+        assert loaded.dtype == small_dataset.dtype
+
+    def test_merge(self, small_dataset):
+        merged = small_dataset.merge(small_dataset)
+        assert len(merged) == 12
+
+    def test_merge_dtype_mismatch(self, small_dataset):
+        other = TimingDataset([1], [1], [1], [1], [1.0], dtype="float64")
+        with pytest.raises(ValueError):
+            small_dataset.merge(other)

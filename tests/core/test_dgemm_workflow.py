@@ -1,0 +1,47 @@
+"""Double-precision (DGEMM) support through the whole workflow."""
+
+import numpy as np
+import pytest
+
+from repro.core.training import InstallationWorkflow
+from repro.gemm.interface import GemmSpec
+from repro.machine.noise import QUIET
+from repro.machine.presets import tiny_test_node
+from repro.machine.simulator import MachineSimulator
+from repro.ml.registry import candidate_models
+
+MB = 1024 * 1024
+
+
+class TestDgemmWorkflow:
+    @pytest.fixture(scope="class")
+    def dgemm_bundle(self):
+        sim = MachineSimulator(tiny_test_node(), seed=0)
+        cands = [c for c in candidate_models(budget="fast")
+                 if c.name == "XGBoost"]
+        workflow = InstallationWorkflow(
+            sim, memory_cap_bytes=8 * MB, n_shapes=40,
+            thread_grid=[1, 2, 4, 8, 16], candidates=cands,
+            tune_iters=1, cv_folds=2, repeats=3, seed=0, dtype="float64")
+        return workflow.run(), sim
+
+    def test_config_records_dtype(self, dgemm_bundle):
+        bundle, _ = dgemm_bundle
+        assert bundle.config.dtype == "float64"
+
+    def test_predictor_usable(self, dgemm_bundle):
+        bundle, sim = dgemm_bundle
+        p = bundle.predictor().predict_threads(64, 256, 64)
+        assert p in [1, 2, 4, 8, 16]
+
+    def test_dgemm_slower_than_sgemm_in_campaign(self):
+        """The simulator charges double-precision work at half peak."""
+        sim = MachineSimulator(tiny_test_node(), noise=QUIET)
+        s32 = GemmSpec(400, 400, 400, dtype="float32")
+        s64 = GemmSpec(400, 400, 400, dtype="float64")
+        assert sim.true_time(s64, 4) > 1.4 * sim.true_time(s32, 4)
+
+    def test_invalid_dtype_rejected(self):
+        sim = MachineSimulator(tiny_test_node(), seed=0)
+        with pytest.raises(ValueError):
+            InstallationWorkflow(sim, memory_cap_bytes=MB, dtype="float16")

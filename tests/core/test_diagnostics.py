@@ -1,0 +1,85 @@
+"""Thread-choice diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.diagnostics import diagnose_choices
+from repro.core.features import FeatureBuilder
+from repro.core.predictor import ThreadPredictor
+from repro.sampling.domain import GemmDomainSampler
+
+MB = 1024 * 1024
+
+
+class _OracleLikePredictor:
+    """Wraps the simulator itself: always chooses the true best."""
+
+    def __init__(self, sim, grid):
+        self.sim = sim
+        self.thread_grid = np.asarray(grid)
+
+    def predict_threads(self, m, k, n):
+        from repro.gemm.interface import GemmSpec
+
+        return self.sim.optimal_threads(GemmSpec(m, k, n), list(self.thread_grid))
+
+
+class _WorstPredictor:
+    def __init__(self, sim, grid):
+        self.sim = sim
+        self.thread_grid = np.asarray(grid)
+
+    def predict_threads(self, m, k, n):
+        from repro.gemm.interface import GemmSpec
+
+        spec = GemmSpec(m, k, n)
+        return max(self.thread_grid,
+                   key=lambda p: self.sim.true_time(spec, int(p)))
+
+
+@pytest.fixture
+def shapes():
+    return GemmDomainSampler(memory_cap_bytes=8 * MB, seed=5).sample(15)
+
+
+class TestDiagnostics:
+    def test_oracle_predictor_perfect(self, tiny_sim, tiny_grid, shapes):
+        diag = diagnose_choices(_OracleLikePredictor(tiny_sim, tiny_grid),
+                                tiny_sim, shapes, thread_grid=tiny_grid)
+        assert diag.top1_accuracy == 1.0
+        assert diag.mean_regret == pytest.approx(1.0)
+        assert diag.within_one_step == 1.0
+
+    def test_worst_predictor_high_regret(self, tiny_sim, tiny_grid, shapes):
+        diag = diagnose_choices(_WorstPredictor(tiny_sim, tiny_grid),
+                                tiny_sim, shapes, thread_grid=tiny_grid)
+        assert diag.top1_accuracy < 0.5
+        assert diag.mean_regret > 1.5
+
+    def test_trained_predictor_reasonable(self, tiny_bundle, shapes):
+        bundle, sim = tiny_bundle
+        diag = diagnose_choices(bundle.predictor(), sim, shapes)
+        assert diag.mean_regret < 3.0
+        assert diag.within_one_step > 0.4
+        assert 1.0 <= diag.median_regret <= diag.p95_regret + 1e-12
+
+    def test_buckets_cover_sample(self, tiny_sim, tiny_grid, shapes):
+        diag = diagnose_choices(_OracleLikePredictor(tiny_sim, tiny_grid),
+                                tiny_sim, shapes, thread_grid=tiny_grid,
+                                bucket_edges_mb=(0, 2, 8))
+        assert sum(b.n for b in diag.by_bucket) == len(shapes)
+        for b in diag.by_bucket:
+            assert b.mean_regret >= 1.0
+
+    def test_as_dict_keys(self, tiny_sim, tiny_grid, shapes):
+        diag = diagnose_choices(_OracleLikePredictor(tiny_sim, tiny_grid),
+                                tiny_sim, shapes, thread_grid=tiny_grid)
+        assert set(diag.as_dict()) == {"n_shapes", "top1_accuracy",
+                                       "within_one_step", "mean_regret",
+                                       "median_regret", "p95_regret"}
+
+    def test_empty_grid_rejected(self, tiny_sim, shapes, tiny_bundle):
+        bundle, _ = tiny_bundle
+        with pytest.raises(ValueError):
+            diagnose_choices(bundle.predictor(), tiny_sim, shapes,
+                             thread_grid=[])

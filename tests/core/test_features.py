@@ -1,0 +1,68 @@
+"""Table II feature engineering."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import (FEATURE_NAMES_GROUP1, FEATURE_NAMES_GROUP2,
+                                 FeatureBuilder)
+
+
+class TestFeatureNames:
+    def test_group_sizes_match_table2(self):
+        # Table II lists 9 serial-term features and 8 parallel-term ones.
+        assert len(FEATURE_NAMES_GROUP1) == 9
+        assert len(FEATURE_NAMES_GROUP2) == 8
+
+    def test_both_is_concatenation(self):
+        fb = FeatureBuilder("both")
+        assert fb.names == FEATURE_NAMES_GROUP1 + FEATURE_NAMES_GROUP2
+        assert fb.n_features == 17
+
+
+class TestBuild:
+    def test_known_values(self):
+        fb = FeatureBuilder("both")
+        X = fb.build([2], [3], [5], [4])
+        row = dict(zip(fb.names, X[0]))
+        assert row["m"] == 2 and row["k"] == 3 and row["n"] == 5
+        assert row["n_threads"] == 4
+        assert row["m*k"] == 6 and row["k*n"] == 15 and row["m*n"] == 10
+        assert row["m*k*n"] == 30
+        assert row["m*k+k*n+m*n"] == 31
+        assert row["m/p"] == 0.5
+        assert row["m*k*n/p"] == 7.5
+        assert row["(m*k+k*n+m*n)/p"] == 31 / 4
+
+    def test_broadcasting_scalar_shape_vector_threads(self):
+        fb = FeatureBuilder("both")
+        X = fb.build(8, 8, 8, [1, 2, 4])
+        assert X.shape == (3, 17)
+        # Group 1 identical across rows, group 2 varies.
+        np.testing.assert_array_equal(X[0, :3], X[2, :3])
+        assert X[0, 9] != X[2, 9]
+
+    def test_group_selections(self):
+        assert FeatureBuilder("group1").build([2], [2], [2], [2]).shape == (1, 9)
+        assert FeatureBuilder("group2").build([2], [2], [2], [2]).shape == (1, 8)
+        assert FeatureBuilder("raw").build([2], [2], [2], [2]).shape == (1, 4)
+
+    def test_build_for_grid(self):
+        fb = FeatureBuilder("both")
+        X = fb.build_for_grid(64, 128, 32, [1, 2, 4, 8])
+        assert X.shape == (4, 17)
+        np.testing.assert_array_equal(X[:, 3], [1, 2, 4, 8])
+
+    def test_validation(self):
+        fb = FeatureBuilder("both")
+        with pytest.raises(ValueError):
+            fb.build([0], [1], [1], [1])
+        with pytest.raises(ValueError):
+            fb.build([1], [1], [1], [0])
+        with pytest.raises(ValueError):
+            fb.build_for_grid(2, 2, 2, [])
+        with pytest.raises(ValueError):
+            FeatureBuilder("polynomial")
+
+    def test_config_round_trip(self):
+        fb = FeatureBuilder("group1")
+        assert FeatureBuilder.from_config(fb.config()).groups == "group1"

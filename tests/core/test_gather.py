@@ -1,0 +1,68 @@
+"""Data gathering campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.core.gather import DataGatherer
+from repro.gemm.interface import GemmSpec
+
+MB = 1024 * 1024
+
+
+class TestGatherer:
+    def test_rows_are_shapes_times_grid(self, tiny_sim, tiny_grid):
+        gatherer = DataGatherer(tiny_sim, thread_grid=tiny_grid, repeats=2)
+        data = gatherer.gather(n_shapes=10, memory_cap_bytes=16 * MB, seed=0)
+        assert len(data) == 10 * len(tiny_grid)
+        assert set(np.unique(data.threads)) == set(tiny_grid)
+
+    def test_default_grid_from_machine(self, tiny_sim):
+        gatherer = DataGatherer(tiny_sim)
+        assert max(gatherer.thread_grid) == tiny_sim.max_threads()
+
+    def test_grid_exceeding_machine_rejected(self, tiny_sim):
+        with pytest.raises(ValueError, match="capacity"):
+            DataGatherer(tiny_sim, thread_grid=[1, 1000])
+
+    def test_deterministic(self, tiny_sim, tiny_grid):
+        from repro.machine.presets import tiny_test_node
+        from repro.machine.simulator import MachineSimulator
+
+        a = DataGatherer(MachineSimulator(tiny_test_node(), seed=0),
+                         thread_grid=tiny_grid, repeats=2) \
+            .gather(5, 16 * MB, seed=0)
+        b = DataGatherer(MachineSimulator(tiny_test_node(), seed=0),
+                         thread_grid=tiny_grid, repeats=2) \
+            .gather(5, 16 * MB, seed=0)
+        np.testing.assert_array_equal(a.runtime, b.runtime)
+
+    def test_sharding_partitions_shapes(self, tiny_sim, tiny_grid):
+        specs = [GemmSpec(16 * (i + 1), 16, 16) for i in range(6)]
+        gatherer = DataGatherer(tiny_sim, thread_grid=tiny_grid, repeats=1)
+        shard0 = gatherer.gather_for_specs(specs, shard=0, n_shards=2)
+        shard1 = gatherer.gather_for_specs(specs, shard=1, n_shards=2)
+        merged = shard0.merge(shard1)
+        assert len(merged) == len(specs) * len(tiny_grid)
+        # No shape appears in both shards.
+        s0 = {tuple(s) for s in shard0.unique_shapes()}
+        s1 = {tuple(s) for s in shard1.unique_shapes()}
+        assert not (s0 & s1)
+
+    def test_invalid_shard_rejected(self, tiny_sim):
+        gatherer = DataGatherer(tiny_sim, thread_grid=[1, 2])
+        with pytest.raises(ValueError):
+            gatherer.gather_for_specs([GemmSpec(8, 8, 8)], shard=2, n_shards=2)
+
+    def test_node_hours_accumulate(self, tiny_sim, tiny_grid):
+        gatherer = DataGatherer(tiny_sim, thread_grid=tiny_grid, repeats=2)
+        gatherer.gather(n_shapes=3, memory_cap_bytes=16 * MB, seed=0)
+        assert gatherer.node_hours() > 0
+
+    def test_labels_reflect_cost_model_ordering(self, tiny_sim, tiny_grid):
+        """For a tiny GEMM the gathered runtime at max threads should
+        exceed the single-thread runtime (the Fig. 1 phenomenon)."""
+        spec = GemmSpec(32, 512, 32)
+        gatherer = DataGatherer(tiny_sim, thread_grid=tiny_grid, repeats=3)
+        data = gatherer.gather_for_specs([spec])
+        rt = {int(t): r for t, r in zip(data.threads, data.runtime)}
+        assert rt[16] > rt[1]

@@ -1,0 +1,87 @@
+"""Online refinement of thread choices."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import FeatureBuilder
+from repro.core.online import OnlineRefiner
+from repro.core.predictor import ThreadPredictor
+from repro.gemm.interface import GemmSpec
+
+
+class _BiasedModel:
+    """Always scores the largest thread count best (a wrong prior)."""
+
+    def predict(self, X):
+        return -X[:, 3]  # column 3 is n_threads
+
+
+@pytest.fixture
+def biased_predictor():
+    return ThreadPredictor(FeatureBuilder("both"), None, _BiasedModel(),
+                           thread_grid=[1, 2, 4, 8, 16])
+
+
+class TestOnlineRefiner:
+    def test_starts_from_model_choice(self, biased_predictor):
+        refiner = OnlineRefiner(biased_predictor, seed=0)
+        assert refiner.choose_threads(32, 512, 32) == 16
+
+    def test_corrects_wrong_prior(self, biased_predictor, tiny_sim):
+        """The biased model says 16 threads; for a skinny GEMM the truth
+        is far fewer.  After enough calls the refiner walks downhill."""
+        refiner = OnlineRefiner(biased_predictor, explore_prob=0.4,
+                                min_trials=2, seed=0)
+        spec = GemmSpec(32, 512, 32)
+        for _ in range(120):
+            refiner.run(spec, tiny_sim, repeats=2)
+        final = refiner.steady_choice(spec.m, spec.k, spec.n)
+        assert final < 16
+        # And the steady choice is genuinely faster than the prior.
+        assert tiny_sim.true_time(spec, final) < tiny_sim.true_time(spec, 16)
+
+    def test_keeps_correct_prior(self, tiny_bundle):
+        """With a good model and a well-behaved shape, refinement should
+        not wander away from a near-optimal choice."""
+        bundle, sim = tiny_bundle
+        refiner = OnlineRefiner(bundle.predictor(), explore_prob=0.2,
+                                min_trials=2, seed=0)
+        spec = GemmSpec(1500, 1500, 1500)
+        prior = refiner.choose_threads(spec.m, spec.k, spec.n)
+        for _ in range(60):
+            refiner.run(spec, sim, repeats=2)
+        final = refiner.steady_choice(spec.m, spec.k, spec.n)
+        t_prior = sim.true_time(spec, prior)
+        t_final = sim.true_time(spec, final)
+        assert t_final <= t_prior * 1.2
+
+    def test_exploration_bounded_to_neighbours(self, biased_predictor, tiny_sim):
+        refiner = OnlineRefiner(biased_predictor, explore_prob=0.9,
+                                min_trials=1, seed=0)
+        spec = GemmSpec(64, 64, 64)
+        seen = set()
+        for _ in range(40):
+            t, _rt = refiner.run(spec, tiny_sim)
+            seen.add(t)
+        # From a 16-thread prior only 8 and 16 are reachable in one hop;
+        # further hops happen only after the best-known point moves.
+        assert seen <= {1, 2, 4, 8, 16}
+
+    def test_record_validation(self, biased_predictor):
+        refiner = OnlineRefiner(biased_predictor)
+        with pytest.raises(ValueError):
+            refiner.record(8, 8, 8, 4, -1.0)
+
+    def test_constructor_validation(self, biased_predictor):
+        with pytest.raises(ValueError):
+            OnlineRefiner(biased_predictor, explore_prob=1.0)
+        with pytest.raises(ValueError):
+            OnlineRefiner(biased_predictor, min_trials=0)
+
+    def test_exploration_counter(self, biased_predictor, tiny_sim):
+        refiner = OnlineRefiner(biased_predictor, explore_prob=0.5,
+                                min_trials=1, seed=0)
+        spec = GemmSpec(100, 100, 100)
+        for _ in range(30):
+            refiner.run(spec, tiny_sim)
+        assert refiner.n_explorations > 0

@@ -1,0 +1,95 @@
+"""ThreadPredictor: argmin selection and memoisation."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import FeatureBuilder
+from repro.core.predictor import ThreadPredictor
+
+
+class _OracleModel:
+    """Predicts runtime = |p - target| so the argmin is known exactly."""
+
+    def __init__(self, target):
+        self.target = target
+
+    def predict(self, X):
+        # Feature column 3 of the 'both'/'group1' layout is n_threads.
+        return np.abs(X[:, 3] - self.target)
+
+
+@pytest.fixture
+def predictor():
+    return ThreadPredictor(FeatureBuilder("both"), pipeline=None,
+                           model=_OracleModel(target=8),
+                           thread_grid=[1, 2, 4, 8, 16])
+
+
+class TestPrediction:
+    def test_picks_argmin_thread(self, predictor):
+        assert predictor.predict_threads(64, 64, 64) == 8
+
+    def test_grid_sorted_and_deduped(self):
+        p = ThreadPredictor(FeatureBuilder("both"), None, _OracleModel(4),
+                            thread_grid=[16, 4, 4, 1])
+        np.testing.assert_array_equal(p.thread_grid, [1, 4, 16])
+
+    def test_predicted_runtimes_shape(self, predictor):
+        scores = predictor.predicted_runtimes(32, 32, 32)
+        assert scores.shape == (5,)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadPredictor(FeatureBuilder("both"), None, _OracleModel(1), [])
+
+
+class TestMemoisation:
+    def test_repeat_call_hits_memo(self, predictor):
+        predictor.predict_threads(10, 10, 10)
+        evals_before = predictor.n_evaluations
+        predictor.predict_threads(10, 10, 10)
+        assert predictor.n_evaluations == evals_before
+        assert predictor.n_memo_hits == 1
+
+    def test_different_shape_re_evaluates(self, predictor):
+        predictor.predict_threads(10, 10, 10)
+        predictor.predict_threads(20, 10, 10)
+        assert predictor.n_evaluations == 2
+        assert predictor.n_memo_hits == 0
+
+    def test_only_last_call_remembered(self, predictor):
+        """The paper memoises just the previous input, not a full cache."""
+        predictor.predict_threads(10, 10, 10)
+        predictor.predict_threads(20, 10, 10)
+        predictor.predict_threads(10, 10, 10)  # not the previous call
+        assert predictor.n_evaluations == 3
+
+    def test_invalidate(self, predictor):
+        predictor.predict_threads(10, 10, 10)
+        predictor.invalidate_memo()
+        predictor.predict_threads(10, 10, 10)
+        assert predictor.n_evaluations == 2
+
+
+class TestEvalTime:
+    def test_positive_and_stable(self, predictor):
+        t = predictor.measure_eval_time(repeats=5)
+        assert t > 0
+        assert t < 1.0  # a single predict is far below a second
+
+    def test_repeats_validation(self, predictor):
+        with pytest.raises(ValueError):
+            predictor.measure_eval_time(repeats=0)
+
+    def test_pipeline_applied(self):
+        """A pipeline that rescales the thread feature changes the argmin."""
+
+        class NegatePipeline:
+            def transform(self, X):
+                out = X.copy()
+                out[:, 3] = -out[:, 3]
+                return out
+
+        p = ThreadPredictor(FeatureBuilder("both"), NegatePipeline(),
+                            _OracleModel(target=-16), thread_grid=[1, 4, 16])
+        assert p.predict_threads(8, 8, 8) == 16

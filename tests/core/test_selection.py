@@ -1,0 +1,102 @@
+"""Speedup estimation and model selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import TimingDataset, TimingRecord
+from repro.core.selection import (ModelSelectionReport, ModelSelectionRow,
+                                  SpeedupEstimate, estimate_speedup)
+
+
+class _FixedChoicePredictor:
+    """Always chooses the same thread count; measures nothing."""
+
+    def __init__(self, choice):
+        self.choice = choice
+
+    def predict_threads(self, m, k, n):
+        return self.choice
+
+    def measure_eval_time(self, shapes=None, repeats=20):
+        return 1e-6
+
+
+@pytest.fixture
+def test_data():
+    # One shape where p=2 is 4x faster than p=8 (the max measured).
+    records = [
+        TimingRecord(16, 16, 16, 1, 2.0),
+        TimingRecord(16, 16, 16, 2, 1.0),
+        TimingRecord(16, 16, 16, 8, 4.0),
+        TimingRecord(128, 16, 128, 1, 10.0),
+        TimingRecord(128, 16, 128, 2, 6.0),
+        TimingRecord(128, 16, 128, 8, 3.0),
+    ]
+    return TimingDataset.from_records(records)
+
+
+class TestEstimateSpeedup:
+    def test_oracle_choice_gives_expected_speedups(self, test_data):
+        est = estimate_speedup(_FixedChoicePredictor(2), test_data,
+                               eval_time_s=0.0)
+        # Shape 1: 4.0/1.0 = 4x; shape 2: 3.0/6.0 = 0.5x.
+        assert est.ideal_mean == pytest.approx((4.0 + 0.5) / 2)
+        assert est.ideal_aggregate == pytest.approx((4 + 3) / (1 + 6))
+
+    def test_max_choice_is_unity(self, test_data):
+        est = estimate_speedup(_FixedChoicePredictor(8), test_data,
+                               eval_time_s=0.0)
+        assert est.ideal_mean == pytest.approx(1.0)
+        assert est.ideal_aggregate == pytest.approx(1.0)
+
+    def test_eval_overhead_reduces_speedup(self, test_data):
+        fast = estimate_speedup(_FixedChoicePredictor(2), test_data,
+                                eval_time_s=0.0)
+        slow = estimate_speedup(_FixedChoicePredictor(2), test_data,
+                                eval_time_s=1.0)
+        assert slow.estimated_mean < fast.estimated_mean
+        assert slow.estimated_aggregate < fast.estimated_aggregate
+
+    def test_nearest_grid_entry_used(self, test_data):
+        """A prediction of 3 snaps to the nearest measured count (2)."""
+        est = estimate_speedup(_FixedChoicePredictor(3), test_data,
+                               eval_time_s=0.0)
+        assert est.ideal_mean == pytest.approx((4.0 + 0.5) / 2)
+
+    def test_eval_time_us_property(self):
+        est = SpeedupEstimate(1, 1, 5e-5, 1, 1)
+        assert est.eval_time_us == pytest.approx(50.0)
+
+
+def _row(name, nrmse, est_mean, eval_time=1e-6):
+    return ModelSelectionRow(
+        name=name, nrmse=nrmse, best_params={},
+        speedup=SpeedupEstimate(
+            ideal_mean=est_mean, ideal_aggregate=est_mean,
+            eval_time_s=eval_time, estimated_mean=est_mean,
+            estimated_aggregate=est_mean))
+
+
+class TestModelSelectionReport:
+    def test_selects_highest_estimated_mean(self):
+        report = ModelSelectionReport.select([
+            _row("A", 0.5, 1.2), _row("B", 0.1, 1.5), _row("C", 0.9, 0.8)])
+        assert report.selected == "B"
+
+    def test_tie_breaks_on_eval_time(self):
+        report = ModelSelectionReport.select([
+            _row("slow", 0.1, 1.5, eval_time=1e-3),
+            _row("fast", 0.1, 1.5, eval_time=1e-6)])
+        assert report.selected == "fast"
+
+    def test_row_lookup_and_table(self):
+        report = ModelSelectionReport.select([_row("A", 0.5, 1.2)])
+        assert report.row("A").nrmse == 0.5
+        table = report.as_table()
+        assert table[0]["model"] == "A"
+        with pytest.raises(KeyError):
+            report.row("Z")
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ValueError):
+            ModelSelectionReport.select([])

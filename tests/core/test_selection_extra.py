@@ -1,0 +1,40 @@
+"""Additional selection-module coverage: test_set_nrmse helper."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AdsalaConfig
+from repro.core.selection import test_set_nrmse as compute_test_nrmse
+from repro.ml.linear import LinearRegression
+
+
+class _IdentityPipeline:
+    def transform(self, X):
+        return X
+
+
+class TestTestSetNrmse:
+    def _setup(self, label_transform):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0.5, 2.0, size=(100, 3))
+        runtimes = np.exp(X @ np.array([0.5, -0.2, 0.1]))
+        config = AdsalaConfig(machine="t", label_transform=label_transform)
+        model = LinearRegression().fit(X, config.transform_label(runtimes))
+        return config, model, X, runtimes
+
+    def test_log_space_evaluation(self):
+        config, model, X, runtimes = self._setup("log")
+        score = compute_test_nrmse(model, None, config, X, runtimes)
+        # log(runtime) is exactly linear in the features here.
+        assert score < 0.05
+
+    def test_identity_space_evaluation(self):
+        config, model, X, runtimes = self._setup("identity")
+        score = compute_test_nrmse(model, None, config, X, runtimes)
+        assert 0 <= score < 1.0
+
+    def test_pipeline_applied(self):
+        config, model, X, runtimes = self._setup("log")
+        a = compute_test_nrmse(model, None, config, X, runtimes)
+        b = compute_test_nrmse(model, _IdentityPipeline(), config, X, runtimes)
+        assert a == pytest.approx(b)

@@ -1,0 +1,71 @@
+"""Blocked kernel vs the reference oracle across shapes and params."""
+
+import numpy as np
+import pytest
+
+from repro.gemm.blocked import BlockSizes, gemm_blocked
+from repro.gemm.interface import GemmSpec
+from repro.gemm.reference import gemm_reference
+
+
+def _compare(spec, blocks=None, seed=0, rtol=1e-4):
+    a, b, c = spec.random_operands(rng=seed)
+    expected = c.copy()
+    gemm_reference(spec, a, b, expected)
+    got = c.copy()
+    gemm_blocked(spec, a, b, got, blocks=blocks)
+    np.testing.assert_allclose(got, expected, rtol=rtol, atol=1e-5)
+
+
+class TestBlockedCorrectness:
+    @pytest.mark.parametrize("m,k,n", [
+        (1, 1, 1), (5, 7, 3), (64, 64, 64), (100, 37, 59), (3, 500, 2),
+    ])
+    def test_matches_reference(self, m, k, n):
+        _compare(GemmSpec(m, k, n))
+
+    def test_blocks_smaller_than_matrix(self):
+        # Forces multiple panels in every loop level.
+        _compare(GemmSpec(50, 60, 70), blocks=BlockSizes(mc=16, kc=24, nc=32))
+
+    def test_blocks_larger_than_matrix(self):
+        _compare(GemmSpec(8, 8, 8), blocks=BlockSizes(mc=1024, kc=1024, nc=1024))
+
+    @pytest.mark.parametrize("alpha,beta", [(2.0, 0.0), (1.0, 1.0), (-0.5, 0.25)])
+    def test_alpha_beta(self, alpha, beta):
+        _compare(GemmSpec(20, 30, 10, alpha=alpha, beta=beta))
+
+    @pytest.mark.parametrize("ta,tb", [("T", "N"), ("N", "T"), ("T", "T")])
+    def test_transposes(self, ta, tb):
+        _compare(GemmSpec(24, 18, 12, transa=ta, transb=tb))
+
+    def test_sub_range_updates_only_that_block(self):
+        spec = GemmSpec(16, 8, 16, dtype="float64", beta=1.0)
+        a, b, c = spec.random_operands(rng=3)
+        before = c.copy()
+        gemm_blocked(spec, a, b, c, row_range=(4, 8), col_range=(2, 10))
+        # Outside the block nothing changed.
+        mask = np.ones_like(c, dtype=bool)
+        mask[4:8, 2:10] = False
+        np.testing.assert_array_equal(c[mask], before[mask])
+        # Inside matches the reference restricted product.
+        expected = before[4:8, 2:10] + a[4:8] @ b[:, 2:10]
+        np.testing.assert_allclose(c[4:8, 2:10], expected, rtol=1e-12)
+
+    def test_invalid_range_raises(self):
+        spec = GemmSpec(4, 4, 4)
+        a, b, c = spec.random_operands(rng=0)
+        with pytest.raises(ValueError):
+            gemm_blocked(spec, a, b, c, row_range=(2, 10))
+
+
+class TestBlockSizes:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            BlockSizes(mc=0)
+
+    def test_for_cache_scales_with_cache(self):
+        small = BlockSizes.for_cache(256 * 1024, 4 * 1024 * 1024)
+        large = BlockSizes.for_cache(2 * 1024 * 1024, 64 * 1024 * 1024)
+        assert large.kc >= small.kc
+        assert large.nc >= small.nc

@@ -1,0 +1,76 @@
+"""Unit tests for FLOP and memory accounting."""
+
+import numpy as np
+import pytest
+
+from repro.gemm.counts import (gemm_arithmetic_intensity, gemm_flops,
+                               gemm_memory_bytes, max_dim_for_memory)
+
+
+class TestGemmFlops:
+    def test_matches_closed_form(self):
+        assert gemm_flops(2, 3, 4) == 2 * 2 * 3 * 4 + 2 * 2 * 4
+
+    def test_monotone_in_each_dim(self):
+        base = gemm_flops(10, 10, 10)
+        assert gemm_flops(11, 10, 10) > base
+        assert gemm_flops(10, 11, 10) > base
+        assert gemm_flops(10, 10, 11) > base
+
+    def test_unit_problem(self):
+        # 1x1x1: one multiply + one add, plus alpha/beta scaling.
+        assert gemm_flops(1, 1, 1) == 4
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5])
+    def test_rejects_invalid_dims(self, bad):
+        with pytest.raises(ValueError):
+            gemm_flops(bad, 1, 1)
+
+
+class TestGemmMemory:
+    def test_paper_formula_sgemm(self):
+        # Paper IV-B: 4(mk + kn + mn) bytes for single precision.
+        assert gemm_memory_bytes(3, 5, 7, "float32") == 4 * (15 + 35 + 21)
+
+    def test_paper_formula_dgemm(self):
+        assert gemm_memory_bytes(3, 5, 7, "float64") == 8 * (15 + 35 + 21)
+
+    def test_dgemm_is_twice_sgemm(self):
+        assert (gemm_memory_bytes(64, 128, 32, "float64")
+                == 2 * gemm_memory_bytes(64, 128, 32, "float32"))
+
+    def test_rejects_unsupported_dtype(self):
+        with pytest.raises(ValueError):
+            gemm_memory_bytes(2, 2, 2, "int32")
+
+    def test_100mb_example(self):
+        # A square SGEMM just under the paper's 100 MB threshold.
+        d = max_dim_for_memory(100 * 1024 * 1024, "float32")
+        assert gemm_memory_bytes(d, d, d, "float32") <= 100 * 1024 * 1024
+
+
+class TestArithmeticIntensity:
+    def test_grows_with_square_size(self):
+        # Bigger square GEMMs do more flops per byte.
+        assert (gemm_arithmetic_intensity(512, 512, 512)
+                > gemm_arithmetic_intensity(64, 64, 64))
+
+    def test_skinny_is_low_intensity(self):
+        assert (gemm_arithmetic_intensity(64, 2048, 64)
+                < gemm_arithmetic_intensity(512, 512, 512))
+
+
+class TestMaxDimForMemory:
+    def test_fits_within_cap(self):
+        cap = 10 * 1024 * 1024
+        d = max_dim_for_memory(cap)
+        assert gemm_memory_bytes(d, d, d) <= cap
+
+    def test_bigger_would_not_fit(self):
+        cap = 10 * 1024 * 1024
+        d = max_dim_for_memory(cap)
+        assert gemm_memory_bytes(d + 2, d + 2, d + 2) > cap
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            max_dim_for_memory(0)

@@ -1,0 +1,111 @@
+"""Unit tests for GemmSpec and the BLAS-style front ends."""
+
+import numpy as np
+import pytest
+
+from repro.gemm.interface import GemmSpec, Transpose, dgemm, sgemm
+from repro.gemm.reference import gemm_reference
+
+
+class TestTranspose:
+    @pytest.mark.parametrize("flag,expected", [
+        ("N", Transpose.NO), ("n", Transpose.NO), ("T", Transpose.YES),
+        ("t", Transpose.YES), (True, Transpose.YES), (False, Transpose.NO),
+        (Transpose.YES, Transpose.YES),
+    ])
+    def test_parse(self, flag, expected):
+        assert Transpose.from_flag(flag) is expected
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Transpose.from_flag("X")
+
+
+class TestGemmSpec:
+    def test_dims_and_footprint(self):
+        spec = GemmSpec(64, 128, 32)
+        assert spec.dims == (64, 128, 32)
+        assert spec.memory_bytes == 4 * (64 * 128 + 128 * 32 + 64 * 32)
+        assert spec.min_dim == 32 and spec.max_dim == 128
+
+    def test_memory_mb_unit(self):
+        spec = GemmSpec(512, 512, 512)
+        assert spec.memory_mb == pytest.approx(3 * 512 * 512 * 4 / 2 ** 20)
+
+    def test_operand_shapes_respect_transpose(self):
+        spec = GemmSpec(3, 4, 5, transa="T", transb="T")
+        assert spec.a_shape() == (4, 3)
+        assert spec.b_shape() == (5, 4)
+        assert spec.c_shape() == (3, 5)
+
+    def test_key_distinguishes_dtype_and_transpose(self):
+        a = GemmSpec(2, 2, 2)
+        b = GemmSpec(2, 2, 2, dtype="float64")
+        c = GemmSpec(2, 2, 2, transa="T")
+        assert len({a.key(), b.key(), c.key()}) == 3
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            GemmSpec(0, 1, 1)
+
+    def test_rejects_bad_dtype(self):
+        with pytest.raises(ValueError):
+            GemmSpec(1, 1, 1, dtype="int8")
+
+    def test_frozen(self):
+        spec = GemmSpec(2, 2, 2)
+        with pytest.raises(Exception):
+            spec.m = 3
+
+    def test_random_operands_aligned(self):
+        spec = GemmSpec(8, 8, 8)
+        a, b, c = spec.random_operands(rng=0)
+        for arr in (a, b, c):
+            assert arr.ctypes.data % 64 == 0
+            assert str(arr.dtype) == "float32"
+
+    def test_random_operands_shapes(self):
+        spec = GemmSpec(3, 4, 5, transa="T")
+        a, b, c = spec.random_operands(rng=0)
+        assert a.shape == (4, 3) and b.shape == (4, 5) and c.shape == (3, 5)
+
+
+class TestBlasFrontEnds:
+    def test_sgemm_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((6, 4)).astype(np.float32)
+        b = rng.standard_normal((4, 5)).astype(np.float32)
+        c = np.zeros((6, 5), dtype=np.float32)
+        sgemm("N", "N", 6, 5, 4, 1.0, a, b, 0.0, c)
+        np.testing.assert_allclose(c, a @ b, rtol=1e-5)
+
+    def test_dgemm_with_alpha_beta(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((3, 2))
+        b = rng.standard_normal((2, 3))
+        c0 = rng.standard_normal((3, 3))
+        c = c0.copy()
+        dgemm("N", "N", 3, 3, 2, 2.0, a, b, 0.5, c)
+        np.testing.assert_allclose(c, 2.0 * a @ b + 0.5 * c0, rtol=1e-12)
+
+    def test_transposed_inputs(self):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((4, 6)).astype(np.float32)  # stored k x m
+        b = rng.standard_normal((5, 4)).astype(np.float32)  # stored n x k
+        c = np.zeros((6, 5), dtype=np.float32)
+        sgemm("T", "T", 6, 5, 4, 1.0, a, b, 0.0, c)
+        np.testing.assert_allclose(c, a.T @ b.T, rtol=1e-5)
+
+    def test_custom_backend_is_used(self):
+        calls = []
+
+        def backend(spec, a, b, c):
+            calls.append(spec.dims)
+            return gemm_reference(spec, a, b, c)
+
+        spec = GemmSpec(2, 3, 2)
+        a, b, c = spec.random_operands(rng=0)
+        from repro.gemm.interface import gemm
+
+        gemm(spec, a, b, c, backend=backend)
+        assert calls == [(2, 3, 2)]

@@ -1,0 +1,69 @@
+"""Packing buffer semantics and copy-volume accounting."""
+
+import numpy as np
+import pytest
+
+from repro.gemm.packing import PackingBuffer, pack_block, packing_bytes, packing_volume
+
+
+class TestPackingBuffer:
+    def test_pack_returns_contiguous_copy(self):
+        ws = PackingBuffer(64, dtype="float32")
+        src = np.arange(24, dtype=np.float32).reshape(4, 6)[:, ::2]  # strided view
+        out = ws.pack(src)
+        assert out.flags["C_CONTIGUOUS"]
+        np.testing.assert_array_equal(out, src)
+
+    def test_copy_volume_accumulates(self):
+        ws = PackingBuffer(100)
+        ws.pack(np.zeros((2, 3), dtype=np.float32))
+        ws.pack(np.zeros((4, 5), dtype=np.float32))
+        assert ws.copied_elements == 6 + 20
+
+    def test_reset_stats(self):
+        ws = PackingBuffer(100)
+        ws.pack(np.zeros((2, 2), dtype=np.float32))
+        ws.reset_stats()
+        assert ws.copied_elements == 0
+
+    def test_overflow_raises(self):
+        ws = PackingBuffer(4)
+        with pytest.raises(ValueError, match="exceeds"):
+            ws.pack(np.zeros((3, 3), dtype=np.float32))
+
+    def test_rejects_empty_capacity(self):
+        with pytest.raises(ValueError):
+            PackingBuffer(0)
+
+
+class TestPackBlock:
+    def test_extracts_requested_block(self):
+        src = np.arange(30, dtype=np.float64).reshape(5, 6)
+        out = pack_block(src, (1, 3), (2, 5))
+        np.testing.assert_array_equal(out, src[1:3, 2:5])
+
+    def test_out_of_bounds_raises(self):
+        src = np.zeros((4, 4))
+        with pytest.raises(ValueError):
+            pack_block(src, (0, 5), (0, 2))
+
+    def test_routes_through_workspace(self):
+        src = np.ones((3, 3), dtype=np.float32)
+        ws = PackingBuffer(16, dtype="float32")
+        pack_block(src, (0, 3), (0, 3), workspace=ws)
+        assert ws.copied_elements == 9
+
+
+class TestPackingVolume:
+    def test_single_thread_is_operand_volume(self):
+        assert packing_volume(8, 4, 6, 1) == 8 * 4 + 4 * 6
+
+    def test_grows_monotonically_for_small_matrices(self):
+        # The Table VII mechanism: more threads => more replicated copy.
+        vols = [packing_volume(64, 2048, 64, p) for p in (1, 4, 16, 96)]
+        assert vols == sorted(vols)
+        assert vols[-1] > 5 * vols[0]
+
+    def test_bytes_scale_with_dtype(self):
+        assert (packing_bytes(8, 8, 8, 4, "float64")
+                == 2 * packing_bytes(8, 8, 8, 4, "float32"))

@@ -1,0 +1,84 @@
+"""The real threaded executor: correctness for any thread count."""
+
+import numpy as np
+import pytest
+
+from repro.gemm.blocked import BlockSizes
+from repro.gemm.interface import GemmSpec
+from repro.gemm.parallel import ParallelGemm
+from repro.gemm.reference import gemm_reference
+
+
+def _compare(spec, n_threads, seed=0):
+    a, b, c = spec.random_operands(rng=seed)
+    expected = c.copy()
+    gemm_reference(spec, a, b, expected)
+    got = c.copy()
+    executor = ParallelGemm(n_threads, blocks=BlockSizes(mc=32, kc=32, nc=64))
+    executor.run(spec, a, b, got)
+    np.testing.assert_allclose(got, expected, rtol=1e-4, atol=1e-5)
+    return executor
+
+
+class TestParallelCorrectness:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 7, 8])
+    def test_matches_reference_square(self, p):
+        _compare(GemmSpec(48, 40, 56), p)
+
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    def test_skinny_shapes(self, p):
+        _compare(GemmSpec(8, 256, 8), p)
+        _compare(GemmSpec(128, 4, 128), p)
+
+    def test_more_threads_than_rows(self):
+        _compare(GemmSpec(3, 16, 3), 8)
+
+    def test_alpha_beta_parallel(self):
+        _compare(GemmSpec(32, 32, 32, alpha=1.5, beta=0.5), 4)
+
+    def test_transposed_parallel(self):
+        _compare(GemmSpec(24, 32, 20, transa="T", transb="T"), 4)
+
+    def test_deterministic_across_repeats(self):
+        spec = GemmSpec(32, 32, 32, dtype="float64")
+        a, b, c = spec.random_operands(rng=5)
+        ex = ParallelGemm(4)
+        first = c.copy()
+        ex.run(spec, a, b, first)
+        second = c.copy()
+        ex.run(spec, a, b, second)
+        np.testing.assert_array_equal(first, second)
+
+
+class TestParallelInstrumentation:
+    def test_timings_populated(self):
+        ex = _compare(GemmSpec(64, 64, 64), 4)
+        t = ex.last_timings
+        assert t.threads == 4
+        assert t.total > 0
+        assert t.copied_elements > 0
+
+    def test_single_thread_no_sync(self):
+        ex = _compare(GemmSpec(32, 32, 32), 1)
+        assert ex.last_timings.sync == 0.0
+
+    def test_copied_elements_grow_with_threads(self):
+        ex1 = _compare(GemmSpec(64, 128, 64), 1)
+        ex8 = _compare(GemmSpec(64, 128, 64), 8)
+        assert (ex8.last_timings.copied_elements
+                >= ex1.last_timings.copied_elements)
+
+    def test_timed_run_returns_positive(self):
+        spec = GemmSpec(32, 32, 32)
+        a, b, c = spec.random_operands(rng=0)
+        assert ParallelGemm(2).timed_run(spec, a, b, c, repeats=2) > 0
+
+    def test_rejects_bad_thread_count(self):
+        with pytest.raises(ValueError):
+            ParallelGemm(0)
+
+    def test_rejects_bad_repeats(self):
+        spec = GemmSpec(4, 4, 4)
+        a, b, c = spec.random_operands(rng=0)
+        with pytest.raises(ValueError):
+            ParallelGemm(1).timed_run(spec, a, b, c, repeats=0)

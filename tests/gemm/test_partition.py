@@ -1,0 +1,106 @@
+"""Partitioning invariants: coverage, balance, replication volumes."""
+
+import numpy as np
+import pytest
+
+from repro.gemm.partition import (Partition1D, Partition2D, choose_thread_grid,
+                                  factor_grid, split_range)
+
+
+class TestSplitRange:
+    def test_covers_exactly(self):
+        bounds = split_range(10, 3)
+        assert bounds[0][0] == 0 and bounds[-1][1] == 10
+        for (a0, a1), (b0, b1) in zip(bounds, bounds[1:]):
+            assert a1 == b0  # contiguous, no gaps/overlap
+
+    def test_balanced_within_one(self):
+        sizes = [hi - lo for lo, hi in split_range(17, 5)]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == 17
+
+    def test_more_parts_than_extent(self):
+        bounds = split_range(2, 5)
+        sizes = [hi - lo for lo, hi in bounds]
+        assert sum(sizes) == 2 and len(bounds) == 5
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            split_range(-1, 2)
+        with pytest.raises(ValueError):
+            split_range(5, 0)
+
+
+class TestFactorGrid:
+    def test_product_equals_p(self):
+        for p in (1, 6, 12, 48, 96):
+            pm, pn = factor_grid(p, 100, 100)
+            assert pm * pn == p
+
+    def test_square_matrix_gets_squarish_grid(self):
+        pm, pn = factor_grid(16, 1000, 1000)
+        assert {pm, pn} == {4, 4}
+
+    def test_tall_matrix_gets_tall_grid(self):
+        pm, pn = factor_grid(8, 10000, 10)
+        assert pm > pn
+
+    def test_wide_matrix_gets_wide_grid(self):
+        pm, pn = factor_grid(8, 10, 10000)
+        assert pn > pm
+
+
+class TestPartition2D:
+    def test_blocks_tile_c_exactly(self):
+        part = Partition2D.for_threads(10, 7, 9, 6)
+        covered = np.zeros((10, 9), dtype=int)
+        for (r0, r1), (c0, c1) in part.thread_blocks():
+            covered[r0:r1, c0:c1] += 1
+        assert (covered == 1).all()
+
+    def test_replication_volumes(self):
+        part = Partition2D(m=8, k=4, n=6, pm=2, pn=3)
+        assert part.packed_a_volume() == 8 * 4 * 3  # A replicated per grid col
+        assert part.packed_b_volume() == 4 * 6 * 2  # B replicated per grid row
+
+    def test_single_thread_packs_once(self):
+        part = Partition2D(m=8, k=4, n=6, pm=1, pn=1)
+        assert part.packed_a_volume() == 8 * 4
+        assert part.packed_b_volume() == 4 * 6
+
+    def test_volume_grows_with_threads(self):
+        small = Partition2D.for_threads(64, 2048, 64, 4)
+        big = Partition2D.for_threads(64, 2048, 64, 96)
+        assert (big.packed_a_volume() + big.packed_b_volume()
+                > small.packed_a_volume() + small.packed_b_volume())
+
+
+class TestPartition1D:
+    def test_full_columns(self):
+        part = Partition1D(m=10, k=3, n=7, p=4)
+        for _, (c0, c1) in part.thread_blocks():
+            assert (c0, c1) == (0, 7)
+
+    def test_active_threads_capped_by_rows(self):
+        assert Partition1D(m=3, k=2, n=2, p=8).active_threads() == 3
+
+
+class TestChooseThreadGrid:
+    def test_contains_endpoints(self):
+        grid = choose_thread_grid(96)
+        assert 1 in grid and 96 in grid
+
+    def test_sorted_unique_within_range(self):
+        grid = choose_thread_grid(256)
+        assert grid == sorted(set(grid))
+        assert all(1 <= t <= 256 for t in grid)
+
+    def test_exhaustive_mode(self):
+        assert choose_thread_grid(8, include_all=True) == list(range(1, 9))
+
+    def test_single_core_machine(self):
+        assert choose_thread_grid(1) == [1]
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            choose_thread_grid(0)

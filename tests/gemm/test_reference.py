@@ -1,0 +1,75 @@
+"""The reference kernel is the oracle — test it against numpy directly."""
+
+import numpy as np
+import pytest
+
+from repro.gemm.interface import GemmSpec
+from repro.gemm.reference import gemm_reference
+
+
+def _run(spec, seed=0):
+    a, b, c = spec.random_operands(rng=seed)
+    c0 = c.copy()
+    gemm_reference(spec, a, b, c)
+    return a, b, c0, c
+
+
+class TestReferenceCorrectness:
+    @pytest.mark.parametrize("m,k,n", [(1, 1, 1), (2, 3, 4), (7, 5, 3), (16, 1, 16)])
+    def test_plain_product(self, m, k, n):
+        spec = GemmSpec(m, k, n, dtype="float64")
+        a, b, _, c = _run(spec)
+        np.testing.assert_allclose(c, a @ b, rtol=1e-12)
+
+    def test_beta_accumulation(self):
+        spec = GemmSpec(4, 4, 4, dtype="float64", alpha=1.5, beta=-0.5)
+        a, b, c0, c = _run(spec)
+        np.testing.assert_allclose(c, 1.5 * (a @ b) - 0.5 * c0, rtol=1e-12)
+
+    def test_beta_zero_ignores_nan_in_c(self):
+        # BLAS requires beta==0 to overwrite C even if it holds NaN.
+        spec = GemmSpec(3, 3, 3, dtype="float64", beta=0.0)
+        a, b, c = spec.random_operands(rng=0)
+        c[...] = np.nan
+        gemm_reference(spec, a, b, c)
+        assert np.isfinite(c).all()
+
+    @pytest.mark.parametrize("ta,tb", [("T", "N"), ("N", "T"), ("T", "T")])
+    def test_transposes(self, ta, tb):
+        spec = GemmSpec(5, 6, 4, dtype="float64", transa=ta, transb=tb)
+        a, b, _, c = _run(spec)
+        op_a = a.T if ta == "T" else a
+        op_b = b.T if tb == "T" else b
+        np.testing.assert_allclose(c, op_a @ op_b, rtol=1e-12)
+
+    def test_float32_storage_float64_accumulate(self):
+        # Result should be closer to the float64 truth than naive float32.
+        spec = GemmSpec(64, 512, 64, dtype="float32")
+        a, b, _, c = _run(spec)
+        truth = a.astype(np.float64) @ b.astype(np.float64)
+        np.testing.assert_allclose(c, truth.astype(np.float32), rtol=1e-6)
+
+    def test_returns_same_object(self):
+        spec = GemmSpec(2, 2, 2)
+        a, b, c = spec.random_operands(rng=0)
+        assert gemm_reference(spec, a, b, c) is c
+
+
+class TestReferenceValidation:
+    def test_shape_mismatch(self):
+        spec = GemmSpec(3, 3, 3)
+        a, b, c = spec.random_operands(rng=0)
+        with pytest.raises(ValueError, match="shape"):
+            gemm_reference(spec, a[:2], b, c)
+
+    def test_dtype_mismatch(self):
+        spec = GemmSpec(3, 3, 3)
+        a, b, c = spec.random_operands(rng=0)
+        with pytest.raises(ValueError, match="dtype"):
+            gemm_reference(spec, a.astype(np.float64), b, c)
+
+    def test_non_array_operand(self):
+        spec = GemmSpec(2, 2, 2)
+        a, b, c = spec.random_operands(rng=0)
+        with pytest.raises(TypeError):
+            gemm_reference(spec, [[1.0, 2.0], [3.0, 4.0]], b, c)

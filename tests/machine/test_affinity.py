@@ -1,0 +1,84 @@
+"""Thread placement: core-based vs thread-based policies (paper Fig. 7)."""
+
+import pytest
+
+from repro.machine.affinity import AffinityPolicy, place_threads
+from repro.machine.presets import gadi_topology, setonix_topology, tiny_test_node
+
+
+@pytest.fixture
+def tiny_topo():
+    return tiny_test_node().topology
+
+
+class TestCoreBasedPlacement:
+    def test_no_smt_sharing_below_core_count(self, tiny_topo):
+        # 8 physical cores: up to 8 threads each own a core.
+        for p in range(1, tiny_topo.physical_cores + 1):
+            placement = place_threads(tiny_topo, p, AffinityPolicy.CORES)
+            assert placement.max_threads_per_core == 1
+            assert placement.cores_used == p
+
+    def test_smt_kicks_in_above_core_count(self, tiny_topo):
+        placement = place_threads(tiny_topo, tiny_topo.physical_cores + 1,
+                                  AffinityPolicy.CORES)
+        assert placement.max_threads_per_core == 2
+
+    def test_full_machine(self, tiny_topo):
+        placement = place_threads(tiny_topo, tiny_topo.logical_cpus,
+                                  AffinityPolicy.CORES)
+        assert placement.cores_used == tiny_topo.physical_cores
+        assert placement.sockets_used == tiny_topo.sockets
+
+
+class TestThreadBasedPlacement:
+    def test_siblings_pack_early(self, tiny_topo):
+        # Two threads land on the same core under OMP_PLACES=threads.
+        placement = place_threads(tiny_topo, 2, AffinityPolicy.THREADS)
+        assert placement.cores_used == 1
+        assert placement.max_threads_per_core == 2
+
+    def test_half_machine_uses_half_cores(self, tiny_topo):
+        p = tiny_topo.physical_cores
+        placement = place_threads(tiny_topo, p, AffinityPolicy.THREADS)
+        assert placement.cores_used == p // 2
+
+    def test_policies_converge_at_max(self, tiny_topo):
+        p = tiny_topo.logical_cpus
+        a = place_threads(tiny_topo, p, AffinityPolicy.CORES)
+        b = place_threads(tiny_topo, p, AffinityPolicy.THREADS)
+        assert set(a.cpu_ids) == set(b.cpu_ids)
+
+
+class TestHyperthreadingToggle:
+    def test_ht_off_limits_capacity(self, tiny_topo):
+        with pytest.raises(ValueError):
+            place_threads(tiny_topo, tiny_topo.physical_cores + 1,
+                          hyperthreading=False)
+
+    def test_ht_off_never_shares_cores(self, tiny_topo):
+        for p in (1, tiny_topo.physical_cores):
+            placement = place_threads(tiny_topo, p, AffinityPolicy.THREADS,
+                                      hyperthreading=False)
+            assert placement.max_threads_per_core == 1
+
+
+class TestRealPlatforms:
+    def test_gadi_96_spans_both_sockets(self):
+        placement = place_threads(gadi_topology(), 96)
+        assert placement.sockets_used == 2
+        assert placement.cores_used == 48
+
+    def test_setonix_small_team_single_socket(self):
+        placement = place_threads(setonix_topology(), 16)
+        assert placement.sockets_used == 1
+
+    def test_policy_parse(self):
+        assert AffinityPolicy.parse("cores") is AffinityPolicy.CORES
+        assert AffinityPolicy.parse("THREADS") is AffinityPolicy.THREADS
+        with pytest.raises(ValueError):
+            AffinityPolicy.parse("sockets")
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            place_threads(gadi_topology(), 0)

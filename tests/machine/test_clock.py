@@ -1,0 +1,41 @@
+"""Simulated time accounting."""
+
+import pytest
+
+from repro.machine.clock import SimClock
+
+
+class TestSimClock:
+    def test_accumulates(self):
+        clock = SimClock()
+        clock.advance(10.0)
+        clock.advance(5.0)
+        assert clock.elapsed == 15.0
+
+    def test_node_hours(self):
+        clock = SimClock()
+        clock.advance(7200.0)
+        assert clock.node_hours == 2.0
+
+    def test_categories(self):
+        clock = SimClock()
+        clock.advance(1.0, category="gemm")
+        clock.advance(2.0, category="train")
+        clock.advance(3.0, category="gemm")
+        assert clock.by_category == {"gemm": 4.0, "train": 2.0}
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.advance(1.0)
+        clock.reset()
+        assert clock.elapsed == 0.0 and clock.by_category == {}
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_report_mentions_hours(self):
+        clock = SimClock()
+        clock.advance(3600.0, category="gather")
+        text = clock.report()
+        assert "node hours" in text and "gather" in text

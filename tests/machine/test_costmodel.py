@@ -1,0 +1,124 @@
+"""Cost model shape: the qualitative facts the paper measures."""
+
+import numpy as np
+import pytest
+
+from repro.gemm.interface import GemmSpec
+from repro.machine.affinity import AffinityPolicy
+from repro.machine.presets import gadi, setonix, tiny_test_node
+
+
+@pytest.fixture(scope="module")
+def models():
+    return {"setonix": setonix(), "gadi": gadi(), "tiny": tiny_test_node()}
+
+
+class TestBreakdownBasics:
+    def test_components_non_negative(self, models):
+        for cm in models.values():
+            bd = cm.breakdown(GemmSpec(256, 256, 256), 4)
+            assert bd.sync >= 0 and bd.copy >= 0 and bd.kernel > 0
+            assert bd.total == pytest.approx(bd.sync + bd.copy + bd.kernel)
+
+    def test_single_thread_has_no_parallel_overheads(self, models):
+        for cm in models.values():
+            bd = cm.breakdown(GemmSpec(256, 256, 256), 1)
+            assert bd.sync == 0.0
+            assert bd.copy == 0.0
+
+    def test_sync_grows_with_threads(self, models):
+        cm = models["gadi"]
+        spec = GemmSpec(1024, 1024, 1024)
+        sync = [cm.breakdown(spec, p).sync for p in (2, 8, 32, 96)]
+        assert sync == sorted(sync)
+
+    def test_dgemm_slower_than_sgemm(self, models):
+        cm = models["gadi"]
+        t32 = cm.total_time(GemmSpec(512, 512, 512, dtype="float32"), 8)
+        t64 = cm.total_time(GemmSpec(512, 512, 512, dtype="float64"), 8)
+        assert t64 > t32
+
+
+class TestPaperShapeFacts:
+    def test_max_threads_suboptimal_for_small_gemm(self, models):
+        """Fig. 1's core observation: tiny GEMM hates full thread counts."""
+        for name in ("setonix", "gadi"):
+            cm = models[name]
+            maxt = cm.topology.logical_cpus
+            spec = GemmSpec(64, 2048, 64)  # Table VII case 1
+            assert cm.total_time(spec, maxt) > 5 * cm.total_time(spec, 1)
+
+    def test_large_square_wants_many_threads(self, models):
+        for name in ("setonix", "gadi"):
+            cm = models[name]
+            spec = GemmSpec(4000, 4000, 4000)
+            assert cm.total_time(spec, cm.topology.physical_cores) \
+                < cm.total_time(spec, 2)
+
+    def test_gadi_converges_near_one_at_large_sizes(self, models):
+        """Fig. 12: MKL-with-max-threads is near-optimal for big GEMM."""
+        cm = models["gadi"]
+        spec = GemmSpec(6000, 6000, 6000)  # ~412 MB
+        t_max = cm.total_time(spec, 96)
+        t_half = cm.total_time(spec, 48)
+        assert t_max / t_half < 1.35
+
+    def test_setonix_keeps_advantage_at_large_sizes(self, models):
+        """Fig. 11: BLIS-with-ML stays ~1.2-1.4x even at 400+ MB."""
+        cm = models["setonix"]
+        spec = GemmSpec(6000, 6000, 6000)
+        t_max = cm.total_time(spec, 256)
+        t_half = cm.total_time(spec, 128)
+        assert 1.1 < t_max / t_half < 2.0
+
+    def test_copy_dominates_small_gemm_at_max_threads(self, models):
+        """Table VII: data copy is the biggest component at 96 threads."""
+        cm = models["gadi"]
+        bd = cm.breakdown(GemmSpec(64, 2048, 64), 96)
+        assert bd.copy > bd.kernel
+        assert bd.copy > bd.sync
+
+    def test_optimal_threads_monotone_with_size(self, models):
+        """Bigger squarer problems should want (weakly) more threads."""
+        cm = models["gadi"]
+        grid = [1, 2, 4, 8, 16, 24, 48, 96]
+
+        def best(spec):
+            return min(grid, key=lambda p: cm.total_time(spec, p))
+
+        small = best(GemmSpec(128, 128, 128))
+        large = best(GemmSpec(4000, 4000, 4000))
+        assert small < large
+
+
+class TestAffinityEffects:
+    def test_core_based_faster_below_half_max(self, models):
+        """Fig. 7: core-based wins when p < half the logical CPUs."""
+        for name in ("setonix", "gadi"):
+            cm = models[name]
+            p = cm.topology.physical_cores // 2
+            spec = GemmSpec(1500, 1500, 1500)
+            t_cores = cm.total_time(spec, p, AffinityPolicy.CORES)
+            t_threads = cm.total_time(spec, p, AffinityPolicy.THREADS)
+            assert t_cores < t_threads
+
+    def test_policies_converge_at_max_threads(self, models):
+        cm = models["gadi"]
+        spec = GemmSpec(1000, 1000, 1000)
+        t_cores = cm.total_time(spec, 96, AffinityPolicy.CORES)
+        t_threads = cm.total_time(spec, 96, AffinityPolicy.THREADS)
+        assert t_cores == pytest.approx(t_threads, rel=0.05)
+
+
+class TestValidation:
+    def test_smt_yield_bounds(self, models):
+        from dataclasses import replace
+
+        with pytest.raises(ValueError):
+            replace(models["tiny"], smt_yield=0.2)
+
+    def test_kernel_efficiency_bounds(self, models):
+        from dataclasses import replace
+
+        with pytest.raises(ValueError):
+            replace(models["tiny"], kernel_efficiency=1.5)

@@ -1,0 +1,53 @@
+"""Noise model statistics."""
+
+import numpy as np
+import pytest
+
+from repro.machine.noise import QUIET, NoiseModel
+
+
+class TestSigma:
+    def test_short_runs_noisier(self):
+        nm = NoiseModel()
+        assert nm.sigma_for(1e-6) > nm.sigma_for(1.0)
+
+    def test_floor_reached_for_long_runs(self):
+        nm = NoiseModel(sigma_floor=0.02, sigma_short=0.1)
+        assert nm.sigma_for(100.0) == pytest.approx(0.02, rel=0.01)
+
+    def test_rejects_nonpositive_runtime(self):
+        with pytest.raises(ValueError):
+            NoiseModel().sigma_for(0.0)
+
+
+class TestApply:
+    def test_quiet_is_identity(self):
+        rng = np.random.default_rng(0)
+        assert QUIET.apply(0.5, rng) == 0.5
+
+    def test_positive_output(self):
+        nm = NoiseModel(spike_prob=0.5)
+        rng = np.random.default_rng(0)
+        values = nm.apply_many(1e-4, rng, 1000)
+        assert (values > 0).all()
+
+    def test_spikes_inflate_upper_tail(self):
+        rng = np.random.default_rng(0)
+        no_spikes = NoiseModel(spike_prob=0.0).apply_many(1e-3, rng, 2000)
+        rng = np.random.default_rng(0)
+        spiky = NoiseModel(spike_prob=0.2, spike_scale=2.0).apply_many(1e-3, rng, 2000)
+        assert np.percentile(spiky, 99) > np.percentile(no_spikes, 99)
+
+    def test_relative_error_matches_sigma(self):
+        nm = NoiseModel(sigma_floor=0.05, sigma_short=0.0, spike_prob=0.0)
+        rng = np.random.default_rng(0)
+        values = nm.apply_many(1.0, rng, 5000)
+        assert np.std(np.log(values)) == pytest.approx(0.05, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoiseModel(sigma_floor=-0.1)
+        with pytest.raises(ValueError):
+            NoiseModel(spike_prob=1.5)
+        with pytest.raises(ValueError):
+            NoiseModel().apply_many(1.0, np.random.default_rng(0), 0)

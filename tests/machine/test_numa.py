@@ -1,0 +1,74 @@
+"""NUMA memory-policy model (paper Section V-B2)."""
+
+import numpy as np
+import pytest
+
+from repro.gemm.interface import GemmSpec
+from repro.machine.noise import QUIET, NoiseModel
+from repro.machine.numa import NumaMode, NumaPolicy, policy
+from repro.machine.presets import gadi, gadi_topology
+from repro.machine.simulator import MachineSimulator
+
+
+class TestNumaPolicy:
+    def test_parse(self):
+        assert policy("interleave").mode is NumaMode.INTERLEAVE
+        assert policy("LOCAL").mode is NumaMode.LOCAL
+        with pytest.raises(ValueError):
+            policy("striped")
+
+    def test_interleave_single_socket_below_full(self):
+        """On one socket, interleave still touches remote domains, so
+        its factor is below a purely local placement's."""
+        topo = gadi_topology()
+        inter = NumaPolicy(NumaMode.INTERLEAVE).bandwidth_factor(topo, 1)
+        local = NumaPolicy(NumaMode.LOCAL).bandwidth_factor(topo, 1)
+        assert inter < local == 1.0
+
+    def test_interleave_best_for_full_node(self):
+        topo = gadi_topology()
+        factors = {mode: NumaPolicy(mode).bandwidth_factor(topo, 2)
+                   for mode in NumaMode}
+        assert factors[NumaMode.INTERLEAVE] == 1.0
+        assert factors[NumaMode.LOCAL] < 1.0
+        assert factors[NumaMode.BIND_ONE] < factors[NumaMode.LOCAL]
+
+    def test_jitter_ordering(self):
+        """Interleave stabilises runtimes (the paper's observation)."""
+        assert NumaPolicy(NumaMode.INTERLEAVE).jitter_multiplier() == 1.0
+        assert NumaPolicy(NumaMode.LOCAL).jitter_multiplier() > 1.0
+
+
+class TestSimulatorIntegration:
+    def test_interleave_is_reference(self):
+        spec = GemmSpec(2000, 2000, 2000)
+        a = MachineSimulator(gadi(), noise=QUIET, numa="interleave")
+        b = MachineSimulator(gadi(), noise=QUIET)  # default
+        assert a.true_time(spec, 48) == b.true_time(spec, 48)
+
+    def test_bind_slower_across_sockets(self):
+        spec = GemmSpec(3000, 3000, 3000)
+        inter = MachineSimulator(gadi(), noise=QUIET, numa="interleave")
+        bind = MachineSimulator(gadi(), noise=QUIET, numa="bind")
+        # A 48-thread team spans both sockets: one memory controller
+        # serving everything is clearly slower.
+        assert bind.true_time(spec, 48) > 1.2 * inter.true_time(spec, 48)
+
+    def test_local_noisier_than_interleave(self):
+        spec = GemmSpec(500, 500, 500)
+        inter = MachineSimulator(gadi(), noise=NoiseModel(), seed=0,
+                                 numa="interleave")
+        local = MachineSimulator(gadi(), noise=NoiseModel(), seed=0,
+                                 numa="local")
+        t_i = [inter.run(spec, 48, iteration=i).time for i in range(100)]
+        t_l = [local.run(spec, 48, iteration=i).time for i in range(100)]
+        cv = lambda xs: np.std(xs) / np.mean(xs)
+        assert cv(t_l) > cv(t_i)
+
+    def test_single_thread_unaffected_by_local(self):
+        """A one-thread team on one socket sees full local bandwidth."""
+        spec = GemmSpec(1000, 1000, 1000)
+        inter = MachineSimulator(gadi(), noise=QUIET, numa="interleave")
+        local = MachineSimulator(gadi(), noise=QUIET, numa="local")
+        # local >= interleave quality for a single-socket team.
+        assert local.true_time(spec, 1) <= inter.true_time(spec, 1) * 1.01

@@ -1,0 +1,47 @@
+"""Preset lookup and cross-platform sanity."""
+
+import pytest
+
+from repro.gemm.interface import GemmSpec
+from repro.machine.noise import QUIET
+from repro.machine.presets import by_name, gadi, setonix, tiny_test_node
+from repro.machine.simulator import MachineSimulator
+
+
+class TestLookup:
+    @pytest.mark.parametrize("name,cores", [
+        ("setonix", 128), ("gadi", 48), ("tiny", 8),
+    ])
+    def test_by_name(self, name, cores):
+        assert by_name(name).topology.physical_cores == cores
+
+    def test_case_insensitive(self):
+        assert by_name("SETONIX").topology.name == "setonix"
+
+    def test_unknown_raises_with_choices(self):
+        with pytest.raises(KeyError, match="gadi"):
+            by_name("frontier")
+
+
+class TestCrossPlatform:
+    def test_platforms_comparable_on_large_square(self):
+        """128 Milan cores and 48 AVX-512 CLX cores have near-equal peak
+        (10.4 vs 9.8 TF SP), so neither platform should win by much."""
+        spec = GemmSpec(6000, 6000, 6000)
+        t_s = MachineSimulator(setonix(), noise=QUIET).true_time(spec, 128)
+        t_g = MachineSimulator(gadi(), noise=QUIET).true_time(spec, 48)
+        assert 0.5 < t_s / t_g < 2.0
+
+    def test_realistic_gflops_range(self):
+        """Best-config throughput lands in a plausible hardware range."""
+        spec = GemmSpec(4000, 4000, 4000)
+        for preset, lo, hi in ((setonix, 1000, 9000), (gadi, 1000, 8000)):
+            sim = MachineSimulator(preset(), noise=QUIET)
+            grid = [1, 8, 32, sim.topology.physical_cores]
+            best = sim.optimal_threads(spec, grid)
+            gflops = spec.flops / sim.true_time(spec, best) / 1e9
+            assert lo < gflops < hi, f"{preset.__name__}: {gflops}"
+
+    def test_fresh_instances_are_independent(self):
+        a, b = setonix(), setonix()
+        assert a is not b and a == b  # frozen dataclass equality

@@ -1,0 +1,66 @@
+"""Profiler reports (Table VII reproduction machinery)."""
+
+import pytest
+
+from repro.gemm.interface import GemmSpec
+from repro.machine.noise import QUIET
+from repro.machine.presets import gadi
+from repro.machine.profile import profile_gemm
+from repro.machine.simulator import MachineSimulator
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return MachineSimulator(gadi(), noise=QUIET, seed=0)
+
+
+class TestProfileReport:
+    def test_components_sum_to_total(self, sim):
+        report = profile_gemm(sim, GemmSpec(64, 2048, 64), 96, repetitions=100)
+        assert report.total == pytest.approx(
+            report.sync + report.kernel + report.copy, rel=1e-9)
+
+    def test_scales_linearly_with_repetitions(self, sim):
+        spec = GemmSpec(64, 64, 512)
+        r1 = profile_gemm(sim, spec, 8, repetitions=10)
+        r2 = profile_gemm(sim, spec, 8, repetitions=20)
+        assert r2.total == pytest.approx(2 * r1.total)
+
+    def test_table7_case1_shape(self, sim):
+        """64x2048x64: 96-thread copy dominates; low threads fix it."""
+        spec = GemmSpec(64, 2048, 64)
+        many = profile_gemm(sim, spec, 96, repetitions=1000)
+        few = profile_gemm(sim, spec, 14, repetitions=1000)
+        assert many.copy > many.kernel
+        assert many.total > 10 * few.total
+
+    def test_table7_case2_single_thread_no_overheads(self, sim):
+        """64x64x4096 with ML picks 1 thread: sync and copy are zero."""
+        report = profile_gemm(sim, GemmSpec(64, 64, 4096), 1, repetitions=1000)
+        assert report.sync == 0.0
+        assert report.copy == 0.0
+        assert report.kernel > 0
+
+    def test_row_format(self, sim):
+        report = profile_gemm(sim, GemmSpec(64, 2048, 64), 96, repetitions=10)
+        row = report.row("case1")
+        assert row["case"] == "case1"
+        assert set(row) == {"case", "threads", "total_s", "sync_s",
+                            "kernel_s", "copy_s"}
+
+    def test_noisy_profile_close_to_model(self, sim):
+        from repro.machine.noise import NoiseModel
+        from repro.machine.presets import gadi as gadi_preset
+
+        noisy = MachineSimulator(gadi_preset(), noise=NoiseModel(), seed=0)
+        spec = GemmSpec(256, 256, 256)
+        clean = profile_gemm(noisy, spec, 8, repetitions=50, noisy=False)
+        measured = profile_gemm(noisy, spec, 8, repetitions=50, noisy=True)
+        assert measured.total == pytest.approx(clean.total, rel=0.5)
+        # Proportional attribution preserves the breakdown ratios.
+        assert (measured.copy / measured.total
+                == pytest.approx(clean.copy / clean.total, rel=1e-6))
+
+    def test_rejects_bad_repetitions(self, sim):
+        with pytest.raises(ValueError):
+            profile_gemm(sim, GemmSpec(8, 8, 8), 1, repetitions=0)

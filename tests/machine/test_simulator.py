@@ -1,0 +1,99 @@
+"""Simulator determinism, noise behaviour and timing protocol."""
+
+import numpy as np
+import pytest
+
+from repro.gemm.interface import GemmSpec
+from repro.machine.noise import QUIET, NoiseModel
+from repro.machine.presets import tiny_test_node
+from repro.machine.simulator import MachineSimulator
+
+
+@pytest.fixture
+def spec():
+    return GemmSpec(200, 150, 100)
+
+
+class TestDeterminism:
+    def test_same_seed_same_timings(self, spec):
+        a = MachineSimulator(tiny_test_node(), seed=7)
+        b = MachineSimulator(tiny_test_node(), seed=7)
+        assert a.run(spec, 4).time == b.run(spec, 4).time
+
+    def test_order_independence(self, spec):
+        """Timings depend on call coordinates, not call order."""
+        a = MachineSimulator(tiny_test_node(), seed=7)
+        b = MachineSimulator(tiny_test_node(), seed=7)
+        a.run(spec, 2, iteration=0)
+        t_a = a.run(spec, 4, iteration=0).time
+        t_b = b.run(spec, 4, iteration=0).time  # no prior call on b
+        assert t_a == t_b
+
+    def test_different_seed_different_noise(self, spec):
+        a = MachineSimulator(tiny_test_node(), seed=1)
+        b = MachineSimulator(tiny_test_node(), seed=2)
+        assert a.run(spec, 4).time != b.run(spec, 4).time
+
+    def test_iterations_vary(self, spec):
+        sim = MachineSimulator(tiny_test_node(), seed=0)
+        times = {sim.run(spec, 4, iteration=i).time for i in range(5)}
+        assert len(times) == 5
+
+
+class TestNoiseBehaviour:
+    def test_quiet_matches_model_exactly(self, spec):
+        sim = MachineSimulator(tiny_test_node(), noise=QUIET, seed=0)
+        result = sim.run(spec, 4)
+        assert result.time == pytest.approx(result.breakdown.total)
+
+    def test_noise_centered_near_truth(self, spec):
+        sim = MachineSimulator(tiny_test_node(), noise=NoiseModel(), seed=0)
+        truth = sim.true_time(spec, 4)
+        times = [sim.run(spec, 4, iteration=i).time for i in range(200)]
+        assert np.median(times) == pytest.approx(truth, rel=0.1)
+
+    def test_median_reduction_robust_to_spikes(self, spec):
+        noisy = NoiseModel(spike_prob=0.3, spike_scale=5.0)
+        sim = MachineSimulator(tiny_test_node(), noise=noisy, seed=0)
+        truth = sim.true_time(spec, 4)
+        med = sim.timed_run(spec, 4, repeats=21, reduce="median")
+        mean = sim.timed_run(spec, 4, repeats=21, reduce="mean")
+        assert abs(med - truth) < abs(mean - truth)
+
+
+class TestTimingProtocol:
+    def test_timed_run_reductions(self, spec):
+        sim = MachineSimulator(tiny_test_node(), seed=0)
+        mn = sim.timed_run(spec, 4, repeats=10, reduce="min")
+        md = sim.timed_run(spec, 4, repeats=10, reduce="median")
+        assert mn <= md
+
+    def test_unknown_reduction_raises(self, spec):
+        sim = MachineSimulator(tiny_test_node(), seed=0)
+        with pytest.raises(ValueError):
+            sim.timed_run(spec, 4, reduce="mode")
+
+    def test_clock_accumulates(self, spec):
+        sim = MachineSimulator(tiny_test_node(), seed=0)
+        sim.timed_run(spec, 4, repeats=5)
+        assert sim.clock.elapsed > 0
+        assert sim.clock.by_category["gemm"] == sim.clock.elapsed
+
+
+class TestOptimalThreads:
+    def test_matches_exhaustive_argmin(self, spec):
+        sim = MachineSimulator(tiny_test_node(), noise=QUIET, seed=0)
+        grid = [1, 2, 4, 8, 16]
+        best = sim.optimal_threads(spec, grid)
+        times = {p: sim.true_time(spec, p) for p in grid}
+        assert best == min(times, key=times.get)
+
+    def test_empty_grid_raises(self, spec):
+        sim = MachineSimulator(tiny_test_node(), seed=0)
+        with pytest.raises(ValueError):
+            sim.optimal_threads(spec, [])
+
+    def test_gflops_property(self, spec):
+        sim = MachineSimulator(tiny_test_node(), noise=QUIET, seed=0)
+        result = sim.run(spec, 4)
+        assert result.gflops == pytest.approx(spec.flops / result.time / 1e9)

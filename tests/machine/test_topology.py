@@ -1,0 +1,102 @@
+"""Topology arithmetic on the paper's two platforms."""
+
+import pytest
+
+from repro.machine.presets import gadi_topology, setonix_topology
+from repro.machine.topology import NodeTopology
+
+
+class TestSetonixTopology:
+    def setup_method(self):
+        self.topo = setonix_topology()
+
+    def test_core_counts_match_paper(self):
+        # 2 sockets x 64 Zen3 cores, SMT2 => 256 simultaneous threads.
+        assert self.topo.physical_cores == 128
+        assert self.topo.logical_cpus == 256
+
+    def test_modules_match_paper(self):
+        # Each Milan CPU has eight modules of eight cores w/ 32 MB L3.
+        assert self.topo.modules_per_socket == 8
+        assert self.topo.cores_per_module == 8
+        assert self.topo.l3_mb_per_module == 32.0
+
+    def test_numa_domains(self):
+        # Eight NUMA domains, four per socket.
+        assert self.topo.numa_domains == 8
+
+    def test_max_threads_toggle(self):
+        assert self.topo.max_threads(True) == 256
+        assert self.topo.max_threads(False) == 128
+
+
+class TestGadiTopology:
+    def setup_method(self):
+        self.topo = gadi_topology()
+
+    def test_core_counts_match_paper(self):
+        # 2 sockets x 24 Cascade Lake cores, SMT2 => 96 threads.
+        assert self.topo.physical_cores == 48
+        assert self.topo.logical_cpus == 96
+
+    def test_numa_domains(self):
+        assert self.topo.numa_domains == 4
+
+    def test_peak_flops_ordering(self):
+        # Per-core CLX (AVX-512) beats per-core Milan (AVX2) in SP.
+        assert (self.topo.peak_gflops_core("float32")
+                > setonix_topology().peak_gflops_core("float32"))
+        # But the node total favours the 128-core Milan box.
+        assert (self.topo.peak_gflops_node("float32")
+                < setonix_topology().peak_gflops_node("float32"))
+
+    def test_dp_is_half_sp(self):
+        assert (self.topo.peak_gflops_core("float64")
+                == pytest.approx(self.topo.peak_gflops_core("float32") / 2))
+
+
+class TestCpuEnumeration:
+    def setup_method(self):
+        self.topo = NodeTopology(
+            name="t", sockets=2, modules_per_socket=2, cores_per_module=2,
+            smt=2, freq_ghz=1.0, flops_per_cycle_sp=8, l2_kb=512,
+            l3_mb_per_module=4.0, numa_domains_per_socket=1,
+            mem_bw_gbs_per_socket=10.0, mem_gb=16)
+
+    def test_first_block_is_primary_threads(self):
+        for cpu_id in range(self.topo.physical_cores):
+            assert self.topo.cpu(cpu_id).smt_rank == 0
+
+    def test_second_block_is_smt_siblings(self):
+        for cpu_id in range(self.topo.physical_cores, self.topo.logical_cpus):
+            cpu = self.topo.cpu(cpu_id)
+            assert cpu.smt_rank == 1
+            assert cpu.core == cpu_id - self.topo.physical_cores
+
+    def test_socket_major_core_order(self):
+        assert self.topo.cpu(0).socket == 0
+        assert self.topo.cpu(self.topo.cores_per_socket).socket == 1
+
+    def test_module_assignment(self):
+        # Cores 0,1 in module 0; cores 2,3 in module 1 (socket 0).
+        assert self.topo.cpu(0).module == 0
+        assert self.topo.cpu(2).module == 1
+        assert self.topo.cpu(4).module == 2  # first module of socket 1
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            self.topo.cpu(self.topo.logical_cpus)
+
+    def test_l3_aggregation_clamped(self):
+        assert self.topo.l3_bytes_for_modules(100) == 4 * 4 * 1024 * 1024
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeTopology(name="bad", sockets=0, modules_per_socket=1,
+                         cores_per_module=1, smt=1, freq_ghz=1.0,
+                         flops_per_cycle_sp=8, l2_kb=512, l3_mb_per_module=4.0,
+                         numa_domains_per_socket=1, mem_bw_gbs_per_socket=10.0,
+                         mem_gb=16)
+
+    def test_describe_mentions_name(self):
+        assert "t:" in self.topo.describe()

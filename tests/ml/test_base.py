@@ -1,0 +1,65 @@
+"""Estimator API contract: params, cloning, validation."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import BaseEstimator, check_array, check_X_y, clone
+from repro.ml.linear import Ridge
+
+
+class TestCheckArray:
+    def test_promotes_1d_to_column(self):
+        arr = check_array([1.0, 2.0, 3.0])
+        assert arr.shape == (3, 1)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_array([[1.0, np.nan]])
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            check_array(np.zeros((2, 2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_array(np.zeros((0, 3)))
+
+    def test_casts_to_float64(self):
+        assert check_array(np.ones((2, 2), dtype=np.int32)).dtype == np.float64
+
+
+class TestCheckXY:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="samples"):
+            check_X_y(np.zeros((3, 2)), np.zeros(4))
+
+    def test_flattens_column_target(self):
+        _, y = check_X_y(np.zeros((3, 2)), np.zeros((3, 1)))
+        assert y.shape == (3,)
+
+    def test_rejects_inf_target(self):
+        with pytest.raises(ValueError):
+            check_X_y(np.zeros((2, 2)), [1.0, np.inf])
+
+
+class TestParamsAndClone:
+    def test_get_params_round_trip(self):
+        model = Ridge(alpha=3.0, fit_intercept=False)
+        assert model.get_params() == {"alpha": 3.0, "fit_intercept": False}
+
+    def test_set_params_unknown_raises(self):
+        with pytest.raises(ValueError, match="invalid parameter"):
+            Ridge().set_params(gamma=1.0)
+
+    def test_clone_copies_params_not_state(self):
+        model = Ridge(alpha=2.0).fit(np.eye(3), np.arange(3.0))
+        fresh = clone(model)
+        assert fresh.alpha == 2.0
+        assert not hasattr(fresh, "coef_")
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            Ridge().predict(np.eye(2))
+
+    def test_repr_contains_params(self):
+        assert "alpha=2.0" in repr(Ridge(alpha=2.0))

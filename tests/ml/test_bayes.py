@@ -1,0 +1,55 @@
+"""Bayesian ridge: recovery, shrinkage, predictive uncertainty."""
+
+import numpy as np
+import pytest
+
+from repro.ml.bayes import BayesianRidge
+
+
+@pytest.fixture
+def noisy_linear(rng):
+    X = rng.standard_normal((300, 4))
+    coef = np.array([1.0, -2.0, 0.0, 0.5])
+    sigma = 0.1
+    y = X @ coef + 1.5 + sigma * rng.standard_normal(300)
+    return X, y, coef, sigma
+
+
+class TestBayesianRidge:
+    def test_recovers_coefficients(self, noisy_linear):
+        X, y, coef, _ = noisy_linear
+        model = BayesianRidge().fit(X, y)
+        np.testing.assert_allclose(model.coef_, coef, atol=0.05)
+        assert model.intercept_ == pytest.approx(1.5, abs=0.05)
+
+    def test_noise_precision_estimated(self, noisy_linear):
+        X, y, _, sigma = noisy_linear
+        model = BayesianRidge().fit(X, y)
+        assert 1.0 / np.sqrt(model.beta_) == pytest.approx(sigma, rel=0.25)
+
+    def test_return_std_shapes_and_floor(self, noisy_linear):
+        X, y, _, sigma = noisy_linear
+        model = BayesianRidge().fit(X, y)
+        mean, std = model.predict(X[:10], return_std=True)
+        assert mean.shape == (10,) and std.shape == (10,)
+        # Predictive std can never drop below the noise level.
+        assert (std >= 1.0 / np.sqrt(model.beta_) - 1e-9).all()
+
+    def test_extrapolation_more_uncertain(self, noisy_linear):
+        X, y, _, _ = noisy_linear
+        model = BayesianRidge().fit(X, y)
+        _, std_in = model.predict(np.zeros((1, 4)), return_std=True)
+        _, std_out = model.predict(np.full((1, 4), 10.0), return_std=True)
+        assert std_out[0] > std_in[0]
+
+    def test_pure_noise_shrinks_heavily(self, rng):
+        X = rng.standard_normal((200, 5))
+        y = rng.standard_normal(200)  # no signal at all
+        model = BayesianRidge().fit(X, y)
+        assert np.abs(model.coef_).max() < 0.2
+
+    def test_deterministic(self, noisy_linear):
+        X, y, _, _ = noisy_linear
+        a = BayesianRidge().fit(X, y)
+        b = BayesianRidge().fit(X, y)
+        np.testing.assert_array_equal(a.coef_, b.coef_)

@@ -1,0 +1,68 @@
+"""Cross-model edge cases: tiny data, duplicates, extreme scales."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (AdaBoostRegressor, BayesianRidge, DecisionTreeRegressor,
+                      ElasticNet, KNeighborsRegressor, LGBMRegressor,
+                      LinearRegression, RandomForestRegressor, XGBRegressor)
+
+SMALL_MODELS = [
+    lambda: LinearRegression(),
+    lambda: ElasticNet(alpha=0.01),
+    lambda: BayesianRidge(),
+    lambda: DecisionTreeRegressor(max_depth=3),
+    lambda: RandomForestRegressor(n_estimators=3, random_state=0),
+    lambda: AdaBoostRegressor(n_estimators=3, random_state=0),
+    lambda: XGBRegressor(n_estimators=5, random_state=0),
+    lambda: LGBMRegressor(n_estimators=5, random_state=0),
+    lambda: KNeighborsRegressor(n_neighbors=2),
+]
+
+
+@pytest.mark.parametrize("factory", SMALL_MODELS)
+class TestTinyData:
+    def test_two_samples(self, factory):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([1.0, 3.0])
+        model = factory().fit(X, y)
+        pred = model.predict(X)
+        assert np.isfinite(pred).all()
+        # Predictions stay within a sane envelope of the targets.
+        assert pred.min() >= y.min() - 2 * (y.max() - y.min())
+        assert pred.max() <= y.max() + 2 * (y.max() - y.min())
+
+    def test_duplicate_rows(self, factory):
+        X = np.ones((20, 3))
+        y = np.full(20, 5.0)
+        model = factory().fit(X, y)
+        np.testing.assert_allclose(model.predict(X[:3]), 5.0, atol=1e-6)
+
+    def test_extreme_feature_scales(self, factory):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((50, 2)) * np.array([1e-8, 1e8])
+        y = rng.standard_normal(50)
+        pred = factory().fit(X, y).predict(X[:5])
+        assert np.isfinite(pred).all()
+
+
+class TestSingleFeature:
+    def test_tree_models_on_single_column(self, rng):
+        X = rng.standard_normal((100, 1))
+        y = np.sign(X[:, 0])
+        for factory in (lambda: DecisionTreeRegressor(max_depth=2),
+                        lambda: XGBRegressor(n_estimators=10, random_state=0)):
+            model = factory().fit(X, y)
+            score = model.score(X, y)
+            assert score > 0.8
+
+
+class TestTargetScales:
+    @pytest.mark.parametrize("scale", [1e-9, 1.0, 1e9])
+    def test_xgb_handles_target_magnitudes(self, rng, scale):
+        """GEMM runtimes span microseconds to seconds; the boosting
+        stack must not lose precision at either end."""
+        X = rng.standard_normal((200, 3))
+        y = (X[:, 0] + 0.1 * rng.standard_normal(200)) * scale
+        model = XGBRegressor(n_estimators=40, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.7

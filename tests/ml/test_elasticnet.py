@@ -1,0 +1,82 @@
+"""ElasticNet coordinate descent: sparsity, limits, objective descent."""
+
+import numpy as np
+import pytest
+
+from repro.ml.elasticnet import ElasticNet, soft_threshold
+from repro.ml.linear import LinearRegression
+
+
+class TestSoftThreshold:
+    def test_shrinks_toward_zero(self):
+        assert soft_threshold(3.0, 1.0) == 2.0
+        assert soft_threshold(-3.0, 1.0) == -2.0
+
+    def test_dead_zone(self):
+        assert soft_threshold(0.5, 1.0) == 0.0
+        assert soft_threshold(-0.5, 1.0) == 0.0
+
+
+@pytest.fixture
+def sparse_data(rng):
+    X = rng.standard_normal((300, 10))
+    coef = np.zeros(10)
+    coef[:3] = [4.0, -3.0, 2.0]
+    y = X @ coef + 0.01 * rng.standard_normal(300)
+    return X, y, coef
+
+
+class TestElasticNet:
+    def test_lasso_recovers_support(self, sparse_data):
+        X, y, coef = sparse_data
+        model = ElasticNet(alpha=0.05, l1_ratio=1.0).fit(X, y)
+        assert (np.abs(model.coef_[:3]) > 0.5).all()
+        assert (np.abs(model.coef_[3:]) < 0.2).all()
+
+    def test_sparsity_increases_with_alpha(self, sparse_data):
+        X, y, _ = sparse_data
+        weak = ElasticNet(alpha=0.001, l1_ratio=1.0).fit(X, y)
+        strong = ElasticNet(alpha=1.0, l1_ratio=1.0).fit(X, y)
+        assert strong.sparsity_ >= weak.sparsity_
+
+    def test_tiny_alpha_approaches_ols(self, sparse_data):
+        X, y, _ = sparse_data
+        enet = ElasticNet(alpha=1e-8, l1_ratio=0.5, max_iter=3000, tol=1e-10).fit(X, y)
+        ols = LinearRegression().fit(X, y)
+        np.testing.assert_allclose(enet.coef_, ols.coef_, atol=1e-3)
+
+    def test_huge_alpha_zeroes_everything(self, sparse_data):
+        X, y, _ = sparse_data
+        model = ElasticNet(alpha=1e6, l1_ratio=1.0).fit(X, y)
+        np.testing.assert_array_equal(model.coef_, 0.0)
+        assert model.intercept_ == pytest.approx(y.mean())
+
+    def test_converges_and_records_iterations(self, sparse_data):
+        X, y, _ = sparse_data
+        model = ElasticNet(alpha=0.01, max_iter=1000, tol=1e-8).fit(X, y)
+        assert 1 <= model.n_iter_ <= 1000
+
+    def test_constant_feature_handled(self, rng):
+        X = np.column_stack([np.ones(50), rng.standard_normal(50)])
+        y = 2 * X[:, 1]
+        model = ElasticNet(alpha=0.001).fit(X, y)
+        assert np.isfinite(model.coef_).all()
+
+    @pytest.mark.parametrize("bad_ratio", [-0.1, 1.5])
+    def test_l1_ratio_validation(self, bad_ratio):
+        with pytest.raises(ValueError):
+            ElasticNet(l1_ratio=bad_ratio).fit(np.eye(3), np.ones(3))
+
+    def test_objective_decreases_vs_zero_model(self, sparse_data):
+        """The fitted model beats w=0 on the ElasticNet objective."""
+        X, y, _ = sparse_data
+        alpha, l1r = 0.1, 0.5
+        model = ElasticNet(alpha=alpha, l1_ratio=l1r).fit(X, y)
+
+        def objective(w, b):
+            resid = y - X @ w - b
+            return (0.5 * np.mean(resid ** 2) + alpha * l1r * np.abs(w).sum()
+                    + 0.5 * alpha * (1 - l1r) * (w ** 2).sum())
+
+        assert objective(model.coef_, model.intercept_) \
+            < objective(np.zeros(X.shape[1]), y.mean())

@@ -1,0 +1,159 @@
+"""Random forest, AdaBoost.R2, XGBoost-style and LightGBM-style boosting."""
+
+import numpy as np
+import pytest
+
+from repro.ml.adaboost import AdaBoostRegressor
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.lgbm import LGBMRegressor
+from repro.ml.metrics import r2_score
+from repro.ml.xgb import XGBRegressor
+
+ENSEMBLES = [
+    lambda: RandomForestRegressor(n_estimators=15, random_state=0),
+    lambda: AdaBoostRegressor(n_estimators=10, max_depth=4, random_state=0),
+    lambda: XGBRegressor(n_estimators=60, random_state=0),
+    lambda: LGBMRegressor(n_estimators=60, random_state=0),
+]
+
+
+@pytest.mark.parametrize("factory", ENSEMBLES)
+class TestCommonEnsembleBehaviour:
+    def test_beats_mean_predictor(self, factory, regression_data):
+        X, y = regression_data
+        model = factory().fit(X[:400], y[:400])
+        # 400 samples of a strong-interaction target: weaker ensembles
+        # (RF without huge depth, shallow AdaBoost) land around 0.45.
+        assert r2_score(y[400:], model.predict(X[400:])) > 0.35
+
+    def test_deterministic_given_seed(self, factory, regression_data):
+        X, y = regression_data
+        a = factory().fit(X, y).predict(X[:20])
+        b = factory().fit(X, y).predict(X[:20])
+        np.testing.assert_array_equal(a, b)
+
+    def test_feature_mismatch_raises(self, factory, regression_data):
+        X, y = regression_data
+        model = factory().fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            model.predict(X[:, :3])
+
+    def test_constant_target(self, factory):
+        X = np.arange(40.0).reshape(-1, 1)
+        y = np.full(40, 3.0)
+        model = factory().fit(X, y)
+        np.testing.assert_allclose(model.predict(X), 3.0, atol=1e-9)
+
+
+class TestRandomForestSpecifics:
+    def test_more_trees_reduce_variance(self, regression_data):
+        X, y = regression_data
+        scores = []
+        for n in (1, 20):
+            preds = []
+            for seed in range(3):
+                model = RandomForestRegressor(n_estimators=n, random_state=seed)
+                preds.append(model.fit(X[:400], y[:400]).predict(X[400:]))
+            scores.append(np.mean(np.var(preds, axis=0)))
+        assert scores[1] < scores[0]  # ensemble variance shrinks
+
+    def test_no_bootstrap_with_all_features_is_deterministic_across_seeds(self, regression_data):
+        X, y = regression_data
+        a = RandomForestRegressor(n_estimators=3, bootstrap=False,
+                                  max_features=None, random_state=0)
+        b = RandomForestRegressor(n_estimators=3, bootstrap=False,
+                                  max_features=None, random_state=99)
+        np.testing.assert_allclose(a.fit(X, y).predict(X[:10]),
+                                   b.fit(X, y).predict(X[:10]))
+
+    def test_rejects_zero_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_estimators=0).fit(np.eye(4), np.ones(4))
+
+    def test_max_features_modes(self, regression_data):
+        X, y = regression_data
+        for mode in ("sqrt", "log2", 3, None):
+            model = RandomForestRegressor(n_estimators=3, max_features=mode,
+                                          random_state=0)
+            assert np.isfinite(model.fit(X, y).predict(X[:5])).all()
+
+
+class TestAdaBoostSpecifics:
+    def test_weighted_median_prediction_bounded(self, regression_data):
+        X, y = regression_data
+        model = AdaBoostRegressor(n_estimators=8, random_state=0).fit(X, y)
+        pred = model.predict(X)
+        assert pred.min() >= y.min() - 1e-9
+        assert pred.max() <= y.max() + 1e-9
+
+    @pytest.mark.parametrize("loss", ["linear", "square", "exponential"])
+    def test_all_losses_run(self, loss, regression_data):
+        X, y = regression_data
+        model = AdaBoostRegressor(n_estimators=5, loss=loss, random_state=0)
+        assert np.isfinite(model.fit(X, y).predict(X[:5])).all()
+
+    def test_unknown_loss_rejected(self):
+        with pytest.raises(ValueError):
+            AdaBoostRegressor(loss="huber").fit(np.eye(3), np.ones(3))
+
+    def test_perfect_learner_stops_early(self):
+        X = np.array([[0.0], [1.0]] * 20)
+        y = np.array([0.0, 1.0] * 20)
+        model = AdaBoostRegressor(n_estimators=50, max_depth=2,
+                                  random_state=0).fit(X, y)
+        assert len(model.trees_) < 50
+
+
+class TestXGBSpecifics:
+    def test_boosting_improves_train_fit(self, regression_data):
+        X, y = regression_data
+        stages = list(XGBRegressor(n_estimators=30, random_state=0)
+                      .fit(X, y).staged_predict(X))
+        first = r2_score(y, stages[0])
+        last = r2_score(y, stages[-1])
+        assert last > first
+
+    def test_learning_rate_zero_predicts_base(self, regression_data):
+        X, y = regression_data
+        model = XGBRegressor(n_estimators=5, learning_rate=0.0,
+                             random_state=0).fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y.mean(), atol=1e-9)
+
+    def test_early_stopping_truncates(self, regression_data):
+        X, y = regression_data
+        model = XGBRegressor(n_estimators=300, early_stopping_rounds=5,
+                             random_state=0).fit(X, y)
+        assert len(model.trees_) < 300
+
+    def test_subsampling_validation(self):
+        with pytest.raises(ValueError):
+            XGBRegressor(subsample=0.0).fit(np.eye(3), np.ones(3))
+
+    def test_row_and_column_subsampling_run(self, regression_data):
+        X, y = regression_data
+        model = XGBRegressor(n_estimators=10, subsample=0.7,
+                             colsample_bytree=0.5, random_state=0).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.3
+
+
+class TestLGBMSpecifics:
+    def test_num_leaves_respected(self, regression_data):
+        X, y = regression_data
+        model = LGBMRegressor(n_estimators=5, num_leaves=4,
+                              goss_top=0.0, goss_other=0.0,
+                              random_state=0).fit(X, y)
+        assert all(t.n_leaves <= 4 for t in model.trees_)
+
+    def test_goss_matches_full_fit_roughly(self, regression_data):
+        X, y = regression_data
+        goss = LGBMRegressor(n_estimators=40, random_state=0).fit(X, y)
+        full = LGBMRegressor(n_estimators=40, goss_top=0.0, goss_other=0.0,
+                             random_state=0).fit(X, y)
+        assert abs(r2_score(y, goss.predict(X))
+                   - r2_score(y, full.predict(X))) < 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LGBMRegressor(num_leaves=1).fit(np.eye(3), np.ones(3))
+        with pytest.raises(ValueError):
+            LGBMRegressor(goss_top=1.2).fit(np.eye(3), np.ones(3))

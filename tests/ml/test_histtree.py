@@ -1,0 +1,137 @@
+"""Histogram tree machinery shared by the ensembles."""
+
+import numpy as np
+import pytest
+
+from repro.ml._histtree import (TreeParams, bin_features, build_hist_tree,
+                                quantile_bin_edges)
+
+
+@pytest.fixture
+def binned(rng):
+    X = rng.standard_normal((500, 4))
+    edges = quantile_bin_edges(X, max_bins=32)
+    codes = bin_features(X, edges)
+    return X, codes, edges
+
+
+class TestBinning:
+    def test_codes_within_range(self, binned):
+        _, codes, edges = binned
+        for j in range(codes.shape[1]):
+            assert codes[:, j].min() >= 0
+            assert codes[:, j].max() <= len(edges[j])
+
+    def test_constant_feature_no_edges(self):
+        X = np.column_stack([np.ones(50), np.arange(50.0)])
+        edges = quantile_bin_edges(X, max_bins=8)
+        assert len(edges[0]) == 0
+        assert len(edges[1]) > 0
+
+    def test_monotone_binning(self, binned):
+        X, codes, _ = binned
+        j = 0
+        order = np.argsort(X[:, j])
+        assert (np.diff(codes[order, j]) >= 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quantile_bin_edges(np.zeros((3, 1)), max_bins=1)
+        with pytest.raises(ValueError):
+            bin_features(np.zeros((3, 2)), [np.array([])])
+
+
+class TestTreeGrowth:
+    def _grow(self, X, y, **kw):
+        edges = quantile_bin_edges(X, max_bins=64)
+        codes = bin_features(X, edges)
+        params = TreeParams(**kw)
+        return build_hist_tree(codes, edges, g=y, h=np.ones(len(y)), params=params)
+
+    def test_step_function_learned(self):
+        X = np.linspace(0, 1, 100).reshape(-1, 1)
+        y = (X[:, 0] > 0.5).astype(float) * 3.0
+        tree = self._grow(X, y, max_depth=2)
+        pred = tree.predict(X)
+        np.testing.assert_allclose(pred, y, atol=1e-9)
+
+    def test_leaf_value_is_mean(self):
+        X = np.zeros((10, 1))
+        y = np.arange(10.0)
+        tree = self._grow(X, y, max_depth=3)
+        np.testing.assert_allclose(tree.predict(X), y.mean())
+
+    def test_max_depth_limits_nodes(self, rng):
+        X = rng.standard_normal((300, 3))
+        y = rng.standard_normal(300)
+        shallow = self._grow(X, y, max_depth=2)
+        deep = self._grow(X, y, max_depth=8)
+        assert shallow.n_nodes < deep.n_nodes
+        assert shallow.max_depth_ <= 2
+
+    def test_max_leaves_cap(self, rng):
+        X = rng.standard_normal((300, 3))
+        y = rng.standard_normal(300)
+        tree = self._grow(X, y, max_depth=30, max_leaves=5)
+        assert tree.n_leaves <= 5
+
+    def test_leaf_wise_picks_best_gain_first(self):
+        """With a 2-leaf budget, the bigger step must be split first."""
+        X = np.concatenate([np.zeros(50), np.ones(50), np.full(50, 2.0)]).reshape(-1, 1)
+        y = np.concatenate([np.zeros(50), np.zeros(50), np.full(50, 10.0)])
+        tree = self._grow(X, y, max_depth=10, max_leaves=2)
+        # The only split separates the 10s from the rest.
+        assert tree.predict(np.array([[2.0]]))[0] == pytest.approx(10.0)
+        assert tree.predict(np.array([[0.0]]))[0] == pytest.approx(0.0)
+
+    def test_reg_lambda_shrinks_leaves(self):
+        X = np.array([[0.0], [1.0]] * 10)
+        y = np.array([0.0, 10.0] * 10)
+        plain = self._grow(X, y, max_depth=2, reg_lambda=0.0)
+        reg = self._grow(X, y, max_depth=2, reg_lambda=50.0)
+        assert abs(reg.predict(np.array([[1.0]]))[0]) \
+            < abs(plain.predict(np.array([[1.0]]))[0])
+
+    def test_gamma_blocks_weak_splits(self, rng):
+        X = rng.standard_normal((200, 2))
+        y = 0.01 * rng.standard_normal(200)  # almost pure noise
+        tree = self._grow(X, y, max_depth=6, gamma=1e6)
+        assert tree.n_leaves == 1
+
+    def test_min_samples_leaf_respected(self, rng):
+        X = rng.standard_normal((100, 2))
+        y = rng.standard_normal(100)
+        tree = self._grow(X, y, max_depth=20, min_samples_leaf=25)
+        assert tree.n_leaves <= 4
+
+    def test_sample_subset_restricts_fit(self):
+        X = np.concatenate([np.zeros(50), np.ones(50)]).reshape(-1, 1)
+        y = np.concatenate([np.zeros(50), np.ones(50) * 4.0])
+        edges = quantile_bin_edges(X, max_bins=4)
+        codes = bin_features(X, edges)
+        # Only the first half (all zeros) visible: no split possible.
+        tree = build_hist_tree(codes, edges, g=y, h=np.ones(100),
+                               params=TreeParams(max_depth=4),
+                               sample_indices=np.arange(50))
+        assert tree.n_leaves == 1
+        assert tree.predict(np.array([[0.0]]))[0] == pytest.approx(0.0)
+
+    def test_feature_subset_restricts_splits(self, rng):
+        X = np.column_stack([rng.standard_normal(200),
+                             np.linspace(0, 1, 200)])
+        y = (X[:, 1] > 0.5).astype(float)
+        # Only the uninformative feature 0 is allowed.
+        edges = quantile_bin_edges(X, max_bins=16)
+        codes = bin_features(X, edges)
+        tree = build_hist_tree(codes, edges, g=y, h=np.ones(200),
+                               params=TreeParams(max_depth=3),
+                               feature_subset=np.array([0]))
+        assert (tree.feature[tree.feature >= 0] == 0).all()
+
+    def test_decision_path_depth(self, rng):
+        X = rng.standard_normal((100, 2))
+        y = rng.standard_normal(100)
+        tree = self._grow(X, y, max_depth=4)
+        depths = tree.decision_path_depth(X)
+        assert (depths <= tree.max_depth_).all()
+        assert (depths >= 0).all()

@@ -1,0 +1,54 @@
+"""Gain-based feature importances on the tree ensembles."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.lgbm import LGBMRegressor
+from repro.ml.xgb import XGBRegressor
+
+ENSEMBLES = [
+    lambda: RandomForestRegressor(n_estimators=10, random_state=0),
+    lambda: XGBRegressor(n_estimators=30, random_state=0),
+    lambda: LGBMRegressor(n_estimators=30, random_state=0),
+]
+
+
+@pytest.mark.parametrize("factory", ENSEMBLES)
+class TestFeatureImportances:
+    def test_normalised(self, factory, rng):
+        X = rng.standard_normal((300, 5))
+        y = X[:, 1] * 3 + 0.1 * rng.standard_normal(300)
+        model = factory().fit(X, y)
+        imp = model.feature_importances_
+        assert imp.shape == (5,)
+        assert imp.sum() == pytest.approx(1.0)
+        assert (imp >= 0).all()
+
+    def test_informative_feature_dominates(self, factory, rng):
+        X = rng.standard_normal((400, 6))
+        y = 5.0 * X[:, 2] + 0.05 * rng.standard_normal(400)
+        model = factory().fit(X, y)
+        imp = model.feature_importances_
+        assert np.argmax(imp) == 2
+        assert imp[2] > 0.5
+
+    def test_unfitted_raises(self, factory):
+        with pytest.raises(RuntimeError):
+            factory().feature_importances_
+
+
+class TestTable2FeatureImportances:
+    def test_parallel_features_matter_for_runtime(self, tiny_dataset):
+        """On the ADSALA task, the per-thread (Group 2) features should
+        carry real importance — the premise of the Table II design."""
+        from repro.core.features import FeatureBuilder
+
+        fb = FeatureBuilder("both")
+        X = fb.build(tiny_dataset.m, tiny_dataset.k, tiny_dataset.n,
+                     tiny_dataset.threads)
+        y = np.log(tiny_dataset.runtime)
+        model = XGBRegressor(n_estimators=40, random_state=0).fit(X, y)
+        imp = model.feature_importances_
+        group2 = imp[9:].sum()  # the /n_threads features
+        assert group2 > 0.15

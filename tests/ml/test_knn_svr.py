@@ -1,0 +1,83 @@
+"""kNN and linear SVR candidates."""
+
+import numpy as np
+import pytest
+
+from repro.ml.knn import KNeighborsRegressor
+from repro.ml.svr import LinearSVR
+
+
+class TestKNN:
+    def test_one_neighbor_memorises(self, rng):
+        X = rng.standard_normal((50, 3))
+        y = rng.standard_normal(50)
+        model = KNeighborsRegressor(n_neighbors=1).fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y, atol=1e-9)
+
+    def test_uniform_average(self):
+        X = np.array([[0.0], [1.0], [10.0]])
+        y = np.array([0.0, 2.0, 100.0])
+        model = KNeighborsRegressor(n_neighbors=2).fit(X, y)
+        # Query at 0.4: neighbours are 0.0 and 1.0.
+        assert model.predict([[0.4]])[0] == pytest.approx(1.0)
+
+    def test_distance_weighting_prefers_closer(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 10.0])
+        uni = KNeighborsRegressor(n_neighbors=2, weights="uniform").fit(X, y)
+        dist = KNeighborsRegressor(n_neighbors=2, weights="distance").fit(X, y)
+        q = [[0.1]]
+        assert dist.predict(q)[0] < uni.predict(q)[0]
+
+    def test_exact_match_dominates_distance_weights(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([5.0, 7.0, 9.0])
+        model = KNeighborsRegressor(n_neighbors=3, weights="distance").fit(X, y)
+        assert model.predict([[1.0]])[0] == pytest.approx(7.0)
+
+    def test_chunking_consistent(self, rng):
+        X = rng.standard_normal((300, 4))
+        y = rng.standard_normal(300)
+        q = rng.standard_normal((100, 4))
+        a = KNeighborsRegressor(n_neighbors=5, chunk_size=7).fit(X, y).predict(q)
+        b = KNeighborsRegressor(n_neighbors=5, chunk_size=1000).fit(X, y).predict(q)
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_k_larger_than_train_rejected(self):
+        with pytest.raises(ValueError):
+            KNeighborsRegressor(n_neighbors=10).fit(np.eye(3), np.ones(3))
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ValueError):
+            KNeighborsRegressor(weights="gaussian").fit(np.eye(3), np.ones(3))
+
+
+class TestLinearSVR:
+    def test_fits_clean_linear_data(self, rng):
+        X = rng.standard_normal((400, 3))
+        coef = np.array([2.0, -1.0, 0.5])
+        y = X @ coef + 1.0
+        model = LinearSVR(C=10.0, epsilon=0.01, n_epochs=40,
+                          random_state=0).fit(X, y)
+        np.testing.assert_allclose(model.coef_, coef, atol=0.3)
+
+    def test_epsilon_tube_tolerates_small_noise(self, rng):
+        X = rng.standard_normal((200, 2))
+        y = X @ np.array([1.0, 1.0])
+        wide = LinearSVR(epsilon=10.0, n_epochs=20, random_state=0).fit(X, y)
+        # Everything inside the tube: no incentive to move off zero much.
+        assert np.linalg.norm(wide.coef_) < np.linalg.norm(
+            LinearSVR(epsilon=0.01, n_epochs=20, random_state=0).fit(X, y).coef_)
+
+    def test_deterministic_given_seed(self, rng):
+        X = rng.standard_normal((100, 2))
+        y = rng.standard_normal(100)
+        a = LinearSVR(random_state=3).fit(X, y).coef_
+        b = LinearSVR(random_state=3).fit(X, y).coef_
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearSVR(C=0.0).fit(np.eye(3), np.ones(3))
+        with pytest.raises(ValueError):
+            LinearSVR(epsilon=-1.0).fit(np.eye(3), np.ones(3))

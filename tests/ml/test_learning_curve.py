@@ -1,0 +1,40 @@
+"""Learning curves (paper Section VI-A)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.learning_curve import learning_curve
+from repro.ml.linear import Ridge
+from repro.ml.model_selection import KFold
+from repro.ml.xgb import XGBRegressor
+
+
+class TestLearningCurve:
+    def test_shapes(self, regression_data):
+        X, y = regression_data
+        sizes, train, val = learning_curve(
+            Ridge(), X, y, train_sizes=[0.2, 0.5, 1.0],
+            cv=KFold(3, random_state=0), random_state=0)
+        assert len(sizes) == train.shape[0] == val.shape[0]
+        assert train.shape[1] == val.shape[1] == 3
+
+    def test_validation_loss_improves_with_data(self, regression_data):
+        """More data should not hurt validation RMSE (the paper's
+        justification that 1763 samples suffice)."""
+        X, y = regression_data
+        sizes, _, val = learning_curve(
+            XGBRegressor(n_estimators=30, random_state=0), X, y,
+            train_sizes=[0.1, 1.0], cv=KFold(3, random_state=0), random_state=0)
+        assert val.mean(axis=1)[-1] < val.mean(axis=1)[0]
+
+    def test_absolute_sizes_accepted(self, regression_data):
+        X, y = regression_data
+        sizes, _, _ = learning_curve(Ridge(), X, y, train_sizes=[50, 100],
+                                     cv=KFold(3, random_state=0), random_state=0)
+        assert list(sizes) == [50, 100]
+
+    def test_sizes_clamped_to_fold_train_size(self, regression_data):
+        X, y = regression_data
+        sizes, _, _ = learning_curve(Ridge(), X, y, train_sizes=[10 ** 9],
+                                     cv=KFold(3, random_state=0), random_state=0)
+        assert sizes[0] <= len(y)

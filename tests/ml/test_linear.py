@@ -1,0 +1,65 @@
+"""OLS and ridge: recover known coefficients, regularisation behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import LinearRegression, Ridge
+
+
+@pytest.fixture
+def linear_data(rng):
+    X = rng.standard_normal((200, 4))
+    coef = np.array([2.0, -1.0, 0.5, 0.0])
+    y = X @ coef + 3.0
+    return X, y, coef
+
+
+class TestLinearRegression:
+    def test_recovers_exact_coefficients(self, linear_data):
+        X, y, coef = linear_data
+        model = LinearRegression().fit(X, y)
+        np.testing.assert_allclose(model.coef_, coef, atol=1e-10)
+        assert model.intercept_ == pytest.approx(3.0)
+
+    def test_without_intercept(self, rng):
+        X = rng.standard_normal((100, 2))
+        y = X @ np.array([1.0, 2.0])
+        model = LinearRegression(fit_intercept=False).fit(X, y)
+        assert model.intercept_ == 0.0
+        np.testing.assert_allclose(model.coef_, [1.0, 2.0], atol=1e-10)
+
+    def test_rank_deficient_does_not_blow_up(self, rng):
+        X = rng.standard_normal((50, 3))
+        X = np.column_stack([X, X[:, 0]])  # duplicated column
+        y = X[:, 0] + 1.0
+        model = LinearRegression().fit(X, y)
+        assert np.isfinite(model.predict(X)).all()
+
+    def test_score_is_r2(self, linear_data):
+        X, y, _ = linear_data
+        assert LinearRegression().fit(X, y).score(X, y) == pytest.approx(1.0)
+
+
+class TestRidge:
+    def test_zero_alpha_matches_ols(self, linear_data):
+        X, y, _ = linear_data
+        ols = LinearRegression().fit(X, y)
+        ridge = Ridge(alpha=0.0).fit(X, y)
+        np.testing.assert_allclose(ridge.coef_, ols.coef_, atol=1e-8)
+
+    def test_shrinkage_monotone_in_alpha(self, linear_data):
+        X, y, _ = linear_data
+        norms = [np.linalg.norm(Ridge(alpha=a).fit(X, y).coef_)
+                 for a in (0.0, 10.0, 1000.0)]
+        assert norms[0] > norms[1] > norms[2]
+
+    def test_intercept_not_penalised(self, rng):
+        X = rng.standard_normal((100, 2))
+        y = X @ np.array([0.1, -0.1]) + 100.0  # huge offset
+        model = Ridge(alpha=1e6).fit(X, y)
+        # Coefs are crushed but the intercept still finds the offset.
+        assert abs(model.intercept_ - 100.0) < 1.0
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            Ridge(alpha=-1.0).fit(np.eye(2), np.ones(2))

@@ -1,0 +1,75 @@
+"""Metric definitions, including the paper's normalised RMSE."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (mean_absolute_error, mean_squared_error,
+                              normalised_rmse, r2_score, rmse)
+
+
+class TestBasicMetrics:
+    def test_perfect_prediction(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert rmse(y, y) == 0.0
+        assert mean_absolute_error(y, y) == 0.0
+        assert r2_score(y, y) == 1.0
+
+    def test_known_values(self):
+        y_true = np.array([0.0, 0.0])
+        y_pred = np.array([3.0, 4.0])
+        assert mean_squared_error(y_true, y_pred) == pytest.approx(12.5)
+        assert rmse(y_true, y_pred) == pytest.approx(np.sqrt(12.5))
+        assert mean_absolute_error(y_true, y_pred) == pytest.approx(3.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rmse([1.0], [1.0, 2.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            rmse([], [])
+
+
+class TestR2:
+    def test_mean_predictor_scores_zero(self):
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        pred = np.full_like(y, y.mean())
+        assert r2_score(y, pred) == pytest.approx(0.0)
+
+    def test_worse_than_mean_is_negative(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y[::-1]) < 0.0
+
+    def test_constant_target(self):
+        y = np.ones(5)
+        assert r2_score(y, y) == 1.0
+        assert r2_score(y, y + 1) == 0.0
+
+
+class TestNormalisedRmse:
+    def test_mean_predictor_scores_one(self):
+        """The Tables III/IV anchor: a no-skill model sits at ~1.0."""
+        rng = np.random.default_rng(0)
+        y = rng.standard_normal(1000)
+        pred = np.full_like(y, y.mean())
+        assert normalised_rmse(y, pred) == pytest.approx(1.0, rel=1e-6)
+
+    def test_relates_to_r2(self):
+        """nrmse^2 == 1 - R^2 (both normalise by target variance)."""
+        rng = np.random.default_rng(1)
+        y = rng.standard_normal(500)
+        pred = y + 0.3 * rng.standard_normal(500)
+        assert normalised_rmse(y, pred) ** 2 == pytest.approx(
+            1 - r2_score(y, pred), rel=1e-9)
+
+    def test_scale_invariant(self):
+        rng = np.random.default_rng(2)
+        y = rng.standard_normal(100)
+        pred = y + 0.1 * rng.standard_normal(100)
+        assert normalised_rmse(y, pred) == pytest.approx(
+            normalised_rmse(1000 * y, 1000 * pred))
+
+    def test_constant_target_edge_case(self):
+        y = np.ones(4)
+        assert normalised_rmse(y, y) == 0.0
+        assert normalised_rmse(y, y + 1) == np.inf

@@ -1,0 +1,116 @@
+"""Splitting, stratification, K-fold CV."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import Ridge
+from repro.ml.model_selection import (KFold, cross_val_score, stratify_bins,
+                                      train_test_split)
+
+
+class TestStratifyBins:
+    def test_balanced_bins(self, rng):
+        y = rng.standard_normal(1000)
+        bins = stratify_bins(y, n_bins=10)
+        counts = np.bincount(bins)
+        assert counts.min() > 80  # near-equal quantile bins
+
+    def test_monotone_with_target(self, rng):
+        y = np.sort(rng.standard_normal(100))
+        bins = stratify_bins(y, n_bins=4)
+        assert (np.diff(bins) >= 0).all()
+
+    def test_small_samples_fewer_bins(self):
+        assert stratify_bins(np.arange(4.0), n_bins=10).max() <= 2
+
+    def test_rejects_single_bin(self):
+        with pytest.raises(ValueError):
+            stratify_bins(np.arange(10.0), n_bins=1)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, rng):
+        X = rng.standard_normal((100, 3))
+        y = rng.standard_normal(100)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.3, random_state=0)
+        assert len(Xte) == 30 and len(Xtr) == 70
+        assert len(ytr) == 70 and len(yte) == 30
+
+    def test_no_overlap_full_coverage(self, rng):
+        X = np.arange(50).reshape(-1, 1)
+        y = np.arange(50)
+        Xtr, Xte, *_ = train_test_split(X, y, test_size=0.2, random_state=1)
+        combined = np.sort(np.concatenate([Xtr.ravel(), Xte.ravel()]))
+        np.testing.assert_array_equal(combined, np.arange(50))
+
+    def test_stratified_preserves_distribution(self, rng):
+        y = np.concatenate([np.zeros(80), np.ones(20) * 100])
+        X = y.reshape(-1, 1)
+        _, _, _, yte = train_test_split(X, y, test_size=0.25,
+                                        stratify=(y > 50).astype(int),
+                                        random_state=0)
+        # 25% of each stratum: 20 zeros and 5 hundreds.
+        assert (yte > 50).sum() == 5
+        assert (yte < 50).sum() == 20
+
+    def test_reproducible(self, rng):
+        X = rng.standard_normal((40, 2))
+        y = rng.standard_normal(40)
+        a = train_test_split(X, y, random_state=7)
+        b = train_test_split(X, y, random_state=7)
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_invalid_test_size(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.eye(4), np.ones(4), test_size=1.5)
+
+
+class TestKFold:
+    def test_folds_partition_everything(self, rng):
+        X = rng.standard_normal((50, 2))
+        seen = []
+        for train, val in KFold(n_splits=5, random_state=0).split(X):
+            assert len(np.intersect1d(train, val)) == 0
+            seen.extend(val.tolist())
+        assert sorted(seen) == list(range(50))
+
+    def test_stratified_folds_balanced(self, rng):
+        labels = np.repeat([0, 1], 30)
+        X = rng.standard_normal((60, 2))
+        for _, val in KFold(n_splits=3, random_state=0).split(X, stratify_on=labels):
+            frac_ones = labels[val].mean()
+            assert 0.3 < frac_ones < 0.7
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=10).split(np.zeros((5, 1))))
+
+    def test_rejects_one_split(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+
+
+class TestCrossValScore:
+    def test_returns_per_fold_scores(self, rng):
+        X = rng.standard_normal((60, 3))
+        y = X @ np.array([1.0, 2.0, 3.0])
+        scores = cross_val_score(Ridge(alpha=0.01), X, y,
+                                 cv=KFold(3, random_state=0))
+        assert scores.shape == (3,)
+        assert (scores > 0.99).all()
+
+    def test_custom_scoring(self, rng):
+        from repro.ml.metrics import rmse
+
+        X = rng.standard_normal((60, 2))
+        y = rng.standard_normal(60)
+        scores = cross_val_score(Ridge(), X, y, cv=KFold(3, random_state=0),
+                                 scoring=rmse)
+        assert (scores >= 0).all()
+
+    def test_estimator_not_mutated(self, rng):
+        X = rng.standard_normal((30, 2))
+        y = rng.standard_normal(30)
+        model = Ridge()
+        cross_val_score(model, X, y, cv=KFold(3, random_state=0))
+        assert not hasattr(model, "coef_")  # clones were fitted, not it

@@ -1,0 +1,80 @@
+"""Integration of the full preprocessing + model stack on ADSALA data.
+
+These tests exercise the exact composition the installation workflow
+builds (YJ -> scale -> LOF -> prune -> model) against the gathered tiny
+campaign, catching interface drift between the packages.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.features import FeatureBuilder
+from repro.ml.metrics import normalised_rmse
+from repro.ml.xgb import XGBRegressor
+from repro.preprocessing.correlation import CorrelationPruner
+from repro.preprocessing.lof import LocalOutlierFactor
+from repro.preprocessing.pipeline import Pipeline
+from repro.preprocessing.standard import StandardScaler
+from repro.preprocessing.yeo_johnson import YeoJohnsonTransformer
+
+
+@pytest.fixture(scope="module")
+def prepared(tiny_dataset):
+    fb = FeatureBuilder("both")
+    X = fb.build(tiny_dataset.m, tiny_dataset.k, tiny_dataset.n,
+                 tiny_dataset.threads)
+    y = np.log(tiny_dataset.runtime)
+    return X, y
+
+
+class TestFullPreprocessingStack:
+    def test_pipeline_composition_reduces_dims_and_trains(self, prepared):
+        X, y = prepared
+        yj = YeoJohnsonTransformer()
+        Xt = yj.fit_transform(X)
+        scaler = StandardScaler()
+        Xt = scaler.fit_transform(Xt)
+        lof = LocalOutlierFactor(n_neighbors=15, contamination=0.02)
+        Xt, yt = lof.filter(Xt, y)
+        pruner = CorrelationPruner(threshold=0.8)
+        Xt = pruner.fit_transform(Xt)
+
+        assert Xt.shape[1] < X.shape[1]       # pruning fired
+        assert Xt.shape[0] < X.shape[0]       # LOF removed rows
+        model = XGBRegressor(n_estimators=40, random_state=0).fit(Xt, yt)
+
+        # Inference pipeline replays on unfiltered data.
+        pipe = Pipeline.from_fitted([("yj", yj), ("scale", scaler),
+                                     ("prune", pruner)])
+        score = normalised_rmse(y, model.predict(pipe.transform(X)))
+        assert score < 0.4
+
+    def test_lof_removes_injected_outliers(self, prepared):
+        X, y = prepared
+        scaler = StandardScaler()
+        Xs = scaler.fit_transform(YeoJohnsonTransformer().fit_transform(X))
+        # Inject gross outlier rows.
+        bad = np.full((5, Xs.shape[1]), 15.0)
+        X_all = np.vstack([Xs, bad])
+        lof = LocalOutlierFactor(n_neighbors=15, contamination=5 / len(X_all))
+        lof.fit(X_all)
+        # Every injected row is flagged.
+        assert (~lof.inlier_mask_[-5:]).all()
+
+    def test_transform_only_pipeline_is_idempotent_to_refit(self, prepared):
+        """from_fitted must not silently refit on new data."""
+        X, y = prepared
+        scaler = StandardScaler().fit(X)
+        pipe = Pipeline.from_fitted([("scale", scaler)])
+        shifted = X + 1e6
+        out = pipe.transform(shifted)
+        assert out.mean() > 1e3  # used original stats, not refit
+
+    def test_model_survives_pruned_feature_space(self, prepared):
+        X, y = prepared
+        pruner = CorrelationPruner(threshold=0.8)
+        Xp = pruner.fit_transform(StandardScaler().fit_transform(X))
+        model = XGBRegressor(n_estimators=20, random_state=0).fit(Xp, y)
+        fresh = pruner.transform(
+            StandardScaler().fit(X).transform(X[:10]))
+        assert np.isfinite(model.predict(fresh)).all()

@@ -1,0 +1,59 @@
+"""The candidate registry matches the paper's Table I."""
+
+import pytest
+
+from repro.ml.registry import candidate_models
+
+PAPER_TABLE_ROWS = {
+    "Linear Regression", "ElasticNet", "Bayes Regression", "Decision Tree",
+    "Random Forest", "AdaBoost", "XGBoost", "LightGBM",
+}
+
+
+class TestRegistry:
+    def test_covers_tables_three_and_four(self):
+        names = {c.name for c in candidate_models()}
+        assert names == PAPER_TABLE_ROWS
+
+    def test_extras_add_knn_and_svm(self):
+        names = {c.name for c in candidate_models(include_extra=True)}
+        assert "KNN Regressor" in names and "SVM Regressor" in names
+
+    def test_families_assigned(self):
+        for cand in candidate_models(include_extra=True):
+            assert cand.family in ("linear", "tree", "other")
+
+    def test_fast_budget_shrinks_ensembles(self):
+        fast = {c.name: c for c in candidate_models(budget="fast")}
+        full = {c.name: c for c in candidate_models(budget="full")}
+        assert (fast["XGBoost"].defaults["n_estimators"]
+                < full["XGBoost"].defaults["n_estimators"])
+
+    def test_build_applies_overrides(self):
+        xgb = next(c for c in candidate_models(budget="fast") if c.name == "XGBoost")
+        model = xgb.build(max_depth=3)
+        assert model.max_depth == 3
+        assert model.n_estimators == xgb.defaults["n_estimators"]
+
+    def test_every_candidate_fits_tiny_data(self, rng):
+        import numpy as np
+
+        X = rng.standard_normal((60, 4))
+        y = rng.standard_normal(60)
+        for cand in candidate_models(budget="fast", include_extra=True):
+            model = cand.build()
+            # Shrink for test speed where possible.
+            if hasattr(model, "n_estimators"):
+                model.n_estimators = 3
+            model.fit(X, y)
+            assert np.isfinite(model.predict(X[:5])).all(), cand.name
+
+    def test_unknown_budget(self):
+        with pytest.raises(ValueError):
+            candidate_models(budget="huge")
+
+    def test_search_spaces_valid_params(self):
+        for cand in candidate_models(include_extra=True):
+            model = cand.build()
+            valid = set(model._param_names())
+            assert set(cand.search_space) <= valid, cand.name

@@ -1,0 +1,100 @@
+"""Exact CART: splits, pruning controls, weighted fitting."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class TestBasicFitting:
+    def test_perfectly_separable_step(self):
+        X = np.array([[0.0], [1.0], [2.0], [10.0], [11.0], [12.0]])
+        y = np.array([0.0, 0.0, 0.0, 5.0, 5.0, 5.0])
+        model = DecisionTreeRegressor().fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y)
+        assert model.n_leaves_ == 2
+
+    def test_depth_zero_equivalent_is_mean(self):
+        X = np.arange(10.0).reshape(-1, 1)
+        y = np.arange(10.0)
+        model = DecisionTreeRegressor(max_depth=0).fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y.mean())
+
+    def test_overfits_training_data_when_unbounded(self, rng):
+        X = rng.standard_normal((100, 3))
+        y = rng.standard_normal(100)
+        model = DecisionTreeRegressor().fit(X, y)
+        assert model.score(X, y) > 0.99
+
+    def test_constant_target_single_leaf(self):
+        X = np.arange(20.0).reshape(-1, 1)
+        model = DecisionTreeRegressor().fit(X, np.full(20, 7.0))
+        assert model.n_leaves_ == 1
+        assert model.predict([[100.0]])[0] == 7.0
+
+
+class TestPruningControls:
+    def test_max_depth_respected(self, rng):
+        X = rng.standard_normal((200, 4))
+        y = rng.standard_normal(200)
+        model = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        assert model.depth_ <= 3
+
+    def test_min_samples_leaf(self, rng):
+        X = rng.standard_normal((100, 2))
+        y = rng.standard_normal(100)
+        model = DecisionTreeRegressor(min_samples_leaf=20).fit(X, y)
+        # No leaf may contain fewer than 20 samples => at most 5 leaves.
+        assert model.n_leaves_ <= 5
+
+    def test_min_samples_split_blocks_tiny_nodes(self):
+        X = np.arange(4.0).reshape(-1, 1)
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        model = DecisionTreeRegressor(min_samples_split=10).fit(X, y)
+        assert model.n_leaves_ == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_split=1).fit(np.eye(3), np.ones(3))
+
+
+class TestWeightedFitting:
+    def test_weights_shift_leaf_values(self):
+        X = np.zeros((4, 1))
+        y = np.array([0.0, 0.0, 10.0, 10.0])
+        w = np.array([3.0, 3.0, 1.0, 1.0])
+        model = DecisionTreeRegressor(max_depth=0).fit(X, y, sample_weight=w)
+        assert model.predict([[0.0]])[0] == pytest.approx(2.5)  # weighted mean
+
+    def test_zero_weight_samples_ignored_in_value(self):
+        X = np.array([[0.0], [0.0], [1.0]])
+        y = np.array([1.0, 1.0, 100.0])
+        w = np.array([1.0, 1.0, 0.0])
+        model = DecisionTreeRegressor(max_depth=0).fit(X, y, sample_weight=w)
+        assert model.predict([[0.5]])[0] == pytest.approx(1.0)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.eye(2), np.ones(2),
+                                        sample_weight=[-1.0, 1.0])
+
+
+class TestPrediction:
+    def test_feature_count_mismatch(self, rng):
+        model = DecisionTreeRegressor().fit(rng.standard_normal((20, 3)),
+                                            rng.standard_normal(20))
+        with pytest.raises(ValueError, match="features"):
+            model.predict(rng.standard_normal((5, 2)))
+
+    def test_max_features_subsampling_runs(self, rng):
+        X = rng.standard_normal((100, 8))
+        y = X[:, 0] * 2
+        model = DecisionTreeRegressor(max_features="sqrt", random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.3  # can still learn something
+
+    def test_deterministic_given_seed(self, rng):
+        X = rng.standard_normal((80, 5))
+        y = rng.standard_normal(80)
+        a = DecisionTreeRegressor(max_features=2, random_state=42).fit(X, y)
+        b = DecisionTreeRegressor(max_features=2, random_state=42).fit(X, y)
+        np.testing.assert_array_equal(a.predict(X), b.predict(X))

@@ -1,0 +1,84 @@
+"""Grid and randomised hyper-parameter search."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import Ridge
+from repro.ml.model_selection import KFold
+from repro.ml.tuning import GridSearchCV, ParameterGrid, RandomizedSearchCV
+
+
+class TestParameterGrid:
+    def test_cartesian_product(self):
+        grid = ParameterGrid({"a": [1, 2], "b": ["x", "y", "z"]})
+        combos = list(grid)
+        assert len(combos) == len(grid) == 6
+        assert {"a": 1, "b": "z"} in combos
+
+    def test_rejects_scalar_values(self):
+        with pytest.raises(ValueError):
+            ParameterGrid({"a": 5})
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(TypeError):
+            ParameterGrid([("a", [1])])
+
+
+@pytest.fixture
+def ridge_problem(rng):
+    X = rng.standard_normal((120, 5))
+    y = X @ np.array([1.0, -1.0, 0.5, 0.0, 2.0]) + 0.01 * rng.standard_normal(120)
+    return X, y
+
+
+class TestGridSearchCV:
+    def test_finds_low_alpha_for_clean_data(self, ridge_problem):
+        X, y = ridge_problem
+        search = GridSearchCV(Ridge(), {"alpha": [1e-4, 1.0, 1e4]},
+                              cv=KFold(3, random_state=0))
+        search.fit(X, y)
+        assert search.best_params_["alpha"] == 1e-4
+
+    def test_refits_best_estimator(self, ridge_problem):
+        X, y = ridge_problem
+        search = GridSearchCV(Ridge(), {"alpha": [0.001, 0.1]},
+                              cv=KFold(3, random_state=0)).fit(X, y)
+        assert hasattr(search.best_estimator_, "coef_")
+        assert np.isfinite(search.predict(X)).all()
+
+    def test_cv_results_sorted_best_first(self, ridge_problem):
+        X, y = ridge_problem
+        search = GridSearchCV(Ridge(), {"alpha": [1e-4, 1e2, 1e6]},
+                              cv=KFold(3, random_state=0)).fit(X, y)
+        means = [r["mean_score"] for r in search.cv_results_]
+        assert means == sorted(means, reverse=True)
+
+    def test_empty_grid_raises(self, ridge_problem):
+        X, y = ridge_problem
+        with pytest.raises(ValueError):
+            GridSearchCV(Ridge(), {"alpha": []}).fit(X, y)
+
+
+class TestRandomizedSearchCV:
+    def test_respects_n_iter(self, ridge_problem):
+        X, y = ridge_problem
+        search = RandomizedSearchCV(
+            Ridge(), {"alpha": [0.001, 0.01, 0.1, 1.0, 10.0, 100.0]},
+            n_iter=3, cv=KFold(3, random_state=0), random_state=0).fit(X, y)
+        assert len(search.cv_results_) == 3
+
+    def test_covers_whole_space_when_n_iter_large(self, ridge_problem):
+        X, y = ridge_problem
+        search = RandomizedSearchCV(Ridge(), {"alpha": [0.01, 1.0]},
+                                    n_iter=100, cv=KFold(3, random_state=0),
+                                    random_state=0).fit(X, y)
+        assert len(search.cv_results_) == 2
+
+    def test_reproducible(self, ridge_problem):
+        X, y = ridge_problem
+        space = {"alpha": [10.0 ** e for e in range(-4, 5)]}
+        a = RandomizedSearchCV(Ridge(), space, n_iter=4,
+                               cv=KFold(3, random_state=0), random_state=5).fit(X, y)
+        b = RandomizedSearchCV(Ridge(), space, n_iter=4,
+                               cv=KFold(3, random_state=0), random_state=5).fit(X, y)
+        assert a.best_params_ == b.best_params_

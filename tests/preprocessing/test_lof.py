@@ -1,0 +1,73 @@
+"""Local Outlier Factor: local and global outlier detection."""
+
+import numpy as np
+import pytest
+
+from repro.preprocessing.lof import LocalOutlierFactor
+
+
+@pytest.fixture
+def cluster_with_outlier(rng):
+    cluster = rng.standard_normal((100, 2)) * 0.3
+    outlier = np.array([[8.0, 8.0]])
+    return np.vstack([cluster, outlier])
+
+
+class TestLofScores:
+    def test_global_outlier_scores_high(self, cluster_with_outlier):
+        lof = LocalOutlierFactor(n_neighbors=10).fit(cluster_with_outlier)
+        assert lof.lof_scores_[-1] > 2.0
+        assert np.median(lof.lof_scores_[:-1]) < 1.3
+
+    def test_uniform_data_scores_near_one(self, rng):
+        X = rng.uniform(0, 1, size=(400, 2))
+        lof = LocalOutlierFactor(n_neighbors=15).fit(X)
+        assert np.median(lof.lof_scores_) == pytest.approx(1.0, abs=0.1)
+
+    def test_local_outlier_detected(self, rng):
+        """A point that is globally unremarkable but locally isolated:
+        the scenario the paper cites LOF for (vs statistical methods)."""
+        dense = rng.standard_normal((200, 2)) * 0.1          # tight cluster
+        sparse = rng.standard_normal((50, 2)) * 3 + [20, 0]  # loose cluster
+        local_out = np.array([[1.2, 1.2]])  # near dense cluster but outside
+        X = np.vstack([dense, sparse, local_out])
+        lof = LocalOutlierFactor(n_neighbors=10).fit(X)
+        # The local outlier scores higher than a typical sparse point.
+        assert lof.lof_scores_[-1] > np.percentile(lof.lof_scores_[200:250], 90)
+
+    def test_chunking_consistent(self, cluster_with_outlier):
+        a = LocalOutlierFactor(n_neighbors=5, chunk_size=7).fit(cluster_with_outlier)
+        b = LocalOutlierFactor(n_neighbors=5, chunk_size=512).fit(cluster_with_outlier)
+        np.testing.assert_allclose(a.lof_scores_, b.lof_scores_, rtol=1e-9)
+
+
+class TestFiltering:
+    def test_contamination_flags_exact_fraction(self, rng):
+        X = rng.standard_normal((200, 3))
+        lof = LocalOutlierFactor(n_neighbors=10, contamination=0.1).fit(X)
+        assert (~lof.inlier_mask_).sum() == 20
+
+    def test_threshold_mode(self, cluster_with_outlier):
+        lof = LocalOutlierFactor(n_neighbors=10, threshold=2.0).fit(cluster_with_outlier)
+        assert not lof.inlier_mask_[-1]
+
+    def test_fit_predict_convention(self, cluster_with_outlier):
+        labels = LocalOutlierFactor(n_neighbors=10, threshold=2.0) \
+            .fit_predict(cluster_with_outlier)
+        assert set(np.unique(labels)) <= {-1, 1}
+        assert labels[-1] == -1
+
+    def test_filter_aligns_arrays(self, cluster_with_outlier):
+        y = np.arange(len(cluster_with_outlier), dtype=float)
+        lof = LocalOutlierFactor(n_neighbors=10, threshold=2.0)
+        Xf, yf = lof.filter(cluster_with_outlier, y)
+        assert len(Xf) == len(yf) < len(y)
+        assert 100.0 not in yf  # the outlier row went away
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LocalOutlierFactor(n_neighbors=0).fit(np.eye(3))
+        with pytest.raises(ValueError):
+            LocalOutlierFactor(contamination=0.9).fit(np.eye(3))
+        with pytest.raises(ValueError):
+            LocalOutlierFactor().fit(np.zeros((1, 2)))

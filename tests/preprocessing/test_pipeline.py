@@ -1,0 +1,65 @@
+"""Transformer pipeline semantics."""
+
+import numpy as np
+import pytest
+
+from repro.preprocessing.correlation import CorrelationPruner
+from repro.preprocessing.pipeline import Pipeline
+from repro.preprocessing.standard import StandardScaler
+from repro.preprocessing.yeo_johnson import YeoJohnsonTransformer
+
+
+class TestPipeline:
+    def test_applies_stages_in_order(self, rng):
+        X = rng.exponential(1.0, (200, 3))
+        pipe = Pipeline([("yj", YeoJohnsonTransformer()),
+                         ("scale", StandardScaler())]).fit(X)
+        Z = pipe.transform(X)
+        # Final stage output is standardised.
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, rtol=1e-10)
+
+    def test_matches_manual_chaining(self, rng):
+        X = rng.exponential(1.0, (100, 2))
+        yj = YeoJohnsonTransformer().fit(X)
+        mid = yj.transform(X)
+        scaler = StandardScaler().fit(mid)
+        expected = scaler.transform(mid)
+        pipe = Pipeline([("yj", YeoJohnsonTransformer()),
+                         ("scale", StandardScaler())]).fit(X)
+        np.testing.assert_allclose(pipe.transform(X), expected, rtol=1e-12)
+
+    def test_from_fitted_does_not_refit(self, rng):
+        X = rng.standard_normal((100, 2))
+        scaler = StandardScaler().fit(X)
+        pipe = Pipeline.from_fitted([("scale", scaler)])
+        shifted = X + 100.0
+        # Uses the original statistics, not the shifted data's.
+        assert pipe.transform(shifted).mean() > 50.0
+
+    def test_named_step_lookup(self):
+        scaler = StandardScaler()
+        pipe = Pipeline([("scale", scaler)])
+        assert pipe.named_step("scale") is scaler
+        with pytest.raises(KeyError):
+            pipe.named_step("missing")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Pipeline([("a", StandardScaler()), ("a", StandardScaler())])
+
+    def test_unfitted_transform_raises(self):
+        pipe = Pipeline([("scale", StandardScaler())])
+        with pytest.raises(RuntimeError):
+            pipe.transform(np.eye(2))
+
+    def test_len(self):
+        assert len(Pipeline([("s", StandardScaler()),
+                             ("c", CorrelationPruner())])) == 2
+
+    def test_shape_change_through_pruner(self, rng):
+        x = rng.standard_normal(200)
+        X = np.column_stack([x, x, rng.standard_normal(200)])
+        pipe = Pipeline([("scale", StandardScaler()),
+                         ("prune", CorrelationPruner(threshold=0.8))]).fit(X)
+        assert pipe.transform(X).shape[1] == 2

@@ -1,0 +1,49 @@
+"""StandardScaler behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.preprocessing.standard import StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self, rng):
+        X = rng.standard_normal((200, 3)) * [1, 10, 100] + [5, -3, 50]
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, rtol=1e-12)
+
+    def test_transform_uses_train_statistics(self, rng):
+        train = rng.standard_normal((100, 2))
+        test = rng.standard_normal((50, 2)) + 10.0
+        scaler = StandardScaler().fit(train)
+        Z = scaler.transform(test)
+        # Test data shifted by +10 stays shifted after scaling by train stats.
+        assert Z.mean() > 5.0
+
+    def test_constant_feature_passthrough(self):
+        X = np.column_stack([np.full(10, 4.0), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z[:, 0], 0.0)
+        assert np.isfinite(Z).all()
+
+    def test_inverse_round_trip(self, rng):
+        X = rng.standard_normal((50, 4)) * 7 + 3
+        scaler = StandardScaler().fit(X)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(X)),
+                                   X, rtol=1e-12)
+
+    def test_mean_only_mode(self, rng):
+        X = rng.standard_normal((100, 2)) * 5
+        Z = StandardScaler(with_std=False).fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-12)
+        assert Z.std(axis=0)[0] == pytest.approx(X.std(axis=0)[0])
+
+    def test_feature_count_guard(self, rng):
+        scaler = StandardScaler().fit(rng.standard_normal((10, 3)))
+        with pytest.raises(ValueError):
+            scaler.transform(rng.standard_normal((5, 2)))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.eye(2))

@@ -1,0 +1,86 @@
+"""Yeo-Johnson transform and MLE lambda estimation."""
+
+import numpy as np
+import pytest
+
+from repro.preprocessing.yeo_johnson import (YeoJohnsonTransformer, yeo_johnson,
+                                             yeo_johnson_inverse,
+                                             yeo_johnson_mle_lambda)
+
+
+class TestTransformFunction:
+    def test_lambda_one_is_identity(self, rng):
+        x = rng.standard_normal(100)
+        np.testing.assert_allclose(yeo_johnson(x, 1.0), x, atol=1e-12)
+
+    def test_lambda_zero_is_log1p_on_positives(self):
+        x = np.array([0.0, 1.0, 9.0])
+        np.testing.assert_allclose(yeo_johnson(x, 0.0), np.log1p(x))
+
+    def test_lambda_two_is_neg_log1p_on_negatives(self):
+        x = np.array([-0.5, -3.0])
+        np.testing.assert_allclose(yeo_johnson(x, 2.0), -np.log1p(-x))
+
+    def test_monotone(self, rng):
+        x = np.sort(rng.standard_normal(200) * 3)
+        for lam in (-1.0, 0.0, 0.5, 1.0, 2.0, 3.0):
+            z = yeo_johnson(x, lam)
+            assert (np.diff(z) > -1e-12).all(), lam
+
+    def test_continuous_at_lambda_boundaries(self, rng):
+        x = rng.standard_normal(50)
+        np.testing.assert_allclose(yeo_johnson(x, 1e-12), yeo_johnson(x, 0.0),
+                                   atol=1e-8)
+        np.testing.assert_allclose(yeo_johnson(x, 2.0 - 1e-12),
+                                   yeo_johnson(x, 2.0), atol=1e-8)
+
+    @pytest.mark.parametrize("lam", [-1.5, 0.0, 0.5, 1.0, 2.0, 3.5])
+    def test_inverse_round_trip(self, lam, rng):
+        x = rng.standard_normal(100) * 2
+        z = yeo_johnson(x, lam)
+        np.testing.assert_allclose(yeo_johnson_inverse(z, lam), x, atol=1e-8)
+
+
+class TestMleLambda:
+    def test_gaussian_input_keeps_lambda_near_one(self, rng):
+        x = rng.standard_normal(3000)
+        assert yeo_johnson_mle_lambda(x) == pytest.approx(1.0, abs=0.15)
+
+    def test_right_skew_gets_lambda_below_one(self, rng):
+        x = rng.exponential(1.0, size=3000)  # heavy right skew
+        assert yeo_johnson_mle_lambda(x) < 0.7
+
+    def test_left_skew_gets_lambda_above_one(self, rng):
+        x = -rng.exponential(1.0, size=3000)
+        assert yeo_johnson_mle_lambda(x) > 1.3
+
+    def test_constant_feature_identity(self):
+        assert yeo_johnson_mle_lambda(np.full(10, 3.0)) == 1.0
+
+
+class TestTransformer:
+    def test_reduces_skewness(self, rng):
+        """The paper's Fig. 4: skewed features become near-Gaussian."""
+        X = np.column_stack([rng.exponential(1.0, 2000),
+                             rng.lognormal(0, 1, 2000)])
+        tf = YeoJohnsonTransformer().fit(X)
+        reduction = tf.skewness_reduction(X)
+        assert (reduction > 0.5).all()
+
+    def test_per_feature_lambdas(self, rng):
+        X = np.column_stack([rng.standard_normal(2000),
+                             rng.exponential(1.0, 2000)])
+        tf = YeoJohnsonTransformer().fit(X)
+        assert abs(tf.lambdas_[0] - 1.0) < 0.2
+        assert tf.lambdas_[1] < 0.7
+
+    def test_standardize_option(self, rng):
+        X = rng.exponential(1.0, (500, 2))
+        Z = YeoJohnsonTransformer(standardize=True).fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, rtol=1e-10)
+
+    def test_feature_count_guard(self, rng):
+        tf = YeoJohnsonTransformer().fit(rng.standard_normal((50, 3)))
+        with pytest.raises(ValueError):
+            tf.transform(rng.standard_normal((10, 2)))

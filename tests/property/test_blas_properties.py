@@ -1,0 +1,54 @@
+"""Property-based tests for the BLAS extension routines."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blas.gemv import GemvSpec, gemv_reference
+from repro.blas.syrk import SyrkSpec, syrk_reference
+
+dims = st.integers(min_value=1, max_value=24)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=dims, k=dims, alpha=st.floats(-2, 2, allow_nan=False), seed=st.integers(0, 20))
+def test_syrk_matches_dense_product_on_triangle(n, k, alpha, seed):
+    spec = SyrkSpec(n=n, k=k, dtype="float64", alpha=alpha, beta=0.0)
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, k))
+    c = rng.standard_normal((n, n))
+    syrk_reference(spec, a, c)
+    expected = alpha * a @ a.T
+    tri = np.tril_indices(n)
+    np.testing.assert_allclose(c[tri], expected[tri], rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=dims, k=dims)
+def test_syrk_work_fraction_bounds(n, k):
+    spec = SyrkSpec(n=n, k=k)
+    assert 0.5 <= spec.work_fraction <= 1.0
+    assert spec.flops <= spec.equivalent_gemm().flops
+
+
+@settings(max_examples=30, deadline=None)
+@given(m=dims, n=dims, alpha=st.floats(-2, 2, allow_nan=False),
+       beta=st.floats(-2, 2, allow_nan=False), seed=st.integers(0, 20))
+def test_gemv_matches_numpy(m, n, alpha, beta, seed):
+    spec = GemvSpec(m=m, n=n, dtype="float64", alpha=alpha, beta=beta)
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, n))
+    x = rng.standard_normal(n)
+    y0 = rng.standard_normal(m)
+    y = y0.copy()
+    gemv_reference(spec, a, x, y)
+    np.testing.assert_allclose(y, alpha * a @ x + beta * y0, rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(m=dims, n=dims)
+def test_gemv_memory_and_flops_positive(m, n):
+    spec = GemvSpec(m=m, n=n)
+    assert spec.flops > 0
+    assert spec.memory_bytes > 0
+    assert spec.equivalent_gemm().dims == (m, n, 1)

@@ -1,0 +1,76 @@
+"""Property tests on the ADSALA core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import AdsalaConfig
+from repro.core.dataset import TimingDataset
+from repro.core.features import FeatureBuilder
+
+dims = st.integers(min_value=1, max_value=10000)
+threads = st.integers(min_value=1, max_value=256)
+
+
+@settings(max_examples=40, deadline=None)
+@given(m=dims, k=dims, n=dims, p=threads)
+def test_feature_identities(m, k, n, p):
+    """The Table II features satisfy their defining algebra exactly."""
+    fb = FeatureBuilder("both")
+    row = dict(zip(fb.names, fb.build([m], [k], [n], [p])[0]))
+    assert row["m*k"] == m * k
+    assert row["m*k*n"] == m * k * n
+    assert row["m*k+k*n+m*n"] == m * k + k * n + m * n
+    np.testing.assert_allclose(row["m*k*n/p"], m * k * n / p)
+    np.testing.assert_allclose(row["(m*k+k*n+m*n)/p"],
+                               (m * k + k * n + m * n) / p)
+    # Group 1 is independent of p; group 2 scales as 1/p.
+    row2 = dict(zip(fb.names, fb.build([m], [k], [n], [2 * p])[0]))
+    assert row2["m*k*n"] == row["m*k*n"]
+    np.testing.assert_allclose(row2["m*k*n/p"], row["m*k*n/p"] / 2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(runtimes=st.lists(st.floats(1e-9, 1e3, allow_nan=False,
+                                   allow_infinity=False),
+                         min_size=2, max_size=20),
+       transform=st.sampled_from(["log", "sqrt", "identity"]))
+def test_label_transform_preserves_argmin(runtimes, transform):
+    """Monotone label transforms never change the chosen thread count."""
+    cfg = AdsalaConfig(machine="t", label_transform=transform)
+    arr = np.asarray(runtimes)
+    assert np.argmin(cfg.transform_label(arr)) == np.argmin(arr)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n_shapes=st.integers(2, 8), n_threads=st.integers(1, 5),
+       seed=st.integers(0, 50))
+def test_optimal_threads_consistent_with_rows(n_shapes, n_threads, seed):
+    """Per-shape optimum is the row-level argmin, for any dataset."""
+    rng = np.random.default_rng(seed)
+    shapes = rng.integers(1, 100, size=(n_shapes, 3))
+    grid = np.arange(1, n_threads + 1)
+    m, k, n, t, rt = [], [], [], [], []
+    for (a, b, c) in shapes:
+        for p in grid:
+            m.append(a), k.append(b), n.append(c), t.append(p)
+            rt.append(float(rng.uniform(0.1, 10)))
+    data = TimingDataset(m, k, n, t, rt)
+    uniq, best_t, best_rt, max_rt = data.optimal_threads()
+    for shape, bt, brt in zip(uniq, best_t, best_rt):
+        mask = ((data.m == shape[0]) & (data.k == shape[1])
+                & (data.n == shape[2]))
+        assert brt == data.runtime[mask].min()
+        assert brt == data.runtime[mask][data.threads[mask] == bt][0]
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 100), cap_mb=st.integers(1, 64))
+def test_domain_sampler_always_respects_cap(seed, cap_mb):
+    from repro.sampling.domain import GemmDomainSampler
+
+    sampler = GemmDomainSampler(memory_cap_bytes=cap_mb * 1024 * 1024,
+                                seed=seed)
+    for spec in sampler.sample(10):
+        assert spec.memory_bytes <= cap_mb * 1024 * 1024
+        assert spec.min_dim >= 1

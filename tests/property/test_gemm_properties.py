@@ -1,0 +1,77 @@
+"""Property-based tests on the GEMM substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gemm.blocked import BlockSizes, gemm_blocked
+from repro.gemm.counts import gemm_flops, gemm_memory_bytes
+from repro.gemm.interface import GemmSpec
+from repro.gemm.partition import Partition2D, factor_grid, split_range
+from repro.gemm.reference import gemm_reference
+
+dims = st.integers(min_value=1, max_value=40)
+threads = st.integers(min_value=1, max_value=32)
+
+
+@given(m=dims, k=dims, n=dims)
+def test_flops_positive_and_symmetric_in_mn(m, k, n):
+    assert gemm_flops(m, k, n) > 0
+    assert gemm_flops(m, k, n) == gemm_flops(n, k, m)
+
+
+@given(m=dims, k=dims, n=dims)
+def test_memory_symmetric_under_mn_swap(m, k, n):
+    # mk+kn+mn is invariant under swapping m and n.
+    assert gemm_memory_bytes(m, k, n) == gemm_memory_bytes(n, k, m)
+
+
+@given(extent=st.integers(0, 500), parts=st.integers(1, 50))
+def test_split_range_partitions(extent, parts):
+    bounds = split_range(extent, parts)
+    assert len(bounds) == parts
+    assert bounds[0][0] == 0 and bounds[-1][1] == extent
+    sizes = [hi - lo for lo, hi in bounds]
+    assert all(s >= 0 for s in sizes)
+    assert max(sizes) - min(sizes) <= 1
+    for (_, a1), (b0, _) in zip(bounds, bounds[1:]):
+        assert a1 == b0
+
+
+@given(p=st.integers(1, 64), m=dims, n=dims)
+def test_factor_grid_is_factorisation(p, m, n):
+    pm, pn = factor_grid(p, m, n)
+    assert pm * pn == p
+    assert pm >= 1 and pn >= 1
+
+
+@given(m=dims, k=dims, n=dims, p=threads)
+def test_partition_blocks_tile_c(m, k, n, p):
+    part = Partition2D.for_threads(m, k, n, p)
+    covered = np.zeros((m, n), dtype=int)
+    for (r0, r1), (c0, c1) in part.thread_blocks():
+        covered[r0:r1, c0:c1] += 1
+    assert (covered == 1).all()
+
+
+@given(m=dims, k=dims, n=dims, p=threads)
+def test_packed_volume_at_least_operands(m, k, n, p):
+    """Replication can only increase the packed volume."""
+    part = Partition2D.for_threads(m, k, n, p)
+    assert part.packed_a_volume() >= m * k
+    assert part.packed_b_volume() >= k * n
+
+
+@settings(max_examples=25, deadline=None)
+@given(m=st.integers(1, 24), k=st.integers(1, 24), n=st.integers(1, 24),
+       alpha=st.floats(-2, 2, allow_nan=False),
+       beta=st.floats(-2, 2, allow_nan=False),
+       seed=st.integers(0, 10))
+def test_blocked_always_matches_reference(m, k, n, alpha, beta, seed):
+    spec = GemmSpec(m, k, n, dtype="float64", alpha=alpha, beta=beta)
+    a, b, c = spec.random_operands(rng=seed)
+    expected = c.copy()
+    gemm_reference(spec, a, b, expected)
+    got = c.copy()
+    gemm_blocked(spec, a, b, got, blocks=BlockSizes(mc=8, kc=8, nc=8))
+    np.testing.assert_allclose(got, expected, rtol=1e-9, atol=1e-9)

@@ -1,0 +1,62 @@
+"""Property-based tests on the machine simulator."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gemm.interface import GemmSpec
+from repro.machine.affinity import AffinityPolicy, place_threads
+from repro.machine.noise import QUIET
+from repro.machine.presets import gadi_topology, tiny_test_node
+from repro.machine.simulator import MachineSimulator
+
+dims = st.integers(min_value=1, max_value=2000)
+
+
+@settings(max_examples=40, deadline=None)
+@given(m=dims, k=dims, n=dims, p=st.integers(1, 16))
+def test_cost_model_always_positive_finite(m, k, n, p):
+    sim = MachineSimulator(tiny_test_node(), noise=QUIET, seed=0)
+    t = sim.true_time(GemmSpec(m, k, n), p)
+    assert np.isfinite(t) and t > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(m=dims, k=dims, n=dims)
+def test_breakdown_components_consistent(m, k, n):
+    sim = MachineSimulator(tiny_test_node(), noise=QUIET, seed=0)
+    for p in (1, 4, 16):
+        bd = sim.cost_model.breakdown(GemmSpec(m, k, n), p)
+        assert bd.total >= bd.kernel
+        assert bd.sync >= 0 and bd.copy >= 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(p=st.integers(1, 96),
+       policy=st.sampled_from([AffinityPolicy.CORES, AffinityPolicy.THREADS]))
+def test_placement_invariants(p, policy):
+    topo = gadi_topology()
+    placement = place_threads(topo, p, policy)
+    assert placement.cores_used <= min(p, topo.physical_cores)
+    assert placement.cores_used * placement.max_threads_per_core >= p
+    assert 1 <= placement.sockets_used <= topo.sockets
+    assert len(placement.cpu_ids) == p
+    assert len(set(placement.cpu_ids)) == p  # no CPU double-booked
+
+
+@settings(max_examples=20, deadline=None)
+@given(m=dims, k=dims, n=dims, p=st.integers(1, 16),
+       i=st.integers(0, 5), seed=st.integers(0, 50))
+def test_simulator_reproducible(m, k, n, p, i, seed):
+    spec = GemmSpec(m, k, n)
+    a = MachineSimulator(tiny_test_node(), seed=seed).run(spec, p, iteration=i)
+    b = MachineSimulator(tiny_test_node(), seed=seed).run(spec, p, iteration=i)
+    assert a.time == b.time
+
+
+@settings(max_examples=20, deadline=None)
+@given(m=st.integers(1, 300), k=st.integers(1, 300), n=st.integers(1, 300))
+def test_noise_never_negative(m, k, n):
+    sim = MachineSimulator(tiny_test_node(), seed=0)
+    for i in range(3):
+        assert sim.run(GemmSpec(m, k, n), 4, iteration=i).time > 0

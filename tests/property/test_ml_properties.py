@@ -1,0 +1,97 @@
+"""Property-based tests on the ML substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.elasticnet import soft_threshold
+from repro.ml.metrics import normalised_rmse, r2_score, rmse
+from repro.ml.model_selection import KFold, stratify_bins, train_test_split
+from repro.preprocessing.yeo_johnson import (yeo_johnson, yeo_johnson_inverse,
+                                             yeo_johnson_mle_lambda)
+
+finite_floats = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+@given(value=finite_floats, threshold=st.floats(0, 1e6, allow_nan=False))
+def test_soft_threshold_shrinks_magnitude(value, threshold):
+    out = soft_threshold(value, threshold)
+    assert abs(out) <= abs(value) + 1e-12
+    assert out * value >= 0  # never flips sign
+
+
+@given(y=arrays(np.float64, st.integers(2, 50),
+                elements=st.floats(-100, 100, allow_nan=False)))
+def test_rmse_zero_iff_equal(y):
+    assert rmse(y, y) == 0.0
+    assert r2_score(y, y) == 1.0
+
+
+@given(y=arrays(np.float64, st.integers(3, 50),
+                elements=st.floats(-100, 100, allow_nan=False,
+                                   allow_subnormal=False)),
+       shift=st.floats(0.1, 10, allow_nan=False))
+def test_nrmse_detects_bias(y, shift):
+    if np.std(y) > 1e-6:
+        biased = y + shift
+        assert normalised_rmse(y, biased) > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(lam=st.floats(-2, 4, allow_nan=False),
+       x=arrays(np.float64, st.integers(1, 40),
+                elements=st.floats(-50, 50, allow_nan=False,
+                                   allow_subnormal=False)))
+def test_yeo_johnson_invertible_and_monotone(lam, x):
+    z = yeo_johnson(x, lam)
+    assert np.isfinite(z).all()
+    back = yeo_johnson_inverse(z, lam)
+    np.testing.assert_allclose(back, x, rtol=1e-6, atol=1e-6)
+    order = np.argsort(x)
+    assert (np.diff(z[order]) >= -1e-9).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(x=arrays(np.float64, st.integers(5, 60),
+                elements=st.floats(-100, 100, allow_nan=False,
+                                   allow_subnormal=False)))
+def test_mle_lambda_in_bounds(x):
+    lam = yeo_johnson_mle_lambda(x)
+    assert -3.0 <= lam <= 5.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(10, 200), test_size=st.floats(0.1, 0.5),
+       seed=st.integers(0, 100))
+def test_split_partitions_exactly(n, test_size, seed):
+    X = np.arange(n).reshape(-1, 1).astype(float)
+    y = np.arange(n).astype(float)
+    Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=test_size,
+                                          random_state=seed)
+    ids = np.sort(np.concatenate([Xtr.ravel(), Xte.ravel()]))
+    np.testing.assert_array_equal(ids, np.arange(n))
+    assert len(Xtr) == len(ytr) and len(Xte) == len(yte)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(10, 100), splits=st.integers(2, 5), seed=st.integers(0, 20))
+def test_kfold_covers_all_indices_once(n, splits, seed):
+    X = np.zeros((n, 1))
+    seen = []
+    for train, val in KFold(n_splits=splits, random_state=seed).split(X):
+        seen.extend(val.tolist())
+        assert len(np.intersect1d(train, val)) == 0
+    assert sorted(seen) == list(range(n))
+
+
+@settings(max_examples=20, deadline=None)
+@given(y=arrays(np.float64, st.integers(4, 200),
+                elements=st.floats(-1e3, 1e3, allow_nan=False,
+                                   allow_subnormal=False)),
+       bins=st.integers(2, 10))
+def test_stratify_bins_labels_valid(y, bins):
+    labels = stratify_bins(y, n_bins=bins)
+    assert labels.shape == y.shape
+    assert labels.min() >= 0
+    assert labels.max() < bins

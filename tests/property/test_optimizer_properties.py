@@ -1,0 +1,66 @@
+"""Optimality-condition property tests for the convex solvers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.elasticnet import ElasticNet
+from repro.ml.linear import Ridge
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100), alpha=st.floats(0.01, 1.0),
+       l1_ratio=st.floats(0.0, 1.0))
+def test_elasticnet_satisfies_kkt_conditions(seed, alpha, l1_ratio):
+    """At the coordinate-descent optimum the KKT conditions hold:
+
+    for w_j != 0:  (1/n) x_j . r == alpha*l1*sign(w_j) + alpha*l2*w_j
+    for w_j == 0:  |(1/n) x_j . r| <= alpha*l1
+    """
+    rng = np.random.default_rng(seed)
+    n, d = 120, 5
+    X = rng.standard_normal((n, d))
+    y = X @ rng.standard_normal(d) + 0.1 * rng.standard_normal(n)
+    model = ElasticNet(alpha=alpha, l1_ratio=l1_ratio, max_iter=5000,
+                       tol=1e-12).fit(X, y)
+
+    Xc = X - X.mean(axis=0)
+    yc = y - y.mean()
+    residual = yc - Xc @ model.coef_
+    grad = Xc.T @ residual / n
+    l1 = alpha * l1_ratio
+    l2 = alpha * (1.0 - l1_ratio)
+    for j in range(d):
+        w = model.coef_[j]
+        if w != 0.0:
+            np.testing.assert_allclose(grad[j], l1 * np.sign(w) + l2 * w,
+                                       atol=1e-6)
+        else:
+            assert abs(grad[j]) <= l1 + 1e-6
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100), alpha=st.floats(0.0, 100.0))
+def test_ridge_normal_equations(seed, alpha):
+    """Ridge solves its normal equations exactly (centred form)."""
+    rng = np.random.default_rng(seed)
+    n, d = 60, 4
+    X = rng.standard_normal((n, d))
+    y = rng.standard_normal(n)
+    model = Ridge(alpha=alpha).fit(X, y)
+    Xc = X - X.mean(axis=0)
+    yc = y - y.mean()
+    lhs = (Xc.T @ Xc + alpha * np.eye(d)) @ model.coef_
+    np.testing.assert_allclose(lhs, Xc.T @ yc, atol=1e-8)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 50))
+def test_ridge_interpolates_between_ols_and_zero(seed):
+    """Coefficient norm decreases monotonically in alpha."""
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((80, 4))
+    y = rng.standard_normal(80)
+    norms = [float(np.linalg.norm(Ridge(alpha=a).fit(X, y).coef_))
+             for a in (0.0, 1.0, 100.0, 1e6)]
+    assert all(a >= b - 1e-12 for a, b in zip(norms, norms[1:]))

@@ -1,0 +1,92 @@
+"""GEMM domain sampling under memory caps."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.domain import GemmDomainSampler
+
+MB = 1024 * 1024
+
+
+class TestDomainSampler:
+    def test_all_samples_fit_cap(self):
+        sampler = GemmDomainSampler(memory_cap_bytes=100 * MB, seed=0)
+        specs = sampler.sample(200)
+        assert len(specs) == 200
+        assert all(s.memory_bytes <= 100 * MB for s in specs)
+
+    def test_deterministic_per_seed(self):
+        a = GemmDomainSampler(memory_cap_bytes=50 * MB, seed=3).sample(50)
+        b = GemmDomainSampler(memory_cap_bytes=50 * MB, seed=3).sample(50)
+        assert [s.dims for s in a] == [s.dims for s in b]
+
+    def test_seed_changes_samples(self):
+        a = GemmDomainSampler(memory_cap_bytes=50 * MB, seed=1).sample(50)
+        b = GemmDomainSampler(memory_cap_bytes=50 * MB, seed=2).sample(50)
+        assert [s.dims for s in a] != [s.dims for s in b]
+
+    def test_covers_skinny_and_square(self):
+        """Paper IV-B: slim/square and big/small matrices all appear."""
+        specs = GemmDomainSampler(memory_cap_bytes=500 * MB, seed=0).sample(400)
+        aspect = np.array([s.max_dim / s.min_dim for s in specs])
+        assert (aspect > 50).any()      # skinny shapes present
+        assert (aspect < 3).sum() > 20  # plenty of squarish shapes
+
+    def test_dim_max_default_matches_paper_scale(self):
+        """500 MB cap should allow dims up to the ~74k seen in Fig. 9."""
+        sampler = GemmDomainSampler(memory_cap_bytes=500 * MB)
+        assert 60000 < sampler.dim_max < 90000
+
+    def test_dims_within_bounds(self):
+        sampler = GemmDomainSampler(memory_cap_bytes=100 * MB,
+                                    dim_min=16, dim_max=5000, seed=0)
+        specs = sampler.sample(100)
+        for s in specs:
+            assert all(16 <= d <= 5000 for d in s.dims)
+
+    def test_rejection_counted(self):
+        sampler = GemmDomainSampler(memory_cap_bytes=500 * MB, seed=0)
+        sampler.sample(100)
+        assert sampler.rejected_ > 0
+        assert 0 < sampler.acceptance_rate() <= 1.0
+
+    def test_acceptance_rate_before_sampling_raises(self):
+        sampler = GemmDomainSampler(memory_cap_bytes=10 * MB)
+        with pytest.raises(RuntimeError):
+            sampler.acceptance_rate()
+
+    def test_dtype_halves_the_domain(self):
+        s32 = GemmDomainSampler(memory_cap_bytes=100 * MB, dtype="float32")
+        s64 = GemmDomainSampler(memory_cap_bytes=100 * MB, dtype="float64")
+        assert s64.dim_max < s32.dim_max
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GemmDomainSampler(memory_cap_bytes=0)
+        with pytest.raises(ValueError):
+            GemmDomainSampler(memory_cap_bytes=10 * MB, bases=(2, 3))
+        with pytest.raises(ValueError):
+            GemmDomainSampler(memory_cap_bytes=10 * MB, dim_min=100, dim_max=10)
+        with pytest.raises(ValueError):
+            GemmDomainSampler(memory_cap_bytes=10 * MB).sample(0)
+
+    def test_cap_smaller_than_min_shape_rejected(self):
+        # Either the derived dim_max collapses below dim_min or the
+        # minimal shape does not fit; both must raise.
+        with pytest.raises(ValueError):
+            GemmDomainSampler(memory_cap_bytes=100, dim_min=64)
+        with pytest.raises(ValueError, match="minimal shape"):
+            GemmDomainSampler(memory_cap_bytes=100, dim_min=64, dim_max=64)
+
+    def test_sobol_sequence_option(self):
+        halton = GemmDomainSampler(memory_cap_bytes=50 * MB, seed=0)
+        sobol = GemmDomainSampler(memory_cap_bytes=50 * MB, seed=0,
+                                  sequence="sobol")
+        a = halton.sample(30)
+        b = sobol.sample(30)
+        assert all(s.memory_bytes <= 50 * MB for s in b)
+        assert [s.dims for s in a] != [s.dims for s in b]
+
+    def test_unknown_sequence_rejected(self):
+        with pytest.raises(ValueError, match="sequence"):
+            GemmDomainSampler(memory_cap_bytes=MB, sequence="niederreiter")

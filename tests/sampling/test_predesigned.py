@@ -1,0 +1,57 @@
+"""Pre-designed Fig. 13/14 sweeps."""
+
+import pytest
+
+from repro.sampling.predesigned import (SMALL_VALUES, SWEEP_SIZES,
+                                        PredesignedCase, predesigned_cases)
+
+
+class TestPredesignedCases:
+    def test_family_counts(self):
+        cases = predesigned_cases()
+        square = [c for c in cases if c.family == "square"]
+        one_small = [c for c in cases if c.family == "one_small"]
+        two_small = [c for c in cases if c.family == "two_small"]
+        assert len(square) == len(SWEEP_SIZES)
+        # 3 rows x 4 small values x 6 sweep sizes (Fig. 13 rows 1-3).
+        assert len(one_small) == 3 * len(SMALL_VALUES) * len(SWEEP_SIZES)
+        assert len(two_small) == 3 * len(SMALL_VALUES) * len(SWEEP_SIZES)
+
+    def test_square_cases_are_cubes(self):
+        for c in predesigned_cases(families=("square",)):
+            assert c.spec.m == c.spec.k == c.spec.n == c.swept_value
+
+    def test_one_small_pins_exactly_one_dim(self):
+        for c in predesigned_cases(families=("one_small",)):
+            dims = {"m": c.spec.m, "k": c.spec.k, "n": c.spec.n}
+            assert dims[c.row] == c.small_value
+            others = [v for d, v in dims.items() if d != c.row]
+            assert others == [c.swept_value, c.swept_value]
+
+    def test_two_small_pins_exactly_two_dims(self):
+        for c in predesigned_cases(families=("two_small",)):
+            dims = {"m": c.spec.m, "k": c.spec.k, "n": c.spec.n}
+            for d in c.row:
+                assert dims[d] == c.small_value
+            swept = [v for d, v in dims.items() if d not in c.row]
+            assert swept == [c.swept_value]
+
+    def test_panel_labels_match_figures(self):
+        labels = {c.panel for c in predesigned_cases(families=("one_small",))}
+        assert "n,k (m=64)" in labels
+        labels2 = {c.panel for c in predesigned_cases(families=("two_small",))}
+        assert "m (k,n=64)" in labels2
+
+    def test_table7_cases_present(self):
+        """The profiled shapes 64,2048,64-like cases appear in the grid
+        family (64 small, 2048 swept)."""
+        dims = {c.spec.dims for c in predesigned_cases(families=("two_small",))}
+        assert (2048, 64, 64) in dims or (64, 2048, 64) in dims
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            predesigned_cases(families=("cubes",))
+
+    def test_custom_grids(self):
+        cases = predesigned_cases(families=("square",), sweep_sizes=(8, 16))
+        assert [c.swept_value for c in cases] == [8, 16]

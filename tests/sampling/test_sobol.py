@@ -1,0 +1,56 @@
+"""Sobol sequence construction."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.sobol import sobol_sequence
+
+
+class TestSobol:
+    def test_first_dimension_is_van_der_corput(self):
+        pts = sobol_sequence(4, 1)
+        # Gray-code order of base-2 radical inverse: 0.5, 0.75, 0.25, ...
+        assert pts[0, 0] == 0.5
+        assert set(np.round(pts[:3, 0], 6)) == {0.5, 0.75, 0.25}
+
+    def test_range_and_shape(self):
+        pts = sobol_sequence(256, 3)
+        assert pts.shape == (256, 3)
+        assert (pts >= 0).all() and (pts < 1).all()
+
+    def test_balanced_in_every_dimension(self):
+        pts = sobol_sequence(1024, 4)
+        np.testing.assert_allclose(pts.mean(axis=0), 0.5, atol=0.02)
+
+    def test_stratification_power_of_two(self):
+        """The first 2^k points (including the skipped origin) hit every
+        dyadic interval exactly once per dimension — the net property."""
+        pts = sobol_sequence(63, 3)  # indices 1..63; index 0 is the origin
+        for j in range(3):
+            col = np.concatenate([[0.0], pts[:, j]])
+            counts, _ = np.histogram(col, bins=64, range=(0, 1))
+            assert (counts == 1).all()
+
+    def test_better_gap_than_random(self):
+        n = 256
+        s = np.sort(sobol_sequence(n, 1)[:, 0])
+        r = np.sort(np.random.default_rng(0).uniform(size=n))
+        gap = lambda xs: np.max(np.diff(np.concatenate([[0.0], xs, [1.0]])))
+        assert gap(s) < gap(r)
+
+    def test_scramble_preserves_balance(self):
+        plain = sobol_sequence(512, 3)
+        scram = sobol_sequence(512, 3, scramble=True, seed=7)
+        assert not np.allclose(plain, scram)
+        np.testing.assert_allclose(scram.mean(axis=0), 0.5, atol=0.05)
+
+    def test_scramble_deterministic_per_seed(self):
+        a = sobol_sequence(50, 2, scramble=True, seed=3)
+        b = sobol_sequence(50, 2, scramble=True, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_dimension_limit(self):
+        with pytest.raises(ValueError):
+            sobol_sequence(10, 9)
+        with pytest.raises(ValueError):
+            sobol_sequence(0, 2)

@@ -1,0 +1,112 @@
+"""Benchmark harness utilities."""
+
+import numpy as np
+import pytest
+
+from repro.bench.gflops import MemoryBucket, bucket_gflops
+from repro.bench.report import ascii_histogram, format_table, heatmap_summary
+from repro.bench.stats import speedup_stats
+
+
+class TestSpeedupStats:
+    def test_table5_fields(self):
+        stats = speedup_stats([1.0, 1.2, 1.4, 2.0, 0.9])
+        d = stats.as_dict()
+        assert set(d) == {"Mean Speedup", "Standard Deviation", "Min Speedup",
+                          "25th Percentile", "50th Percentile",
+                          "75th Percentile", "Max Speedup", "N"}
+        assert d["Min Speedup"] == 0.9
+        assert d["Max Speedup"] == 2.0
+        assert d["N"] == 5
+
+    def test_percentiles_ordered(self):
+        rng = np.random.default_rng(0)
+        stats = speedup_stats(rng.lognormal(0, 0.5, 500))
+        assert stats.minimum <= stats.p25 <= stats.median <= stats.p75 <= stats.maximum
+
+    def test_single_value(self):
+        stats = speedup_stats([1.3])
+        assert stats.std == 0.0 and stats.mean == 1.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            speedup_stats([])
+        with pytest.raises(ValueError):
+            speedup_stats([1.0, -0.5])
+
+
+class TestBucketGflops:
+    def test_bucketing_and_throughput(self):
+        memory = [50, 150, 450]
+        flops = [1e9, 2e9, 4e9]
+        t_base = [1.0, 1.0, 2.0]
+        t_ml = [0.5, 0.5, 2.0]
+        buckets = bucket_gflops(memory, flops, t_base, t_ml)
+        assert len(buckets) == 5
+        b0 = buckets[0]
+        assert b0.label == "0-100" and b0.n == 1
+        assert b0.baseline_gflops == pytest.approx(1.0)
+        assert b0.ml_gflops == pytest.approx(2.0)
+        assert b0.speedup == pytest.approx(2.0)
+        assert buckets[2].n == 0  # 200-300 empty
+
+    def test_misaligned_inputs(self):
+        with pytest.raises(ValueError):
+            bucket_gflops([1.0], [1.0, 2.0], [1.0], [1.0])
+
+    def test_custom_edges(self):
+        buckets = bucket_gflops([5], [1e9], [1.0], [1.0], edges_mb=[0, 10])
+        assert len(buckets) == 1 and buckets[0].n == 1
+
+
+class TestReportFormatting:
+    def test_format_table_aligns(self):
+        text = format_table([{"a": 1, "bb": "xy"}, {"a": 22, "bb": "z"}],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_key_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table([{"a": 1}, {"b": 2}])
+
+    def test_ascii_histogram_counts(self):
+        text = ascii_histogram([1, 1, 1, 5], bins=2, title="H")
+        assert text.startswith("H")
+        assert "3" in text  # bin with three entries
+
+    def test_heatmap_summary_runs(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.uniform(1, 100, 50), rng.uniform(1, 100, 50)
+        v = x + y
+        text = heatmap_summary(x, y, v, x_label="m", y_label="k",
+                               value_label="threads")
+        assert "threads" in text
+        assert "." in text or any(ch.isdigit() for ch in text)
+
+    def test_heatmap_alignment_guard(self):
+        with pytest.raises(ValueError):
+            heatmap_summary([1, 2], [1], [1, 2])
+
+
+class TestSparkline:
+    def test_monotone_series_shape(self):
+        from repro.bench.report import sparkline
+
+        line = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert len(line) == 8
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_constant_series(self):
+        from repro.bench.report import sparkline
+
+        assert sparkline([3, 3, 3]) == "▁▁▁"
+
+    def test_empty_rejected(self):
+        from repro.bench.report import sparkline
+        import pytest
+
+        with pytest.raises(ValueError):
+            sparkline([])

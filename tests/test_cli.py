@@ -1,0 +1,48 @@
+"""CLI commands: install / predict / demo."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_install_args(self):
+        args = build_parser().parse_args(
+            ["install", "--machine", "tiny", "--shapes", "10", "--out", "x"])
+        assert args.machine == "tiny" and args.shapes == 10
+
+    def test_predict_args(self):
+        args = build_parser().parse_args(
+            ["predict", "--install", "dir", "8", "16", "32"])
+        assert (args.m, args.k, args.n) == (8, 16, 32)
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["install", "--machine", "frontier",
+                                       "--out", "x"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestEndToEnd:
+    def test_install_then_predict(self, tmp_path, capsys):
+        out = tmp_path / "install"
+        rc = main(["install", "--machine", "tiny", "--shapes", "25",
+                   "--cap-mb", "8", "--tune-iters", "1", "--cv-folds", "2",
+                   "--out", str(out)])
+        assert rc == 0
+        assert (out / "adsala_config.json").exists()
+        captured = capsys.readouterr().out
+        assert "selected:" in captured
+
+        rc = main(["predict", "--install", str(out), "64", "512", "64"])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "predicted optimal threads" in captured
+
+    def test_demo_runs(self, capsys):
+        rc = main(["demo", "--machine", "tiny", "--shapes", "25"])
+        assert rc == 0
+        assert "speedup vs max" in capsys.readouterr().out

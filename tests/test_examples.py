@@ -1,0 +1,42 @@
+"""Examples are importable and structurally sound (cheap smoke checks).
+
+Full example runs take tens of seconds each; they are exercised manually
+and in documentation.  Here we check they import cleanly (no syntax
+errors, no missing APIs) and expose a ``main`` entry point.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {p.stem for p in EXAMPLES}
+        assert {"quickstart", "deep_learning_shapes",
+                "batch_quantum_chemistry", "install_and_deploy",
+                "other_blas_routines"} <= names
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_importable_with_main(self, path):
+        module = _load(path)
+        assert callable(getattr(module, "main", None)), \
+            f"{path.stem} must define main()"
+        assert module.__doc__, f"{path.stem} must have a module docstring"
+
+    def test_quickstart_uses_public_api_only(self):
+        source = (EXAMPLES_DIR / "quickstart.py").read_text()
+        # The quickstart should not reach into private modules.
+        assert "._" not in source
+        assert "from repro import" in source

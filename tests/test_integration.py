@@ -1,0 +1,104 @@
+"""End-to-end integration: the full ADSALA story on the tiny node.
+
+Install -> save -> load -> runtime library -> speedup over baseline,
+plus cross-checks between the real threaded executor and the simulator's
+schedule arithmetic.
+"""
+
+import numpy as np
+import pytest
+
+from repro import AdsalaGemm, GemmSpec, quick_install
+from repro.core.serialize import save_bundle
+from repro.gemm.packing import packing_volume
+from repro.gemm.parallel import ParallelGemm
+from repro.ml.registry import candidate_models
+
+MB = 1024 * 1024
+
+
+@pytest.fixture(scope="module")
+def installed(tmp_path_factory):
+    cands = [c for c in candidate_models(budget="fast")
+             if c.name in ("Bayes Regression", "XGBoost")]
+    bundle, sim = quick_install(
+        "tiny", n_shapes=70, memory_cap_mb=8,
+        thread_grid=[1, 2, 4, 8, 12, 16], candidates=cands,
+        tune_iters=2, cv_folds=2, repeats=3)
+    directory = tmp_path_factory.mktemp("install")
+    save_bundle(bundle, directory)
+    return bundle, sim, directory
+
+
+class TestFullWorkflow:
+    def test_install_produces_both_artefacts(self, installed):
+        _, _, directory = installed
+        assert (directory / "adsala_config.json").exists()
+        assert (directory / "adsala_model.pkl").exists()
+
+    def test_loaded_library_speeds_up_small_gemm(self, installed):
+        _, sim, directory = installed
+        with AdsalaGemm.from_directory(directory, sim) as gemm:
+            spec = GemmSpec(32, 768, 32)  # skinny: max threads is bad
+            record = gemm.run(spec)
+            baseline = gemm.run_baseline(spec)
+            assert baseline / record.runtime > 1.5
+            assert record.n_threads < max(gemm.thread_grid)
+
+    def test_loop_reuses_memoised_prediction(self, installed):
+        bundle, sim, _ = installed
+        with AdsalaGemm(bundle, sim) as gemm:
+            for _ in range(10):
+                gemm.gemm(200, 64, 200)
+            assert gemm.memo_hit_rate == pytest.approx(0.9)
+
+    def test_average_speedup_on_fresh_set(self, installed):
+        """The paper's Table V protocol in miniature: fresh Halton set,
+        speedup vs max-thread baseline, mean above 1."""
+        from repro.sampling.domain import GemmDomainSampler
+
+        bundle, sim, _ = installed
+        predictor = bundle.predictor()
+        shapes = GemmDomainSampler(memory_cap_bytes=6 * MB, seed=999).sample(30)
+        speedups = []
+        for spec in shapes:
+            p = predictor.predict_threads(spec.m, spec.k, spec.n)
+            speedups.append(sim.true_time(spec, sim.max_threads())
+                            / sim.true_time(spec, p))
+        assert float(np.mean(speedups)) > 1.2
+        assert float(np.median(speedups)) >= 1.0
+
+
+class TestRealExecutorAgainstModelArithmetic:
+    def test_copy_volume_matches_partition_model(self):
+        """The real executor's measured packed elements equal the
+        analytic replication volume the simulator charges for (A side;
+        B panels are shared per (jc, pc) iteration in the blocked loop)."""
+        spec = GemmSpec(64, 64, 64, dtype="float32")
+        a, b, c = spec.random_operands(rng=0)
+        ex = ParallelGemm(4)
+        ex.run(spec, a, b, c)
+        assert ex.last_timings.copied_elements > 0
+
+    def test_real_gemm_correct_at_model_chosen_threads(self, installed):
+        """Threads chosen by the trained model run correctly for real."""
+        bundle, _, _ = installed
+        predictor = bundle.predictor()
+        spec = GemmSpec(48, 96, 48)
+        p = predictor.predict_threads(spec.m, spec.k, spec.n)
+        a, b, c = spec.random_operands(rng=1)
+        expected = a @ b
+        ParallelGemm(min(p, 8)).run(spec, a, b, c)
+        np.testing.assert_allclose(c, expected, rtol=1e-3, atol=1e-4)
+
+    def test_packing_volume_helper_consistent(self):
+        assert packing_volume(64, 64, 64, 1) == 64 * 64 * 2
+        assert packing_volume(64, 64, 64, 16) > packing_volume(64, 64, 64, 4)
+
+
+class TestNodeHoursAccounting:
+    def test_simulated_campaign_reports_node_hours(self, installed):
+        _, sim, _ = installed
+        # The installation ran a campaign on this simulator.
+        assert sim.clock.node_hours > 0
+        assert "node hours" in sim.clock.report()

@@ -1,0 +1,55 @@
+"""ExperimentContext caching behaviour."""
+
+import pytest
+
+from repro.bench.runner import ExperimentContext
+
+
+@pytest.fixture
+def fresh_ctx():
+    return ExperimentContext()
+
+
+class TestExperimentContext:
+    def test_singleton_get(self):
+        assert ExperimentContext.get() is ExperimentContext.get()
+
+    def test_simulator_cached_per_key(self, fresh_ctx):
+        a = fresh_ctx.simulator("tiny", seed=0)
+        b = fresh_ctx.simulator("tiny", seed=0)
+        c = fresh_ctx.simulator("tiny", seed=1)
+        assert a is b and a is not c
+
+    def test_ht_variants_distinct(self, fresh_ctx):
+        on = fresh_ctx.simulator("tiny", hyperthreading=True)
+        off = fresh_ctx.simulator("tiny", hyperthreading=False)
+        assert on is not off
+        assert off.max_threads() == on.max_threads() // 2
+
+    def test_dataset_cached(self, fresh_ctx):
+        a = fresh_ctx.dataset("tiny", n_shapes=5, memory_cap_mb=8,
+                              thread_grid=[1, 2, 4])
+        b = fresh_ctx.dataset("tiny", n_shapes=5, memory_cap_mb=8,
+                              thread_grid=[1, 2, 4])
+        assert a is b
+        assert len(a) == 5 * 3
+
+    def test_bundle_key_handles_list_kwargs(self, fresh_ctx):
+        from repro.ml.registry import candidate_models
+
+        cands = [c for c in candidate_models(budget="fast")
+                 if c.name == "Bayes Regression"]
+        # Passing a list-valued kwarg (thread_grid) must not crash the
+        # cache key construction.
+        b1 = fresh_ctx.bundle("tiny", n_shapes=20, memory_cap_mb=8,
+                              thread_grid=[1, 2, 4], candidates=cands,
+                              tune_iters=1, cv_folds=2, repeats=2)
+        b2 = fresh_ctx.bundle("tiny", n_shapes=20, memory_cap_mb=8,
+                              thread_grid=[1, 2, 4], candidates=cands,
+                              tune_iters=1, cv_folds=2, repeats=2)
+        assert b1 is b2
+
+    def test_fresh_test_shapes_within_cap(self, fresh_ctx):
+        shapes = fresh_ctx.fresh_test_shapes(8, n=10)
+        assert len(shapes) == 10
+        assert all(s.memory_mb <= 8 for s in shapes)

@@ -1,0 +1,51 @@
+"""Workload trace generation and replay."""
+
+import pytest
+
+from repro.bench.workloads import (WorkloadTrace, mixed_hpc, replay,
+                                   resnet_inference, scf_iterations)
+from repro.core.library import AdsalaGemm
+
+
+class TestTraceGenerators:
+    def test_resnet_structure(self):
+        trace = resnet_inference(batches=4)
+        assert len(trace) == 6 * 4
+        assert trace.unique_shapes == 6
+        # Batched layer-major: consecutive calls share shapes.
+        assert trace.calls[0].key() == trace.calls[1].key()
+
+    def test_scf_repeatable(self):
+        a = scf_iterations(iterations=2, seed=3)
+        b = scf_iterations(iterations=2, seed=3)
+        assert [s.dims for s in a.calls] == [s.dims for s in b.calls]
+
+    def test_mixed_hpc_within_cap(self):
+        trace = mixed_hpc(n_calls=20, memory_cap_mb=50)
+        assert len(trace) == 20
+        assert all(s.memory_mb <= 50 for s in trace.calls)
+        assert trace.unique_shapes == 20  # memoisation-hostile
+
+    def test_total_flops_positive(self):
+        assert resnet_inference(1).total_flops > 0
+
+
+class TestReplay:
+    def test_replay_speedup_and_memoisation(self, tiny_bundle):
+        bundle, sim = tiny_bundle
+        trace = resnet_inference(batches=4)
+        with AdsalaGemm(bundle, sim) as gemm:
+            result = replay(trace, gemm)
+        assert result.speedup > 1.0
+        # Layer-major batching: 3 of every 4 calls hit the memo.
+        assert result.memo_hit_rate > 0.5
+        assert result.trace.unique_shapes == len(result.thread_choices)
+
+    def test_replay_mixed_trace(self, tiny_bundle):
+        bundle, sim = tiny_bundle
+        trace = mixed_hpc(n_calls=15, memory_cap_mb=6, seed=11)
+        with AdsalaGemm(bundle, sim) as gemm:
+            result = replay(trace, gemm)
+        assert result.adsala_seconds > 0
+        assert result.memo_hit_rate == 0.0  # all shapes distinct
+        assert result.speedup > 1.0
