@@ -3,12 +3,14 @@
 Fock-matrix builds and integral transformations in quantum chemistry
 reduce to streams of modest, irregularly-shaped GEMMs — exactly the
 regime (small and irregular shapes, many calls) the paper targets.  This
-example simulates an SCF-iteration-like workload on the Setonix node:
-shell-pair batches produce GEMMs whose dimensions depend on basis-set
-block sizes, repeated over iterations.
+example simulates an SCF-iteration-like workload on the Setonix node and
+serves it through the engine's :class:`~repro.engine.service.GemmService`:
+each iteration's contraction stream is submitted as one batch, so
+distinct uncached shapes share a single vectorised model evaluation and
+repeat shapes are answered from the LRU prediction cache.
 
-It reports per-shape thread choices and the cumulative speedup, and
-shows the node-hours accounting for the whole run.
+It reports per-shape thread choices, the cumulative speedup, the cache
+effectiveness, and the node-hours accounting for the whole run.
 
 Run with::
 
@@ -17,7 +19,8 @@ Run with::
 
 import numpy as np
 
-from repro import AdsalaGemm, GemmSpec, quick_install
+from repro import GemmService, GemmSpec, quick_install
+from repro.bench.report import cache_effectiveness_table
 
 #: Cartesian-shell block sizes (s, p, d, f aggregates) typical of a
 #: contracted Gaussian basis.
@@ -52,14 +55,22 @@ def main():
 
     rng = np.random.default_rng(7)
     total_ml, total_base = 0.0, 0.0
+    baselines = {}
     choices = {}
-    with AdsalaGemm(bundle, sim) as gemm:
+    calls = 0
+    with GemmService.from_bundle(bundle, sim, cache_size=256) as service:
         for it in range(SCF_ITERATIONS):
-            for spec in contraction_shapes(rng):
-                record = gemm.run(spec)
+            # One SCF iteration = one batch through the engine.
+            records = service.run_batch(contraction_shapes(rng))
+            calls += len(records)
+            for record in records:
                 total_ml += record.runtime
-                total_base += gemm.run_baseline(spec)
-                choices.setdefault(spec.dims, record.n_threads)
+                dims = record.spec.dims
+                if dims not in baselines:
+                    baselines[dims] = service.run_baseline(record.spec)
+                total_base += baselines[dims]
+                choices.setdefault(dims, record.n_threads)
+        stats = service.stats()
 
     print(f"{'shape (m,k,n)':>22} {'chosen threads':>15}")
     for dims, threads in sorted(choices.items())[:12]:
@@ -67,11 +78,14 @@ def main():
     if len(choices) > 12:
         print(f"{'...':>22} ({len(choices)} distinct shapes total)")
 
-    calls = SCF_ITERATIONS * 27
-    print(f"\n{SCF_ITERATIONS} SCF iterations, {calls} GEMM calls")
+    print(f"\n{SCF_ITERATIONS} SCF iterations, {calls} GEMM calls, "
+          f"{stats['batches']} batched predictions "
+          f"({stats['evaluations']} model evaluations)")
     print(f"  default (256 threads): {total_base * 1e3:9.2f} ms")
     print(f"  ADSALA:                {total_ml * 1e3:9.2f} ms")
     print(f"  workload speedup:      {total_base / total_ml:9.2f}x")
+    print()
+    print(cache_effectiveness_table(stats))
     print(f"\nSimulated machine time consumed: {sim.clock.node_hours:.5f} node hours")
 
 

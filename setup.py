@@ -3,7 +3,9 @@
 The execution environment has no ``wheel`` package and no network, so
 PEP 517 editable installs (which build a wheel) fail.  This shim lets
 ``pip install -e . --no-build-isolation`` fall back to the classic
-``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+``setup.py develop`` path.  All metadata (and the pytest configuration
+that makes ``python -m pytest -x -q`` work without ``PYTHONPATH=src``)
+lives in ``pyproject.toml``.
 """
 
 from setuptools import setup

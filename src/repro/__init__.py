@@ -32,6 +32,10 @@ Subpackages
 ``repro.core``
     The ADSALA workflow itself: feature engineering, data gathering,
     installation-time training/model selection, the runtime library.
+``repro.engine``
+    The multi-backend execution engine: the ``ExecutionBackend``
+    protocol and its adapters, the LRU ``PredictionCache``, and the
+    batch-predicting ``GemmService`` request layer.
 ``repro.bench``
     Harness utilities for regenerating the paper's tables and figures.
 """
@@ -39,16 +43,19 @@ Subpackages
 from repro.core.config import AdsalaConfig
 from repro.core.library import AdsalaGemm
 from repro.core.training import InstallationWorkflow, TrainedBundle
+from repro.engine import GemmService, PredictionCache
 from repro.gemm.interface import GemmSpec
 from repro.machine.presets import by_name as machine_by_name
 from repro.machine.simulator import MachineSimulator
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AdsalaConfig",
     "AdsalaGemm",
+    "GemmService",
     "InstallationWorkflow",
+    "PredictionCache",
     "TrainedBundle",
     "GemmSpec",
     "MachineSimulator",

@@ -30,6 +30,22 @@ def format_table(rows: list, title: str = "") -> str:
     return "\n".join(lines)
 
 
+def cache_effectiveness_table(stats: dict, title: str = "prediction cache") -> str:
+    """Render engine serving statistics next to the speedup tables.
+
+    ``stats`` is what :meth:`repro.engine.service.GemmService.stats`
+    (or :attr:`repro.core.library.AdsalaGemm.cache_stats`) returns; the
+    row surfaces how much of the workload the prediction cache absorbed.
+    """
+    wanted = ("requests", "unique_shapes", "evaluations", "memo_hit_rate",
+              "cache_hits", "cache_misses", "cache_evictions", "cache_size",
+              "cache_maxsize")
+    row = {key: stats[key] for key in wanted if key in stats}
+    if not row:
+        raise ValueError("stats has no cache fields to report")
+    return format_table([row], title=title)
+
+
 def ascii_histogram(values, bins=10, width: int = 40, title: str = "") -> str:
     """Text histogram (stands in for the paper's Figs. 1/8)."""
     values = np.asarray(values, dtype=np.float64)

@@ -1,0 +1,87 @@
+"""Batched-prediction throughput: the engine's amortisation benchmark.
+
+Single-shape prediction pays the full Python round trip — feature
+build, pipeline transform, model predict — per call.  The engine's
+:meth:`~repro.core.predictor.ThreadPredictor.predict_threads_batch`
+pays it once per batch, so the per-shape cost should fall as the batch
+grows.  :func:`prediction_throughput` measures exactly that on a fitted
+predictor, with the cache invalidated between passes so the numbers are
+honest evaluation cost, not lookup cost.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+
+def _distinct_shapes(n: int, seed: int = 0, lo: int = 16, hi: int = 4096) -> list:
+    """Deterministic distinct (m, k, n) triples (no cache interference)."""
+    rng = np.random.default_rng(seed)
+    shapes = set()
+    while len(shapes) < n:
+        m, k, n_dim = (int(x) for x in rng.integers(lo, hi, size=3))
+        shapes.add((m, k, n_dim))
+    return sorted(shapes)
+
+
+def prediction_throughput(predictor, shapes=None, n_shapes: int = 128,
+                          batch_sizes=(1, 8, 64), repeats: int = 3,
+                          seed: int = 0) -> list:
+    """Per-shape prediction cost across batch sizes.
+
+    Parameters
+    ----------
+    predictor:
+        A fitted :class:`~repro.core.predictor.ThreadPredictor`.
+    shapes:
+        Distinct ``(m, k, n)`` triples to predict (generated when None).
+    batch_sizes:
+        Chunk sizes to measure; size 1 uses the scalar
+        ``predict_threads`` path and is the baseline every row's
+        ``speedup`` is relative to (when 1 is not measured, the
+        smallest measured batch is the reference).
+    repeats:
+        Full passes over the shape set per batch size (best pass wins,
+        shielding against scheduler noise).
+
+    Returns a list of report-ready dict rows (``batch_size``,
+    ``per_shape_us``, ``total_ms``, ``speedup``).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    shapes = list(shapes) if shapes is not None \
+        else _distinct_shapes(n_shapes, seed=seed)
+    if not shapes:
+        raise ValueError("no shapes to measure")
+
+    def one_pass(batch: int) -> float:
+        predictor.invalidate_memo()
+        t0 = time.perf_counter()
+        if batch == 1:
+            for m, k, n in shapes:
+                predictor.predict_threads(m, k, n)
+        else:
+            for start in range(0, len(shapes), batch):
+                predictor.predict_threads_batch(shapes[start:start + batch])
+        return time.perf_counter() - t0
+
+    measured = {}
+    for batch in batch_sizes:
+        if batch < 1:
+            raise ValueError("batch sizes must be >= 1")
+        one_pass(batch)  # warm-up (allocations, code paths)
+        best = min(one_pass(batch) for _ in range(repeats))
+        measured[batch] = best
+    predictor.invalidate_memo()
+
+    # Speedups are relative to the scalar path; when batch size 1 was
+    # not measured, the smallest measured batch stands in.
+    reference = measured.get(1, measured[min(measured)])
+    return [{
+        "batch_size": batch,
+        "per_shape_us": round(best / len(shapes) * 1e6, 2),
+        "total_ms": round(best * 1e3, 3),
+        "speedup": round(reference / best, 2),
+    } for batch, best in measured.items()]

@@ -83,10 +83,25 @@ class ReplayResult:
     baseline_seconds: float
     memo_hit_rate: float
     thread_choices: dict = field(default_factory=dict)
+    cache_stats: dict = field(default_factory=dict)
 
     @property
     def speedup(self) -> float:
         return self.baseline_seconds / self.adsala_seconds
+
+    def report_row(self) -> dict:
+        """One report-table row: speedup alongside cache effectiveness."""
+        return {
+            "trace": self.trace.name,
+            "calls": len(self.trace),
+            "unique": self.trace.unique_shapes,
+            "adsala_ms": round(self.adsala_seconds * 1e3, 2),
+            "baseline_ms": round(self.baseline_seconds * 1e3, 2),
+            "speedup": round(self.speedup, 2),
+            "memo_hit_rate": round(self.memo_hit_rate, 3),
+            "cache_hits": self.cache_stats.get("cache_hits", 0),
+            "cache_evictions": self.cache_stats.get("cache_evictions", 0),
+        }
 
 
 def replay(trace: WorkloadTrace, gemm, repeats: int = 1) -> ReplayResult:
@@ -112,4 +127,5 @@ def replay(trace: WorkloadTrace, gemm, repeats: int = 1) -> ReplayResult:
     return ReplayResult(trace=trace, adsala_seconds=total_ml,
                         baseline_seconds=total_base,
                         memo_hit_rate=gemm.memo_hit_rate,
-                        thread_choices=choices)
+                        thread_choices=choices,
+                        cache_stats=dict(getattr(gemm, "cache_stats", {}) or {}))

@@ -1,15 +1,19 @@
-"""Command-line interface: install, predict, benchmark.
+"""Command-line interface: install, predict, batch-serve, benchmark.
 
 Mirrors how a deployed ADSALA would be driven::
 
     python -m repro install --machine gadi --shapes 150 --cap-mb 100 --out ./install
     python -m repro predict --install ./install 64 2048 64
+    python -m repro batch   --install ./install --machine gadi shapes.txt
     python -m repro demo    --machine setonix
 
 The ``install`` command runs the full installation workflow (on the
 named simulated machine, or ``--machine host`` for real execution) and
 writes the two artefacts; ``predict`` loads them and reports the thread
-choice for a shape; ``demo`` runs a quick before/after comparison.
+choice for a shape; ``batch`` serves a whole shape file through the
+engine's :class:`~repro.engine.service.GemmService` (deduplicated,
+vectorised prediction) and reports cache effectiveness; ``demo`` runs a
+quick before/after comparison.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ import sys
 from repro.core.library import AdsalaGemm
 from repro.core.serialize import load_bundle, save_bundle
 from repro.core.training import InstallationWorkflow
+from repro.engine.service import GemmService
 from repro.gemm.interface import GemmSpec
 from repro.gemm.partition import choose_thread_grid
 from repro.machine.host import HostMachine
@@ -66,6 +71,70 @@ def cmd_predict(args) -> int:
     return 0
 
 
+def parse_shape_file(path: str) -> list:
+    """Read one ``m k n`` (or ``m,k,n``) triple per line; ``#`` comments."""
+    shapes = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            text = line.split("#", 1)[0].strip()
+            if not text:
+                continue
+            parts = text.replace(",", " ").split()
+            if len(parts) != 3:
+                raise ValueError(
+                    f"{path}:{lineno}: expected 'm k n', got {line.strip()!r}")
+            shapes.append(tuple(int(p) for p in parts))
+    if not shapes:
+        raise ValueError(f"{path}: no shapes found")
+    return shapes
+
+
+def cmd_batch(args) -> int:
+    bundle = load_bundle(args.install)
+    machine_name = args.machine or bundle.config.machine
+    machine = _machine(machine_name, args.seed)
+    try:
+        dims = parse_shape_file(args.shapes_file)
+        specs = [GemmSpec(m, k, n, dtype=bundle.config.dtype)
+                 for m, k, n in dims]
+        service = GemmService.from_bundle(bundle, machine,
+                                          repeats=args.repeats,
+                                          cache_size=args.cache_size)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    records = service.run_batch(specs)
+
+    from repro.bench.report import cache_effectiveness_table, format_table
+
+    per_shape = {}
+    for record in records:
+        entry = per_shape.setdefault(record.spec.dims, {
+            "shape (m,k,n)": str(record.spec.dims),
+            "threads": record.n_threads, "calls": 0, "total_ms": 0.0})
+        entry["calls"] += 1
+        entry["total_ms"] += record.runtime * 1e3
+    rows = [{**e, "total_ms": round(e["total_ms"], 3)}
+            for e in per_shape.values()]
+    print(format_table(rows, title=f"batch of {len(records)} calls "
+                                   f"on {machine_name}"))
+
+    total_ml = sum(r.runtime for r in records)
+    print(f"\ntotal ADSALA runtime: {total_ml * 1e3:.3f} ms")
+    if args.baseline:
+        baselines = {}
+        for record in records:
+            key = record.spec.dims
+            if key not in baselines:
+                baselines[key] = service.run_baseline(record.spec)
+        total_base = sum(baselines[r.spec.dims] for r in records)
+        print(f"max-thread baseline:  {total_base * 1e3:.3f} ms "
+              f"(speedup {total_base / total_ml:.2f}x)")
+    print()
+    print(cache_effectiveness_table(service.stats()))
+    return 0
+
+
 def cmd_demo(args) -> int:
     machine = _machine(args.machine, args.seed)
     workflow = InstallationWorkflow(
@@ -109,6 +178,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("k", type=int)
     p.add_argument("n", type=int)
     p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("batch", help="serve a shape file through the engine")
+    p.add_argument("--install", required=True, help="artefact directory")
+    p.add_argument("--machine", choices=machines, default=None,
+                   help="execution backend (default: the installed machine)")
+    p.add_argument("--repeats", type=int, default=1)
+    p.add_argument("--cache-size", type=int, default=256)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--baseline", action="store_true",
+                   help="also time the max-thread baseline per unique shape")
+    p.add_argument("shapes_file", help="text file with one 'm k n' per line")
+    p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser("demo", help="quick install + before/after comparison")
     p.add_argument("--machine", choices=machines, default="gadi")

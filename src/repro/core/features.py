@@ -94,6 +94,28 @@ class FeatureBuilder:
         return self.build(np.full(p.size, m), np.full(p.size, k),
                           np.full(p.size, n), p)
 
+    def build_for_batch(self, shapes, thread_grid) -> np.ndarray:
+        """Features for many shapes across the grid in one matrix.
+
+        Rows are shape-major: the first ``|grid|`` rows belong to
+        ``shapes[0]`` in grid order (identical to ``build_for_grid``),
+        the next ``|grid|`` to ``shapes[1]``, and so on — the vectorised
+        prediction path reshapes the model output to
+        ``(len(shapes), |grid|)`` on this contract.
+        """
+        p = np.asarray(list(thread_grid), dtype=np.float64)
+        if p.size == 0:
+            raise ValueError("thread_grid must be non-empty")
+        dims = np.asarray(list(shapes), dtype=np.float64)
+        if dims.ndim != 2 or dims.shape[1] != 3:
+            raise ValueError("shapes must be a sequence of (m, k, n) triples")
+        if dims.shape[0] == 0:
+            raise ValueError("shapes must be non-empty")
+        m = np.repeat(dims[:, 0], p.size)
+        k = np.repeat(dims[:, 1], p.size)
+        n = np.repeat(dims[:, 2], p.size)
+        return self.build(m, k, n, np.tile(p, dims.shape[0]))
+
     def config(self) -> dict:
         return {"groups": self.groups}
 

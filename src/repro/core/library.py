@@ -3,36 +3,28 @@
 :class:`AdsalaGemm` is the class a user program instantiates: it loads
 the config file and trained model produced at installation, then every
 GEMM call predicts the optimal thread count on-the-fly and dispatches to
-the underlying GEMM implementation with that team size.  Repeated calls
-with the same dimensions reuse the memoised prediction, and the instance
-is a context manager so "the class instance holding the ML model can be
-safely destroyed to free the memory space".
+the underlying GEMM implementation with that team size.
+
+Since the engine refactor this class is a thin backward-compatible
+facade over :class:`repro.engine.service.GemmService`: prediction goes
+through the engine's :class:`~repro.engine.cache.PredictionCache`
+(a real LRU rather than the paper's single-shape memo), execution goes
+through an :class:`~repro.engine.backend.ExecutionBackend`, and batch
+callers can reach the vectorised prediction path via :meth:`run_batch`.
+Repeated calls with the same dimensions reuse cached predictions, and
+the instance is a context manager so "the class instance holding the ML
+model can be safely destroyed to free the memory space".
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
-
-from repro.core.predictor import ThreadPredictor
 from repro.core.serialize import load_bundle
+from repro.engine.backend import as_backend
+from repro.engine.service import GemmCallRecord, GemmService
 from repro.gemm.interface import GemmSpec
 from repro.machine.simulator import MachineSimulator
 
-
-@dataclass
-class GemmCallRecord:
-    """Bookkeeping for one dispatched GEMM call."""
-
-    spec: GemmSpec
-    n_threads: int
-    runtime: float
-    memoised: bool
-
-    @property
-    def gflops(self) -> float:
-        return self.spec.flops / self.runtime / 1e9
+__all__ = ["AdsalaGemm", "GemmCallRecord"]
 
 
 class AdsalaGemm:
@@ -46,46 +38,67 @@ class AdsalaGemm:
     machine:
         Execution backend.  A :class:`MachineSimulator` executes
         simulated GEMMs; any object with a compatible
-        ``timed_run(spec, n_threads, repeats)`` also works (e.g. a
-        wrapper over :class:`repro.gemm.parallel.ParallelGemm` for real
-        execution).
+        ``timed_run(spec, n_threads, repeats)`` also works (e.g.
+        :class:`repro.engine.backend.ParallelExecutionBackend` for real
+        execution), and a full
+        :class:`~repro.engine.backend.BackendDispatcher` can be reached
+        through :attr:`service`.
     repeats:
         Timing-loop repetitions per dispatched call.
+    cache_size:
+        LRU prediction-cache entries (pass 1 for the paper's literal
+        last-call memo).
     """
 
-    def __init__(self, bundle, machine: MachineSimulator, repeats: int = 1):
+    def __init__(self, bundle, machine: MachineSimulator, repeats: int = 1,
+                 cache_size: int = 64):
         self.bundle = bundle
         self.machine = machine
         self.repeats = repeats
-        self._predictor: ThreadPredictor = bundle.predictor()
-        self.history: list = []
+        self.service = GemmService(
+            bundle.predictor(cache_size=cache_size),
+            backend=as_backend(machine, thread_grid=bundle.config.thread_grid),
+            repeats=repeats)
         self._closed = False
 
     @classmethod
-    def from_directory(cls, directory, machine, repeats: int = 1) -> "AdsalaGemm":
+    def from_directory(cls, directory, machine, repeats: int = 1,
+                       cache_size: int = 64) -> "AdsalaGemm":
         """Load the installation artefacts saved by ``save_bundle``."""
-        return cls(load_bundle(directory), machine, repeats=repeats)
+        return cls(load_bundle(directory), machine, repeats=repeats,
+                   cache_size=cache_size)
 
     # ------------------------------------------------------------------
     @property
+    def _predictor(self):
+        return self.service.predictor
+
+    @property
+    def history(self) -> list:
+        return self.service.history
+
+    @property
     def thread_grid(self):
-        return self._predictor.thread_grid
+        return self.service.thread_grid
 
     def predict_threads(self, m: int, k: int, n: int) -> int:
         """The model's thread choice for a shape (no execution)."""
         self._ensure_open()
-        return self._predictor.predict_threads(m, k, n)
+        return self.service.predict((m, k, n))
 
     def run(self, spec: GemmSpec) -> GemmCallRecord:
         """Predict the thread count and execute the GEMM."""
         self._ensure_open()
-        hits_before = self._predictor.n_memo_hits
-        n_threads = self._predictor.predict_threads(spec.m, spec.k, spec.n)
-        runtime = self.machine.timed_run(spec, n_threads, repeats=self.repeats)
-        record = GemmCallRecord(spec=spec, n_threads=n_threads, runtime=runtime,
-                                memoised=self._predictor.n_memo_hits > hits_before)
-        self.history.append(record)
-        return record
+        return self.service.run(spec)
+
+    def run_batch(self, specs) -> list:
+        """Serve a stream of specs through the engine's batched path.
+
+        Prediction cost is amortised: unique uncached shapes share one
+        vectorised model evaluation.  Returns records in input order.
+        """
+        self._ensure_open()
+        return self.service.run_batch(specs)
 
     def gemm(self, m: int, k: int, n: int, dtype: str = "float32") -> GemmCallRecord:
         """Convenience wrapper building the spec inline."""
@@ -94,9 +107,7 @@ class AdsalaGemm:
     def run_baseline(self, spec: GemmSpec, n_threads: int = None) -> float:
         """Traditional GEMM runtime (default: the maximum thread count)."""
         self._ensure_open()
-        if n_threads is None:
-            n_threads = int(self.thread_grid.max())
-        return self.machine.timed_run(spec, n_threads, repeats=self.repeats)
+        return self.service.run_baseline(spec, n_threads=n_threads)
 
     def speedup_over_baseline(self, spec: GemmSpec) -> float:
         """Measured ``t_baseline / t_adsala`` for one shape."""
@@ -107,7 +118,7 @@ class AdsalaGemm:
     # -- lifecycle -------------------------------------------------------
     def close(self) -> None:
         """Release the model (paper: destroy the instance after last call)."""
-        self._predictor = None
+        self.service.close()
         self.bundle = None
         self._closed = True
 
@@ -124,7 +135,10 @@ class AdsalaGemm:
     # -- stats -----------------------------------------------------------
     @property
     def memo_hit_rate(self) -> float:
-        """Fraction of calls answered from the memoised prediction."""
-        if not self.history:
-            return 0.0
-        return sum(r.memoised for r in self.history) / len(self.history)
+        """Fraction of calls answered from a cached prediction."""
+        return self.service.memo_hit_rate
+
+    @property
+    def cache_stats(self) -> dict:
+        """Engine serving statistics (cache hits/misses/evictions, ...)."""
+        return self.service.stats()

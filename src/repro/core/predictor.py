@@ -6,10 +6,17 @@ preprocessing pipeline and the regression model, and returns the thread
 count with the smallest predicted runtime — "the regression ML model
 outputs the runtime of GEMM rather than the number of threads".
 
-The paper's memoisation is implemented too: "the software is designed to
-remember the last GEMM input and ML predictions; if the current GEMM
-matrix dimensions are the same as the previous, the software will read
-and apply the predictions ... without re-evaluation."
+Two serving-oriented generalisations sit on top of the paper's design:
+
+* the single-shape memo ("the software is designed to remember the last
+  GEMM input and ML predictions") is now a pluggable
+  :class:`~repro.engine.cache.PredictionCache`; the default
+  ``cache_size=1`` reproduces the paper exactly, while the engine's
+  :class:`~repro.engine.service.GemmService` installs a larger LRU;
+* :meth:`predict_threads_batch` answers many shapes with **one**
+  pipeline/model pass over a ``(n_shapes * |grid|)``-row feature
+  matrix, which amortises the per-call Python overhead that dominates
+  single-shape prediction.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ import time
 import numpy as np
 
 from repro.core.features import FeatureBuilder
+from repro.engine.cache import PredictionCache, shape_key
 
 
 class ThreadPredictor:
@@ -30,10 +38,17 @@ class ThreadPredictor:
         Installation artefacts.  ``pipeline`` may be None (ablations).
     thread_grid:
         Candidate thread counts, ascending.
+    cache:
+        A :class:`PredictionCache` to serve repeat shapes from; built
+        from ``cache_size`` when omitted.
+    cache_size:
+        Size of the default cache.  1 (the default) matches the paper's
+        last-call memo semantics.
     """
 
     def __init__(self, feature_builder: FeatureBuilder, pipeline, model,
-                 thread_grid):
+                 thread_grid, cache: PredictionCache = None,
+                 cache_size: int = 1):
         self.feature_builder = feature_builder
         self.pipeline = pipeline
         self.model = model
@@ -43,10 +58,14 @@ class ThreadPredictor:
             raise ValueError("thread_grid must be non-empty")
         if (self.thread_grid < 1).any():
             raise ValueError("thread counts must be >= 1")
-        self._memo_key = None
-        self._memo_value = None
+        self.cache = cache if cache is not None else PredictionCache(cache_size)
         self.n_evaluations = 0
-        self.n_memo_hits = 0
+        self.n_batch_evaluations = 0
+
+    @property
+    def n_memo_hits(self) -> int:
+        """Lifetime predictions answered from the cache."""
+        return self.cache.hits
 
     # ------------------------------------------------------------------
     def predicted_runtimes(self, m: int, k: int, n: int) -> np.ndarray:
@@ -56,39 +75,100 @@ class ThreadPredictor:
             X = self.pipeline.transform(X)
         return np.asarray(self.model.predict(X), dtype=np.float64)
 
+    def predicted_runtimes_batch(self, shapes) -> np.ndarray:
+        """Scores for many shapes in one pass, shaped ``(n_shapes, |grid|)``.
+
+        Row ``i`` is exactly what :meth:`predicted_runtimes` returns for
+        ``shapes[i]``: every pipeline stage and every registered model
+        transforms row-wise, so batching cannot change any score.
+        """
+        X = self.feature_builder.build_for_batch(shapes, self.thread_grid)
+        if self.pipeline is not None:
+            X = self.pipeline.transform(X)
+        scores = np.asarray(self.model.predict(X), dtype=np.float64)
+        return scores.reshape(-1, self.thread_grid.size)
+
+    # ------------------------------------------------------------------
+    _key = staticmethod(shape_key)
+
     def predict_threads(self, m: int, k: int, n: int) -> int:
-        """Optimal thread count for the shape, with last-call memoisation.
+        """Optimal thread count for the shape, cache-backed.
 
         Any monotone label transform leaves the argmin unchanged, so the
         raw model output is compared directly.
         """
         key = (int(m), int(k), int(n))
-        if key == self._memo_key:
-            self.n_memo_hits += 1
-            return self._memo_value
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
         scores = self.predicted_runtimes(m, k, n)
         self.n_evaluations += 1
         choice = int(self.thread_grid[int(np.argmin(scores))])
-        self._memo_key = key
-        self._memo_value = choice
+        self.cache.put(key, choice)
         return choice
 
+    def predict_threads_batch(self, shapes) -> np.ndarray:
+        """Thread choices for a stream of shapes, one model pass for misses.
+
+        ``shapes`` is a sequence of ``(m, k, n)`` triples (or objects
+        with a ``dims`` attribute).  Unique uncached shapes are pushed
+        through the pipeline/model in a single vectorised evaluation;
+        duplicate and cached shapes cost a dictionary lookup.  Choices
+        come back as an int64 array aligned with the input order and are
+        bitwise-identical to calling :meth:`predict_threads` per shape.
+        """
+        keys = [self._key(s) for s in shapes]
+        resolved = {}
+        misses = []
+        for key in dict.fromkeys(keys):  # unique keys, first-seen order
+            cached = self.cache.get(key)
+            if cached is None:
+                misses.append(key)
+            else:
+                resolved[key] = cached
+        if misses:
+            scores = self.predicted_runtimes_batch(misses)
+            self.n_evaluations += len(misses)
+            self.n_batch_evaluations += 1
+            for key, row in zip(misses, np.argmin(scores, axis=1)):
+                choice = int(self.thread_grid[int(row)])
+                self.cache.put(key, choice)
+                resolved[key] = choice
+        return np.asarray([resolved[key] for key in keys], dtype=np.int64)
+
     def invalidate_memo(self) -> None:
-        self._memo_key = None
-        self._memo_value = None
+        """Drop every cached prediction (e.g. after the machine changes)."""
+        self.cache.invalidate()
 
     # ------------------------------------------------------------------
-    def measure_eval_time(self, shapes=None, repeats: int = 20) -> float:
+    def measure_eval_time(self, shapes=None, repeats: int = 20,
+                          batch_size: int = 1) -> float:
         """Average wall-clock seconds of one full prediction.
 
         The paper measures each tuned model's evaluation time by
         averaging multiple runs on the target machine (Section IV-D);
         this is the genuine Python cost on *this* machine, which is what
         the speedup estimate ``s = t_orig / (t_ADSALA + t_eval)`` needs.
+        With ``batch_size > 1`` the cost is measured through the
+        vectorised path and reported per shape (amortised).
         """
         if repeats < 1:
             raise ValueError("repeats must be >= 1")
-        shapes = shapes or [(512, 512, 512)]
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        shapes = list(shapes or [(512, 512, 512)])
+        if batch_size > 1:
+            # Tile distinct shapes to the batch size (cache is bypassed:
+            # this measures evaluation, not lookup).
+            batch = [(m + i, k, n) for i, (m, k, n)
+                     in enumerate(shapes * (batch_size // len(shapes) + 1))]
+            batch = batch[:batch_size]
+            self.predicted_runtimes_batch(batch)  # warm-up
+            t0 = time.perf_counter()
+            for _ in range(repeats):
+                self.predicted_runtimes_batch(batch)
+            elapsed = time.perf_counter() - t0
+            return elapsed / (repeats * batch_size)
         # Warm-up pass (amortised allocations, code paths).
         for m, k, n in shapes:
             self.predicted_runtimes(m, k, n)

@@ -44,12 +44,23 @@ class TrainedBundle:
     model: object
     report: ModelSelectionReport = None
 
-    def predictor(self) -> ThreadPredictor:
+    def predictor(self, cache_size: int = 1,
+                  thread_grid=None) -> ThreadPredictor:
+        """Runtime predictor over the artefacts.
+
+        ``cache_size=1`` (default) keeps the paper's last-call memo;
+        the engine's service layer passes a larger LRU capacity.
+        ``thread_grid`` restricts the candidate grid (e.g. to the
+        execution machine's feasible thread counts); the installed
+        grid is used when omitted.
+        """
         return ThreadPredictor(
             feature_builder=FeatureBuilder(self.config.feature_groups),
             pipeline=self.pipeline,
             model=self.model,
-            thread_grid=self.config.thread_grid,
+            thread_grid=(self.config.thread_grid if thread_grid is None
+                         else thread_grid),
+            cache_size=cache_size,
         )
 
 

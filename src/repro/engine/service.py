@@ -1,0 +1,207 @@
+"""The request layer: deduplicated, batch-predicted routine serving.
+
+:class:`GemmService` is what the runtime library became once prediction,
+caching and execution were pulled apart: it accepts a stream of specs,
+groups them by shape, answers cached shapes from the
+:class:`~repro.engine.cache.PredictionCache`, pushes all remaining
+shapes through the predictor in **one** vectorised pipeline/model pass
+(:meth:`~repro.core.predictor.ThreadPredictor.predict_threads_batch`),
+dispatches each call to its :class:`~repro.engine.backend.ExecutionBackend`,
+and returns per-call :class:`GemmCallRecord` bookkeeping.
+
+:class:`~repro.core.library.AdsalaGemm` is now a thin facade over this
+class, so single-call users keep the paper's API while batch users get
+amortised prediction cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.backend import BackendDispatcher, ExecutionBackend, as_backend
+from repro.engine.cache import shape_key as _shape_key
+
+
+@dataclass
+class GemmCallRecord:
+    """Bookkeeping for one dispatched call (GEMM or any routine spec)."""
+
+    spec: object
+    n_threads: int
+    runtime: float
+    memoised: bool
+
+    @property
+    def gflops(self) -> float:
+        return self.spec.flops / self.runtime / 1e9
+
+
+class GemmService:
+    """Multi-backend execution engine with vectorised thread prediction.
+
+    Parameters
+    ----------
+    predictor:
+        A fitted :class:`~repro.core.predictor.ThreadPredictor`; its
+        cache is the service's prediction cache.
+    backend:
+        Default :class:`ExecutionBackend` (anything with ``timed_run``
+        is coerced via :func:`as_backend`).  Mutually exclusive with
+        ``dispatcher``.
+    dispatcher:
+        A pre-built :class:`BackendDispatcher` for mixed routine
+        streams (GEMM + GEMV/SYRK/TRSM).
+    repeats:
+        Timing-loop repetitions per dispatched call.
+    """
+
+    def __init__(self, predictor, backend=None, dispatcher: BackendDispatcher = None,
+                 repeats: int = 1):
+        if dispatcher is None:
+            if backend is None:
+                raise ValueError("provide a backend or a dispatcher")
+            dispatcher = BackendDispatcher.for_backend(as_backend(backend))
+        elif backend is not None:
+            raise ValueError("backend and dispatcher are mutually exclusive")
+        self.predictor = predictor
+        self.dispatcher = dispatcher
+        self.repeats = repeats
+        self.history: list = []
+        self.n_requests = 0
+        self.n_batches = 0
+        self._closed = False
+
+    @classmethod
+    def from_bundle(cls, bundle, machine, repeats: int = 1,
+                    cache_size: int = 256) -> "GemmService":
+        """Service over installation artefacts and a machine-like object.
+
+        The candidate grid is the installed one clamped to the
+        execution machine's capacity, so artefacts trained on a bigger
+        node still serve (predicting only feasible team sizes) when
+        dispatched to a smaller one.
+        """
+        grid = list(bundle.config.thread_grid)
+        max_threads = getattr(machine, "max_threads", None)
+        if callable(max_threads):
+            grid = [t for t in grid if t <= max_threads()] or grid
+        return cls(bundle.predictor(cache_size=cache_size, thread_grid=grid),
+                   backend=as_backend(machine, thread_grid=grid),
+                   repeats=repeats)
+
+    # -- prediction ------------------------------------------------------
+    @property
+    def cache(self):
+        return self.predictor.cache
+
+    @property
+    def thread_grid(self) -> np.ndarray:
+        return self.predictor.thread_grid
+
+    def register_backend(self, spec_type: type, backend) -> "GemmService":
+        """Route ``spec_type`` calls to another backend; returns self."""
+        self.dispatcher.register(spec_type, as_backend(backend))
+        return self
+
+    def predict(self, spec) -> int:
+        """Thread choice for one spec (cache-backed, no execution)."""
+        self._ensure_open()
+        return self.predictor.predict_threads(*_shape_key(spec))
+
+    def predict_batch(self, specs) -> np.ndarray:
+        """Thread choices for a spec stream, one model pass for all misses."""
+        self._ensure_open()
+        return self.predictor.predict_threads_batch(
+            [_shape_key(s) for s in specs])
+
+    # -- execution -------------------------------------------------------
+    def run(self, spec) -> GemmCallRecord:
+        """Predict, dispatch and record one call."""
+        self._ensure_open()
+        hits_before = self.cache.hits
+        n_threads = self.predictor.predict_threads(*_shape_key(spec))
+        record = self._dispatch(spec, n_threads,
+                                memoised=self.cache.hits > hits_before)
+        self.n_requests += 1
+        return record
+
+    def run_batch(self, specs) -> list:
+        """Serve a stream of specs, amortising prediction across shapes.
+
+        Duplicate shapes are predicted once; the ``memoised`` flag on a
+        record is True when its prediction came from the cache or from
+        an earlier occurrence in the same batch.  Records are returned
+        in input order.
+        """
+        self._ensure_open()
+        specs = list(specs)
+        if not specs:
+            return []
+        keys = [_shape_key(s) for s in specs]
+        fresh = {key for key in dict.fromkeys(keys)
+                 if key not in self.cache}
+        choices = self.predictor.predict_threads_batch(keys)
+        records = []
+        seen: set = set()
+        for spec, key, n_threads in zip(specs, keys, choices):
+            memoised = key not in fresh or key in seen
+            seen.add(key)
+            records.append(self._dispatch(spec, int(n_threads),
+                                          memoised=memoised))
+        self.n_requests += len(specs)
+        self.n_batches += 1
+        return records
+
+    def run_baseline(self, spec, n_threads: int = None,
+                     repeats: int = None) -> float:
+        """Static-configuration runtime (default: the maximum grid entry)."""
+        self._ensure_open()
+        if n_threads is None:
+            n_threads = int(self.thread_grid.max())
+        return self.dispatcher.timed_run(
+            spec, n_threads, repeats=self.repeats if repeats is None else repeats)
+
+    def _dispatch(self, spec, n_threads: int, memoised: bool) -> GemmCallRecord:
+        runtime = self.dispatcher.timed_run(spec, n_threads,
+                                            repeats=self.repeats)
+        record = GemmCallRecord(spec=spec, n_threads=n_threads,
+                                runtime=runtime, memoised=memoised)
+        self.history.append(record)
+        return record
+
+    # -- stats -----------------------------------------------------------
+    @property
+    def memo_hit_rate(self) -> float:
+        """Fraction of served calls whose prediction was cached."""
+        if not self.history:
+            return 0.0
+        return sum(r.memoised for r in self.history) / len(self.history)
+
+    def stats(self) -> dict:
+        """History- and cache-derived serving statistics."""
+        return {
+            "requests": self.n_requests,
+            "batches": self.n_batches,
+            "unique_shapes": len({_shape_key(r.spec) for r in self.history}),
+            "evaluations": self.predictor.n_evaluations,
+            "memo_hit_rate": round(self.memo_hit_rate, 4),
+            **{f"cache_{k}": v for k, v in self.cache.stats().items()},
+        }
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        """Release the model (paper: destroy the instance after last call)."""
+        self.predictor = None
+        self._closed = True
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("GemmService instance has been closed")
+
+    def __enter__(self) -> "GemmService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -24,7 +24,7 @@ from repro.gemm.reference import gemm_reference
 from repro.gemm.blocked import BlockSizes, gemm_blocked
 from repro.gemm.partition import Partition1D, Partition2D, choose_thread_grid, split_range
 from repro.gemm.packing import PackingBuffer, pack_block, packing_volume
-from repro.gemm.parallel import ParallelGemm, GemmTimings
+from repro.gemm.parallel import ExecutorPool, ParallelGemm, GemmTimings
 
 __all__ = [
     "GemmSpec",
@@ -46,4 +46,5 @@ __all__ = [
     "packing_volume",
     "ParallelGemm",
     "GemmTimings",
+    "ExecutorPool",
 ]

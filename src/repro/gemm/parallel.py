@@ -154,3 +154,70 @@ class ParallelGemm:
             self.run(spec, a, b, c)
             best = min(best, time.perf_counter() - t0)
         return best
+
+
+class ExecutorPool:
+    """Executors per thread count + operands per shape, behind ``timed_run``.
+
+    Real-execution timing needs two caches to measure the GEMM and not
+    the setup: a :class:`ParallelGemm` instance per team size (threads
+    are fixed at construction, per the paper's gathering protocol) and
+    allocated operands per spec (real BLAS benchmarking allocates once
+    and loops, Section V-B3).  The pool owns both and exposes the
+    engine's ``timed_run(spec, n_threads, repeats)`` timing protocol;
+    :class:`repro.machine.host.HostMachine` and
+    :class:`repro.engine.backend.ParallelExecutionBackend` are thin
+    layers over it.
+    """
+
+    def __init__(self, blocks: BlockSizes = None,
+                 workspace_elements: int = 1 << 20,
+                 operand_cache: bool = True, seed: int = 0):
+        self.blocks = blocks or BlockSizes()
+        self.workspace_elements = int(workspace_elements)
+        self.operand_cache = operand_cache
+        self.seed = seed
+        self._executors: dict = {}
+        self._operands: dict = {}
+
+    def executor(self, n_threads: int) -> ParallelGemm:
+        if n_threads not in self._executors:
+            self._executors[n_threads] = ParallelGemm(
+                n_threads, blocks=self.blocks,
+                workspace_elements=self.workspace_elements)
+        return self._executors[n_threads]
+
+    def operands(self, spec: GemmSpec):
+        key = spec.key()
+        if not self.operand_cache:
+            return spec.random_operands(rng=self.seed)
+        if key not in self._operands:
+            self._operands[key] = spec.random_operands(rng=self.seed)
+        return self._operands[key]
+
+    def run(self, spec: GemmSpec, n_threads: int) -> float:
+        """One timed execution; returns elapsed seconds."""
+        a, b, c = self.operands(spec)
+        executor = self.executor(n_threads)
+        t0 = time.perf_counter()
+        executor.run(spec, a, b, c)
+        return time.perf_counter() - t0
+
+    def timed_run(self, spec: GemmSpec, n_threads: int, repeats: int = 3,
+                  reduce: str = "median") -> float:
+        """Loop-timing protocol over cached operands."""
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        times = [self.run(spec, n_threads) for _ in range(repeats)]
+        if reduce == "median":
+            return float(np.median(times))
+        if reduce == "min":
+            return float(np.min(times))
+        if reduce == "mean":
+            return float(np.mean(times))
+        raise ValueError(f"unknown reduction {reduce!r}")
+
+    def release(self) -> None:
+        """Free cached operand arrays and executors."""
+        self._operands.clear()
+        self._executors.clear()

@@ -7,7 +7,9 @@ whose numpy inner kernels release the GIL) and exposes the same
 ``timed_run`` protocol as :class:`repro.machine.simulator.MachineSimulator`,
 so the whole ADSALA stack — gathering, training, the runtime library —
 can run against genuine wall-clock measurements on whatever machine
-hosts this process.
+hosts this process.  The executor/operand caching lives in
+:class:`repro.gemm.parallel.ExecutorPool`, which the engine's real
+execution backend shares.
 
 Expect meaningful results only on multi-core hosts and with campaign
 sizes appropriate to real timing costs; the simulator remains the tool
@@ -17,13 +19,12 @@ for paper-scale experiments.
 from __future__ import annotations
 
 import os
-import time
 
 import numpy as np
 
 from repro.gemm.blocked import BlockSizes
 from repro.gemm.interface import GemmSpec
-from repro.gemm.parallel import ParallelGemm
+from repro.gemm.parallel import ExecutorPool
 from repro.machine.affinity import AffinityPolicy
 from repro.machine.clock import SimClock
 
@@ -48,45 +49,42 @@ class HostMachine:
         self._max_threads = int(max_threads or os.cpu_count() or 1)
         if self._max_threads < 1:
             raise ValueError("max_threads must be >= 1")
-        self.blocks = blocks or BlockSizes()
-        self.operand_cache = operand_cache
+        self.pool = ExecutorPool(blocks=blocks, operand_cache=operand_cache,
+                                 seed=seed)
         self.seed = seed
         self.clock = SimClock()
         self.hyperthreading = True  # informational; host threads are host threads
         self.affinity = AffinityPolicy.CORES
-        self._operands = {}
-        self._executors = {}
 
     @property
     def name(self) -> str:
         return "host"
 
+    @property
+    def blocks(self) -> BlockSizes:
+        return self.pool.blocks
+
+    @property
+    def operand_cache(self) -> bool:
+        return self.pool.operand_cache
+
     def max_threads(self, hyperthreading: bool = None) -> int:
         return self._max_threads
 
-    # ------------------------------------------------------------------
+    # -- pre-engine accessors (the pool now owns these caches) ----------
+    @property
+    def _operands(self) -> dict:
+        return self.pool._operands
+
     def _operands_for(self, spec: GemmSpec):
-        key = spec.key()
-        if not self.operand_cache:
-            return spec.random_operands(rng=self.seed)
-        if key not in self._operands:
-            self._operands[key] = spec.random_operands(rng=self.seed)
-        return self._operands[key]
+        return self.pool.operands(spec)
 
-    def _executor_for(self, n_threads: int) -> ParallelGemm:
-        if n_threads not in self._executors:
-            self._executors[n_threads] = ParallelGemm(n_threads, blocks=self.blocks)
-        return self._executors[n_threads]
-
+    # ------------------------------------------------------------------
     def run(self, spec: GemmSpec, n_threads: int, iteration: int = 0, **_):
         """One timed execution; returns elapsed seconds."""
         if not 1 <= n_threads <= self._max_threads:
             raise ValueError(f"n_threads={n_threads} outside [1, {self._max_threads}]")
-        a, b, c = self._operands_for(spec)
-        executor = self._executor_for(n_threads)
-        t0 = time.perf_counter()
-        executor.run(spec, a, b, c)
-        elapsed = time.perf_counter() - t0
+        elapsed = self.pool.run(spec, n_threads)
         self.clock.advance(elapsed, category="gemm")
         return elapsed
 
@@ -113,4 +111,4 @@ class HostMachine:
 
     def release_operands(self) -> None:
         """Free cached operand arrays."""
-        self._operands.clear()
+        self.pool.release()

@@ -1,0 +1,113 @@
+"""PredictionCache: LRU order, statistics, invalidation."""
+
+import pytest
+
+from repro.engine.cache import PredictionCache
+
+
+class TestLruSemantics:
+    def test_evicts_least_recently_used(self):
+        cache = PredictionCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a"
+        assert "a" not in cache
+        assert cache.peek("b") == 2 and cache.peek("c") == 3
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = PredictionCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # "b" is now the LRU entry
+        cache.put("c", 3)
+        assert "b" not in cache and "a" in cache
+
+    def test_put_refreshes_recency(self):
+        cache = PredictionCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not grow
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.peek("a") == 10
+        assert len(cache) == 2
+
+    def test_keys_in_recency_order(self):
+        cache = PredictionCache(maxsize=3)
+        for key in "abc":
+            cache.put(key, key)
+        cache.get("a")
+        assert cache.keys() == ["b", "c", "a"]
+
+    def test_size_one_is_the_paper_memo(self):
+        cache = PredictionCache(maxsize=1)
+        cache.put((10, 10, 10), 4)
+        cache.put((20, 10, 10), 8)
+        assert (10, 10, 10) not in cache
+        assert cache.get((20, 10, 10)) == 8
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ValueError):
+            PredictionCache(maxsize=0)
+
+
+class TestStatistics:
+    def test_hit_miss_counters(self):
+        cache = PredictionCache(maxsize=4)
+        assert cache.get("x") is None
+        cache.put("x", 1)
+        assert cache.get("x") == 1
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_empty_hit_rate_is_zero(self):
+        assert PredictionCache().hit_rate == 0.0
+
+    def test_peek_and_contains_do_not_count(self):
+        cache = PredictionCache(maxsize=4)
+        cache.put("x", 1)
+        cache.peek("x")
+        cache.peek("y")
+        assert "x" in cache and "y" not in cache
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_stats_snapshot(self):
+        cache = PredictionCache(maxsize=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        stats = cache.stats()
+        assert stats == {"size": 1, "maxsize": 2, "hits": 1, "misses": 1,
+                         "evictions": 0, "hit_rate": 0.5}
+
+    def test_reset_stats_keeps_entries(self):
+        cache = PredictionCache(maxsize=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.reset_stats()
+        assert cache.hits == 0 and len(cache) == 1
+
+
+class TestInvalidate:
+    def test_invalidate_all(self):
+        cache = PredictionCache(maxsize=4)
+        for key in "ab":
+            cache.put(key, key)
+        cache.get("a")
+        cache.invalidate()
+        assert len(cache) == 0
+        assert cache.hits == 1  # statistics survive invalidation
+
+    def test_invalidate_single_key(self):
+        cache = PredictionCache(maxsize=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.invalidate("a")
+        assert "a" not in cache and "b" in cache
+
+    def test_invalidate_missing_key_is_noop(self):
+        cache = PredictionCache(maxsize=4)
+        cache.put("a", 1)
+        cache.invalidate("zzz")
+        assert len(cache) == 1

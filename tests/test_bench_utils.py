@@ -4,7 +4,8 @@ import numpy as np
 import pytest
 
 from repro.bench.gflops import MemoryBucket, bucket_gflops
-from repro.bench.report import ascii_histogram, format_table, heatmap_summary
+from repro.bench.report import (ascii_histogram, cache_effectiveness_table,
+                                format_table, heatmap_summary)
 from repro.bench.stats import speedup_stats
 
 
@@ -110,3 +111,70 @@ class TestSparkline:
 
         with pytest.raises(ValueError):
             sparkline([])
+
+
+class TestCacheEffectivenessTable:
+    def test_renders_engine_stats(self):
+        stats = {"requests": 10, "batches": 2, "unique_shapes": 4,
+                 "evaluations": 4, "memo_hit_rate": 0.6, "cache_hits": 6,
+                 "cache_misses": 4, "cache_evictions": 0, "cache_size": 4,
+                 "cache_maxsize": 64, "cache_hit_rate": 0.6}
+        text = cache_effectiveness_table(stats, title="engine cache")
+        assert "engine cache" in text
+        assert "memo_hit_rate" in text and "0.6" in text
+
+    def test_live_service_stats_render(self, tiny_sim):
+        from repro import GemmSpec
+        from repro.core.features import FeatureBuilder
+        from repro.core.predictor import ThreadPredictor
+        from repro.engine import GemmService
+
+        class Flat:
+            def predict(self, X):
+                return X[:, 3]
+
+        service = GemmService(
+            ThreadPredictor(FeatureBuilder("both"), None, Flat(),
+                            [1, 2, 4], cache_size=8),
+            backend=tiny_sim.backend([1, 2, 4]))
+        service.run_batch([GemmSpec(16, 16, 16), GemmSpec(16, 16, 16)])
+        assert "cache_hits" in cache_effectiveness_table(service.stats())
+
+    def test_rejects_unrelated_dict(self):
+        with pytest.raises(ValueError):
+            cache_effectiveness_table({"speedup": 1.2})
+
+
+class TestPredictionThroughput:
+    @pytest.fixture
+    def predictor(self):
+        from repro.core.features import FeatureBuilder
+        from repro.core.predictor import ThreadPredictor
+
+        class Linearish:
+            def predict(self, X):
+                return X[:, 3] + 1e-6 * X[:, 0]
+
+        return ThreadPredictor(FeatureBuilder("both"), None, Linearish(),
+                               [1, 2, 4, 8, 16])
+
+    def test_rows_and_amortisation(self, predictor):
+        from repro.bench.throughput import prediction_throughput
+
+        rows = prediction_throughput(predictor, n_shapes=96,
+                                     batch_sizes=(1, 8, 64), repeats=2)
+        assert [r["batch_size"] for r in rows] == [1, 8, 64]
+        assert rows[0]["speedup"] == 1.0
+        assert rows[-1]["per_shape_us"] < rows[0]["per_shape_us"]
+        # Rows feed straight into the report renderer.
+        assert "per_shape_us" in format_table(rows)
+
+    def test_validation(self, predictor):
+        from repro.bench.throughput import prediction_throughput
+
+        with pytest.raises(ValueError):
+            prediction_throughput(predictor, shapes=[], batch_sizes=(1,))
+        with pytest.raises(ValueError):
+            prediction_throughput(predictor, batch_sizes=(0,))
+        with pytest.raises(ValueError):
+            prediction_throughput(predictor, repeats=0)

@@ -11,6 +11,13 @@ class TestParser:
             ["install", "--machine", "tiny", "--shapes", "10", "--out", "x"])
         assert args.machine == "tiny" and args.shapes == 10
 
+    def test_batch_args(self):
+        args = build_parser().parse_args(
+            ["batch", "--install", "dir", "--baseline", "shapes.txt"])
+        assert args.shapes_file == "shapes.txt"
+        assert args.baseline and args.machine is None
+        assert args.cache_size == 256
+
     def test_predict_args(self):
         args = build_parser().parse_args(
             ["predict", "--install", "dir", "8", "16", "32"])
@@ -46,3 +53,33 @@ class TestEndToEnd:
         rc = main(["demo", "--machine", "tiny", "--shapes", "25"])
         assert rc == 0
         assert "speedup vs max" in capsys.readouterr().out
+
+    def test_install_then_batch(self, tmp_path, capsys):
+        out = tmp_path / "install"
+        main(["install", "--machine", "tiny", "--shapes", "25",
+              "--cap-mb", "8", "--tune-iters", "1", "--cv-folds", "2",
+              "--out", str(out)])
+        capsys.readouterr()
+
+        shapes = tmp_path / "shapes.txt"
+        shapes.write_text("# quantum-chemistry-ish stream\n"
+                          "64 512 64\n32,768,32\n64 512 64\n\n128 128 128\n")
+        rc = main(["batch", "--install", str(out), "--baseline",
+                   str(shapes)])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "batch of 4 calls on tiny" in captured
+        assert "prediction cache" in captured
+        assert "speedup" in captured
+
+    def test_batch_rejects_malformed_shape_file(self, tmp_path):
+        from repro.cli import parse_shape_file
+
+        bad = tmp_path / "bad.txt"
+        bad.write_text("64 512\n")
+        with pytest.raises(ValueError):
+            parse_shape_file(str(bad))
+        empty = tmp_path / "empty.txt"
+        empty.write_text("# nothing\n")
+        with pytest.raises(ValueError):
+            parse_shape_file(str(empty))
