@@ -36,6 +36,10 @@ Subpackages
     The multi-backend execution engine: the ``ExecutionBackend``
     protocol and its adapters, the LRU ``PredictionCache``, and the
     batch-predicting ``GemmService`` request layer.
+``repro.serve``
+    The async serving subsystem: ``GemmServer`` with dynamic
+    micro-batching, admission control (backpressure + overload
+    rejection + fair share) and multi-tenant shard routing.
 ``repro.bench``
     Harness utilities for regenerating the paper's tables and figures.
 """
@@ -47,15 +51,18 @@ from repro.engine import GemmService, PredictionCache
 from repro.gemm.interface import GemmSpec
 from repro.machine.presets import by_name as machine_by_name
 from repro.machine.simulator import MachineSimulator
+from repro.serve import GemmServer, ServerOverloaded
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AdsalaConfig",
     "AdsalaGemm",
+    "GemmServer",
     "GemmService",
     "InstallationWorkflow",
     "PredictionCache",
+    "ServerOverloaded",
     "TrainedBundle",
     "GemmSpec",
     "MachineSimulator",

@@ -46,6 +46,31 @@ def cache_effectiveness_table(stats: dict, title: str = "prediction cache") -> s
     return format_table([row], title=title)
 
 
+def latency_table(summaries, title: str = "latency") -> str:
+    """Render one or more latency summaries as an aligned table.
+
+    ``summaries`` maps a series label to a
+    :class:`~repro.bench.stats.LatencySummary` (values in seconds;
+    printed in milliseconds).  Serve telemetry and the serve benchmark
+    both report through this, so their p50/p95/p99 columns line up.
+    """
+    if not summaries:
+        raise ValueError("no summaries")
+    rows = [summary.as_row(label=label) for label, summary in summaries.items()]
+    return format_table(rows, title=title)
+
+
+def batch_size_table(histogram: dict, title: str = "batch sizes") -> str:
+    """Render a batch-size histogram (``{size: count}``) as a table."""
+    if not histogram:
+        raise ValueError("empty histogram")
+    total = sum(histogram.values())
+    rows = [{"batch_size": size, "batches": count,
+             "share": f"{count / total:.1%}"}
+            for size, count in sorted(histogram.items())]
+    return format_table(rows, title=title)
+
+
 def ascii_histogram(values, bins=10, width: int = 40, title: str = "") -> str:
     """Text histogram (stands in for the paper's Figs. 1/8)."""
     values = np.asarray(values, dtype=np.float64)

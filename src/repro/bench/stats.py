@@ -1,4 +1,11 @@
-"""Speedup statistics in the exact shape of the paper's Tables V/VI."""
+"""Sample summaries: the paper's Tables V/VI speedup rows and the
+serving layer's latency percentiles.
+
+Both the serve telemetry (:mod:`repro.serve.telemetry`) and the
+benchmark reports (:mod:`repro.bench.report`) summarise latency samples
+through :func:`latency_summary`, so p50/p95/p99 always mean the same
+thing everywhere they are printed.
+"""
 
 from __future__ import annotations
 
@@ -31,6 +38,59 @@ class SpeedupStats:
             "Max Speedup": round(self.maximum, 2),
             "N": self.n,
         }
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Tail-focused summary of a latency sample (units preserved)."""
+
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+    n: int
+
+    def as_row(self, label: str = None, scale: float = 1e3,
+               unit: str = "ms", ndigits: int = 3) -> dict:
+        """One :func:`repro.bench.report.format_table`-ready row.
+
+        Values are multiplied by ``scale`` (seconds in, milliseconds out
+        by default) and rounded; ``label`` prepends a ``series`` column
+        so several summaries can share one table.
+        """
+        row = {} if label is None else {"series": label}
+        row.update({
+            f"mean_{unit}": round(self.mean * scale, ndigits),
+            f"p50_{unit}": round(self.p50 * scale, ndigits),
+            f"p95_{unit}": round(self.p95 * scale, ndigits),
+            f"p99_{unit}": round(self.p99 * scale, ndigits),
+            f"max_{unit}": round(self.maximum * scale, ndigits),
+            "n": self.n,
+        })
+        return row
+
+
+def latency_summary(latencies) -> LatencySummary:
+    """Summarise a latency sample (p50/p95/p99, mean, max).
+
+    The one latency aggregation in the repository: serve telemetry and
+    the benchmark reports both call this rather than re-deriving
+    percentiles ad hoc.  Units in == units out.
+    """
+    s = np.asarray(latencies, dtype=np.float64)
+    if s.size == 0:
+        raise ValueError("empty latency sample")
+    if (s < 0).any():
+        raise ValueError("latencies must be non-negative")
+    return LatencySummary(
+        mean=float(s.mean()),
+        p50=float(np.percentile(s, 50)),
+        p95=float(np.percentile(s, 95)),
+        p99=float(np.percentile(s, 99)),
+        maximum=float(s.max()),
+        n=int(s.size),
+    )
 
 
 def speedup_stats(speedups) -> SpeedupStats:

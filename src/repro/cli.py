@@ -5,6 +5,7 @@ Mirrors how a deployed ADSALA would be driven::
     python -m repro install --machine gadi --shapes 150 --cap-mb 100 --out ./install
     python -m repro predict --install ./install 64 2048 64
     python -m repro batch   --install ./install --machine gadi shapes.txt
+    python -m repro serve   --install ./install --rate 500 shapes.txt
     python -m repro demo    --machine setonix
 
 The ``install`` command runs the full installation workflow (on the
@@ -12,8 +13,12 @@ named simulated machine, or ``--machine host`` for real execution) and
 writes the two artefacts; ``predict`` loads them and reports the thread
 choice for a shape; ``batch`` serves a whole shape file through the
 engine's :class:`~repro.engine.service.GemmService` (deduplicated,
-vectorised prediction) and reports cache effectiveness; ``demo`` runs a
-quick before/after comparison.
+vectorised prediction) and reports cache effectiveness; ``serve``
+replays the shape file as a Poisson request stream through the async
+:class:`~repro.serve.server.GemmServer` (micro-batching, admission
+control, optionally several machine shards) and reports latency
+percentiles and the batch-size distribution; ``demo`` runs a quick
+before/after comparison.
 """
 
 from __future__ import annotations
@@ -135,6 +140,62 @@ def cmd_batch(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.serve.server import GemmServer
+    from repro.serve.trace import poisson_trace, replay_trace
+
+    bundle = load_bundle(args.install)
+    machines = args.machine or [bundle.config.machine]
+    try:
+        dims = parse_shape_file(args.shapes_file)
+        specs = [GemmSpec(m, k, n, dtype=bundle.config.dtype)
+                 for m, k, n in dims]
+        if args.requests is not None and args.requests < 1:
+            raise ValueError("--requests must be >= 1")
+        trace = poisson_trace(specs, rate_hz=args.rate,
+                              n_requests=args.requests,
+                              n_clients=args.clients, seed=args.seed)
+        shards = {name: GemmService.from_bundle(
+            bundle, _machine(name, args.seed), repeats=args.repeats,
+            cache_size=args.cache_size) for name in machines}
+        server = GemmServer(shards, max_batch=args.max_batch,
+                            max_wait_ms=args.max_wait_ms,
+                            max_queue=args.max_queue)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(f"replaying {len(trace)} requests at ~{args.rate:g}/s "
+          f"({args.clients} clients) across shards {sorted(shards)}")
+    outcome = replay_trace(server, trace)
+
+    from repro.bench.report import (batch_size_table,
+                                    cache_effectiveness_table, format_table,
+                                    latency_table)
+
+    print()
+    print(format_table([outcome.report_row("micro-batched")],
+                       title="serve replay"))
+    stats = outcome.stats
+    if stats.get("latency_ms"):
+        print()
+        print(latency_table({"latency": server.telemetry.latency(),
+                             "queue wait": server.telemetry.wait()},
+                            title="request latency (ms)"))
+    if stats["batch_size_histogram"]:
+        print()
+        print(batch_size_table(stats["batch_size_histogram"]))
+    for name in sorted(shards):
+        print()
+        print(cache_effectiveness_table(stats["shards"][name],
+                                        title=f"shard {name}"))
+    print(f"\nmodel passes: {stats['model_passes']} covering "
+          f"{stats['evaluations']} evaluated shapes and {stats['served']} "
+          f"served requests (per-request serving would pay "
+          f"{stats['evaluations']} passes)")
+    return 0
+
+
 def cmd_demo(args) -> int:
     machine = _machine(args.machine, args.seed)
     workflow = InstallationWorkflow(
@@ -190,6 +251,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also time the max-thread baseline per unique shape")
     p.add_argument("shapes_file", help="text file with one 'm k n' per line")
     p.set_defaults(func=cmd_batch)
+
+    p = sub.add_parser("serve", help="replay a shape file through the "
+                                     "async micro-batching server")
+    p.add_argument("--install", required=True, help="artefact directory")
+    p.add_argument("--machine", choices=machines, action="append",
+                   help="shard backend; repeat for multi-tenant shards "
+                        "(default: the installed machine)")
+    p.add_argument("--rate", type=float, default=500.0,
+                   help="Poisson arrival rate, requests/second")
+    p.add_argument("--requests", type=int, default=None,
+                   help="trace length (default: one per shape-file line)")
+    p.add_argument("--clients", type=int, default=4)
+    p.add_argument("--max-batch", type=int, default=16)
+    p.add_argument("--max-wait-ms", type=float, default=2.0)
+    p.add_argument("--max-queue", type=int, default=128)
+    p.add_argument("--repeats", type=int, default=1)
+    p.add_argument("--cache-size", type=int, default=256)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("shapes_file", help="text file with one 'm k n' per line")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("demo", help="quick install + before/after comparison")
     p.add_argument("--machine", choices=machines, default="gadi")

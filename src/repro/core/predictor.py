@@ -61,6 +61,7 @@ class ThreadPredictor:
         self.cache = cache if cache is not None else PredictionCache(cache_size)
         self.n_evaluations = 0
         self.n_batch_evaluations = 0
+        self.n_model_passes = 0
 
     @property
     def n_memo_hits(self) -> int:
@@ -103,6 +104,7 @@ class ThreadPredictor:
             return cached
         scores = self.predicted_runtimes(m, k, n)
         self.n_evaluations += 1
+        self.n_model_passes += 1
         choice = int(self.thread_grid[int(np.argmin(scores))])
         self.cache.put(key, choice)
         return choice
@@ -130,6 +132,7 @@ class ThreadPredictor:
             scores = self.predicted_runtimes_batch(misses)
             self.n_evaluations += len(misses)
             self.n_batch_evaluations += 1
+            self.n_model_passes += 1
             for key, row in zip(misses, np.argmin(scores, axis=1)):
                 choice = int(self.thread_grid[int(row)])
                 self.cache.put(key, choice)

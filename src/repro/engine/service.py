@@ -55,10 +55,20 @@ class GemmService:
         streams (GEMM + GEMV/SYRK/TRSM).
     repeats:
         Timing-loop repetitions per dispatched call.
+    refine:
+        Opt-in online refinement of thread choices: ``True`` builds an
+        :class:`~repro.core.online.OnlineRefiner` over ``predictor``, or
+        pass a pre-configured refiner (it must share this service's
+        predictor).  Every dispatched runtime is fed back, so choices
+        converge to the locally optimal grid point even where the model
+        mispredicts — at the cost of bounded exploration, which makes
+        choices measurement-dependent (leave off when bitwise replay
+        determinism matters, e.g. under :class:`repro.serve.GemmServer`
+        parity checks).
     """
 
     def __init__(self, predictor, backend=None, dispatcher: BackendDispatcher = None,
-                 repeats: int = 1):
+                 repeats: int = 1, refine=None):
         if dispatcher is None:
             if backend is None:
                 raise ValueError("provide a backend or a dispatcher")
@@ -68,6 +78,15 @@ class GemmService:
         self.predictor = predictor
         self.dispatcher = dispatcher
         self.repeats = repeats
+        self.refiner = None
+        if refine:
+            from repro.core.online import OnlineRefiner
+
+            self.refiner = refine if isinstance(refine, OnlineRefiner) \
+                else OnlineRefiner(predictor)
+            if self.refiner.predictor is not predictor:
+                raise ValueError(
+                    "refine must wrap this service's own predictor")
         self.history: list = []
         self.n_requests = 0
         self.n_batches = 0
@@ -75,7 +94,7 @@ class GemmService:
 
     @classmethod
     def from_bundle(cls, bundle, machine, repeats: int = 1,
-                    cache_size: int = 256) -> "GemmService":
+                    cache_size: int = 256, refine=None) -> "GemmService":
         """Service over installation artefacts and a machine-like object.
 
         The candidate grid is the installed one clamped to the
@@ -89,7 +108,7 @@ class GemmService:
             grid = [t for t in grid if t <= max_threads()] or grid
         return cls(bundle.predictor(cache_size=cache_size, thread_grid=grid),
                    backend=as_backend(machine, thread_grid=grid),
-                   repeats=repeats)
+                   repeats=repeats, refine=refine)
 
     # -- prediction ------------------------------------------------------
     @property
@@ -118,12 +137,18 @@ class GemmService:
 
     # -- execution -------------------------------------------------------
     def run(self, spec) -> GemmCallRecord:
-        """Predict, dispatch and record one call."""
+        """Predict (or refine), dispatch and record one call."""
         self._ensure_open()
         hits_before = self.cache.hits
-        n_threads = self.predictor.predict_threads(*_shape_key(spec))
+        key = _shape_key(spec)
+        if self.refiner is not None:
+            n_threads = int(self.refiner.choose_threads(*key))
+        else:
+            n_threads = self.predictor.predict_threads(*key)
         record = self._dispatch(spec, n_threads,
                                 memoised=self.cache.hits > hits_before)
+        if self.refiner is not None:
+            self.refiner.record(*key, record.n_threads, record.runtime)
         self.n_requests += 1
         return record
 
@@ -134,6 +159,11 @@ class GemmService:
         record is True when its prediction came from the cache or from
         an earlier occurrence in the same batch.  Records are returned
         in input order.
+
+        With ``refine`` on, the batch still pays one vectorised model
+        pass for all uncached shapes (seeding the refiner's priors),
+        after which the refiner may substitute a measured-better or
+        exploratory neighbour per call.
         """
         self._ensure_open()
         specs = list(specs)
@@ -148,8 +178,12 @@ class GemmService:
         for spec, key, n_threads in zip(specs, keys, choices):
             memoised = key not in fresh or key in seen
             seen.add(key)
-            records.append(self._dispatch(spec, int(n_threads),
-                                          memoised=memoised))
+            if self.refiner is not None:
+                n_threads = self.refiner.choose_threads(*key)
+            record = self._dispatch(spec, int(n_threads), memoised=memoised)
+            if self.refiner is not None:
+                self.refiner.record(*key, record.n_threads, record.runtime)
+            records.append(record)
         self.n_requests += len(specs)
         self.n_batches += 1
         return records
@@ -181,19 +215,24 @@ class GemmService:
 
     def stats(self) -> dict:
         """History- and cache-derived serving statistics."""
-        return {
+        stats = {
             "requests": self.n_requests,
             "batches": self.n_batches,
             "unique_shapes": len({_shape_key(r.spec) for r in self.history}),
             "evaluations": self.predictor.n_evaluations,
+            "model_passes": self.predictor.n_model_passes,
             "memo_hit_rate": round(self.memo_hit_rate, 4),
             **{f"cache_{k}": v for k, v in self.cache.stats().items()},
         }
+        if self.refiner is not None:
+            stats["refine_explorations"] = self.refiner.n_explorations
+        return stats
 
     # -- lifecycle -------------------------------------------------------
     def close(self) -> None:
         """Release the model (paper: destroy the instance after last call)."""
         self.predictor = None
+        self.refiner = None
         self._closed = True
 
     def _ensure_open(self) -> None:

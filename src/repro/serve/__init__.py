@@ -1,0 +1,66 @@
+"""repro.serve — async request serving over the execution engine.
+
+PR 1 made the engine *able* to answer batches
+(:meth:`~repro.engine.service.GemmService.run_batch`); this package
+makes the system *form* those batches itself from an asynchronous
+request stream:
+
+    clients --await submit()--> GemmServer --route--> shard queues
+                                   |                     |
+                          admission control        MicroBatcher
+                       (backpressure, hard        (max_batch OR
+                        limit, fair share)         max_wait_ms window)
+                                                         |
+                                              GemmService.run_batch
+                                              (one vectorised pass)
+
+* :class:`GemmServer` — asyncio front door: admission control with
+  backpressure, :class:`ServerOverloaded` rejection and per-client
+  fair-share caps; multi-tenant shard routing; telemetry.
+* :class:`~repro.serve.scheduler.MicroBatcher` /
+  :class:`~repro.serve.scheduler.BatchPolicy` — dynamic micro-batching:
+  a batch closes when it reaches ``max_batch`` or ``max_wait_ms`` after
+  its first request.
+* routers — :class:`~repro.serve.router.HashRouter` (replicas),
+  :class:`~repro.serve.router.SpecTypeRouter` (per routine family),
+  :class:`~repro.serve.router.TenantRouter` (per client), all
+  deterministic.
+* :mod:`~repro.serve.trace` — Poisson load generation and the replay
+  harness shared by the CLI, the serve benchmark and the examples.
+
+Thread choices are bitwise identical to synchronous
+``GemmService.run`` whatever batches the scheduler forms, because the
+engine's batch prediction is exact.
+"""
+
+from repro.serve.request import ServeRequest, ServerClosed, ServerOverloaded
+from repro.serve.router import (HashRouter, RoundRobinRouter, ShardRouter,
+                                SingleShardRouter, SpecTypeRouter,
+                                TenantRouter, default_router)
+from repro.serve.scheduler import BatchPolicy, MicroBatcher
+from repro.serve.server import GemmServer
+from repro.serve.telemetry import ServeTelemetry
+from repro.serve.trace import (ReplayOutcome, TimedRequest, poisson_trace,
+                               replay_trace, replay_trace_async)
+
+__all__ = [
+    "BatchPolicy",
+    "GemmServer",
+    "HashRouter",
+    "MicroBatcher",
+    "ReplayOutcome",
+    "RoundRobinRouter",
+    "ServeRequest",
+    "ServeTelemetry",
+    "ServerClosed",
+    "ServerOverloaded",
+    "ShardRouter",
+    "SingleShardRouter",
+    "SpecTypeRouter",
+    "TenantRouter",
+    "TimedRequest",
+    "default_router",
+    "poisson_trace",
+    "replay_trace",
+    "replay_trace_async",
+]

@@ -1,0 +1,51 @@
+"""Request envelope and admission errors for the serving layer.
+
+A :class:`ServeRequest` is what travels from :meth:`GemmServer.submit`
+through a shard queue to the micro-batcher: the spec itself plus the
+client identity (for fair-share accounting), the admission timestamp
+(for latency telemetry) and the future the caller is awaiting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+
+class ServerOverloaded(RuntimeError):
+    """The server refused admission (hard limit or fair-share breach).
+
+    Attributes
+    ----------
+    client:
+        The submitting client.
+    reason:
+        ``"overload"`` (global hard limit) or ``"fair_share"`` (this
+        client alone reached its share of the admission budget; the
+        rest is held in reserve for other tenants).
+    """
+
+    def __init__(self, message: str, client: str = "default",
+                 reason: str = "overload"):
+        super().__init__(message)
+        self.client = client
+        self.reason = reason
+
+
+class ServerClosed(RuntimeError):
+    """Submission after :meth:`GemmServer.close` began (or never started)."""
+
+
+@dataclass
+class ServeRequest:
+    """One admitted in-flight request.
+
+    ``t_submit`` is event-loop time at admission; the scheduler stamps
+    queue-wait and total latency against it when the batch resolves.
+    """
+
+    spec: object
+    client: str
+    future: asyncio.Future
+    t_submit: float
+    shard: str = field(default="default")

@@ -1,0 +1,124 @@
+"""Pluggable shard routing: which ``GemmService`` serves a request.
+
+A multi-tenant :class:`~repro.serve.server.GemmServer` fronts several
+shards — one per machine profile (e.g. ``gadi`` and ``setonix``
+simulators), per routine type, or per replica — and a router maps each
+``(spec, client)`` pair to a shard name.  :class:`HashRouter`,
+:class:`SpecTypeRouter` and :class:`TenantRouter` are stateless
+deterministic functions of their inputs, so replaying a trace through
+them reproduces the exact same shard assignment (and therefore the same
+per-shard cache and batch behaviour).  :class:`RoundRobinRouter` is the
+exception: it spreads by *admission order*, which under concurrent
+clients depends on task interleaving — use it for stateless replica
+load-spreading, not when replay reproducibility matters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Protocol, runtime_checkable
+
+from repro.engine.cache import shape_key
+
+
+@runtime_checkable
+class ShardRouter(Protocol):
+    """Structural protocol: map a request to a shard name."""
+
+    def route(self, spec, client: str = "default") -> str:
+        ...  # pragma: no cover - protocol stub
+
+
+def _require_shards(shards) -> list:
+    names = list(shards)
+    if not names:
+        raise ValueError("router needs at least one shard name")
+    return names
+
+
+class SingleShardRouter:
+    """Everything goes to the one shard (the single-tenant default)."""
+
+    def __init__(self, shard: str = "default"):
+        self.shard = str(shard)
+
+    def route(self, spec, client: str = "default") -> str:
+        return self.shard
+
+
+class HashRouter:
+    """Deterministic shape-hash spreading across identical replicas.
+
+    The same shape always lands on the same shard (its prediction stays
+    cached there), and the assignment is stable across processes because
+    it hashes the canonical shape key with blake2b rather than Python's
+    salted ``hash``.
+    """
+
+    def __init__(self, shards):
+        self.shards = _require_shards(shards)
+
+    def route(self, spec, client: str = "default") -> str:
+        digest = hashlib.blake2b(repr(shape_key(spec)).encode(),
+                                 digest_size=8).digest()
+        return self.shards[int.from_bytes(digest, "little") % len(self.shards)]
+
+
+class RoundRobinRouter:
+    """Cycle through shards in admission order (replica load-spreading)."""
+
+    def __init__(self, shards):
+        self.shards = _require_shards(shards)
+        self._next = 0
+
+    def route(self, spec, client: str = "default") -> str:
+        shard = self.shards[self._next]
+        self._next = (self._next + 1) % len(self.shards)
+        return shard
+
+
+class SpecTypeRouter:
+    """Route by spec type (one shard per routine family).
+
+    Lookup walks the spec's MRO, mirroring
+    :class:`~repro.engine.backend.BackendDispatcher`, so registering a
+    base class covers its subclasses.
+    """
+
+    def __init__(self, routes: dict, default: str = None):
+        for klass in routes:
+            if not isinstance(klass, type):
+                raise TypeError("routes keys must be classes")
+        self.routes = dict(routes)
+        self.default = default
+
+    def route(self, spec, client: str = "default") -> str:
+        for klass in type(spec).__mro__:
+            if klass in self.routes:
+                return self.routes[klass]
+        if self.default is not None:
+            return self.default
+        raise TypeError(
+            f"no shard registered for spec type {type(spec).__name__}")
+
+
+class TenantRouter:
+    """Route by client identity (one shard per tenant or tenant group)."""
+
+    def __init__(self, routes: dict, default: str = None):
+        self.routes = dict(routes)
+        self.default = default
+
+    def route(self, spec, client: str = "default") -> str:
+        shard = self.routes.get(client, self.default)
+        if shard is None:
+            raise KeyError(f"no shard registered for client {client!r}")
+        return shard
+
+
+def default_router(shard_names) -> ShardRouter:
+    """The server's routing default: single shard direct, else hashed."""
+    names = _require_shards(shard_names)
+    if len(names) == 1:
+        return SingleShardRouter(names[0])
+    return HashRouter(names)

@@ -1,0 +1,134 @@
+"""The micro-batching scheduler: window-or-size batch formation.
+
+One :class:`MicroBatcher` task runs per shard.  It pulls the first
+request off the shard queue, then keeps collecting until either
+``max_batch`` requests are in hand or ``max_wait_ms`` has elapsed since
+the first one arrived — the dynamic-batching idiom of production
+inference servers.  The collected batch is fulfilled with **one**
+:meth:`~repro.engine.service.GemmService.run_batch` call, whose thread
+choices are bitwise identical to per-request
+:meth:`~repro.engine.service.GemmService.run` (the engine guarantees
+batch == scalar prediction), and each caller's future is resolved with
+its own :class:`~repro.engine.service.GemmCallRecord`.
+
+Shutdown is a sentinel enqueued *behind* every already-admitted request
+(the queue is FIFO and admission stops first), so closing the server
+drains in-flight work instead of dropping it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+#: Queue sentinel marking the end of the request stream for a shard.
+SHUTDOWN = object()
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """When to close a forming batch.
+
+    Parameters
+    ----------
+    max_batch:
+        Dispatch as soon as this many requests are collected.
+    max_wait_ms:
+        Dispatch at most this many milliseconds after the *first*
+        request of the batch arrived, however few followed it — this is
+        the straggler bound on added latency.
+    """
+
+    max_batch: int = 16
+    max_wait_ms: float = 2.0
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+
+
+class MicroBatcher:
+    """Batch-forming consumer loop for one shard.
+
+    Parameters
+    ----------
+    service:
+        The shard's :class:`~repro.engine.service.GemmService`.
+    policy:
+        The :class:`BatchPolicy` window/size thresholds.
+    telemetry:
+        Shared :class:`~repro.serve.telemetry.ServeTelemetry`.
+    release:
+        Callback invoked once per request after its future resolves
+        (the server decrements pending/fair-share accounting here).
+    shard:
+        Shard name, for telemetry attribution.
+    """
+
+    def __init__(self, service, policy: BatchPolicy, telemetry, release,
+                 shard: str = "default"):
+        self.service = service
+        self.policy = policy
+        self.telemetry = telemetry
+        self.release = release
+        self.shard = shard
+
+    async def run(self, queue: asyncio.Queue) -> None:
+        """Consume ``queue`` until the shutdown sentinel arrives."""
+        loop = asyncio.get_running_loop()
+        closing = False
+        while not closing:
+            first = await queue.get()
+            if first is SHUTDOWN:
+                break
+            batch = [first]
+            closing = await self._collect(queue, batch, loop)
+            await self._execute(batch, loop)
+
+    async def _collect(self, queue, batch, loop) -> bool:
+        """Fill ``batch`` until size/window closes it; True on shutdown."""
+        deadline = loop.time() + self.policy.max_wait_ms / 1e3
+        while len(batch) < self.policy.max_batch:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                return False
+            try:
+                item = await asyncio.wait_for(queue.get(), remaining)
+            except asyncio.TimeoutError:
+                return False
+            if item is SHUTDOWN:
+                return True
+            batch.append(item)
+        return False
+
+    async def _execute(self, batch, loop) -> None:
+        """One vectorised service pass; resolve every caller's future.
+
+        The pass runs in the loop's default executor so a long batch
+        (a real ``ParallelExecutionBackend`` GEMM, say) never blocks
+        other shards' windows or new admissions; this shard's own
+        batcher stays suspended here, so per-shard execution remains
+        strictly sequential and choices stay deterministic.
+        """
+        t_start = loop.time()
+        self.telemetry.record_batch(self.shard, len(batch))
+        try:
+            records = await loop.run_in_executor(
+                None, self.service.run_batch, [r.spec for r in batch])
+        except Exception as exc:
+            for request in batch:
+                self.telemetry.record_failure(request.client)
+                if not request.future.done():
+                    request.future.set_exception(exc)
+                self.release(request)
+            return
+        t_done = loop.time()
+        for request, record in zip(batch, records):
+            self.telemetry.record_done(request.client,
+                                       latency=t_done - request.t_submit,
+                                       wait=t_start - request.t_submit)
+            if not request.future.done():
+                request.future.set_result(record)
+            self.release(request)

@@ -1,0 +1,220 @@
+"""`GemmServer`: the asyncio front door of the serving subsystem.
+
+Many concurrent clients ``await server.submit(spec)``; the server admits
+(or rejects) each request, routes it to a shard — one
+:class:`~repro.engine.service.GemmService` per machine profile, routine
+family or replica — and a per-shard
+:class:`~repro.serve.scheduler.MicroBatcher` forms dynamic batches that
+are fulfilled with one vectorised engine pass each.
+
+Admission control is two-tiered:
+
+* a bounded per-shard queue (``max_queue``) applies **backpressure** —
+  ``submit`` awaits until a slot frees;
+* a global hard limit (``max_pending`` admitted-but-unfinished requests)
+  **rejects** with :class:`~repro.serve.request.ServerOverloaded`, and a
+  per-client fair-share cap (``fair_share`` × ``max_pending``) stops a
+  single greedy tenant from occupying the whole admission budget.
+
+Thread choices are bitwise identical to synchronous
+:meth:`GemmService.run <repro.engine.service.GemmService.run>` calls on
+the same service, whatever batches the scheduler happens to form.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serve.request import ServeRequest, ServerClosed, ServerOverloaded
+from repro.serve.router import ShardRouter, default_router
+from repro.serve.scheduler import SHUTDOWN, BatchPolicy, MicroBatcher
+from repro.serve.telemetry import ServeTelemetry
+
+
+class GemmServer:
+    """Async request server over one or more ``GemmService`` shards.
+
+    Parameters
+    ----------
+    shards:
+        A single :class:`~repro.engine.service.GemmService` or a dict
+        mapping shard names to services (multi-tenant mode).  The server
+        does not own the services; closing it leaves them open.
+    router:
+        A :class:`~repro.serve.router.ShardRouter`; defaults to direct
+        routing for one shard and deterministic shape hashing for many.
+    max_batch / max_wait_ms:
+        The :class:`~repro.serve.scheduler.BatchPolicy` thresholds.
+    max_queue:
+        Per-shard queue capacity; a full queue blocks ``submit`` until a
+        batch drains (backpressure, never loss).
+    max_pending:
+        Hard global cap on admitted-but-unfinished requests; beyond it
+        ``submit`` raises :class:`ServerOverloaded` immediately.
+        Defaults to ``2 * max_queue * n_shards``.
+    fair_share:
+        Fraction of ``max_pending`` any single client may hold at
+        once, rejected with reason ``"fair_share"`` beyond it.  The
+        cap is unconditional — the remaining budget is held in
+        *reserve* so a tenant arriving mid-flood still finds admission
+        slots, which means even a sole client is bounded by it.  Set
+        ``None`` (or ``1.0``) for single-tenant deployments.
+    """
+
+    def __init__(self, shards, router: ShardRouter = None, *,
+                 max_batch: int = 16, max_wait_ms: float = 2.0,
+                 max_queue: int = 64, max_pending: int = None,
+                 fair_share: float = 0.5):
+        if hasattr(shards, "run_batch"):  # a bare GemmService
+            shards = {"default": shards}
+        if not shards:
+            raise ValueError("server needs at least one shard")
+        self.shards = dict(shards)
+        self.router = router if router is not None \
+            else default_router(self.shards)
+        self.policy = BatchPolicy(max_batch=max_batch, max_wait_ms=max_wait_ms)
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self.max_queue = int(max_queue)
+        self.max_pending = (int(max_pending) if max_pending is not None
+                            else 2 * self.max_queue * len(self.shards))
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if fair_share is not None and not 0.0 < fair_share <= 1.0:
+            raise ValueError("fair_share must be in (0, 1] or None")
+        self.fair_share = fair_share
+        self.telemetry = ServeTelemetry()
+        self._queues: dict = {}
+        self._tasks: list = []
+        self._pending = 0
+        self._client_pending: dict = {}
+        self._started = False
+        self._closing = False
+
+    # -- lifecycle -------------------------------------------------------
+    async def start(self) -> "GemmServer":
+        """Create the shard queues and batcher tasks on the running loop."""
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        for name, service in self.shards.items():
+            queue: asyncio.Queue = asyncio.Queue(maxsize=self.max_queue)
+            batcher = MicroBatcher(service, self.policy, self.telemetry,
+                                   release=self._release, shard=name)
+            self._queues[name] = queue
+            self._tasks.append(asyncio.ensure_future(batcher.run(queue)))
+        return self
+
+    async def close(self) -> None:
+        """Stop admission, drain every queue, join the batcher tasks.
+
+        Requests admitted before ``close`` resolve normally: the
+        shutdown sentinel is FIFO-ordered behind them.
+        """
+        if self._closing:
+            return
+        self._closing = True
+        if not self._started:
+            return
+        for queue in self._queues.values():
+            await queue.put(SHUTDOWN)
+        await asyncio.gather(*self._tasks)
+
+    async def __aenter__(self) -> "GemmServer":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    # -- admission -------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Admitted requests not yet resolved (queued + in batch)."""
+        return self._pending
+
+    def _fair_share_cap(self) -> int:
+        return max(1, int(self.max_pending * self.fair_share))
+
+    def _admit(self, client: str) -> None:
+        if self._pending >= self.max_pending:
+            self.telemetry.record_rejection(client, "overload")
+            raise ServerOverloaded(
+                f"{self._pending} requests pending (limit {self.max_pending})",
+                client=client, reason="overload")
+        if (self.fair_share is not None
+                and self._client_pending.get(client, 0) >= self._fair_share_cap()):
+            self.telemetry.record_rejection(client, "fair_share")
+            raise ServerOverloaded(
+                f"client {client!r} holds {self._client_pending[client]} of "
+                f"{self.max_pending} admission slots (fair-share cap "
+                f"{self._fair_share_cap()})", client=client,
+                reason="fair_share")
+        self._pending += 1
+        self._client_pending[client] = self._client_pending.get(client, 0) + 1
+
+    def _release(self, request: ServeRequest) -> None:
+        self._pending -= 1
+        remaining = self._client_pending[request.client] - 1
+        if remaining > 0:
+            self._client_pending[request.client] = remaining
+        else:
+            del self._client_pending[request.client]  # no unbounded growth
+
+    # -- serving ---------------------------------------------------------
+    async def submit(self, spec, client: str = "default", shard: str = None):
+        """Admit, route, enqueue and await one request.
+
+        Returns the :class:`~repro.engine.service.GemmCallRecord` the
+        shard produced.  ``shard`` overrides the router (explicit
+        tenant targeting); backpressure is an ``await``, overload an
+        exception.
+        """
+        if not self._started:
+            raise ServerClosed("server not started (use 'async with' or start())")
+        if self._closing:
+            raise ServerClosed("server is shutting down")
+        shard_name = shard if shard is not None \
+            else self.router.route(spec, client)
+        if shard_name not in self._queues:
+            raise KeyError(f"unknown shard {shard_name!r} "
+                           f"(have {sorted(self._queues)})")
+        self._admit(client)
+        loop = asyncio.get_running_loop()
+        request = ServeRequest(spec=spec, client=client,
+                               future=loop.create_future(),
+                               t_submit=loop.time(), shard=shard_name)
+        queue = self._queues[shard_name]
+        self.telemetry.record_admission(client, queue_depth=queue.qsize())
+        try:
+            await queue.put(request)  # backpressure: await-until-slot
+        except asyncio.CancelledError:
+            self._release(request)
+            raise
+        return await request.future
+
+    async def submit_many(self, specs, client: str = "default") -> list:
+        """Submit a burst concurrently; records come back in input order."""
+        return list(await asyncio.gather(
+            *(self.submit(spec, client=client) for spec in specs)))
+
+    # -- stats -----------------------------------------------------------
+    def stats(self) -> dict:
+        """Telemetry plus per-shard engine statistics.
+
+        ``model_passes``/``evaluations`` aggregate the shards' predictor
+        counters, which is what the serve benchmark compares against
+        per-request serving.
+        """
+        shard_stats = {name: service.stats()
+                       for name, service in self.shards.items()}
+        return {
+            **self.telemetry.stats(),
+            "pending": self._pending,
+            "max_pending": self.max_pending,
+            "max_queue": self.max_queue,
+            "max_batch": self.policy.max_batch,
+            "max_wait_ms": self.policy.max_wait_ms,
+            "evaluations": sum(s["evaluations"] for s in shard_stats.values()),
+            "model_passes": sum(s["model_passes"] for s in shard_stats.values()),
+            "shards": shard_stats,
+        }

@@ -1,0 +1,92 @@
+"""Serving telemetry: queue depth, batch sizes, latency percentiles.
+
+One :class:`ServeTelemetry` instance per server records every admission
+decision and every executed batch.  Latency aggregation goes through
+:func:`repro.bench.stats.latency_summary`, the same helper the benchmark
+reports use, so a p99 printed by ``server.stats()`` and a p99 printed by
+``bench/report.py`` are computed identically.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.bench.stats import latency_summary
+
+
+class ServeTelemetry:
+    """Counters and samples for one server's lifetime."""
+
+    def __init__(self):
+        self.submitted = 0
+        self.served = 0
+        self.failed = 0
+        self.rejected = Counter()      # reason -> count
+        self.batch_sizes: list = []    # one entry per executed batch
+        self.queue_depths: list = []   # sampled at every admission
+        self.latencies: list = []      # seconds, submit -> resolve
+        self.waits: list = []          # seconds, submit -> batch start
+        self.per_client: dict = {}     # client -> counters
+        self.per_shard_batches = Counter()
+
+    # -- recording -------------------------------------------------------
+    def _client(self, client: str) -> dict:
+        return self.per_client.setdefault(
+            client, {"submitted": 0, "served": 0, "failed": 0, "rejected": 0})
+
+    def record_admission(self, client: str, queue_depth: int) -> None:
+        self.submitted += 1
+        self.queue_depths.append(int(queue_depth))
+        self._client(client)["submitted"] += 1
+
+    def record_rejection(self, client: str, reason: str) -> None:
+        self.rejected[reason] += 1
+        self._client(client)["rejected"] += 1
+
+    def record_batch(self, shard: str, size: int) -> None:
+        self.batch_sizes.append(int(size))
+        self.per_shard_batches[shard] += 1
+
+    def record_done(self, client: str, latency: float, wait: float) -> None:
+        self.served += 1
+        self.latencies.append(float(latency))
+        self.waits.append(float(wait))
+        self._client(client)["served"] += 1
+
+    def record_failure(self, client: str) -> None:
+        self.failed += 1
+        self._client(client)["failed"] += 1
+
+    # -- reporting -------------------------------------------------------
+    def batch_size_histogram(self) -> dict:
+        """``{batch size: number of batches}`` in ascending size order."""
+        return dict(sorted(Counter(self.batch_sizes).items()))
+
+    def latency(self):
+        """:class:`~repro.bench.stats.LatencySummary` of request latency."""
+        return latency_summary(self.latencies)
+
+    def wait(self):
+        """:class:`~repro.bench.stats.LatencySummary` of queue-wait time."""
+        return latency_summary(self.waits)
+
+    def stats(self) -> dict:
+        """Snapshot dict (latency fields in milliseconds)."""
+        n_batches = len(self.batch_sizes)
+        out = {
+            "submitted": self.submitted,
+            "served": self.served,
+            "failed": self.failed,
+            "rejected": sum(self.rejected.values()),
+            "rejected_by_reason": dict(self.rejected),
+            "batches": n_batches,
+            "mean_batch_size": (round(sum(self.batch_sizes) / n_batches, 3)
+                                if n_batches else 0.0),
+            "batch_size_histogram": self.batch_size_histogram(),
+            "max_queue_depth": max(self.queue_depths, default=0),
+            "clients": {c: dict(v) for c, v in self.per_client.items()},
+        }
+        if self.latencies:
+            out["latency_ms"] = self.latency().as_row()
+            out["queue_wait_ms"] = self.wait().as_row()
+        return out

@@ -1,0 +1,137 @@
+"""Arrival traces and replay harness for the serving subsystem.
+
+A trace is a list of :class:`TimedRequest` — a spec, a client identity
+and an arrival offset.  :func:`poisson_trace` builds the classic
+open-loop load-test input (exponential inter-arrival times at a target
+rate); :func:`replay_trace` plays any trace against a
+:class:`~repro.serve.server.GemmServer` with one asyncio task per
+client request, which is exactly the many-concurrent-callers pattern
+the server exists to batch.
+
+The CLI ``serve`` command, ``benchmarks/test_serve_throughput.py`` and
+``examples/serve_trace.py`` all drive this module rather than each
+re-implementing a load generator.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serve.request import ServerOverloaded
+
+
+@dataclass(frozen=True)
+class TimedRequest:
+    """One trace entry: ``spec`` arrives ``at`` seconds into the replay."""
+
+    spec: object
+    at: float
+    client: str = "default"
+
+
+def poisson_trace(specs, rate_hz: float, n_requests: int = None,
+                  n_clients: int = 1, seed: int = 0) -> list:
+    """Open-loop Poisson arrivals over a spec pool.
+
+    Specs cycle through ``specs`` in order (so the *spec sequence* is
+    independent of the seed and can be replayed synchronously for
+    parity checks); only the arrival times are random.  Clients are
+    assigned round-robin as ``client-0 .. client-{n_clients-1}``.
+    """
+    pool = list(specs)
+    if not pool:
+        raise ValueError("no specs to build a trace from")
+    if rate_hz <= 0:
+        raise ValueError("rate_hz must be positive")
+    if n_clients < 1:
+        raise ValueError("n_clients must be >= 1")
+    n = len(pool) if n_requests is None else int(n_requests)
+    rng = np.random.default_rng(seed)
+    arrivals = np.cumsum(rng.exponential(1.0 / rate_hz, size=n))
+    return [TimedRequest(spec=pool[i % len(pool)], at=float(arrivals[i]),
+                         client=f"client-{i % n_clients}")
+            for i in range(n)]
+
+
+@dataclass
+class ReplayOutcome:
+    """What one trace replay produced.
+
+    ``records`` is aligned with the trace: a
+    :class:`~repro.engine.service.GemmCallRecord` per served request,
+    ``None`` where admission rejected it.
+    """
+
+    records: list
+    wall_seconds: float
+    stats: dict
+
+    @property
+    def served(self) -> int:
+        return sum(r is not None for r in self.records)
+
+    @property
+    def rejected(self) -> int:
+        return len(self.records) - self.served
+
+    @property
+    def requests_per_sec(self) -> float:
+        return self.served / self.wall_seconds if self.wall_seconds else 0.0
+
+    def thread_choices(self) -> list:
+        """Per-request thread choices (None for rejected requests)."""
+        return [None if r is None else r.n_threads for r in self.records]
+
+    def report_row(self, label: str = "replay") -> dict:
+        """One summary row for :func:`repro.bench.report.format_table`."""
+        row = {
+            "mode": label,
+            "requests": len(self.records),
+            "served": self.served,
+            "rejected": self.rejected,
+            "wall_ms": round(self.wall_seconds * 1e3, 1),
+            "req_per_s": round(self.requests_per_sec, 1),
+            "batches": self.stats.get("batches", 0),
+            "mean_batch": self.stats.get("mean_batch_size", 0.0),
+            "model_passes": self.stats.get("model_passes", 0),
+        }
+        latency = self.stats.get("latency_ms")
+        if latency:
+            row.update({"p50_ms": latency["p50_ms"],
+                        "p95_ms": latency["p95_ms"],
+                        "p99_ms": latency["p99_ms"]})
+        return row
+
+
+async def replay_trace_async(server, trace, time_scale: float = 1.0) -> ReplayOutcome:
+    """Replay ``trace`` against an *unstarted* server; drains on exit.
+
+    Each trace entry becomes its own task that sleeps until its arrival
+    offset (scaled by ``time_scale``) and then awaits ``submit``;
+    overload rejections are recorded as ``None``, not raised.
+    """
+    loop = asyncio.get_running_loop()
+
+    async def one_client_call(item: TimedRequest):
+        await asyncio.sleep(item.at * time_scale)
+        try:
+            return await server.submit(item.spec, client=item.client)
+        except ServerOverloaded:
+            return None
+
+    async with server:
+        t0 = loop.time()
+        records = await asyncio.gather(*(one_client_call(item)
+                                         for item in trace))
+        wall = loop.time() - t0
+    return ReplayOutcome(records=list(records), wall_seconds=wall,
+                         stats=server.stats())
+
+
+def replay_trace(server, trace, time_scale: float = 1.0) -> ReplayOutcome:
+    """Synchronous wrapper around :func:`replay_trace_async`."""
+    return asyncio.run(replay_trace_async(server, trace,
+                                          time_scale=time_scale))

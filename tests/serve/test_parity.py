@@ -1,0 +1,123 @@
+"""Acceptance: server thread choices == synchronous GemmService.run.
+
+Whatever micro-batches the scheduler happens to form, the engine's
+batch prediction is exact, so replaying a trace through the async
+server must yield bitwise-identical thread choices to running the same
+specs one by one through a fresh synchronous service.
+"""
+
+import asyncio
+
+from repro.gemm.interface import GemmSpec
+from repro.serve import GemmServer, poisson_trace, replay_trace
+
+
+def _trace_specs(distinct_specs):
+    # Repeats interleaved with fresh shapes: exercises cache hits,
+    # intra-batch dedup and straggler windows at once.
+    return distinct_specs + distinct_specs[:7] + distinct_specs[::2]
+
+
+class TestSyncParity:
+    def test_thread_choices_identical_to_sync_run(self, make_service,
+                                                  distinct_specs):
+        specs = _trace_specs(distinct_specs)
+        trace = poisson_trace(specs, rate_hz=4000, seed=3, n_clients=3)
+
+        server = GemmServer(make_service(), max_batch=8, max_wait_ms=2.0)
+        outcome = replay_trace(server, trace)
+        assert outcome.rejected == 0
+
+        sync = make_service()
+        expected = [sync.run(item.spec).n_threads for item in trace]
+        assert outcome.thread_choices() == expected
+
+    def test_parity_across_batch_policies(self, make_service, distinct_specs):
+        """Batch formation must never leak into the choices."""
+        specs = _trace_specs(distinct_specs)
+        trace = poisson_trace(specs, rate_hz=4000, seed=9)
+        choices = []
+        for max_batch, max_wait_ms in [(1, 0.0), (4, 1.0), (32, 8.0)]:
+            server = GemmServer(make_service(), max_batch=max_batch,
+                                max_wait_ms=max_wait_ms)
+            outcome = replay_trace(server, trace)
+            assert outcome.rejected == 0
+            choices.append(outcome.thread_choices())
+        assert choices[0] == choices[1] == choices[2]
+
+    def test_fewer_model_passes_than_per_request(self, make_service,
+                                                 distinct_specs):
+        """Micro-batching's whole point: shared model passes."""
+        specs = _trace_specs(distinct_specs)
+        trace = poisson_trace(specs, rate_hz=10000, seed=5)
+
+        batched = GemmServer(make_service(), max_batch=32, max_wait_ms=10.0)
+        outcome_batched = replay_trace(batched, trace)
+        per_request = GemmServer(make_service(), max_batch=1, max_wait_ms=0.0)
+        outcome_single = replay_trace(per_request, trace)
+
+        assert outcome_batched.stats["model_passes"] < \
+            outcome_single.stats["model_passes"]
+        # Both evaluated each unique shape exactly once (cache dedup).
+        assert outcome_batched.stats["evaluations"] == \
+            outcome_single.stats["evaluations"] == len(distinct_specs)
+
+    def test_multi_shard_parity(self, make_service, distinct_specs):
+        """Identical replicas: sharding cannot change any choice."""
+        specs = _trace_specs(distinct_specs)
+        trace = poisson_trace(specs, rate_hz=4000, seed=7)
+        server = GemmServer({"east": make_service(), "west": make_service()},
+                            max_batch=8, max_wait_ms=2.0)
+        outcome = replay_trace(server, trace)
+        assert outcome.rejected == 0
+
+        sync = make_service()
+        expected = [sync.run(item.spec).n_threads for item in trace]
+        assert outcome.thread_choices() == expected
+
+
+class TestReplayOutcome:
+    def test_report_row_shape(self, make_service, distinct_specs):
+        trace = poisson_trace(distinct_specs, rate_hz=4000, seed=1)
+        server = GemmServer(make_service(), max_batch=8, max_wait_ms=2.0)
+        outcome = replay_trace(server, trace)
+        row = outcome.report_row("smoke")
+        assert row["mode"] == "smoke"
+        assert row["requests"] == len(trace)
+        assert row["served"] == outcome.served
+        assert {"p50_ms", "p95_ms", "p99_ms"} <= set(row)
+        assert outcome.requests_per_sec > 0
+
+    def test_records_align_with_trace(self, make_service, distinct_specs):
+        trace = poisson_trace(distinct_specs, rate_hz=4000, seed=2)
+        server = GemmServer(make_service(), max_batch=8, max_wait_ms=2.0)
+        outcome = replay_trace(server, trace)
+        assert [r.spec for r in outcome.records] == \
+            [item.spec for item in trace]
+
+
+class TestPoissonTrace:
+    def test_deterministic_and_ordered(self, distinct_specs):
+        a = poisson_trace(distinct_specs, rate_hz=100, seed=4)
+        b = poisson_trace(distinct_specs, rate_hz=100, seed=4)
+        assert a == b
+        assert all(x.at <= y.at for x, y in zip(a, a[1:]))
+        # Spec sequence is seed-independent (parity replays rely on it).
+        c = poisson_trace(distinct_specs, rate_hz=100, seed=99)
+        assert [i.spec for i in a] == [i.spec for i in c]
+
+    def test_validation(self, distinct_specs):
+        import pytest
+
+        with pytest.raises(ValueError):
+            poisson_trace([], rate_hz=10)
+        with pytest.raises(ValueError):
+            poisson_trace(distinct_specs, rate_hz=0)
+        with pytest.raises(ValueError):
+            poisson_trace(distinct_specs, rate_hz=10, n_clients=0)
+
+    def test_round_robin_clients(self, distinct_specs):
+        trace = poisson_trace(distinct_specs, rate_hz=100, n_requests=6,
+                              n_clients=3)
+        assert [i.client for i in trace] == \
+            ["client-0", "client-1", "client-2"] * 2

@@ -1,0 +1,228 @@
+"""Micro-batching scheduler and admission-control edge cases."""
+
+import asyncio
+
+import pytest
+
+from repro.gemm.interface import GemmSpec
+from repro.serve import (BatchPolicy, GemmServer, ServerClosed,
+                         ServerOverloaded)
+
+from .conftest import ExplodingBackend
+
+
+class TestBatchPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(max_batch=0)
+        with pytest.raises(ValueError):
+            BatchPolicy(max_wait_ms=-1.0)
+
+    def test_server_rejects_bad_limits(self, make_service):
+        with pytest.raises(ValueError):
+            GemmServer(make_service(), max_queue=0)
+        with pytest.raises(ValueError):
+            GemmServer(make_service(), max_pending=0)
+        with pytest.raises(ValueError):
+            GemmServer(make_service(), fair_share=1.5)
+
+
+class TestWindowFlush:
+    def test_single_straggler_flushes_on_window(self, make_service):
+        """One lonely request must not wait for max_batch companions."""
+        server = GemmServer(make_service(), max_batch=64, max_wait_ms=10.0)
+
+        async def run():
+            async with server:
+                return await server.submit(GemmSpec(64, 64, 64))
+
+        record = asyncio.run(run())
+        assert record.n_threads == 8
+        assert server.telemetry.batch_size_histogram() == {1: 1}
+
+    def test_zero_wait_serves_singletons(self, make_service, distinct_specs):
+        """max_wait_ms=0 degenerates to per-request serving."""
+        server = GemmServer(make_service(), max_batch=64, max_wait_ms=0.0)
+
+        async def run():
+            async with server:
+                for spec in distinct_specs[:5]:
+                    await server.submit(spec)
+
+        asyncio.run(run())
+        assert server.telemetry.batch_size_histogram() == {1: 5}
+
+
+class TestBatchFormation:
+    def test_max_batch_caps_batch_size(self, make_service, distinct_specs):
+        server = GemmServer(make_service(), max_batch=4, max_wait_ms=50.0)
+
+        async def run():
+            async with server:
+                await server.submit_many(distinct_specs[:10])
+
+        asyncio.run(run())
+        sizes = server.telemetry.batch_sizes
+        assert sum(sizes) == 10
+        assert max(sizes) <= 4
+        assert 4 in sizes  # a concurrent burst actually filled a batch
+
+    def test_batch_resolves_every_future_in_order(self, make_service,
+                                                  distinct_specs):
+        server = GemmServer(make_service(), max_batch=8, max_wait_ms=20.0)
+
+        async def run():
+            async with server:
+                return await server.submit_many(distinct_specs)
+
+        records = asyncio.run(run())
+        assert [r.spec for r in records] == distinct_specs
+        assert all(r.n_threads == 8 for r in records)
+
+
+class TestAdmissionControl:
+    def test_hard_limit_rejects_with_overloaded(self, make_service,
+                                                distinct_specs):
+        server = GemmServer(make_service(), max_batch=4, max_wait_ms=5.0,
+                            max_queue=2, max_pending=4, fair_share=None)
+
+        async def run():
+            async with server:
+                results = await asyncio.gather(
+                    *(server.submit(s) for s in distinct_specs),
+                    return_exceptions=True)
+            return results
+
+        results = asyncio.run(run())
+        rejected = [r for r in results if isinstance(r, ServerOverloaded)]
+        served = [r for r in results if not isinstance(r, Exception)]
+        assert rejected, "the burst must overflow the hard limit"
+        assert served, "backpressure must still serve admitted requests"
+        assert all(r.reason == "overload" for r in rejected)
+        assert server.telemetry.rejected["overload"] == len(rejected)
+
+    def test_backpressure_without_loss(self, make_service, distinct_specs):
+        """A tiny queue throttles but never drops below the hard limit."""
+        server = GemmServer(make_service(), max_batch=2, max_wait_ms=1.0,
+                            max_queue=1, max_pending=1000)
+
+        async def run():
+            async with server:
+                return await asyncio.gather(
+                    *(server.submit(s) for s in distinct_specs))
+
+        records = asyncio.run(run())
+        assert len(records) == len(distinct_specs)
+        assert server.telemetry.rejected == {}
+
+    def test_fair_share_protects_other_tenants(self, make_service,
+                                               distinct_specs):
+        # Cap: each client may hold 2 of the 8 admission slots.
+        server = GemmServer(make_service(), max_batch=4, max_wait_ms=5.0,
+                            max_queue=8, max_pending=8, fair_share=0.25)
+
+        async def run():
+            async with server:
+                greedy = asyncio.gather(
+                    *(server.submit(s, client="greedy")
+                      for s in distinct_specs), return_exceptions=True)
+                polite = asyncio.gather(
+                    *(server.submit(s, client="polite")
+                      for s in distinct_specs[:2]), return_exceptions=True)
+                return await greedy, await polite
+
+        greedy, polite = asyncio.run(run())
+        greedy_rejected = [r for r in greedy
+                           if isinstance(r, ServerOverloaded)]
+        assert greedy_rejected
+        assert all(r.reason == "fair_share" for r in greedy_rejected)
+        # The polite tenant was never crowded out.
+        assert all(not isinstance(r, Exception) for r in polite)
+        clients = server.telemetry.stats()["clients"]
+        assert clients["polite"]["rejected"] == 0
+        assert clients["greedy"]["rejected"] == len(greedy_rejected)
+
+    def test_pending_accounting_returns_to_zero(self, make_service,
+                                                distinct_specs):
+        server = GemmServer(make_service(), max_batch=4, max_wait_ms=2.0)
+
+        async def run():
+            async with server:
+                await server.submit_many(distinct_specs)
+
+        asyncio.run(run())
+        assert server.pending == 0
+
+
+class TestShutdown:
+    def test_close_drains_in_flight_requests(self, make_service,
+                                             distinct_specs):
+        """Requests admitted before close() must resolve, not drop."""
+        server = GemmServer(make_service(), max_batch=4, max_wait_ms=200.0)
+
+        async def run():
+            await server.start()
+            tasks = [asyncio.ensure_future(server.submit(s))
+                     for s in distinct_specs[:6]]
+            await asyncio.sleep(0)   # let every submit reach its queue
+            await server.close()     # well before the 200 ms window
+            return await asyncio.gather(*tasks)
+
+        records = asyncio.run(run())
+        assert len(records) == 6
+        assert all(r.n_threads == 8 for r in records)
+        assert server.pending == 0
+
+    def test_submit_after_close_raises(self, make_service):
+        server = GemmServer(make_service())
+
+        async def run():
+            async with server:
+                pass
+            await server.submit(GemmSpec(8, 8, 8))
+
+        with pytest.raises(ServerClosed):
+            asyncio.run(run())
+
+    def test_submit_before_start_raises(self, make_service):
+        server = GemmServer(make_service())
+        with pytest.raises(ServerClosed):
+            asyncio.run(server.submit(GemmSpec(8, 8, 8)))
+
+    def test_close_is_idempotent(self, make_service):
+        server = GemmServer(make_service())
+
+        async def run():
+            async with server:
+                pass
+            await server.close()
+
+        asyncio.run(run())  # no error
+
+
+class TestFailurePropagation:
+    def test_backend_error_reaches_every_caller(self, make_service,
+                                                distinct_specs):
+        service = make_service(backend=ExplodingBackend())
+        server = GemmServer(service, max_batch=4, max_wait_ms=10.0)
+
+        async def run():
+            async with server:
+                return await asyncio.gather(
+                    *(server.submit(s) for s in distinct_specs[:4]),
+                    return_exceptions=True)
+
+        results = asyncio.run(run())
+        assert all(isinstance(r, ArithmeticError) for r in results)
+        assert server.telemetry.failed == 4
+        assert server.pending == 0
+
+    def test_unknown_shard_rejected(self, make_service):
+        server = GemmServer(make_service())
+
+        async def run():
+            async with server:
+                await server.submit(GemmSpec(8, 8, 8), shard="nope")
+
+        with pytest.raises(KeyError):
+            asyncio.run(run())

@@ -4,9 +4,10 @@ import numpy as np
 import pytest
 
 from repro.bench.gflops import MemoryBucket, bucket_gflops
-from repro.bench.report import (ascii_histogram, cache_effectiveness_table,
-                                format_table, heatmap_summary)
-from repro.bench.stats import speedup_stats
+from repro.bench.report import (ascii_histogram, batch_size_table,
+                                cache_effectiveness_table, format_table,
+                                heatmap_summary, latency_table)
+from repro.bench.stats import latency_summary, speedup_stats
 
 
 class TestSpeedupStats:
@@ -34,6 +35,63 @@ class TestSpeedupStats:
             speedup_stats([])
         with pytest.raises(ValueError):
             speedup_stats([1.0, -0.5])
+
+
+class TestLatencySummary:
+    def test_fields_and_ordering(self):
+        rng = np.random.default_rng(0)
+        summary = latency_summary(rng.exponential(0.002, 1000))
+        assert summary.n == 1000
+        assert summary.p50 <= summary.p95 <= summary.p99 <= summary.maximum
+        assert summary.mean > 0
+
+    def test_as_row_scales_seconds_to_ms(self):
+        summary = latency_summary([0.001, 0.002, 0.003])
+        row = summary.as_row(label="serve")
+        assert row["series"] == "serve"
+        assert row["p50_ms"] == pytest.approx(2.0)
+        assert row["max_ms"] == pytest.approx(3.0)
+        assert row["n"] == 3
+
+    def test_as_row_without_label(self):
+        row = latency_summary([0.5]).as_row()
+        assert "series" not in row
+        assert row["mean_ms"] == pytest.approx(500.0)
+
+    def test_single_sample(self):
+        summary = latency_summary([0.25])
+        assert summary.p50 == summary.p99 == summary.maximum == 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            latency_summary([])
+        with pytest.raises(ValueError):
+            latency_summary([0.1, -0.1])
+
+    def test_latency_table_renders(self):
+        text = latency_table(
+            {"latency": latency_summary([0.001, 0.004]),
+             "queue wait": latency_summary([0.0005, 0.001])},
+            title="request latency (ms)")
+        assert "request latency (ms)" in text
+        assert "p99_ms" in text and "queue wait" in text
+
+    def test_latency_table_rejects_empty(self):
+        with pytest.raises(ValueError):
+            latency_table({})
+
+
+class TestBatchSizeTable:
+    def test_renders_sorted_with_shares(self):
+        text = batch_size_table({4: 1, 1: 3})
+        lines = text.splitlines()
+        assert "batch sizes" in lines[0]
+        assert lines[3].startswith("1") and "75.0%" in lines[3]
+        assert lines[4].startswith("4") and "25.0%" in lines[4]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            batch_size_table({})
 
 
 class TestBucketGflops:

@@ -1,4 +1,4 @@
-"""CLI commands: install / predict / demo."""
+"""CLI commands: install / predict / batch / serve / demo."""
 
 import pytest
 
@@ -17,6 +17,19 @@ class TestParser:
         assert args.shapes_file == "shapes.txt"
         assert args.baseline and args.machine is None
         assert args.cache_size == 256
+
+    def test_serve_args(self):
+        args = build_parser().parse_args(
+            ["serve", "--install", "dir", "--machine", "gadi",
+             "--machine", "setonix", "--rate", "250", "--max-batch", "8",
+             "trace.txt"])
+        assert args.machine == ["gadi", "setonix"]
+        assert args.rate == 250.0 and args.max_batch == 8
+        assert args.max_wait_ms == 2.0 and args.shapes_file == "trace.txt"
+
+    def test_serve_defaults_to_installed_machine(self):
+        args = build_parser().parse_args(["serve", "--install", "dir", "t.txt"])
+        assert args.machine is None and args.clients == 4
 
     def test_predict_args(self):
         args = build_parser().parse_args(
@@ -71,6 +84,36 @@ class TestEndToEnd:
         assert "batch of 4 calls on tiny" in captured
         assert "prediction cache" in captured
         assert "speedup" in captured
+
+    def test_install_then_serve(self, tmp_path, capsys):
+        out = tmp_path / "install"
+        main(["install", "--machine", "tiny", "--shapes", "25",
+              "--cap-mb", "8", "--tune-iters", "1", "--cv-folds", "2",
+              "--out", str(out)])
+        capsys.readouterr()
+
+        shapes = tmp_path / "shapes.txt"
+        shapes.write_text("64 512 64\n32 768 32\n64 512 64\n128 128 128\n")
+        rc = main(["serve", "--install", str(out), "--rate", "4000",
+                   "--requests", "24", "--max-wait-ms", "2",
+                   str(shapes)])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "serve replay" in captured
+        assert "request latency (ms)" in captured
+        assert "batch sizes" in captured
+        assert "model passes" in captured
+        assert "shard tiny" in captured
+
+    def test_serve_rejects_missing_shape_file(self, tmp_path, capsys):
+        out = tmp_path / "install"
+        main(["install", "--machine", "tiny", "--shapes", "25",
+              "--cap-mb", "8", "--tune-iters", "1", "--cv-folds", "2",
+              "--out", str(out)])
+        capsys.readouterr()
+        rc = main(["serve", "--install", str(out),
+                   str(tmp_path / "missing.txt")])
+        assert rc == 2
 
     def test_batch_rejects_malformed_shape_file(self, tmp_path):
         from repro.cli import parse_shape_file
