@@ -1,0 +1,95 @@
+"""Training extension — parallel tuning wall-clock vs the serial path.
+
+Not a paper figure: this experiment quantifies what the staged
+training pipeline adds to the offline path.  One small gathered
+campaign is installed twice through the identical pipeline — once with
+``n_jobs=1`` and once fanned across worker processes — and the
+comparison reports tuning wall-clock, the speedup at each worker
+count, and (the correctness acceptance) that every worker count
+selected a bitwise-identical model.
+
+Smoke mode for CI: ``TRAIN_BENCH_SMOKE=1`` enables the run (mirroring
+``SERVE_BENCH_SMOKE``); the speedup floor is only asserted when the
+host actually has the cores to parallelise onto.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.bench.report import format_table
+from repro.core.gather import DataGatherer
+from repro.core.training import InstallationWorkflow
+from repro.machine.presets import by_name
+from repro.machine.simulator import MachineSimulator
+from repro.ml.registry import candidate_models
+
+SMOKE = os.environ.get("TRAIN_BENCH_SMOKE") == "1"
+pytestmark = pytest.mark.skipif(
+    not SMOKE, reason="training benchmark is opt-in: TRAIN_BENCH_SMOKE=1")
+
+MB = 1024 * 1024
+GRID = [1, 2, 4, 8, 12, 16]
+N_JOBS = 4
+#: Enough CV work per candidate that fan-out dominates pool overhead.
+TUNE_ITERS, CV_FOLDS = 4, 3
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    sim = MachineSimulator(by_name("tiny"), seed=0)
+    gatherer = DataGatherer(sim, thread_grid=GRID, repeats=2)
+    return gatherer.gather(n_shapes=60, memory_cap_bytes=16 * MB, seed=0)
+
+
+def _install(data, n_jobs: int, executor: str):
+    sim = MachineSimulator(by_name("tiny"), seed=0)
+    workflow = InstallationWorkflow(
+        sim, memory_cap_bytes=16 * MB, n_shapes=60, thread_grid=GRID,
+        candidates=candidate_models(budget="fast"),
+        tune_iters=TUNE_ITERS, cv_folds=CV_FOLDS, repeats=2, seed=0,
+        eval_time_s=1e-5, n_jobs=n_jobs, executor=executor)
+    t0 = time.perf_counter()
+    bundle = workflow.run(data)
+    return bundle, time.perf_counter() - t0
+
+
+def test_parallel_tuning_speedup(campaign):
+    serial_bundle, serial_s = _install(campaign, n_jobs=1,
+                                       executor="thread")
+    parallel_bundle, parallel_s = _install(campaign, n_jobs=N_JOBS,
+                                           executor="process")
+    speedup = serial_s / parallel_s
+
+    rows = [
+        {"mode": "serial", "workers": 1, "wall_s": round(serial_s, 3),
+         "speedup": 1.0, "selected": serial_bundle.report.selected},
+        {"mode": "parallel", "workers": N_JOBS,
+         "wall_s": round(parallel_s, 3), "speedup": round(speedup, 2),
+         "selected": parallel_bundle.report.selected},
+    ]
+    table = format_table(rows, title="training pipeline tuning wall-clock")
+    print()
+    print(table)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "train_throughput.txt"), "w") as fh:
+        fh.write(table + "\n")
+
+    # Correctness before speed: any worker count, same model — bitwise.
+    assert parallel_bundle.report.selected == serial_bundle.report.selected
+    assert pickle.dumps(parallel_bundle.model) \
+        == pickle.dumps(serial_bundle.model)
+
+    cores = os.cpu_count() or 1
+    if cores >= N_JOBS:
+        assert speedup >= 2.0, (
+            f"parallel tuning at {N_JOBS} workers on {cores} cores "
+            f"achieved only {speedup:.2f}x over serial")
+    else:
+        print(f"(host has {cores} core(s): the >= 2x floor needs "
+              f">= {N_JOBS}; recording {speedup:.2f}x without asserting)")

@@ -39,7 +39,13 @@ Subpackages
 ``repro.serve``
     The async serving subsystem: ``GemmServer`` with dynamic
     micro-batching, admission control (backpressure + overload
-    rejection + fair share) and multi-tenant shard routing.
+    rejection + fair share), multi-tenant shard routing and
+    zero-downtime bundle hot-reload.
+``repro.train``
+    The staged training pipeline: resumable content-addressed stages,
+    parallel hyper-parameter tuning (bitwise-identical to serial), the
+    versioned ``ModelRegistry`` and the routine x machine
+    ``TrainingMatrix``.
 ``repro.bench``
     Harness utilities for regenerating the paper's tables and figures.
 """
@@ -52,8 +58,9 @@ from repro.gemm.interface import GemmSpec
 from repro.machine.presets import by_name as machine_by_name
 from repro.machine.simulator import MachineSimulator
 from repro.serve import GemmServer, ServerOverloaded
+from repro.train import ModelRegistry, TrainingMatrix, TrainingPipeline
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AdsalaConfig",
@@ -61,9 +68,12 @@ __all__ = [
     "GemmServer",
     "GemmService",
     "InstallationWorkflow",
+    "ModelRegistry",
     "PredictionCache",
     "ServerOverloaded",
     "TrainedBundle",
+    "TrainingMatrix",
+    "TrainingPipeline",
     "GemmSpec",
     "MachineSimulator",
     "machine_by_name",

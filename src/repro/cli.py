@@ -1,20 +1,32 @@
-"""Command-line interface: install, predict, batch-serve, benchmark.
+"""Command-line interface: install, registry, predict, batch-serve.
 
 Mirrors how a deployed ADSALA would be driven::
 
     python -m repro install --machine gadi --shapes 150 --cap-mb 100 --out ./install
+    python -m repro install --machine gadi --jobs 4 --resume --out ./install
+    python -m repro install --matrix --machine gadi --machine setonix \\
+                            --routine gemm --routine gemv --out ./registry
+    python -m repro models  --registry ./registry
+    python -m repro models  --registry ./registry --inspect gemv/gadi@1
     python -m repro predict --install ./install 64 2048 64
     python -m repro batch   --install ./install --machine gadi shapes.txt
     python -m repro serve   --install ./install --rate 500 shapes.txt
     python -m repro demo    --machine setonix
 
-The ``install`` command runs the full installation workflow (on the
-named simulated machine, or ``--machine host`` for real execution) and
-writes the two artefacts; ``predict`` loads them and reports the thread
-choice for a shape; ``batch`` serves a whole shape file through the
-engine's :class:`~repro.engine.service.GemmService` (deduplicated,
-vectorised prediction) and reports cache effectiveness; ``serve``
-replays the shape file as a Poisson request stream through the async
+The ``install`` command runs the staged training pipeline (on the named
+simulated machine, or ``--machine host`` for real execution) and writes
+the artefacts: ``--jobs`` fans hyper-parameter tuning across workers
+(selection is bitwise identical at any worker count), ``--resume``
+keeps a stage cache under the output directory so an interrupted
+installation re-executes only unfinished stages, ``--routine`` trains
+for a non-GEMM BLAS routine, and ``--matrix`` trains every (routine,
+machine) cell and publishes versioned bundles into a model registry.
+``models`` lists or inspects registry entries; ``predict`` loads
+artefacts and reports the thread choice for a shape; ``batch`` serves a
+whole shape file through the engine's
+:class:`~repro.engine.service.GemmService` (deduplicated, vectorised
+prediction) and reports cache effectiveness; ``serve`` replays the
+shape file as a Poisson request stream through the async
 :class:`~repro.serve.server.GemmServer` (micro-batching, admission
 control, optionally several machine shards) and reports latency
 percentiles and the batch-size distribution; ``demo`` runs a quick
@@ -24,6 +36,7 @@ before/after comparison.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.core.library import AdsalaGemm
@@ -35,6 +48,7 @@ from repro.gemm.partition import choose_thread_grid
 from repro.machine.host import HostMachine
 from repro.machine.presets import PRESETS, by_name
 from repro.machine.simulator import MachineSimulator
+from repro.train.registry import ROUTINES
 
 MB = 1024 * 1024
 
@@ -46,22 +60,118 @@ def _machine(name: str, seed: int):
 
 
 def cmd_install(args) -> int:
-    machine = _machine(args.machine, args.seed)
-    grid = choose_thread_grid(machine.max_threads())
-    workflow = InstallationWorkflow(
-        machine, memory_cap_bytes=args.cap_mb * MB, n_shapes=args.shapes,
-        thread_grid=grid, budget=args.budget,
-        label_transform=args.label_transform, tune_iters=args.tune_iters,
-        cv_folds=args.cv_folds, seed=args.seed)
-    print(f"installing on {args.machine}: {args.shapes} shapes, "
-          f"<= {args.cap_mb} MB, grid {grid}")
-    bundle = workflow.run()
+    machines = args.machine or ["gadi"]
+    routines = args.routine or ["gemm"]
+    cache = os.path.join(args.out, ".stage_cache") if args.resume else None
+    settings = dict(
+        n_shapes=args.shapes, memory_cap_bytes=args.cap_mb * MB,
+        budget=args.budget, label_transform=args.label_transform,
+        tune_iters=args.tune_iters, cv_folds=args.cv_folds)
+
+    if args.matrix:
+        from repro.train.matrix import TrainingMatrix
+
+        try:
+            matrix = TrainingMatrix(routines, machines, registry=args.out,
+                                    cache=cache, n_jobs=args.jobs,
+                                    executor=args.executor, seed=args.seed,
+                                    **settings)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"training matrix: {len(matrix.cells())} cells "
+              f"({'/'.join(routines)} x {'/'.join(machines)}), "
+              f"{args.jobs} worker(s)")
+        result = matrix.run(progress=print)
+        stats = result.stage_stats
+        print(f"registry at {args.out}/ — {len(result.records)} bundles "
+              f"published (stage cache: {stats['hits']} hits, "
+              f"{stats['misses']} misses)")
+        return 0
+
+    if len(machines) > 1 or len(routines) > 1:
+        print("error: several --machine/--routine values need --matrix",
+              file=sys.stderr)
+        return 2
+    routine, machine_name = routines[0], machines[0]
+    if routine == "gemm":
+        machine = _machine(machine_name, args.seed)
+        grid = choose_thread_grid(machine.max_threads())
+        workflow = InstallationWorkflow(
+            machine, thread_grid=grid, seed=args.seed, n_jobs=args.jobs,
+            executor=args.executor, **settings)
+    else:
+        if machine_name == "host":
+            print("error: non-GEMM routines install on simulated machines "
+                  "only (pick a preset)", file=sys.stderr)
+            return 2
+        from repro.train.matrix import build_workflow
+
+        workflow = build_workflow(routine, machine_name, seed=args.seed,
+                                  n_jobs=args.jobs, executor=args.executor,
+                                  **settings)
+        grid = workflow.thread_grid
+    print(f"installing {routine} on {machine_name}: {args.shapes} shapes, "
+          f"<= {args.cap_mb} MB, grid {grid}, {args.jobs} worker(s)")
+    bundle = workflow.run(cache=cache)
     from repro.bench.report import format_table
 
     print(format_table(bundle.report.as_table(), title="model bake-off"))
     print(f"selected: {bundle.report.selected}")
+    if args.resume:
+        run = workflow.last_pipeline_.last_run_
+        print(f"stage cache: {run.cache_hits} stage(s) replayed, "
+              f"{len(run.executed)} executed")
     save_bundle(bundle, args.out)
     print(f"artefacts written to {args.out}/")
+    return 0
+
+
+def _parse_model_ref(ref: str):
+    """``routine/machine[@version]`` -> (routine, machine, version)."""
+    if "/" not in ref:
+        raise ValueError(f"expected ROUTINE/MACHINE[@VERSION], got {ref!r}")
+    routine, rest = ref.split("/", 1)
+    version = "latest"
+    if "@" in rest:
+        rest, version = rest.rsplit("@", 1)
+    return routine, rest, version
+
+
+def cmd_models(args) -> int:
+    from repro.bench.report import format_table
+    from repro.core.serialize import BundleError
+    from repro.train.registry import ModelRegistry, RegistryError
+
+    registry = ModelRegistry(args.registry)
+    try:
+        if args.inspect:
+            routine, machine, version = _parse_model_ref(args.inspect)
+            info = registry.inspect(routine, machine, version)
+            print(f"{routine}/{machine}@{info['version']}"
+                  f"{'  (latest)' if info['latest'] else ''}")
+            print(f"  path:     {info['path']}")
+            print(f"  checksum: {info['checksum']}")
+            manifest = info["manifest"] or {}
+            print(f"  schema:   {manifest.get('schema_version')}")
+            print(f"  model:    {manifest.get('model_name')}")
+            selection = manifest.get("selection")
+            if selection:
+                print()
+                print(format_table(selection, title="selection report"))
+            return 0
+        entries = registry.entries()
+    except (RegistryError, BundleError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not entries:
+        print(f"registry {args.registry} has no published models")
+        return 0
+    rows = [{"routine": e.routine, "machine": e.machine,
+             "version": e.version, "model": e.model_name,
+             "checksum": e.checksum[:12],
+             "latest": "*" if e.latest else ""} for e in entries]
+    print(format_table(rows, title=f"registry {args.registry}"))
     return 0
 
 
@@ -220,8 +330,27 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     machines = sorted(PRESETS) + ["host"]
 
-    p = sub.add_parser("install", help="run the installation workflow")
-    p.add_argument("--machine", choices=machines, default="gadi")
+    p = sub.add_parser("install", help="run the staged training pipeline")
+    p.add_argument("--machine", choices=machines, action="append",
+                   default=None,
+                   help="target machine; repeat with --matrix "
+                        "(default: gadi)")
+    p.add_argument("--routine", choices=sorted(ROUTINES), action="append",
+                   default=None,
+                   help="BLAS routine to train for; repeat with --matrix "
+                        "(default: gemm)")
+    p.add_argument("--matrix", action="store_true",
+                   help="train every (routine, machine) cell and publish "
+                        "versioned bundles into a registry at --out")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="tuning workers; selection is bitwise identical "
+                        "at any count")
+    p.add_argument("--executor", choices=["thread", "process"],
+                   default="thread",
+                   help="worker kind for --jobs > 1")
+    p.add_argument("--resume", action="store_true",
+                   help="keep a stage cache under --out; an interrupted "
+                        "install re-executes only unfinished stages")
     p.add_argument("--shapes", type=int, default=150)
     p.add_argument("--cap-mb", type=int, default=100)
     p.add_argument("--budget", choices=["fast", "full"], default="fast")
@@ -230,8 +359,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tune-iters", type=int, default=3)
     p.add_argument("--cv-folds", type=int, default=3)
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--out", required=True, help="artefact output directory")
+    p.add_argument("--out", required=True,
+                   help="artefact output directory (registry root "
+                        "with --matrix)")
     p.set_defaults(func=cmd_install)
+
+    p = sub.add_parser("models", help="list or inspect registry entries")
+    p.add_argument("--registry", required=True, help="registry root directory")
+    p.add_argument("--inspect", default=None, metavar="ROUTINE/MACHINE[@V]",
+                   help="show one entry's manifest and selection report")
+    p.set_defaults(func=cmd_models)
 
     p = sub.add_parser("predict", help="query a saved installation")
     p.add_argument("--install", required=True, help="artefact directory")

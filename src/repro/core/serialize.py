@@ -5,10 +5,22 @@ A trained bundle is the pair the paper's Fig. 2 outputs: the config
 (pickle — the models are plain numpy-holding Python objects, and pickle
 is the appropriate tool for same-trust-domain persistence, exactly as
 scikit-learn recommends for its own estimators).
+
+Since the model registry arrived, every bundle directory also carries a
+``MANIFEST.json`` recording the serialization **schema version** and a
+**SHA-256 checksum per artefact file**, so a corrupted, truncated or
+tampered pickle fails loudly at load time (:class:`BundleIntegrityError`
+with a clear message, never a bare pickle traceback) and a bundle
+written by an incompatible future schema is refused
+(:class:`BundleSchemaError`).  Pre-manifest directories — everything
+installed before the registry existed — still load through the legacy
+path unchanged.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 import pickle
 
@@ -16,23 +28,138 @@ from repro.core.config import AdsalaConfig
 
 CONFIG_FILENAME = "adsala_config.json"
 MODEL_FILENAME = "adsala_model.pkl"
+MANIFEST_FILENAME = "MANIFEST.json"
+
+#: Bump on any incompatible change to the artefact layout or pickle
+#: payload structure.  Loaders refuse manifests from other majors.
+SCHEMA_VERSION = 1
 
 
-def save_bundle(bundle, directory) -> None:
+class BundleError(RuntimeError):
+    """Base class for artefact persistence failures."""
+
+
+class BundleSchemaError(BundleError):
+    """The bundle was written by an incompatible serialization schema."""
+
+
+class BundleIntegrityError(BundleError):
+    """A bundle artefact is corrupt, truncated or does not match its
+    recorded checksum."""
+
+
+def _sha256_file(path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _combine_digests(file_digests: dict) -> str:
+    """Bundle identity from the per-file SHA-256 digests."""
+    digest = hashlib.sha256()
+    for name in (CONFIG_FILENAME, MODEL_FILENAME):
+        digest.update(name.encode("utf-8"))
+        digest.update(bytes.fromhex(file_digests[name]))
+    return digest.hexdigest()
+
+
+def bundle_checksum(directory) -> str:
+    """Combined SHA-256 over the two artefact files.
+
+    Content-derived only (config JSON bytes + model pickle bytes), so
+    two installations that produced identical artefacts have identical
+    checksums wherever and whenever they were written.  This is the
+    identity the model registry stores and the resume tests compare.
+    """
+    return _combine_digests(
+        {name: _sha256_file(os.path.join(directory, name))
+         for name in (CONFIG_FILENAME, MODEL_FILENAME)})
+
+
+def save_bundle(bundle, directory, extra_manifest: dict = None) -> dict:
     """Write ``bundle`` (a :class:`~repro.core.training.TrainedBundle`).
 
-    Creates ``adsala_config.json`` and ``adsala_model.pkl`` in
-    ``directory`` (created if missing).
+    Creates ``adsala_config.json``, ``adsala_model.pkl`` and
+    ``MANIFEST.json`` in ``directory`` (created if missing) and returns
+    the manifest dict.  ``extra_manifest`` entries (registry metadata:
+    routine, machine, version...) are merged into the manifest.
     """
     os.makedirs(directory, exist_ok=True)
     bundle.config.save(os.path.join(directory, CONFIG_FILENAME))
     with open(os.path.join(directory, MODEL_FILENAME), "wb") as fh:
         pickle.dump({"pipeline": bundle.pipeline, "model": bundle.model,
                      "report": bundle.report}, fh)
+    files = {name: _sha256_file(os.path.join(directory, name))
+             for name in (CONFIG_FILENAME, MODEL_FILENAME)}
+    manifest = {
+        "schema_version": SCHEMA_VERSION,
+        "files": files,
+        "checksum": _combine_digests(files),
+        "model_name": bundle.config.model_name,
+        "machine": bundle.config.machine,
+    }
+    if extra_manifest:
+        manifest.update(extra_manifest)
+    manifest_path = os.path.join(directory, MANIFEST_FILENAME)
+    tmp_path = manifest_path + ".tmp"
+    with open(tmp_path, "w") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+    os.replace(tmp_path, manifest_path)  # atomic: never a torn manifest
+    return manifest
 
 
-def load_bundle(directory):
-    """Load a bundle saved by :func:`save_bundle`."""
+def load_manifest(directory) -> dict:
+    """The bundle's manifest, or ``None`` for a pre-registry bundle."""
+    path = os.path.join(directory, MANIFEST_FILENAME)
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (ValueError, OSError) as exc:
+        raise BundleIntegrityError(
+            f"unreadable bundle manifest {path}: {exc}") from exc
+
+
+def verify_bundle(directory) -> dict:
+    """Validate schema version and artefact checksums; returns the manifest.
+
+    Legacy directories (no manifest) pass with ``None`` — backward
+    compatibility for bundles written before the registry existed.
+    """
+    manifest = load_manifest(directory)
+    if manifest is None:
+        return None
+    schema = manifest.get("schema_version")
+    if schema != SCHEMA_VERSION:
+        raise BundleSchemaError(
+            f"bundle at {directory} uses serialization schema {schema!r}; "
+            f"this build reads schema {SCHEMA_VERSION} — re-install or "
+            f"re-publish the model with a matching version")
+    for name, expected in manifest.get("files", {}).items():
+        path = os.path.join(directory, name)
+        if not os.path.exists(path):
+            raise BundleIntegrityError(
+                f"bundle artefact missing: {path} (recorded in manifest)")
+        actual = _sha256_file(path)
+        if actual != expected:
+            raise BundleIntegrityError(
+                f"bundle artefact {path} is corrupt: SHA-256 {actual[:12]}… "
+                f"does not match the manifest's {expected[:12]}… — the file "
+                f"was modified or truncated after installation")
+    return manifest
+
+
+def load_bundle(directory, verify: bool = True):
+    """Load a bundle saved by :func:`save_bundle`.
+
+    With a manifest present the artefacts are checksum-verified first
+    (``verify=False`` skips that, for tooling that only inspects);
+    without one, the legacy load path applies.  Unpickling failures are
+    wrapped in :class:`BundleIntegrityError` either way.
+    """
     from repro.core.training import TrainedBundle
 
     config_path = os.path.join(directory, CONFIG_FILENAME)
@@ -40,8 +167,19 @@ def load_bundle(directory):
     for path in (config_path, model_path):
         if not os.path.exists(path):
             raise FileNotFoundError(f"missing installation artefact: {path}")
+    if verify:
+        verify_bundle(directory)
     config = AdsalaConfig.load(config_path)
-    with open(model_path, "rb") as fh:
-        payload = pickle.load(fh)
-    return TrainedBundle(config=config, pipeline=payload["pipeline"],
-                         model=payload["model"], report=payload.get("report"))
+    try:
+        with open(model_path, "rb") as fh:
+            payload = pickle.load(fh)
+        pipeline, model = payload["pipeline"], payload["model"]
+    except BundleError:
+        raise
+    except Exception as exc:
+        raise BundleIntegrityError(
+            f"cannot unpickle bundle artefact {model_path}: {exc!r} — the "
+            f"file is corrupt or was written by an incompatible build") \
+            from exc
+    return TrainedBundle(config=config, pipeline=pipeline,
+                         model=model, report=payload.get("report"))

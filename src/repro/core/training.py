@@ -7,6 +7,14 @@ measure each tuned model's evaluation time, estimate speedups on a
 held-out test set, and select the model with the best estimated mean
 speedup.  The output is a :class:`TrainedBundle` — the config file plus
 production-ready model of the paper's diagram.
+
+:class:`InstallationWorkflow` is the public facade; :meth:`run`
+delegates to the staged, resumable, parallelisable
+:class:`~repro.train.pipeline.TrainingPipeline` (gather, split,
+preprocess, per-candidate tuning and selection as discrete
+content-addressed stages), so callers keep the paper-era one-shot API
+while the CLI and the training matrix reuse the stage machinery for
+``--jobs``/``--resume`` and multi-cell installs.
 """
 
 from __future__ import annotations
@@ -21,13 +29,8 @@ from repro.core.dataset import TimingDataset
 from repro.core.features import FeatureBuilder
 from repro.core.gather import DataGatherer
 from repro.core.predictor import ThreadPredictor
-from repro.core.selection import (ModelSelectionReport, ModelSelectionRow,
-                                  estimate_speedup)
 from repro.gemm.partition import choose_thread_grid
-from repro.ml.metrics import normalised_rmse
-from repro.ml.model_selection import KFold, stratify_bins
-from repro.ml.registry import candidate_models
-from repro.ml.tuning import RandomizedSearchCV
+from repro.ml.model_selection import stratify_bins
 from repro.preprocessing.correlation import CorrelationPruner
 from repro.preprocessing.lof import LocalOutlierFactor
 from repro.preprocessing.pipeline import Pipeline
@@ -101,6 +104,15 @@ class InstallationWorkflow:
         roughly 40x faster than our interpreted predict path; the
         paper-reproduction benchmarks pass 0.025 to model that deployment
         while unit tests keep the honest default of 1.0.
+    eval_time_s:
+        Fixed evaluation time (seconds) used *instead of* measuring it
+        (``eval_time_scale`` is then ignored).  Measurement is honest
+        but wall-clock-noisy; pin it when bitwise-reproducible bundles
+        are required (matrix cells, resume-checksum tests).
+    n_jobs / executor:
+        Tuning fan-out across (configuration, fold) work items:
+        worker count and ``"thread"`` or ``"process"``.  Selection is
+        bitwise independent of both.
     """
 
     def __init__(self, simulator, memory_cap_bytes: int, n_shapes: int = 300,
@@ -112,7 +124,8 @@ class InstallationWorkflow:
                  tune_iters: int = 3, cv_folds: int = 3,
                  tune_subsample: int = 4000, repeats: int = 10,
                  candidates=None, seed: int = 0, eval_time_scale: float = 1.0,
-                 dtype: str = "float32"):
+                 dtype: str = "float32", eval_time_s: float = None,
+                 n_jobs: int = 1, executor: str = "thread"):
         self.simulator = simulator
         self.memory_cap_bytes = int(memory_cap_bytes)
         self.n_shapes = int(n_shapes)
@@ -139,6 +152,13 @@ class InstallationWorkflow:
         if eval_time_scale <= 0:
             raise ValueError("eval_time_scale must be positive")
         self.eval_time_scale = float(eval_time_scale)
+        if eval_time_s is not None and eval_time_s <= 0:
+            raise ValueError("eval_time_s must be positive (or None)")
+        self.eval_time_s = eval_time_s
+        if int(n_jobs) < 1:
+            raise ValueError("n_jobs must be >= 1")
+        self.n_jobs = int(n_jobs)
+        self.executor = executor
         self.feature_builder = FeatureBuilder(feature_groups)
         self.timings_ = {}
 
@@ -152,6 +172,23 @@ class InstallationWorkflow:
                                seed=self.seed, dtype=self.dtype)
         self.timings_["gather_s"] = time.perf_counter() - t0
         return data
+
+    def gather_config(self) -> dict:
+        """Everything that determines :meth:`gather`'s output.
+
+        The pipeline's gather stage keys its cached artifact on this;
+        subclasses that gather differently (non-GEMM routines) must
+        extend it so their campaigns never collide in the stage cache.
+        """
+        return {
+            "machine": self.simulator.name,
+            "thread_grid": list(self.thread_grid),
+            "n_shapes": self.n_shapes,
+            "memory_cap_bytes": self.memory_cap_bytes,
+            "repeats": self.repeats,
+            "seed": self.seed,
+            "dtype": self.dtype,
+        }
 
     def split_shapes(self, data: TimingDataset):
         """Stage 2: stratified 70/30 split at shape granularity."""
@@ -224,55 +261,20 @@ class InstallationWorkflow:
         )
 
     # ------------------------------------------------------------------
-    def run(self, data: TimingDataset = None) -> TrainedBundle:
-        """Run the full installation; returns the selected bundle."""
-        if data is None:
-            data = self.gather()
-        train, test = self.split_shapes(data)
-        pipeline, X_train, y_train = self.preprocess(train)
-        config = self._config_stub()
+    def run(self, data: TimingDataset = None, cache=None) -> TrainedBundle:
+        """Run the full installation; returns the selected bundle.
 
-        # Test features go through the same pipeline (no LOF on test).
-        X_test_raw = self.feature_builder.build(test.m, test.k, test.n, test.threads)
-        X_test = pipeline.transform(X_test_raw)
-        y_test = config.transform_label(test.runtime)
+        A facade over :class:`~repro.train.pipeline.TrainingPipeline`:
+        the stages execute exactly the computation documented above,
+        fanned across ``n_jobs`` workers, and ``cache`` (a directory
+        path or :class:`~repro.train.stages.StageCache`) makes the run
+        resumable — an interrupted installation re-executes only the
+        stages that never finished.
+        """
+        from repro.train.pipeline import TrainingPipeline
 
-        rng = np.random.default_rng(self.seed)
-        if X_train.shape[0] > self.tune_subsample:
-            tune_rows = rng.choice(X_train.shape[0], size=self.tune_subsample,
-                                   replace=False)
-        else:
-            tune_rows = np.arange(X_train.shape[0])
-
-        candidates = self.candidates or candidate_models(budget=self.budget,
-                                                         random_state=self.seed)
-        rows = []
-        fitted = {}
-        t0 = time.perf_counter()
-        for cand in candidates:
-            search = RandomizedSearchCV(
-                cand.build(), cand.search_space, n_iter=self.tune_iters,
-                cv=KFold(n_splits=self.cv_folds, shuffle=True,
-                         random_state=self.seed),
-                random_state=self.seed)
-            search.fit(X_train[tune_rows], y_train[tune_rows])
-            model = cand.build(**search.best_params_)
-            model.fit(X_train, y_train)
-            fitted[cand.name] = model
-
-            predictor = ThreadPredictor(self.feature_builder, pipeline, model,
-                                        self.thread_grid)
-            eval_time = predictor.measure_eval_time() * self.eval_time_scale
-            speedup = estimate_speedup(predictor, test, eval_time_s=eval_time)
-            nrmse = normalised_rmse(y_test, model.predict(X_test))
-            rows.append(ModelSelectionRow(name=cand.name, nrmse=nrmse,
-                                          speedup=speedup,
-                                          best_params=search.best_params_))
-        self.timings_["train_s"] = time.perf_counter() - t0
-
-        report = ModelSelectionReport.select(rows)
-        winner = fitted[report.selected]
-        config.model_name = report.selected
-        config.model_params = report.row(report.selected).best_params
-        return TrainedBundle(config=config, pipeline=pipeline, model=winner,
-                             report=report)
+        pipeline = TrainingPipeline(self, cache=cache, n_jobs=self.n_jobs,
+                                    executor=self.executor)
+        bundle = pipeline.run(data)
+        self.last_pipeline_ = pipeline
+        return bundle

@@ -90,6 +90,11 @@ class GemmService:
         self.history: list = []
         self.n_requests = 0
         self.n_batches = 0
+        self.n_reloads = 0
+        self.bundle_generation = 0
+        self.bundle_info: dict = {}
+        self._machine_max = None
+        self._retired_counts = {"evaluations": 0, "model_passes": 0}
         self._closed = False
 
     @classmethod
@@ -104,11 +109,63 @@ class GemmService:
         """
         grid = list(bundle.config.thread_grid)
         max_threads = getattr(machine, "max_threads", None)
-        if callable(max_threads):
-            grid = [t for t in grid if t <= max_threads()] or grid
-        return cls(bundle.predictor(cache_size=cache_size, thread_grid=grid),
-                   backend=as_backend(machine, thread_grid=grid),
-                   repeats=repeats, refine=refine)
+        machine_max = max_threads() if callable(max_threads) else None
+        if machine_max is not None:
+            grid = [t for t in grid if t <= machine_max] or grid
+        service = cls(bundle.predictor(cache_size=cache_size,
+                                       thread_grid=grid),
+                      backend=as_backend(machine, thread_grid=grid),
+                      repeats=repeats, refine=refine)
+        service._machine_max = machine_max
+        service.bundle_info = {"model_name": bundle.config.model_name,
+                               "machine": bundle.config.machine}
+        return service
+
+    def reload(self, bundle, cache_size: int = None) -> dict:
+        """Hot-swap the installation artefacts without restarting.
+
+        Builds a fresh predictor (fresh, empty cache) from ``bundle``
+        — grid clamped to the machine exactly as
+        :meth:`from_bundle` does — and installs it with a single
+        reference assignment, so a concurrently executing
+        :meth:`run`/:meth:`run_batch` (which snapshot the predictor on
+        entry) finishes on the artefacts it started with and the next
+        call uses the new ones.  Prediction counters accumulated by the
+        retired predictor stay in :meth:`stats`.  Returns a summary of
+        the new deployment.
+        """
+        self._ensure_open()
+        old = self.predictor
+        if cache_size is None:
+            cache_size = old.cache.maxsize
+        grid = list(bundle.config.thread_grid)
+        if self._machine_max is not None:
+            grid = [t for t in grid if t <= self._machine_max] or grid
+        predictor = bundle.predictor(cache_size=cache_size, thread_grid=grid)
+        new_refiner = None
+        if self.refiner is not None:
+            from repro.core.online import OnlineRefiner
+
+            new_refiner = OnlineRefiner(
+                predictor, explore_prob=self.refiner.explore_prob,
+                min_trials=self.refiner.min_trials)
+        # Everything new is fully built before anything is published, and
+        # the predictor is published *first*: a concurrent run() snapshot
+        # taken mid-reload can pair the new predictor with the old
+        # refiner (whose choices still come from its own old predictor —
+        # never the other way round, which would serve the new bundle
+        # before the swap).  stats() raced against the counter fold may
+        # transiently under-report the retired predictor's counts.
+        self.predictor = predictor  # atomic swap: in-flight calls hold old
+        if new_refiner is not None:
+            self.refiner = new_refiner
+        self._retired_counts["evaluations"] += old.n_evaluations
+        self._retired_counts["model_passes"] += old.n_model_passes
+        self.n_reloads += 1
+        self.bundle_generation += 1
+        self.bundle_info = {"model_name": bundle.config.model_name,
+                            "machine": bundle.config.machine}
+        return {"generation": self.bundle_generation, **self.bundle_info}
 
     # -- prediction ------------------------------------------------------
     @property
@@ -139,16 +196,19 @@ class GemmService:
     def run(self, spec) -> GemmCallRecord:
         """Predict (or refine), dispatch and record one call."""
         self._ensure_open()
-        hits_before = self.cache.hits
+        # Snapshot: a concurrent reload() swaps self.predictor, but this
+        # call must finish entirely on the artefacts it started with.
+        predictor, refiner = self.predictor, self.refiner
+        hits_before = predictor.cache.hits
         key = _shape_key(spec)
-        if self.refiner is not None:
-            n_threads = int(self.refiner.choose_threads(*key))
+        if refiner is not None:
+            n_threads = int(refiner.choose_threads(*key))
         else:
-            n_threads = self.predictor.predict_threads(*key)
+            n_threads = predictor.predict_threads(*key)
         record = self._dispatch(spec, n_threads,
-                                memoised=self.cache.hits > hits_before)
-        if self.refiner is not None:
-            self.refiner.record(*key, record.n_threads, record.runtime)
+                                memoised=predictor.cache.hits > hits_before)
+        if refiner is not None:
+            refiner.record(*key, record.n_threads, record.runtime)
         self.n_requests += 1
         return record
 
@@ -169,20 +229,23 @@ class GemmService:
         specs = list(specs)
         if not specs:
             return []
+        # Snapshot: the whole batch resolves against one predictor even
+        # if reload() swaps the service's artefacts mid-dispatch.
+        predictor, refiner = self.predictor, self.refiner
         keys = [_shape_key(s) for s in specs]
         fresh = {key for key in dict.fromkeys(keys)
-                 if key not in self.cache}
-        choices = self.predictor.predict_threads_batch(keys)
+                 if key not in predictor.cache}
+        choices = predictor.predict_threads_batch(keys)
         records = []
         seen: set = set()
         for spec, key, n_threads in zip(specs, keys, choices):
             memoised = key not in fresh or key in seen
             seen.add(key)
-            if self.refiner is not None:
-                n_threads = self.refiner.choose_threads(*key)
+            if refiner is not None:
+                n_threads = refiner.choose_threads(*key)
             record = self._dispatch(spec, int(n_threads), memoised=memoised)
-            if self.refiner is not None:
-                self.refiner.record(*key, record.n_threads, record.runtime)
+            if refiner is not None:
+                refiner.record(*key, record.n_threads, record.runtime)
             records.append(record)
         self.n_requests += len(specs)
         self.n_batches += 1
@@ -214,16 +277,26 @@ class GemmService:
         return sum(r.memoised for r in self.history) / len(self.history)
 
     def stats(self) -> dict:
-        """History- and cache-derived serving statistics."""
+        """History- and cache-derived serving statistics.
+
+        ``evaluations``/``model_passes`` stay monotonic across
+        hot-reloads: counters of retired predictors are folded in.
+        """
         stats = {
             "requests": self.n_requests,
             "batches": self.n_batches,
             "unique_shapes": len({_shape_key(r.spec) for r in self.history}),
-            "evaluations": self.predictor.n_evaluations,
-            "model_passes": self.predictor.n_model_passes,
+            "evaluations": (self.predictor.n_evaluations
+                            + self._retired_counts["evaluations"]),
+            "model_passes": (self.predictor.n_model_passes
+                             + self._retired_counts["model_passes"]),
             "memo_hit_rate": round(self.memo_hit_rate, 4),
+            "reloads": self.n_reloads,
+            "bundle_generation": self.bundle_generation,
             **{f"cache_{k}": v for k, v in self.cache.stats().items()},
         }
+        if self.bundle_info:
+            stats["model_name"] = self.bundle_info.get("model_name", "")
         if self.refiner is not None:
             stats["refine_explorations"] = self.refiner.n_explorations
         return stats

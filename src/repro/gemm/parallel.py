@@ -156,6 +156,104 @@ class ParallelGemm:
         return best
 
 
+class WorkerPool:
+    """Ordered fan-out of independent Python tasks over a thread pool.
+
+    The deterministic sibling of :class:`ExecutorPool`: where that class
+    owns GEMM executors per team size, this one owns a reusable pool of
+    generic workers and guarantees that :meth:`map` returns results in
+    *submission order* regardless of completion order, so any
+    reduction over the results is schedule-independent.  ``n_workers=1``
+    degenerates to an inline loop (no threads), which is what makes
+    "parallel with one worker" bitwise-identical to serial code paths.
+
+    The training pipeline fans (candidate, configuration, fold) tuning
+    work items through this; anything CPU-bound and GIL-holding should
+    use :func:`process_map` instead.
+    """
+
+    def __init__(self, n_workers: int = 1):
+        if int(n_workers) < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = int(n_workers)
+        self._executor = None
+
+    def map(self, fn, items) -> list:
+        """``[fn(item) for item in items]``, fanned across the pool."""
+        items = list(items)
+        if self.n_workers == 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        if self._executor is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._executor = ThreadPoolExecutor(max_workers=self.n_workers)
+        return list(self._executor.map(fn, items))
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def _noop_child() -> None:  # pragma: no cover - runs in the probe child
+    pass
+
+
+_FORK_USABLE = None  # cached once per process
+
+
+def _fork_usable() -> bool:
+    """Can this process fork workers?  Probed once, cached.
+
+    Non-POSIX platforms have no fork context (and spawned workers would
+    not inherit the module state :mod:`repro.train.tuning` shares with
+    them); sandboxed hosts may refuse the fork syscall itself.
+    """
+    global _FORK_USABLE
+    if _FORK_USABLE is None:
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+            probe = context.Process(target=_noop_child)
+            probe.start()
+            probe.join()
+            _FORK_USABLE = True
+        except (ValueError, OSError, PermissionError):  # pragma: no cover
+            _FORK_USABLE = False
+    return _FORK_USABLE
+
+
+def process_map(fn, items, n_workers: int) -> list:
+    """:meth:`WorkerPool.map` semantics over worker *processes*.
+
+    For GIL-bound tasks (pure-Python model fitting) threads cannot
+    scale; ``fn`` and every item must be picklable.  Falls back to an
+    inline loop when ``n_workers == 1`` or the platform cannot fork —
+    but an exception raised by ``fn`` itself always propagates, never
+    triggering a silent serial re-run of work that may already have had
+    effects.
+    """
+    items = list(items)
+    if int(n_workers) < 1:
+        raise ValueError("n_workers must be >= 1")
+    if n_workers == 1 or len(items) <= 1 or not _fork_usable():
+        return [fn(item) for item in items]
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(
+            max_workers=n_workers,
+            mp_context=multiprocessing.get_context("fork")) as pool:
+        return list(pool.map(fn, items))
+
+
 class ExecutorPool:
     """Executors per thread count + operands per shape, behind ``timed_run``.
 

@@ -116,21 +116,38 @@ class KFold:
             yield train, val
 
 
+def fold_indices(cv: KFold, X, stratify_on=None) -> list:
+    """Materialise a cross-validator's folds as index-array pairs.
+
+    A :class:`KFold` with a fixed ``random_state`` yields the same folds
+    on every ``split`` call; materialising them once lets many workers
+    (the staged pipeline's parallel tuner) score (configuration, fold)
+    work items against literally identical splits, which is a
+    precondition for serial/parallel score equality.
+    """
+    return list(cv.split(X, stratify_on=stratify_on))
+
+
 def cross_val_score(estimator, X, y, cv: KFold = None, scoring=None,
-                    stratify_on=None) -> np.ndarray:
+                    stratify_on=None, folds=None) -> np.ndarray:
     """Per-fold scores for an estimator (higher is better).
 
     ``scoring`` is a callable ``(y_true, y_pred) -> float``; the default
     is R^2.  The estimator is cloned per fold so no state leaks.
+    ``folds`` (pre-materialised via :func:`fold_indices`) bypasses
+    ``cv`` entirely — pass it when several scorers must agree on the
+    exact splits.
     """
     from repro.ml.metrics import r2_score
 
     X = np.asarray(X, dtype=np.float64)
     y = np.asarray(y, dtype=np.float64).ravel()
-    cv = cv or KFold(n_splits=5, shuffle=True, random_state=0)
+    if folds is None:
+        cv = cv or KFold(n_splits=5, shuffle=True, random_state=0)
+        folds = fold_indices(cv, X, stratify_on=stratify_on)
     scoring = scoring or r2_score
     scores = []
-    for train_idx, val_idx in cv.split(X, stratify_on=stratify_on):
+    for train_idx, val_idx in folds:
         model = clone(estimator)
         model.fit(X[train_idx], y[train_idx])
         scores.append(scoring(y[val_idx], model.predict(X[val_idx])))

@@ -4,16 +4,41 @@ The paper tunes every candidate model's hyper-parameters with k-fold
 cross-validation before the final model selection (Sections III-B and
 IV-C).  Both searchers refit the best configuration on the full data,
 mirroring scikit-learn semantics.
+
+Seeding contract: ``random_state`` may be an int, a
+:class:`numpy.random.SeedSequence` or a ``Generator``.  Each candidate
+model in a bake-off gets its *own* seed via :func:`candidate_seed`,
+derived from the root seed and the candidate's name — never from a
+stream shared across candidates, where any reordering (or a parallel
+schedule) would change every downstream draw.  This is what makes the
+staged training pipeline's parallel tuning bitwise-equivalent to the
+serial path.
 """
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 
 import numpy as np
 
 from repro.ml.base import BaseEstimator, RegressorMixin, clone
 from repro.ml.model_selection import KFold, cross_val_score
+
+
+def candidate_seed(seed, name: str) -> np.random.SeedSequence:
+    """Per-candidate seed sequence, stable under reordering.
+
+    The entropy pool combines the root ``seed`` with a digest of the
+    candidate ``name``, so a candidate's hyper-parameter draws are
+    identical whether it is tuned first, last, alone, or on a parallel
+    worker — unlike ``SeedSequence.spawn``, whose children depend on
+    spawn *order*.
+    """
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return np.random.SeedSequence(
+        [int(seed)] + [int.from_bytes(digest[i:i + 8], "little")
+                       for i in (0, 8)])
 
 
 class ParameterGrid:
@@ -95,6 +120,18 @@ class RandomizedSearchCV(_BaseSearchCV):
         self.param_grid = param_grid
         self.n_iter = n_iter
         self.random_state = random_state
+
+    def sampled_params(self) -> list:
+        """The deterministic draw ``fit`` will evaluate, without fitting.
+
+        A fresh generator is seeded from ``random_state`` on every call,
+        so the list is reproducible and identical to the configurations
+        ``fit`` scores — the staged pipeline's parallel tuner enumerates
+        work items from here and is guaranteed to agree with a serial
+        ``fit`` on the same searcher.
+        """
+        return list(self._candidates(
+            np.random.default_rng(self.random_state)))
 
     def _candidates(self, rng):
         space = list(ParameterGrid(self.param_grid))

@@ -33,7 +33,8 @@ Thread choices are bitwise identical to synchronous
 engine's batch prediction is exact.
 """
 
-from repro.serve.request import ServeRequest, ServerClosed, ServerOverloaded
+from repro.serve.request import (ReloadCommand, ServeRequest, ServerClosed,
+                                 ServerOverloaded)
 from repro.serve.router import (HashRouter, RoundRobinRouter, ShardRouter,
                                 SingleShardRouter, SpecTypeRouter,
                                 TenantRouter, default_router)
@@ -48,6 +49,7 @@ __all__ = [
     "GemmServer",
     "HashRouter",
     "MicroBatcher",
+    "ReloadCommand",
     "ReplayOutcome",
     "RoundRobinRouter",
     "ServeRequest",

@@ -49,3 +49,21 @@ class ServeRequest:
     future: asyncio.Future
     t_submit: float
     shard: str = field(default="default")
+
+
+@dataclass
+class ReloadCommand:
+    """Control-plane message: hot-swap a shard's model bundle.
+
+    Travels the same FIFO shard queue as requests, so ordering gives
+    zero-downtime semantics for free: every request admitted before the
+    reload resolves on the old bundle, every request behind it on the
+    new one, and the batch in flight when the command surfaces is never
+    split across bundles.  ``future`` resolves with the shard's
+    :meth:`~repro.engine.service.GemmService.reload` summary (or its
+    exception, leaving the old bundle serving).
+    """
+
+    bundle: object
+    future: asyncio.Future
+    kwargs: dict = field(default_factory=dict)

@@ -21,6 +21,8 @@ from __future__ import annotations
 import asyncio
 from dataclasses import dataclass
 
+from repro.serve.request import ReloadCommand
+
 #: Queue sentinel marking the end of the request stream for a shard.
 SHUTDOWN = object()
 
@@ -76,32 +78,62 @@ class MicroBatcher:
         self.shard = shard
 
     async def run(self, queue: asyncio.Queue) -> None:
-        """Consume ``queue`` until the shutdown sentinel arrives."""
+        """Consume ``queue`` until the shutdown sentinel arrives.
+
+        :class:`~repro.serve.request.ReloadCommand` items hot-swap the
+        shard's bundle *between* batches: a command closes the batch
+        being collected, the batch executes on the old bundle, and the
+        swap applies before the next batch forms.
+        """
         loop = asyncio.get_running_loop()
         closing = False
         while not closing:
             first = await queue.get()
             if first is SHUTDOWN:
                 break
+            if isinstance(first, ReloadCommand):
+                self._apply_reload(first)
+                continue
             batch = [first]
-            closing = await self._collect(queue, batch, loop)
+            closing, pending_reload = await self._collect(queue, batch, loop)
             await self._execute(batch, loop)
+            if pending_reload is not None:
+                self._apply_reload(pending_reload)
 
-    async def _collect(self, queue, batch, loop) -> bool:
-        """Fill ``batch`` until size/window closes it; True on shutdown."""
+    async def _collect(self, queue, batch, loop):
+        """Fill ``batch`` until size/window/control closes it.
+
+        Returns ``(closing, pending_reload)``: ``closing`` is True on
+        shutdown; a :class:`ReloadCommand` stops collection so the
+        in-flight batch stays on the bundle it was admitted under.
+        """
         deadline = loop.time() + self.policy.max_wait_ms / 1e3
         while len(batch) < self.policy.max_batch:
             remaining = deadline - loop.time()
             if remaining <= 0:
-                return False
+                return False, None
             try:
                 item = await asyncio.wait_for(queue.get(), remaining)
             except asyncio.TimeoutError:
-                return False
+                return False, None
             if item is SHUTDOWN:
-                return True
+                return True, None
+            if isinstance(item, ReloadCommand):
+                return False, item
             batch.append(item)
-        return False
+        return False, None
+
+    def _apply_reload(self, command: ReloadCommand) -> None:
+        """Swap the shard's bundle; resolve the command's future."""
+        try:
+            info = self.service.reload(command.bundle, **command.kwargs)
+        except Exception as exc:
+            if not command.future.done():
+                command.future.set_exception(exc)
+            return
+        self.telemetry.record_reload(self.shard)
+        if not command.future.done():
+            command.future.set_result(info)
 
     async def _execute(self, batch, loop) -> None:
         """One vectorised service pass; resolve every caller's future.

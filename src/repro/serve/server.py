@@ -25,7 +25,8 @@ from __future__ import annotations
 
 import asyncio
 
-from repro.serve.request import ServeRequest, ServerClosed, ServerOverloaded
+from repro.serve.request import (ReloadCommand, ServeRequest, ServerClosed,
+                                 ServerOverloaded)
 from repro.serve.router import ShardRouter, default_router
 from repro.serve.scheduler import SHUTDOWN, BatchPolicy, MicroBatcher
 from repro.serve.telemetry import ServeTelemetry
@@ -196,6 +197,40 @@ class GemmServer:
         """Submit a burst concurrently; records come back in input order."""
         return list(await asyncio.gather(
             *(self.submit(spec, client=client) for spec in specs)))
+
+    # -- control plane ---------------------------------------------------
+    async def reload(self, bundle, shard: str = None, **kwargs) -> dict:
+        """Zero-downtime hot-swap of a new model bundle.
+
+        Enqueues a :class:`~repro.serve.request.ReloadCommand` behind
+        every already-admitted request on the target shard(s) (all
+        shards by default), so in-flight and already-queued requests
+        finish on the bundle they were admitted under and the first
+        batch formed after the swap uses the new one — no request is
+        dropped, rejected or split across bundles.  Blocks until every
+        target shard has applied the swap; returns the per-shard
+        :meth:`~repro.engine.service.GemmService.reload` summaries.
+        A shard whose reload raises keeps serving its old bundle and
+        the exception propagates.
+        """
+        if not self._started:
+            raise ServerClosed("server not started (use 'async with' or start())")
+        if self._closing:
+            raise ServerClosed("server is shutting down")
+        targets = list(self._queues) if shard is None else [shard]
+        for name in targets:
+            if name not in self._queues:
+                raise KeyError(f"unknown shard {name!r} "
+                               f"(have {sorted(self._queues)})")
+        loop = asyncio.get_running_loop()
+        commands = {name: ReloadCommand(bundle=bundle,
+                                        future=loop.create_future(),
+                                        kwargs=kwargs)
+                    for name in targets}
+        for name, command in commands.items():
+            await self._queues[name].put(command)
+        return {name: await command.future
+                for name, command in commands.items()}
 
     # -- stats -----------------------------------------------------------
     def stats(self) -> dict:

@@ -28,6 +28,7 @@ class ServeTelemetry:
         self.waits: list = []          # seconds, submit -> batch start
         self.per_client: dict = {}     # client -> counters
         self.per_shard_batches = Counter()
+        self.reloads = Counter()       # shard -> applied hot-reloads
 
     # -- recording -------------------------------------------------------
     def _client(self, client: str) -> dict:
@@ -57,6 +58,9 @@ class ServeTelemetry:
         self.failed += 1
         self._client(client)["failed"] += 1
 
+    def record_reload(self, shard: str) -> None:
+        self.reloads[shard] += 1
+
     # -- reporting -------------------------------------------------------
     def batch_size_histogram(self) -> dict:
         """``{batch size: number of batches}`` in ascending size order."""
@@ -85,6 +89,7 @@ class ServeTelemetry:
             "batch_size_histogram": self.batch_size_histogram(),
             "max_queue_depth": max(self.queue_depths, default=0),
             "clients": {c: dict(v) for c, v in self.per_client.items()},
+            "reloads": sum(self.reloads.values()),
         }
         if self.latencies:
             out["latency_ms"] = self.latency().as_row()

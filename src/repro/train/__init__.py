@@ -1,0 +1,51 @@
+"""repro.train — the staged, parallel, resumable installation pipeline.
+
+PR 1 gave the *runtime* path a batched engine and PR 2 an async server;
+this package does the same for the *offline* path, the paper's Fig. 2
+installation workflow::
+
+    gather -> split -> preprocess -> tune:<candidate> x N -> select
+       |        |          |               |                   |
+       +--------+----------+---- content-addressed stage cache +
+                                   (resume re-runs only what
+                                    never finished)
+
+* :class:`~repro.train.pipeline.TrainingPipeline` /
+  :class:`~repro.train.stages.Stage` — the five workflow boxes as
+  discrete cached stages; one tuning stage per candidate model.
+* :mod:`~repro.train.tuning` — (configuration, fold) work items fanned
+  across threads or processes with a schedule-independent reduction:
+  the selected model is bitwise identical to the serial path at any
+  worker count.
+* :class:`~repro.train.registry.ModelRegistry` — versioned bundle
+  store with SHA-256 checksums, selection metadata and an atomic
+  ``latest`` pointer per (routine, machine); the serving layer
+  hot-reloads from here without dropping in-flight requests.
+* :class:`~repro.train.matrix.TrainingMatrix` — one pipeline run and
+  one published bundle per (BLAS routine, machine preset) cell.
+
+:class:`~repro.core.training.InstallationWorkflow` remains the public
+facade over all of this — its API is unchanged.
+"""
+
+from repro.train.pipeline import TrainingPipeline
+from repro.train.registry import ModelRecord, ModelRegistry, RegistryError
+from repro.train.stages import Stage, StageCache, run_stages
+from repro.train.tuning import ProcessPool, evaluate_params, make_pool
+from repro.train.matrix import MatrixResult, RoutineWorkflow, TrainingMatrix
+
+__all__ = [
+    "MatrixResult",
+    "ModelRecord",
+    "ModelRegistry",
+    "ProcessPool",
+    "RegistryError",
+    "RoutineWorkflow",
+    "Stage",
+    "StageCache",
+    "TrainingMatrix",
+    "TrainingPipeline",
+    "evaluate_params",
+    "make_pool",
+    "run_stages",
+]

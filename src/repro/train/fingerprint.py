@@ -1,0 +1,84 @@
+"""Content fingerprinting for stage artifacts.
+
+The staged pipeline is resumable because every stage's output is stored
+under a key derived from *everything that could change it*: the stage's
+code version, its configuration slice, and the keys of its upstream
+artifacts.  :func:`fingerprint` is the canonical hash behind those keys
+— a SHA-256 over a type-tagged, order-normalised encoding, so logically
+identical configurations hash identically across processes and runs
+(unlike ``hash()``, which is salted per interpreter).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def _encode(obj, digest) -> None:
+    """Recursively feed a canonical encoding of ``obj`` into ``digest``.
+
+    Every value is prefixed with a type tag so e.g. ``1`` / ``1.0`` /
+    ``"1"`` / ``True`` cannot collide, and mappings are visited in
+    sorted key order so dict insertion order is irrelevant.
+    """
+    if obj is None:
+        digest.update(b"N")
+    elif isinstance(obj, bool):
+        digest.update(b"B" + (b"1" if obj else b"0"))
+    elif isinstance(obj, (int, np.integer)):
+        digest.update(b"I" + str(int(obj)).encode())
+    elif isinstance(obj, (float, np.floating)):
+        digest.update(b"F" + repr(float(obj)).encode())
+    elif isinstance(obj, str):
+        encoded = obj.encode("utf-8")
+        digest.update(b"S" + str(len(encoded)).encode() + b":" + encoded)
+    elif isinstance(obj, bytes):
+        digest.update(b"Y" + str(len(obj)).encode() + b":" + obj)
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        digest.update(b"A" + str(arr.dtype).encode()
+                      + str(arr.shape).encode())
+        digest.update(arr.tobytes())
+    elif isinstance(obj, (list, tuple)):
+        digest.update(b"L" + str(len(obj)).encode())
+        for item in obj:
+            _encode(item, digest)
+    elif isinstance(obj, (set, frozenset)):
+        digest.update(b"E" + str(len(obj)).encode())
+        for item in sorted(obj, key=repr):
+            _encode(item, digest)
+    elif isinstance(obj, dict):
+        digest.update(b"D" + str(len(obj)).encode())
+        for key in sorted(obj, key=str):
+            _encode(str(key), digest)
+            _encode(obj[key], digest)
+    elif isinstance(obj, type):
+        digest.update(b"T" + f"{obj.__module__}.{obj.__qualname__}".encode())
+    else:
+        raise TypeError(
+            f"cannot fingerprint {type(obj).__name__!r} — pass primitives, "
+            f"numpy arrays, containers or types (got {obj!r})")
+
+
+def fingerprint(obj) -> str:
+    """Stable SHA-256 hex digest of a canonical encoding of ``obj``."""
+    digest = hashlib.sha256()
+    _encode(obj, digest)
+    return digest.hexdigest()
+
+
+def dataset_fingerprint(data) -> str:
+    """Fingerprint of a :class:`~repro.core.dataset.TimingDataset`.
+
+    Hashes the measurement arrays themselves, so an externally supplied
+    dataset keys the gather stage by content: re-running with the same
+    data hits the cache, with different data invalidates everything
+    downstream.
+    """
+    return fingerprint({
+        "m": data.m, "k": data.k, "n": data.n,
+        "threads": data.threads, "runtime": data.runtime,
+        "dtype": str(getattr(data, "dtype", "float32")),
+    })

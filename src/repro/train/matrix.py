@@ -1,0 +1,165 @@
+"""Training matrix: one installation per (BLAS routine, machine preset).
+
+A production deployment serves several routines (GEMM, GEMV, SYRK,
+TRSM) across several machine profiles; the matrix runs the staged
+pipeline for every cell and publishes each cell's bundle into the
+:class:`~repro.train.registry.ModelRegistry`, from which the serving
+layer hot-reloads.  All cells share one stage cache — the cache keys
+include routine and machine, so cells never collide, and re-running a
+partially completed matrix resumes at the first unfinished cell/stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blas.adapter import RoutineSimulator, _RoutineGatherer
+from repro.blas.gemv import GemvSpec
+from repro.blas.syrk import SyrkSpec
+from repro.blas.trsm import TrsmSpec
+from repro.core.training import InstallationWorkflow
+from repro.gemm.partition import choose_thread_grid
+from repro.machine.presets import PRESETS, by_name
+from repro.machine.simulator import MachineSimulator
+from repro.sampling.domain import GemmDomainSampler
+from repro.train.registry import ROUTINES, ModelRegistry
+from repro.train.stages import StageCache
+
+#: How a sampled GEMM problem maps onto each routine's spec shape.
+_SPEC_BUILDERS = {
+    "gemm": lambda s: s,
+    "gemv": lambda s: GemvSpec(m=s.m, n=s.k, dtype=s.dtype),
+    "syrk": lambda s: SyrkSpec(n=s.m, k=s.k, dtype=s.dtype),
+    "trsm": lambda s: TrsmSpec(m=s.m, n=s.n, dtype=s.dtype),
+}
+
+
+class RoutineWorkflow(InstallationWorkflow):
+    """Installation workflow whose campaign times a non-GEMM routine.
+
+    The simulator handed to the base class is a
+    :class:`~repro.blas.adapter.RoutineSimulator` oracle, so machine
+    metadata (name, affinity, grid capacity) flows through unchanged;
+    only :meth:`gather` differs — shapes are drawn from the GEMM domain
+    sampler and mapped onto routine specs.
+    """
+
+    def __init__(self, routine: str, oracle, **kwargs):
+        if routine not in _SPEC_BUILDERS:
+            raise ValueError(f"unknown routine {routine!r}; "
+                             f"known: {sorted(_SPEC_BUILDERS)}")
+        super().__init__(oracle, **kwargs)
+        self.routine = routine
+
+    def gather(self):
+        import time
+
+        t0 = time.perf_counter()
+        sampler = GemmDomainSampler(memory_cap_bytes=self.memory_cap_bytes,
+                                    dtype=self.dtype, seed=self.seed)
+        specs = [_SPEC_BUILDERS[self.routine](s)
+                 for s in sampler.sample(self.n_shapes)]
+        gatherer = _RoutineGatherer(self.simulator, self.thread_grid,
+                                    repeats=self.repeats)
+        data = gatherer.gather_for_specs(specs)
+        self.timings_["gather_s"] = time.perf_counter() - t0
+        return data
+
+    def gather_config(self) -> dict:
+        return {**super().gather_config(), "routine": self.routine}
+
+
+def build_workflow(routine: str, machine_name: str, seed: int = 0,
+                   **workflow_kwargs) -> InstallationWorkflow:
+    """One matrix cell's workflow on a simulated machine preset."""
+    simulator = MachineSimulator(by_name(machine_name), seed=seed)
+    workflow_kwargs.setdefault(
+        "thread_grid", choose_thread_grid(simulator.max_threads()))
+    workflow_kwargs.setdefault("memory_cap_bytes", 64 * 1024 * 1024)
+    if routine == "gemm":
+        return InstallationWorkflow(simulator, seed=seed, **workflow_kwargs)
+    return RoutineWorkflow(routine, RoutineSimulator(simulator), seed=seed,
+                           **workflow_kwargs)
+
+
+@dataclass(frozen=True)
+class MatrixResult:
+    """Published records plus per-cell cache effectiveness."""
+
+    records: list
+    stage_stats: dict
+
+
+class TrainingMatrix:
+    """Run the staged pipeline over routines × machine presets.
+
+    Parameters
+    ----------
+    routines / machines:
+        The matrix axes (routine names from ``ROUTINES``; machine
+        preset names).
+    registry:
+        A :class:`~repro.train.registry.ModelRegistry` or a root path.
+    cache:
+        Shared stage cache (path or :class:`StageCache`) enabling
+        resume across the whole matrix.
+    n_jobs / executor:
+        Per-cell tuning fan-out.
+    workflow_kwargs:
+        Forwarded to every cell's workflow (n_shapes, budget,
+        tune_iters...).  ``eval_time_s`` defaults to a pinned value so
+        matrix cells are bitwise reproducible.
+    """
+
+    def __init__(self, routines, machines, registry, cache=None,
+                 n_jobs: int = 1, executor: str = "thread", seed: int = 0,
+                 **workflow_kwargs):
+        self.routines = list(routines)
+        for routine in self.routines:
+            if routine not in ROUTINES:
+                raise ValueError(f"unknown routine {routine!r}; "
+                                 f"known: {sorted(ROUTINES)}")
+        self.machines = list(machines)
+        for machine in self.machines:
+            if machine.lower() not in PRESETS:
+                raise ValueError(
+                    f"unknown machine preset {machine!r}; matrix cells "
+                    f"train on simulated presets only "
+                    f"(known: {sorted(PRESETS)})")
+        self.registry = registry if isinstance(registry, ModelRegistry) \
+            else ModelRegistry(registry)
+        self.cache = cache if isinstance(cache, StageCache) \
+            else StageCache(cache)
+        self.n_jobs = int(n_jobs)
+        self.executor = executor
+        self.seed = int(seed)
+        workflow_kwargs.setdefault("eval_time_s", 1e-5)
+        self.workflow_kwargs = workflow_kwargs
+
+    def cells(self) -> list:
+        return [(routine, machine) for routine in self.routines
+                for machine in self.machines]
+
+    def run(self, progress=None) -> MatrixResult:
+        """Train and publish every cell; returns the published records.
+
+        ``progress`` (a callable taking a message string) receives one
+        line per cell — the CLI passes ``print``.
+        """
+        records = []
+        for routine, machine in self.cells():
+            workflow = build_workflow(routine, machine, seed=self.seed,
+                                      n_jobs=self.n_jobs,
+                                      executor=self.executor,
+                                      **self.workflow_kwargs)
+            bundle = workflow.run(cache=self.cache)
+            record = self.registry.publish(bundle, routine=routine,
+                                           machine=machine)
+            hits = workflow.last_pipeline_.last_run_.cache_hits
+            if progress is not None:
+                progress(f"[{routine}/{machine}] v{record.version} "
+                         f"{record.model_name} "
+                         f"checksum {record.checksum[:12]} "
+                         f"(stage cache hits: {hits})")
+            records.append(record)
+        return MatrixResult(records=records, stage_stats=self.cache.stats())

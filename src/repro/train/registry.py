@@ -1,0 +1,225 @@
+"""Versioned model registry with atomic ``latest`` pointers.
+
+The registry replaces "a directory with two files" as the unit of model
+deployment.  On-disk layout::
+
+    <root>/
+      registry.json                  # {"schema_version": 1}
+      bundles/<routine>-<machine>-v<N>/
+          adsala_config.json
+          adsala_model.pkl
+          MANIFEST.json              # schema, SHA-256 checksums, metadata
+      refs/<routine>/<machine>.json  # {"latest": N, "versions": {...}}
+
+Every publish writes a fresh immutable bundle directory (staged under a
+temporary name, then atomically renamed), records the bundle's content
+checksum and selection-report metadata in its manifest, and flips the
+per-(routine, machine) ``latest`` ref with an atomic replace — a reader
+(or a serving process hot-reloading between micro-batches) never sees a
+half-written bundle.  Loads verify checksums and schema via
+:func:`~repro.core.serialize.verify_bundle`, failing loudly on
+corruption; plain pre-registry bundle directories remain loadable
+through :func:`~repro.core.serialize.load_bundle` for backward
+compatibility.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import dataclass
+
+from repro.core.serialize import (SCHEMA_VERSION, BundleError,
+                                  _combine_digests, load_bundle,
+                                  load_manifest, save_bundle)
+
+ROUTINES = ("gemm", "gemv", "syrk", "trsm")
+
+
+class RegistryError(RuntimeError):
+    """Registry-level failures (unknown entry, version conflicts...)."""
+
+
+@dataclass(frozen=True)
+class ModelRecord:
+    """One published model version."""
+
+    routine: str
+    machine: str
+    version: int
+    path: str
+    checksum: str
+    model_name: str
+    latest: bool = False
+
+    @property
+    def ref(self) -> str:
+        suffix = "" if self.version is None else f"@{self.version}"
+        return f"{self.routine}/{self.machine}{suffix}"
+
+
+class ModelRegistry:
+    """Filesystem-backed registry of trained bundles.
+
+    Parameters
+    ----------
+    root:
+        Registry directory; created (with its ``registry.json``) on
+        first publish.
+    """
+
+    def __init__(self, root):
+        self.root = os.fspath(root)
+
+    # -- paths -----------------------------------------------------------
+    def _meta_path(self) -> str:
+        return os.path.join(self.root, "registry.json")
+
+    def _bundle_dir(self, routine: str, machine: str, version: int) -> str:
+        return os.path.join(self.root, "bundles",
+                            f"{routine}-{machine}-v{version}")
+
+    def _ref_path(self, routine: str, machine: str) -> str:
+        return os.path.join(self.root, "refs", routine, f"{machine}.json")
+
+    def _init_root(self) -> None:
+        os.makedirs(self.root, exist_ok=True)
+        meta = self._meta_path()
+        if not os.path.exists(meta):
+            with open(meta + ".tmp", "w") as fh:
+                json.dump({"schema_version": SCHEMA_VERSION}, fh)
+            os.replace(meta + ".tmp", meta)
+
+    def _read_ref(self, routine: str, machine: str) -> dict:
+        path = self._ref_path(routine, machine)
+        if not os.path.exists(path):
+            return {"latest": None, "versions": {}}
+        with open(path) as fh:
+            return json.load(fh)
+
+    def _write_ref(self, routine: str, machine: str, ref: dict) -> None:
+        path = self._ref_path(routine, machine)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path + ".tmp", "w") as fh:
+            json.dump(ref, fh, indent=2, sort_keys=True)
+        os.replace(path + ".tmp", path)  # atomic latest-pointer flip
+
+    # -- publish ---------------------------------------------------------
+    def publish(self, bundle, routine: str = "gemm", machine: str = None,
+                extra: dict = None) -> ModelRecord:
+        """Write ``bundle`` as the next version of (routine, machine).
+
+        The bundle directory is staged under a temporary name and
+        renamed into place before the ``latest`` ref moves, so
+        concurrent readers only ever resolve complete bundles.
+        Returns the new :class:`ModelRecord`.
+        """
+        if routine not in ROUTINES:
+            raise RegistryError(f"unknown routine {routine!r}; "
+                                f"registered: {sorted(ROUTINES)}")
+        machine = machine or bundle.config.machine
+        self._init_root()
+        ref = self._read_ref(routine, machine)
+        version = max((int(v) for v in ref["versions"]), default=0) + 1
+        final_dir = self._bundle_dir(routine, machine, version)
+        staging = final_dir + ".staging"
+        if os.path.exists(staging):
+            shutil.rmtree(staging)
+        manifest = save_bundle(bundle, staging, extra_manifest={
+            "routine": routine, "machine": machine, "version": version,
+            "selection": (bundle.report.as_table()
+                          if bundle.report is not None else None),
+            **(extra or {}),
+        })
+        os.makedirs(os.path.dirname(final_dir), exist_ok=True)
+        os.replace(staging, final_dir)
+        ref["versions"][str(version)] = {
+            "checksum": manifest["checksum"],
+            "model_name": bundle.config.model_name,
+        }
+        ref["latest"] = version
+        self._write_ref(routine, machine, ref)
+        return ModelRecord(routine=routine, machine=machine, version=version,
+                           path=final_dir, checksum=manifest["checksum"],
+                           model_name=bundle.config.model_name, latest=True)
+
+    # -- resolve/load ----------------------------------------------------
+    def resolve(self, routine: str, machine: str,
+                version="latest") -> ModelRecord:
+        """Look up one version (``"latest"``, an int, or a digit string)."""
+        ref = self._read_ref(routine, machine)
+        if not ref["versions"]:
+            raise RegistryError(
+                f"no models published for {routine}/{machine} "
+                f"in registry {self.root}")
+        if version in (None, "latest"):
+            version = ref["latest"]
+        version = int(version)
+        entry = ref["versions"].get(str(version))
+        if entry is None:
+            raise RegistryError(
+                f"{routine}/{machine} has no version {version} "
+                f"(published: {sorted(int(v) for v in ref['versions'])})")
+        return ModelRecord(routine=routine, machine=machine, version=version,
+                           path=self._bundle_dir(routine, machine, version),
+                           checksum=entry["checksum"],
+                           model_name=entry.get("model_name", ""),
+                           latest=version == ref["latest"])
+
+    def load(self, routine: str, machine: str, version="latest"):
+        """Checksum-verified bundle load; raises loudly on corruption."""
+        record = self.resolve(routine, machine, version)
+        bundle = load_bundle(record.path)  # verifies manifest + checksums
+        # The artefact files were just hashed against the manifest, so
+        # the bundle identity derives from those digests — no second
+        # read of the files is needed to cross-check the registry index.
+        manifest = load_manifest(record.path)
+        if manifest is None:
+            raise BundleError(
+                f"registry bundle {record.ref} at {record.path} has no "
+                f"manifest — the directory was tampered with after "
+                f"publication; re-publish the model")
+        actual = _combine_digests(manifest["files"])
+        if actual != record.checksum:
+            raise BundleError(
+                f"registry ref for {record.ref} records checksum "
+                f"{record.checksum[:12]}… but the bundle directory hashes "
+                f"to {actual[:12]}… — the registry index and the bundle "
+                f"disagree; re-publish the model")
+        return bundle
+
+    # -- enumerate -------------------------------------------------------
+    def entries(self) -> list:
+        """Every published (routine, machine, version), sorted."""
+        refs_root = os.path.join(self.root, "refs")
+        records = []
+        if not os.path.isdir(refs_root):
+            return records
+        for routine in sorted(os.listdir(refs_root)):
+            routine_dir = os.path.join(refs_root, routine)
+            for fname in sorted(os.listdir(routine_dir)):
+                if not fname.endswith(".json"):
+                    continue
+                machine = fname[:-len(".json")]
+                ref = self._read_ref(routine, machine)
+                for v in sorted(int(x) for x in ref["versions"]):
+                    entry = ref["versions"][str(v)]
+                    records.append(ModelRecord(
+                        routine=routine, machine=machine, version=v,
+                        path=self._bundle_dir(routine, machine, v),
+                        checksum=entry["checksum"],
+                        model_name=entry.get("model_name", ""),
+                        latest=v == ref["latest"]))
+        return records
+
+    def inspect(self, routine: str, machine: str, version="latest") -> dict:
+        """The resolved record plus its bundle manifest (no unpickling)."""
+        from repro.core.serialize import load_manifest
+
+        record = self.resolve(routine, machine, version)
+        manifest = load_manifest(record.path)
+        return {"routine": record.routine, "machine": record.machine,
+                "version": record.version, "latest": record.latest,
+                "path": record.path, "checksum": record.checksum,
+                "manifest": manifest}

@@ -1,0 +1,198 @@
+"""Stage protocol and the content-addressed stage-artifact cache.
+
+The installation workflow (paper Fig. 2) decomposes into discrete
+stages — gather, split, preprocess, one tuning stage per candidate,
+select — each a :class:`Stage`.  A stage's artifact is stored in a
+:class:`StageCache` under a key that fingerprints the stage's code
+version, its configuration slice, and its upstream artifact keys, so:
+
+* re-running an identical configuration replays entirely from cache
+  (resume after an interrupt re-executes only what never finished);
+* tweaking one knob invalidates exactly the stages downstream of it —
+  changing ``tune_iters`` re-tunes but never re-gathers;
+* two runs that end with the same final stage key are guaranteed to
+  have produced identical artifacts, which is what the pipeline's
+  bundle-checksum reproducibility tests lean on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+
+from repro.train.fingerprint import fingerprint
+
+
+class Stage:
+    """One resumable unit of the training pipeline.
+
+    Subclasses define ``name`` (unique within a pipeline), ``requires``
+    (upstream stage names whose artifacts are this stage's inputs),
+    ``version`` (bump to invalidate cached artifacts when the stage's
+    *code* changes meaning), a ``config(ctx)`` slice of the run
+    configuration that affects the output, and ``run(ctx, inputs)``.
+    """
+
+    name: str = ""
+    version: int = 1
+    requires: tuple = ()
+
+    def config(self, ctx) -> dict:
+        return {}
+
+    def run(self, ctx, inputs: dict):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def key(self, ctx, upstream_keys: dict) -> str:
+        """Content address of this stage's artifact for this run."""
+        return fingerprint({
+            "stage": self.name,
+            "version": self.version,
+            "config": self.config(ctx),
+            "inputs": {dep: upstream_keys[dep] for dep in self.requires},
+        })
+
+
+class StageCache:
+    """Content-addressed artifact store with hit/miss accounting.
+
+    ``root=None`` keeps artifacts in memory (the default pipeline mode:
+    no disk I/O, no resume).  With a directory, each artifact is a
+    pickle under ``<root>/<stage>/<key>.pkl`` plus a JSON sidecar for
+    ``repro models``-style inspection.  Loads that fail for any reason
+    are treated as misses — a torn write from a killed run degrades to
+    recomputation, never to a crash.
+    """
+
+    def __init__(self, root=None):
+        self.root = os.fspath(root) if root is not None else None
+        self._memory: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- paths -----------------------------------------------------------
+    def _paths(self, stage: str, key: str):
+        directory = os.path.join(self.root, stage)
+        return (os.path.join(directory, key + ".pkl"),
+                os.path.join(directory, key + ".json"))
+
+    def contains(self, stage: str, key: str) -> bool:
+        if self.root is None:
+            return (stage, key) in self._memory
+        return os.path.exists(self._paths(stage, key)[0])
+
+    # -- load/store ------------------------------------------------------
+    def load(self, stage: str, key: str):
+        """``(found, value)``; counts a hit or a miss."""
+        if self.root is None:
+            if (stage, key) in self._memory:
+                self.hits += 1
+                return True, self._memory[(stage, key)]
+            self.misses += 1
+            return False, None
+        pkl_path, _ = self._paths(stage, key)
+        try:
+            with open(pkl_path, "rb") as fh:
+                value = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return False, None
+        except Exception:  # torn/corrupt artifact: recompute
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def store(self, stage: str, key: str, value, meta: dict = None):
+        """Persist an artifact; returns the *canonical* value.
+
+        With an on-disk cache the returned value is the artifact read
+        back from its pickle, not the original object.  Downstream
+        stages therefore always consume the same normalised object
+        graph whether the upstream stage executed or replayed — which
+        is what makes a resumed run's final bundle *byte-identical*
+        (same checksum) to an uninterrupted run's, not merely
+        semantically equal (pickle output depends on object sharing,
+        and sharing differs between computed and unpickled graphs).
+        """
+        if self.root is None:
+            self._memory[(stage, key)] = value
+            return value
+        pkl_path, meta_path = self._paths(stage, key)
+        os.makedirs(os.path.dirname(pkl_path), exist_ok=True)
+        tmp = pkl_path + ".tmp"
+        with open(tmp, "wb") as fh:
+            pickle.dump(value, fh)
+        os.replace(tmp, pkl_path)  # atomic: a killed run leaves no torn file
+        with open(meta_path + ".tmp", "w") as fh:
+            json.dump({"stage": stage, "key": key, **(meta or {})}, fh,
+                      indent=2, sort_keys=True)
+        os.replace(meta_path + ".tmp", meta_path)
+        with open(pkl_path, "rb") as fh:
+            return pickle.load(fh)
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses}
+
+
+class PipelineRun:
+    """Outcome of one pipeline execution: artifacts, keys, cache events."""
+
+    def __init__(self):
+        self.artifacts: dict = {}
+        self.keys: dict = {}
+        self.events: list = []  # (stage_name, "hit" | "run")
+        self.durations: dict = {}  # stage_name -> wall seconds
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for _, kind in self.events if kind == "hit")
+
+    @property
+    def executed(self) -> list:
+        return [name for name, kind in self.events if kind == "run"]
+
+
+def run_stages(stages, ctx, cache: StageCache = None) -> PipelineRun:
+    """Execute ``stages`` in order, replaying cached artifacts.
+
+    ``stages`` must be topologically ordered (each stage's ``requires``
+    appear earlier).  Returns the :class:`PipelineRun` with every
+    artifact; raising from a stage leaves all *completed* stages'
+    artifacts in the cache, which is exactly what resume picks up.
+    """
+    import time
+
+    cache = cache if cache is not None else StageCache()
+    run = PipelineRun()
+    for stage in stages:
+        missing = [dep for dep in stage.requires if dep not in run.keys]
+        if missing:
+            raise ValueError(f"stage {stage.name!r} requires {missing} "
+                             f"which did not run earlier in the pipeline")
+        key = stage.key(ctx, run.keys)
+        t0 = time.perf_counter()
+        found, value = cache.load(stage.name, key)
+        if found:
+            run.events.append((stage.name, "hit"))
+        else:
+            value = stage.run(ctx, {dep: run.artifacts[dep]
+                                    for dep in stage.requires})
+            value = cache.store(stage.name, key, value,
+                                meta={"version": stage.version,
+                                      "config": _jsonable(stage.config(ctx))})
+            run.events.append((stage.name, "run"))
+        run.durations[stage.name] = time.perf_counter() - t0
+        run.artifacts[stage.name] = value
+        run.keys[stage.name] = key
+    return run
+
+
+def _jsonable(obj):
+    """Best-effort JSON projection of a stage config for the sidecar."""
+    try:
+        json.dumps(obj)
+        return obj
+    except (TypeError, ValueError):
+        return repr(obj)

@@ -36,10 +36,18 @@ def test_feature_identities(m, k, n, p):
                          min_size=2, max_size=20),
        transform=st.sampled_from(["log", "sqrt", "identity"]))
 def test_label_transform_preserves_argmin(runtimes, transform):
-    """Monotone label transforms never change the chosen thread count."""
+    """Monotone label transforms never change the chosen thread count.
+
+    Preservation holds up to *ties*: nearly-equal runtimes may collapse
+    to the same float under the transform (log of two adjacent 1e-9
+    values, say), legitimately flipping which tied index argmin picks —
+    so the assertion is that the chosen entry is a raw minimum within
+    float tolerance, not that the index matches exactly.
+    """
     cfg = AdsalaConfig(machine="t", label_transform=transform)
     arr = np.asarray(runtimes)
-    assert np.argmin(cfg.transform_label(arr)) == np.argmin(arr)
+    chosen = arr[np.argmin(cfg.transform_label(arr))]
+    assert chosen <= arr.min() * (1 + 1e-12)
 
 
 @settings(max_examples=25, deadline=None)

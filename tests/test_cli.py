@@ -1,4 +1,4 @@
-"""CLI commands: install / predict / batch / serve / demo."""
+"""CLI commands: install / models / predict / batch / serve / demo."""
 
 import pytest
 
@@ -9,7 +9,28 @@ class TestParser:
     def test_install_args(self):
         args = build_parser().parse_args(
             ["install", "--machine", "tiny", "--shapes", "10", "--out", "x"])
-        assert args.machine == "tiny" and args.shapes == 10
+        assert args.machine == ["tiny"] and args.shapes == 10
+        assert args.jobs == 1 and not args.resume and not args.matrix
+        assert args.routine is None
+
+    def test_install_matrix_args(self):
+        args = build_parser().parse_args(
+            ["install", "--matrix", "--machine", "tiny", "--machine", "gadi",
+             "--routine", "gemm", "--routine", "gemv", "--jobs", "4",
+             "--resume", "--out", "reg"])
+        assert args.matrix and args.resume and args.jobs == 4
+        assert args.machine == ["tiny", "gadi"]
+        assert args.routine == ["gemm", "gemv"]
+
+    def test_models_args(self):
+        args = build_parser().parse_args(
+            ["models", "--registry", "reg", "--inspect", "gemv/tiny@2"])
+        assert args.registry == "reg" and args.inspect == "gemv/tiny@2"
+
+    def test_unknown_routine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["install", "--routine", "axpy",
+                                       "--out", "x"])
 
     def test_batch_args(self):
         args = build_parser().parse_args(

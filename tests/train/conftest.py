@@ -1,0 +1,49 @@
+"""Training-pipeline fixtures: a tiny gathered campaign and a workflow
+factory sized so the whole staged pipeline runs in well under a second
+per invocation.
+
+``eval_time_s`` is pinned in the factory so bundles are bitwise
+reproducible — the checksum-equality assertions (resume vs fresh run,
+serial vs parallel) depend on no wall-clock measurement entering the
+selection report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.gather import DataGatherer
+from repro.core.training import InstallationWorkflow
+from repro.machine.presets import tiny_test_node
+from repro.machine.simulator import MachineSimulator
+from repro.ml.registry import candidate_models
+
+MB = 1024 * 1024
+GRID = [1, 2, 4, 8, 12, 16]
+CANDIDATE_NAMES = ("Linear Regression", "ElasticNet")
+
+
+@pytest.fixture(scope="session")
+def train_data():
+    """One small gathered campaign shared by every pipeline test."""
+    sim = MachineSimulator(tiny_test_node(), seed=0)
+    gatherer = DataGatherer(sim, thread_grid=GRID, repeats=2)
+    return gatherer.gather(n_shapes=30, memory_cap_bytes=8 * MB, seed=0)
+
+
+@pytest.fixture
+def make_workflow():
+    """Factory for small deterministic workflows on the tiny node."""
+
+    def make(candidate_names=CANDIDATE_NAMES, **overrides):
+        sim = MachineSimulator(tiny_test_node(), seed=0)
+        candidates = [c for c in candidate_models(budget="fast")
+                      if c.name in candidate_names]
+        settings = dict(memory_cap_bytes=8 * MB, n_shapes=30,
+                        thread_grid=GRID, candidates=candidates,
+                        tune_iters=2, cv_folds=2, repeats=2, seed=0,
+                        eval_time_s=1e-5)
+        settings.update(overrides)
+        return InstallationWorkflow(sim, **settings)
+
+    return make

@@ -1,0 +1,143 @@
+"""The staged ADSALA pipeline: facade, caching, resume, equivalence."""
+
+import pickle
+
+import pytest
+
+from repro.core.serialize import bundle_checksum, save_bundle
+from repro.train.pipeline import TrainingPipeline, TuneCandidateStage
+from repro.train.stages import StageCache
+
+
+def _model_bytes(bundle):
+    return pickle.dumps(bundle.model)
+
+
+class TestFacade:
+    def test_workflow_run_delegates_to_pipeline(self, make_workflow,
+                                                train_data):
+        workflow = make_workflow()
+        bundle = workflow.run(train_data)
+        assert {r.name for r in bundle.report.rows} \
+            == {"Linear Regression", "ElasticNet"}
+        assert bundle.config.model_name == bundle.report.selected
+        run = workflow.last_pipeline_.last_run_
+        assert [name for name, _ in run.events] == [
+            "gather", "split", "preprocess", "tune:Linear Regression",
+            "tune:ElasticNet", "select"]
+        assert "train_s" in workflow.timings_
+
+    def test_gather_stage_runs_campaign_when_no_data(self, make_workflow):
+        workflow = make_workflow(n_shapes=12)
+        bundle = workflow.run()
+        assert workflow.timings_["gather_s"] > 0
+        assert bundle.report.selected in ("Linear Regression", "ElasticNet")
+
+
+class TestStageCaching:
+    def test_rerun_replays_every_stage(self, make_workflow, train_data,
+                                       tmp_path):
+        make_workflow().run(train_data, cache=tmp_path)
+        workflow = make_workflow()
+        bundle = workflow.run(train_data, cache=tmp_path)
+        run = workflow.last_pipeline_.last_run_
+        assert run.cache_hits == len(run.events)
+        assert bundle.report.selected  # fully replayed, still complete
+
+    def test_config_tweak_invalidates_only_downstream(self, make_workflow,
+                                                      train_data, tmp_path):
+        make_workflow().run(train_data, cache=tmp_path)
+        workflow = make_workflow(tune_iters=1)  # tuning knob only
+        workflow.run(train_data, cache=tmp_path)
+        run = workflow.last_pipeline_.last_run_
+        kinds = dict(run.events)
+        assert kinds["gather"] == kinds["split"] == kinds["preprocess"] \
+            == "hit"
+        assert kinds["tune:ElasticNet"] == "run"
+        assert kinds["select"] == "run"
+
+    def test_different_data_invalidates_everything(self, make_workflow,
+                                                   train_data, tmp_path):
+        make_workflow().run(train_data, cache=tmp_path)
+        smaller = train_data.select(train_data.threads <= 8)
+        workflow = make_workflow()
+        workflow.run(smaller, cache=tmp_path)
+        assert workflow.last_pipeline_.last_run_.cache_hits == 0
+
+
+class TestResumeAfterInterrupt:
+    def test_resumed_run_reuses_stages_and_reproduces_checksum(
+            self, make_workflow, train_data, tmp_path, monkeypatch):
+        cache_dir = tmp_path / "cache"
+        # Kill the run inside the *second* tuning stage.
+        original = TuneCandidateStage.run
+        calls = []
+
+        def dying(self, ctx, inputs):
+            if len(calls) >= 1:
+                raise KeyboardInterrupt("killed mid-bake-off")
+            calls.append(self.name)
+            return original(self, ctx, inputs)
+
+        monkeypatch.setattr(TuneCandidateStage, "run", dying)
+        with pytest.raises(KeyboardInterrupt):
+            make_workflow().run(train_data, cache=cache_dir)
+        monkeypatch.setattr(TuneCandidateStage, "run", original)
+
+        workflow = make_workflow()
+        resumed = workflow.run(train_data, cache=cache_dir)
+        run = workflow.last_pipeline_.last_run_
+        kinds = dict(run.events)
+        # gather/split/preprocess and the finished candidate replay...
+        assert kinds["gather"] == kinds["preprocess"] == "hit"
+        assert kinds["tune:Linear Regression"] == "hit"
+        # ...only the interrupted candidate and selection re-execute.
+        assert kinds["tune:ElasticNet"] == "run"
+        assert run.cache_hits == 4
+
+        uninterrupted = make_workflow().run(train_data,
+                                            cache=tmp_path / "fresh")
+        save_bundle(resumed, tmp_path / "a")
+        save_bundle(uninterrupted, tmp_path / "b")
+        assert bundle_checksum(tmp_path / "a") \
+            == bundle_checksum(tmp_path / "b")
+
+
+class TestSerialParallelEquivalence:
+    @pytest.mark.parametrize("n_jobs,executor", [(2, "thread"),
+                                                 (4, "thread"),
+                                                 (2, "process")])
+    def test_selected_model_bitwise_identical(self, make_workflow,
+                                              train_data, n_jobs, executor):
+        serial = make_workflow(n_jobs=1).run(train_data)
+        parallel = make_workflow(n_jobs=n_jobs,
+                                 executor=executor).run(train_data)
+        assert parallel.report.selected == serial.report.selected
+        assert parallel.config.model_params == serial.config.model_params
+        assert _model_bytes(parallel) == _model_bytes(serial)
+        for a, b in zip(parallel.report.rows, serial.report.rows):
+            assert a.name == b.name
+            assert a.nrmse == b.nrmse
+            assert a.best_params == b.best_params
+
+    def test_pipeline_stats_expose_hit_counters(self, make_workflow,
+                                                train_data, tmp_path):
+        workflow = make_workflow()
+        workflow.run(train_data, cache=tmp_path)
+        pipeline = workflow.last_pipeline_
+        stats = pipeline.stats()
+        assert stats["stages_run"] == 6
+        assert stats["stages_hit"] == 0
+        assert stats["misses"] >= 6
+
+
+class TestPipelineDirect:
+    def test_cache_accepts_path_or_object(self, make_workflow, train_data,
+                                          tmp_path):
+        workflow = make_workflow()
+        pipeline = TrainingPipeline(workflow, cache=StageCache(tmp_path))
+        bundle = pipeline.run(train_data)
+        again = TrainingPipeline(make_workflow(), cache=tmp_path)
+        bundle2 = again.run(train_data)
+        assert again.last_run_.cache_hits == 6
+        assert _model_bytes(bundle) == _model_bytes(bundle2)

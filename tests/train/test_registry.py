@@ -1,0 +1,100 @@
+"""Model registry: versioning, latest pointers, checksum enforcement."""
+
+import os
+
+import pytest
+
+from repro.core.serialize import (MODEL_FILENAME, BundleError,
+                                  BundleIntegrityError)
+from repro.train.registry import ModelRegistry, RegistryError
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "registry")
+
+
+class TestPublish:
+    def test_versions_increment_and_latest_moves(self, registry,
+                                                 tiny_bundle):
+        bundle, _ = tiny_bundle
+        first = registry.publish(bundle, routine="gemm")
+        second = registry.publish(bundle, routine="gemm")
+        assert (first.version, second.version) == (1, 2)
+        assert registry.resolve("gemm", "tiny").version == 2
+        old = registry.resolve("gemm", "tiny", version=1)
+        assert not old.latest and os.path.isdir(old.path)
+
+    def test_axes_are_independent(self, registry, tiny_bundle):
+        bundle, _ = tiny_bundle
+        registry.publish(bundle, routine="gemm")
+        record = registry.publish(bundle, routine="gemv")
+        assert record.version == 1
+        assert {(e.routine, e.machine, e.version)
+                for e in registry.entries()} \
+            == {("gemm", "tiny", 1), ("gemv", "tiny", 1)}
+
+    def test_unknown_routine_rejected(self, registry, tiny_bundle):
+        bundle, _ = tiny_bundle
+        with pytest.raises(RegistryError, match="unknown routine"):
+            registry.publish(bundle, routine="axpy")
+
+
+class TestLoad:
+    def test_round_trip_predicts_identically(self, registry, tiny_bundle):
+        bundle, _ = tiny_bundle
+        registry.publish(bundle, routine="gemm")
+        loaded = registry.load("gemm", "tiny")
+        assert loaded.config == bundle.config
+        assert loaded.predictor().predict_threads(100, 100, 100) \
+            == bundle.predictor().predict_threads(100, 100, 100)
+
+    def test_corrupt_bundle_fails_loudly(self, registry, tiny_bundle):
+        bundle, _ = tiny_bundle
+        record = registry.publish(bundle, routine="gemm")
+        model_path = os.path.join(record.path, MODEL_FILENAME)
+        with open(model_path, "r+b") as fh:
+            fh.seek(10)
+            fh.write(b"\x00\x00\x00\x00")
+        with pytest.raises(BundleIntegrityError, match="corrupt"):
+            registry.load("gemm", "tiny")
+
+    def test_index_bundle_disagreement_fails(self, registry, tiny_bundle,
+                                             tmp_path):
+        bundle, _ = tiny_bundle
+        record = registry.publish(bundle, routine="gemm")
+        # Re-write the bundle dir wholesale (manifest self-consistent but
+        # different content than the registry index recorded).
+        import copy
+
+        from repro.core.serialize import save_bundle
+
+        tampered = copy.deepcopy(bundle)
+        tampered.config.model_params = {"tampered": True}
+        save_bundle(tampered, record.path)
+        with pytest.raises(BundleError, match="disagree"):
+            registry.load("gemm", "tiny")
+
+    def test_missing_entry_errors(self, registry):
+        with pytest.raises(RegistryError, match="no models published"):
+            registry.resolve("gemm", "nowhere")
+
+    def test_unknown_version_errors(self, registry, tiny_bundle):
+        bundle, _ = tiny_bundle
+        registry.publish(bundle, routine="gemm")
+        with pytest.raises(RegistryError, match="no version 9"):
+            registry.resolve("gemm", "tiny", version=9)
+
+
+class TestInspect:
+    def test_manifest_carries_selection_metadata(self, registry,
+                                                 tiny_bundle):
+        bundle, _ = tiny_bundle
+        registry.publish(bundle, routine="gemm")
+        info = registry.inspect("gemm", "tiny")
+        manifest = info["manifest"]
+        assert manifest["schema_version"] == 1
+        assert manifest["version"] == 1
+        assert manifest["model_name"] == bundle.config.model_name
+        assert len(manifest["selection"]) == len(bundle.report.rows)
+        assert info["checksum"] == manifest["checksum"]

@@ -1,0 +1,127 @@
+"""Stage protocol and stage-cache behaviour on toy stages."""
+
+import pytest
+
+from repro.train.stages import Stage, StageCache, run_stages
+
+
+class _Ctx:
+    """Toy run context: per-stage config dicts + execution log."""
+
+    def __init__(self, **configs):
+        self.configs = configs
+        self.log = []
+
+
+class _Times2(Stage):
+    name = "a"
+
+    def config(self, ctx):
+        return ctx.configs.get("a", {})
+
+    def run(self, ctx, inputs):
+        ctx.log.append("a")
+        return ctx.configs.get("a", {}).get("x", 1) * 2
+
+
+class _Plus(Stage):
+    name = "b"
+    requires = ("a",)
+
+    def config(self, ctx):
+        return ctx.configs.get("b", {})
+
+    def run(self, ctx, inputs):
+        ctx.log.append("b")
+        return inputs["a"] + ctx.configs.get("b", {}).get("y", 0)
+
+
+class _Square(Stage):
+    name = "c"
+    requires = ("b",)
+
+    def run(self, ctx, inputs):
+        ctx.log.append("c")
+        return inputs["b"] ** 2
+
+
+STAGES = [_Times2(), _Plus(), _Square()]
+
+
+class TestStageCache:
+    def test_memory_hit_miss_counters(self):
+        cache = StageCache()
+        found, _ = cache.load("s", "k")
+        assert not found and cache.misses == 1
+        cache.store("s", "k", 42)
+        found, value = cache.load("s", "k")
+        assert found and value == 42 and cache.hits == 1
+
+    def test_disk_round_trip(self, tmp_path):
+        cache = StageCache(tmp_path)
+        cache.store("s", "deadbeef", {"v": [1, 2, 3]})
+        assert cache.contains("s", "deadbeef")
+        found, value = StageCache(tmp_path).load("s", "deadbeef")
+        assert found and value == {"v": [1, 2, 3]}
+
+    def test_corrupt_artifact_is_a_miss(self, tmp_path):
+        cache = StageCache(tmp_path)
+        cache.store("s", "k1", [1, 2])
+        pkl = tmp_path / "s" / "k1.pkl"
+        pkl.write_bytes(b"not a pickle")
+        found, _ = StageCache(tmp_path).load("s", "k1")
+        assert not found  # degraded to recompute, no crash
+
+
+class TestRunStages:
+    def test_first_run_executes_everything(self):
+        ctx = _Ctx(a={"x": 3})
+        run = run_stages(STAGES, ctx)
+        assert run.artifacts == {"a": 6, "b": 6, "c": 36}
+        assert ctx.log == ["a", "b", "c"]
+        assert run.cache_hits == 0
+
+    def test_identical_rerun_is_all_hits(self, tmp_path):
+        cache = StageCache(tmp_path)
+        run_stages(STAGES, _Ctx(a={"x": 3}), cache)
+        ctx = _Ctx(a={"x": 3})
+        run = run_stages(STAGES, ctx, cache)
+        assert ctx.log == []  # nothing executed
+        assert run.cache_hits == 3
+        assert run.artifacts["c"] == 36
+
+    def test_config_change_invalidates_only_downstream(self, tmp_path):
+        cache = StageCache(tmp_path)
+        run_stages(STAGES, _Ctx(a={"x": 3}), cache)
+        ctx = _Ctx(a={"x": 3}, b={"y": 1})  # tweak the middle stage
+        run = run_stages(STAGES, ctx, cache)
+        assert ctx.log == ["b", "c"]  # upstream gather-equivalent reused
+        assert [kind for _, kind in run.events] == ["hit", "run", "run"]
+        assert run.artifacts["c"] == 49
+
+    def test_version_bump_invalidates(self, tmp_path):
+        cache = StageCache(tmp_path)
+        run_stages(STAGES, _Ctx(), cache)
+        bumped = _Plus()
+        bumped.version = 2
+        ctx = _Ctx()
+        run_stages([_Times2(), bumped, _Square()], ctx, cache)
+        assert ctx.log == ["b", "c"]
+
+    def test_interrupt_resumes_from_last_finished(self, tmp_path):
+        cache = StageCache(tmp_path)
+
+        class _Boom(_Plus):
+            def run(self, ctx, inputs):
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_stages([_Times2(), _Boom(), _Square()], _Ctx(), cache)
+        ctx = _Ctx()
+        run = run_stages(STAGES, ctx, cache)
+        assert ctx.log == ["b", "c"]  # stage a survived the interrupt
+        assert run.cache_hits == 1
+
+    def test_missing_dependency_raises(self):
+        with pytest.raises(ValueError, match="requires"):
+            run_stages([_Plus()], _Ctx())
