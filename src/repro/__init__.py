@@ -36,6 +36,10 @@ Subpackages
     The multi-backend execution engine: the ``ExecutionBackend``
     protocol and its adapters, the LRU ``PredictionCache``, and the
     batch-predicting ``GemmService`` request layer.
+``repro.compile``
+    Compiled inference plans: fitted pipeline + model lowered into
+    fused array kernels (fused preprocessing transform, packed tree
+    ensembles, affine models) with bitwise-identical predictions.
 ``repro.serve``
     The async serving subsystem: ``GemmServer`` with dynamic
     micro-batching, admission control (backpressure + overload
@@ -50,6 +54,7 @@ Subpackages
     Harness utilities for regenerating the paper's tables and figures.
 """
 
+from repro.compile import CompiledPlan, compile_plan
 from repro.core.config import AdsalaConfig
 from repro.core.library import AdsalaGemm
 from repro.core.training import InstallationWorkflow, TrainedBundle
@@ -60,11 +65,13 @@ from repro.machine.simulator import MachineSimulator
 from repro.serve import GemmServer, ServerOverloaded
 from repro.train import ModelRegistry, TrainingMatrix, TrainingPipeline
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AdsalaConfig",
     "AdsalaGemm",
+    "CompiledPlan",
+    "compile_plan",
     "GemmServer",
     "GemmService",
     "InstallationWorkflow",

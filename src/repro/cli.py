@@ -8,6 +8,7 @@ Mirrors how a deployed ADSALA would be driven::
                             --routine gemm --routine gemv --out ./registry
     python -m repro models  --registry ./registry
     python -m repro models  --registry ./registry --inspect gemv/gadi@1
+    python -m repro models  --registry ./registry --compile gemv/gadi@1
     python -m repro predict --install ./install 64 2048 64
     python -m repro batch   --install ./install --machine gadi shapes.txt
     python -m repro serve   --install ./install --rate 500 shapes.txt
@@ -21,7 +22,10 @@ keeps a stage cache under the output directory so an interrupted
 installation re-executes only unfinished stages, ``--routine`` trains
 for a non-GEMM BLAS routine, and ``--matrix`` trains every (routine,
 machine) cell and publishes versioned bundles into a model registry.
-``models`` lists or inspects registry entries; ``predict`` loads
+``models`` lists, inspects or compiles registry entries (``--compile``
+(re)builds a bundle's compiled inference plan and publishes it as a new
+version — published bundles stay immutable — and ``--inspect`` shows
+plan presence and packed-array sizes); ``predict`` loads
 artefacts and reports the thread choice for a shape; ``batch`` serves a
 whole shape file through the engine's
 :class:`~repro.engine.service.GemmService` (deduplicated, vectorised
@@ -138,6 +142,29 @@ def _parse_model_ref(ref: str):
     return routine, rest, version
 
 
+def _print_plan_meta(plan_meta: dict) -> None:
+    """Render compiled-plan metadata (kind, node/array sizes)."""
+    print(f"  plan:     pipeline={plan_meta.get('pipeline')} "
+          f"model={plan_meta.get('model')}"
+          f"{'' if plan_meta.get('fully_lowered') else '  (partial)'}")
+    arrays = plan_meta.get("model_arrays") or {}
+    if "n_trees" in arrays:
+        print(f"            {arrays['n_trees']} trees, "
+              f"{arrays['n_nodes']} packed nodes, "
+              f"depth <= {arrays['max_depth']}, "
+              f"{arrays['nbytes']} bytes")
+    elif arrays:
+        print(f"            {arrays.get('n_features')} coefficients, "
+              f"{arrays.get('nbytes')} bytes")
+    transform = plan_meta.get("transform")
+    if transform:
+        print(f"            fused transform: "
+              f"{transform['n_features_in']} -> "
+              f"{transform['n_features_out']} features, "
+              f"yeo_johnson={transform['yeo_johnson']}, "
+              f"{transform['nbytes']} bytes")
+
+
 def cmd_models(args) -> int:
     from repro.bench.report import format_table
     from repro.core.serialize import BundleError
@@ -145,6 +172,25 @@ def cmd_models(args) -> int:
 
     registry = ModelRegistry(args.registry)
     try:
+        if args.compile:
+            routine, machine, version = _parse_model_ref(args.compile)
+            info = registry.compile_plan(routine, machine, version)
+            if info["plan"] is None:
+                print(f"{routine}/{machine}@{info['version']}: nothing "
+                      f"lowerable (model and pipeline keep the object "
+                      f"path); no new version published")
+                return 0
+            if info.get("up_to_date"):
+                print(f"{routine}/{machine}@{info['version']}: compiled "
+                      f"plan already up to date; no new version published")
+                _print_plan_meta(info["plan"])
+                return 0
+            print(f"compiled plan for {routine}/{machine}"
+                  f"@{info['compiled_from_version']} published as "
+                  f"version {info['version']}")
+            print(f"  checksum: {info['checksum']}")
+            _print_plan_meta(info["plan"])
+            return 0
         if args.inspect:
             routine, machine, version = _parse_model_ref(args.inspect)
             info = registry.inspect(routine, machine, version)
@@ -155,6 +201,12 @@ def cmd_models(args) -> int:
             manifest = info["manifest"] or {}
             print(f"  schema:   {manifest.get('schema_version')}")
             print(f"  model:    {manifest.get('model_name')}")
+            plan_meta = manifest.get("plan")
+            if info["has_plan"] and plan_meta:
+                _print_plan_meta(plan_meta)
+            else:
+                print("  plan:     none (build with --compile "
+                      f"{routine}/{machine}@{info['version']})")
             selection = manifest.get("selection")
             if selection:
                 print()
@@ -170,6 +222,7 @@ def cmd_models(args) -> int:
     rows = [{"routine": e.routine, "machine": e.machine,
              "version": e.version, "model": e.model_name,
              "checksum": e.checksum[:12],
+             "plan": "*" if registry.has_plan(e) else "",
              "latest": "*" if e.latest else ""} for e in entries]
     print(format_table(rows, title=f"registry {args.registry}"))
     return 0
@@ -364,10 +417,18 @@ def build_parser() -> argparse.ArgumentParser:
                         "with --matrix)")
     p.set_defaults(func=cmd_install)
 
-    p = sub.add_parser("models", help="list or inspect registry entries")
+    p = sub.add_parser("models", help="list, inspect or compile registry "
+                                      "entries")
     p.add_argument("--registry", required=True, help="registry root directory")
-    p.add_argument("--inspect", default=None, metavar="ROUTINE/MACHINE[@V]",
-                   help="show one entry's manifest and selection report")
+    action = p.add_mutually_exclusive_group()
+    action.add_argument("--inspect", default=None,
+                        metavar="ROUTINE/MACHINE[@V]",
+                        help="show one entry's manifest, compiled-plan "
+                             "sizes and selection report")
+    action.add_argument("--compile", default=None,
+                        metavar="ROUTINE/MACHINE[@V]",
+                        help="(re)build one entry's compiled inference "
+                             "plan, published as a new version")
     p.set_defaults(func=cmd_models)
 
     p = sub.add_parser("predict", help="query a saved installation")

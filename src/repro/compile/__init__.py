@@ -1,0 +1,34 @@
+"""Compiled inference plans: lower fitted artefacts to fused array kernels.
+
+ADSALA only wins when prediction overhead is tiny next to the GEMM it
+optimises; this package removes the interpreter tax from the hot path by
+lowering a *fitted* preprocessing pipeline + model, once, into a flat
+:class:`~repro.compile.plan.CompiledPlan`:
+
+- :mod:`repro.compile.transform` — Yeo-Johnson + standardise +
+  correlation gather folded into one fused pass (pruned columns are
+  never computed);
+- :mod:`repro.compile.trees` — tree ensembles packed into concatenated
+  node arrays and traversed for all trees simultaneously;
+- :mod:`repro.compile.lower` — per-model lowering (linear family to one
+  dot product, ensembles to packed trees, kNN falls back);
+- :mod:`repro.compile.plan` — the plan object the runtime predictor
+  evaluates through, with object-path fallbacks per half.
+
+Every lowered operation is bitwise identical to its object path, so
+compiled and interpreted serving give identical thread choices.
+"""
+
+from repro.compile.lower import lower_model
+from repro.compile.plan import CompiledPlan, compile_plan
+from repro.compile.transform import FusedTransform, lower_pipeline
+from repro.compile.trees import PackedTrees
+
+__all__ = [
+    "CompiledPlan",
+    "FusedTransform",
+    "PackedTrees",
+    "compile_plan",
+    "lower_model",
+    "lower_pipeline",
+]

@@ -1,0 +1,178 @@
+"""Fold a fitted preprocessing pipeline into one fused array pass.
+
+The inference-side :class:`~repro.preprocessing.pipeline.Pipeline` walks
+Python stage objects: Yeo-Johnson transforms every column, the scaler
+standardises the full matrix, and only then does correlation pruning
+throw columns away.  :func:`lower_pipeline` folds the fitted stages into
+a :class:`FusedTransform` that
+
+* pushes the column gather to the *front* — pruned columns are never
+  Yeo-Johnson-transformed or standardised at all,
+* applies the per-column scalar map (Yeo-Johnson lambda) and the affine
+  stages in one pass per surviving column,
+* validates the input once instead of once per stage.
+
+All folded operations are column-independent and element-wise, and the
+fused path executes the *same* floating-point operations per kept column
+(it reuses :func:`~repro.preprocessing.yeo_johnson.yeo_johnson` and the
+stages' own mean/scale arrays), so the output is **bitwise identical**
+to the object pipeline's.  Affine stages are kept as a sequence rather
+than composed algebraically — ``((x-m1)/s1 - m2)/s2`` is not bitwise
+``(x-M)/S`` — so identity survives even pipelines with several scalers.
+
+Pipelines containing stages this module does not understand are not
+folded: :func:`lower_pipeline` returns ``None`` and the caller keeps the
+object path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import check_array
+from repro.preprocessing.correlation import CorrelationPruner
+from repro.preprocessing.standard import StandardScaler
+from repro.preprocessing.yeo_johnson import YeoJohnsonTransformer, yeo_johnson
+
+
+class FusedTransform:
+    """Gather -> Yeo-Johnson -> affine chain, one pass per kept column.
+
+    Parameters
+    ----------
+    keep:
+        Output column ``j`` reads input column ``keep[j]``.
+    lambdas:
+        Per-output-column Yeo-Johnson lambda, or ``None`` when the
+        pipeline had no power transform.
+    affines:
+        Sequence of ``(mean, scale)`` array pairs (aligned with
+        ``keep``) applied in order as ``(col - mean[j]) / scale[j]``.
+    n_features_in:
+        Expected input width (the pipeline's first stage's).
+    out_order:
+        Memory layout of the output matrix: ``"F"`` when the folded
+        pipeline ended in a column gather (numpy's fancy gather returns
+        Fortran order), ``"C"`` otherwise.  Matching the object
+        pipeline's layout matters because BLAS sums a matmul in a
+        layout-dependent order — same values in a different layout can
+        flip low bits of a downstream ``X @ coef``.
+    """
+
+    __slots__ = ("keep", "lambdas", "affines", "n_features_in", "out_order")
+
+    def __init__(self, keep, lambdas, affines, n_features_in: int,
+                 out_order: str = "C"):
+        self.keep = np.asarray(keep, dtype=np.int64)
+        self.lambdas = (None if lambdas is None
+                        else np.asarray(lambdas, dtype=np.float64))
+        self.affines = [(np.asarray(m, dtype=np.float64),
+                         np.asarray(s, dtype=np.float64)) for m, s in affines]
+        self.n_features_in = int(n_features_in)
+        if out_order not in ("C", "F"):
+            raise ValueError(f"out_order must be 'C' or 'F', got {out_order!r}")
+        self.out_order = out_order
+
+    @property
+    def n_features_out(self) -> int:
+        return self.keep.size
+
+    def apply(self, X, check_input: bool = True) -> np.ndarray:
+        """Transform a feature matrix (validated once at entry)."""
+        if check_input:
+            X = check_array(X)
+        if X.shape[1] != self.n_features_in:
+            raise ValueError(f"X has {X.shape[1]} features, "
+                             f"expected {self.n_features_in}")
+        out = np.empty((X.shape[0], self.keep.size), dtype=np.float64,
+                       order=self.out_order)
+        for j, src in enumerate(self.keep):
+            col = X[:, src]
+            if self.lambdas is not None:
+                col = yeo_johnson(col, self.lambdas[j])
+            for mean, scale in self.affines:
+                col = (col - mean[j]) / scale[j]
+            out[:, j] = col
+        return out
+
+    @property
+    def nbytes(self) -> int:
+        total = self.keep.nbytes
+        if self.lambdas is not None:
+            total += self.lambdas.nbytes
+        return total + sum(m.nbytes + s.nbytes for m, s in self.affines)
+
+    def describe(self) -> dict:
+        return {"n_features_in": self.n_features_in,
+                "n_features_out": int(self.n_features_out),
+                "yeo_johnson": self.lambdas is not None,
+                "n_affine_stages": len(self.affines),
+                "nbytes": int(self.nbytes)}
+
+
+def lower_pipeline(pipeline) -> FusedTransform:
+    """Fold a fitted pipeline's stages, or ``None`` if any stage can't be.
+
+    Understands any in-order mix of :class:`YeoJohnsonTransformer`
+    (before any affine stage), :class:`StandardScaler` and
+    :class:`CorrelationPruner`.  An empty pipeline folds to the identity
+    gather.
+    """
+    if pipeline is None:
+        return None
+    n_features_in = None
+    keep = None          # current output column -> original input column
+    lambdas = None       # aligned with the *current* columns
+    affines = []         # (mean, scale) pairs aligned with current columns
+
+    for _, stage in pipeline.steps:
+        if n_features_in is None:
+            n_features_in = getattr(stage, "n_features_", None)
+            if n_features_in is None:
+                return None
+            keep = np.arange(n_features_in, dtype=np.int64)
+        if isinstance(stage, YeoJohnsonTransformer):
+            # A power transform after an affine stage does not commute
+            # with the folding below; our pipelines never do that, and
+            # anything exotic keeps the object path.  Fitted arrays are
+            # already aligned with the stage's input = current columns.
+            if affines or lambdas is not None:
+                return None
+            lambdas = stage.lambdas_.copy()
+            if stage.standardize:
+                affines.append((stage.mean_, stage.std_))
+        elif isinstance(stage, StandardScaler):
+            affines.append((stage.mean_, stage.scale_))
+        elif isinstance(stage, CorrelationPruner):
+            sub = np.asarray(stage.keep_, dtype=np.int64)
+            keep = keep[sub]
+            if lambdas is not None:
+                lambdas = lambdas[sub]
+            affines = [(m[sub], s[sub]) for m, s in affines]
+        else:
+            return None
+
+    if n_features_in is None:  # empty pipeline: identity over unknown width
+        return None
+    return FusedTransform(keep=keep, lambdas=lambdas, affines=affines,
+                          n_features_in=n_features_in,
+                          out_order=_object_path_order(pipeline))
+
+
+def _object_path_order(pipeline) -> str:
+    """Memory order of the object pipeline's output for C-ordered input.
+
+    The predictor always feeds C-contiguous feature matrices (the
+    builder column-stacks), then each stage maps layout deterministically:
+    Yeo-Johnson column-stacks (always C), the scaler's element-wise
+    affine preserves its input's order, and the pruner's fancy gather
+    returns Fortran order whatever it is given.
+    """
+    order = "C"
+    for _, stage in pipeline.steps:
+        if isinstance(stage, YeoJohnsonTransformer):
+            order = "C"
+        elif isinstance(stage, CorrelationPruner):
+            order = "F"
+        # StandardScaler: order-preserving, no change.
+    return order

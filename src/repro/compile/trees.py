@@ -1,0 +1,150 @@
+"""Packed tree ensembles: every tree of a fitted ensemble in one array.
+
+The object-path ensembles (:class:`~repro.ml.forest.RandomForestRegressor`
+and friends) predict by looping over their trees in Python, paying the
+numpy dispatch overhead of a full vectorised traversal *per tree* — for
+the paper's deep forests that is thousands of tiny-array numpy calls per
+prediction, which is exactly the evaluation tax that erases the forest's
+speedup in Tables III/IV.
+
+:class:`PackedTrees` concatenates the flat node arrays of all trees into
+one address space (per-tree node offsets, children rebased) and traverses
+**all trees for all samples simultaneously**: one cursor array of
+``n_trees * n_samples`` positions advances level by level, so the number
+of numpy calls is ``O(max_depth)`` instead of ``O(sum of depths)`` and
+each call touches an array large enough to amortise dispatch overhead.
+
+Leaves are packed as self-loops (``left == right == node``) with a dummy
+feature index of 0, so a cursor that reaches a leaf early simply stays
+there while deeper trees keep walking — no masking or gather of "active"
+rows is needed.  The per-(tree, sample) comparisons are the same
+``X[i, feature] <= threshold`` the object path executes against the same
+float64 node arrays, so packed per-tree predictions are **bitwise
+identical** to calling ``tree.predict`` per tree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PackedTrees:
+    """Concatenated node arrays for an ensemble of regression trees.
+
+    Built from fitted trees via :meth:`from_hist_trees` (the histogram
+    ensembles) or :meth:`from_cart` (the exact-greedy decision tree);
+    the constructor takes already-rebased arrays.
+    """
+
+    __slots__ = ("feature", "threshold", "left", "right", "value",
+                 "roots", "is_leaf", "max_depth", "n_trees", "n_nodes")
+
+    def __init__(self, feature, threshold, left, right, value, roots,
+                 max_depth: int):
+        self.feature = np.asarray(feature, dtype=np.int64)
+        self.threshold = np.asarray(threshold, dtype=np.float64)
+        self.left = np.asarray(left, dtype=np.int64)
+        self.right = np.asarray(right, dtype=np.int64)
+        self.value = np.asarray(value, dtype=np.float64)
+        self.roots = np.asarray(roots, dtype=np.int64)
+        self.max_depth = int(max_depth)
+        self.n_trees = self.roots.size
+        self.n_nodes = self.feature.size
+        # Leaves carry feature < 0 in the source trees; pack them as
+        # self-loops with a harmless feature so traversal needs no mask.
+        self.is_leaf = self.feature < 0
+        idx = np.arange(self.n_nodes, dtype=np.int64)
+        self.left = np.where(self.is_leaf, idx, self.left)
+        self.right = np.where(self.is_leaf, idx, self.right)
+        self.feature = np.where(self.is_leaf, 0, self.feature)
+
+    @classmethod
+    def from_hist_trees(cls, trees) -> "PackedTrees":
+        """Pack a list of :class:`~repro.ml._histtree.HistTree`."""
+        if not trees:
+            raise ValueError("cannot pack an empty ensemble")
+        sizes = np.asarray([t.n_nodes for t in trees], dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(sizes)])
+        return cls(
+            feature=np.concatenate([t.feature for t in trees]),
+            threshold=np.concatenate([t.threshold for t in trees]),
+            left=np.concatenate([np.asarray(t.left, dtype=np.int64) + off
+                                 for t, off in zip(trees, offsets)]),
+            right=np.concatenate([np.asarray(t.right, dtype=np.int64) + off
+                                  for t, off in zip(trees, offsets)]),
+            value=np.concatenate([t.value for t in trees]),
+            roots=offsets[:-1],
+            max_depth=max(t.max_depth_ for t in trees),
+        )
+
+    @classmethod
+    def from_cart(cls, root, max_depth: int) -> "PackedTrees":
+        """Flatten a linked :class:`~repro.ml.tree._Node` tree.
+
+        Iterative preorder walk (deep CART trees would blow the Python
+        recursion limit) assigning array slots as nodes are visited.
+        """
+        feature, threshold, left, right, value = [], [], [], [], []
+        # Stack of (node, parent_slot, is_left_child); root has no parent.
+        stack = [(root, -1, False)]
+        while stack:
+            node, parent, is_left = stack.pop()
+            slot = len(feature)
+            if parent >= 0:
+                (left if is_left else right)[parent] = slot
+            feature.append(node.feature)
+            threshold.append(node.threshold)
+            value.append(node.value)
+            left.append(-1)
+            right.append(-1)
+            if node.feature >= 0:
+                stack.append((node.right, slot, False))
+                stack.append((node.left, slot, True))
+        return cls(feature=feature, threshold=threshold, left=left,
+                   right=right, value=value, roots=[0], max_depth=max_depth)
+
+    # ------------------------------------------------------------------
+    def predict_per_tree(self, X: np.ndarray) -> np.ndarray:
+        """Per-tree predictions, shaped ``(n_trees, n_samples)``.
+
+        Row ``t`` is bitwise what ``trees[t].predict(X)`` returns: the
+        traversal follows the same comparisons against the same node
+        arrays; only the iteration order over (tree, sample) pairs
+        changes, and no arithmetic depends on it.
+
+        One cursor per (tree, sample) pair advances level by level;
+        once most cursors sit on leaves the live ones are compacted so
+        the deep tail of the deepest tree is walked by a small array,
+        not the full ensemble front.
+        """
+        n = X.shape[0]
+        result = np.repeat(self.roots, n)   # final node per (tree, sample)
+        sample = np.tile(np.arange(n), self.n_trees)
+        idx = np.arange(result.size)        # flat positions still walking
+        cur, samp = result, sample
+        for _ in range(self.max_depth):
+            go_left = X[samp, self.feature[cur]] <= self.threshold[cur]
+            cur = np.where(go_left, self.left[cur], self.right[cur])
+            alive = ~self.is_leaf[cur]
+            n_alive = int(alive.sum())
+            if n_alive == 0:
+                result[idx] = cur
+                break
+            if n_alive * 2 <= cur.size:
+                result[idx] = cur
+                keep = np.nonzero(alive)[0]
+                idx, cur, samp = idx[keep], cur[keep], samp[keep]
+        else:
+            result[idx] = cur
+        return self.value[result].reshape(self.n_trees, n)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes of the packed node arrays."""
+        return sum(getattr(self, name).nbytes for name in
+                   ("feature", "threshold", "left", "right", "value",
+                    "roots", "is_leaf"))
+
+    def describe(self) -> dict:
+        return {"n_trees": self.n_trees, "n_nodes": self.n_nodes,
+                "max_depth": self.max_depth, "nbytes": int(self.nbytes)}

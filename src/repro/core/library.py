@@ -56,7 +56,7 @@ class AdsalaGemm:
         self.machine = machine
         self.repeats = repeats
         self.service = GemmService(
-            bundle.predictor(cache_size=cache_size),
+            bundle.predictor(cache_size=cache_size, compiled=True),
             backend=as_backend(machine, thread_grid=bundle.config.thread_grid),
             repeats=repeats)
         self._closed = False

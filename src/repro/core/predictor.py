@@ -16,7 +16,11 @@ Two serving-oriented generalisations sit on top of the paper's design:
 * :meth:`predict_threads_batch` answers many shapes with **one**
   pipeline/model pass over a ``(n_shapes * |grid|)``-row feature
   matrix, which amortises the per-call Python overhead that dominates
-  single-shape prediction.
+  single-shape prediction;
+* a :class:`~repro.compile.plan.CompiledPlan` (built at bundle save
+  time, or via :meth:`ThreadPredictor.compile`) replaces the object
+  pipeline/model walk with fused array kernels — bitwise-identical
+  scores, so thread choices cannot change, only their cost.
 """
 
 from __future__ import annotations
@@ -44,14 +48,20 @@ class ThreadPredictor:
     cache_size:
         Size of the default cache.  1 (the default) matches the paper's
         last-call memo semantics.
+    plan:
+        An optional :class:`~repro.compile.plan.CompiledPlan` for the
+        same artefacts; when present, evaluation routes through its
+        fused kernels (falling back per half where the plan records a
+        fallback).  :meth:`compile` builds one in place.
     """
 
     def __init__(self, feature_builder: FeatureBuilder, pipeline, model,
                  thread_grid, cache: PredictionCache = None,
-                 cache_size: int = 1):
+                 cache_size: int = 1, plan=None):
         self.feature_builder = feature_builder
         self.pipeline = pipeline
         self.model = model
+        self.plan = plan
         self.thread_grid = np.asarray(sorted(set(int(t) for t in thread_grid)),
                                       dtype=np.int64)
         if self.thread_grid.size == 0:
@@ -68,13 +78,45 @@ class ThreadPredictor:
         """Lifetime predictions answered from the cache."""
         return self.cache.hits
 
+    @property
+    def compiled(self) -> bool:
+        """Whether evaluation routes through a compiled plan."""
+        return self.plan is not None
+
+    def compile(self) -> "ThreadPredictor":
+        """Lower this predictor's own artefacts into a plan; returns self."""
+        from repro.compile import compile_plan
+
+        self.plan = compile_plan(self.pipeline, self.model)
+        return self
+
+    def _evaluate(self, X: np.ndarray) -> np.ndarray:
+        """One pipeline+model pass, through the plan when one is set.
+
+        The feature builder's output is float64 and finite by
+        construction, so the fused path skips re-validation; lowered
+        halves are bitwise identical to the objects they replace.
+        """
+        plan = self.plan
+        if plan is None:
+            if self.pipeline is not None:
+                X = self.pipeline.transform(X)
+            return np.asarray(self.model.predict(X), dtype=np.float64)
+        if plan.transform is not None:
+            Z = plan.transform.apply(X, check_input=False)
+        elif plan.transform_fallback and self.pipeline is not None:
+            Z = self.pipeline.transform(X)
+        else:
+            Z = X
+        if plan.model is not None:
+            return np.asarray(plan.model.predict(Z), dtype=np.float64)
+        return np.asarray(self.model.predict(Z), dtype=np.float64)
+
     # ------------------------------------------------------------------
     def predicted_runtimes(self, m: int, k: int, n: int) -> np.ndarray:
         """Model scores per candidate thread count (transformed label units)."""
         X = self.feature_builder.build_for_grid(m, k, n, self.thread_grid)
-        if self.pipeline is not None:
-            X = self.pipeline.transform(X)
-        return np.asarray(self.model.predict(X), dtype=np.float64)
+        return self._evaluate(X)
 
     def predicted_runtimes_batch(self, shapes) -> np.ndarray:
         """Scores for many shapes in one pass, shaped ``(n_shapes, |grid|)``.
@@ -84,9 +126,7 @@ class ThreadPredictor:
         transforms row-wise, so batching cannot change any score.
         """
         X = self.feature_builder.build_for_batch(shapes, self.thread_grid)
-        if self.pipeline is not None:
-            X = self.pipeline.transform(X)
-        scores = np.asarray(self.model.predict(X), dtype=np.float64)
+        scores = self._evaluate(X)
         return scores.reshape(-1, self.thread_grid.size)
 
     # ------------------------------------------------------------------

@@ -15,6 +15,12 @@ written by an incompatible future schema is refused
 (:class:`BundleSchemaError`).  Pre-manifest directories — everything
 installed before the registry existed — still load through the legacy
 path unchanged.
+
+Schema 2 adds an optional third artefact, ``adsala_plan.pkl``: the
+bundle's :class:`~repro.compile.plan.CompiledPlan` (fused transform +
+packed model arrays), built at save time and checksummed like the other
+files.  Schema-1 (pre-plan) bundles still load — they simply carry no
+plan and the serving layers compile one lazily.
 """
 
 from __future__ import annotations
@@ -28,11 +34,17 @@ from repro.core.config import AdsalaConfig
 
 CONFIG_FILENAME = "adsala_config.json"
 MODEL_FILENAME = "adsala_model.pkl"
+PLAN_FILENAME = "adsala_plan.pkl"
 MANIFEST_FILENAME = "MANIFEST.json"
 
 #: Bump on any incompatible change to the artefact layout or pickle
-#: payload structure.  Loaders refuse manifests from other majors.
-SCHEMA_VERSION = 1
+#: payload structure.  Loaders accept :data:`SUPPORTED_SCHEMAS` and
+#: refuse anything else (notably future majors).
+SCHEMA_VERSION = 2
+
+#: Schemas this build can read: 1 (config + model) and 2 (adds the
+#: optional compiled-plan artefact).
+SUPPORTED_SCHEMAS = (1, 2)
 
 
 class BundleError(RuntimeError):
@@ -57,31 +69,46 @@ def _sha256_file(path) -> str:
 
 
 def _combine_digests(file_digests: dict) -> str:
-    """Bundle identity from the per-file SHA-256 digests."""
+    """Bundle identity from the per-file SHA-256 digests.
+
+    Iterates filenames in sorted order, which for pre-plan bundles is
+    exactly the historic (config, model) order — schema-1 checksums are
+    unchanged.
+    """
     digest = hashlib.sha256()
-    for name in (CONFIG_FILENAME, MODEL_FILENAME):
+    for name in sorted(file_digests):
         digest.update(name.encode("utf-8"))
         digest.update(bytes.fromhex(file_digests[name]))
     return digest.hexdigest()
 
 
-def bundle_checksum(directory) -> str:
-    """Combined SHA-256 over the two artefact files.
+def _artifact_names(directory) -> list:
+    """The artefact files a bundle directory carries (plan is optional)."""
+    names = [CONFIG_FILENAME, MODEL_FILENAME]
+    if os.path.exists(os.path.join(directory, PLAN_FILENAME)):
+        names.append(PLAN_FILENAME)
+    return names
 
-    Content-derived only (config JSON bytes + model pickle bytes), so
-    two installations that produced identical artefacts have identical
+
+def bundle_checksum(directory) -> str:
+    """Combined SHA-256 over the artefact files present.
+
+    Content-derived only (config JSON bytes + pickle bytes), so two
+    installations that produced identical artefacts have identical
     checksums wherever and whenever they were written.  This is the
     identity the model registry stores and the resume tests compare.
     """
     return _combine_digests(
         {name: _sha256_file(os.path.join(directory, name))
-         for name in (CONFIG_FILENAME, MODEL_FILENAME)})
+         for name in _artifact_names(directory)})
 
 
 def save_bundle(bundle, directory, extra_manifest: dict = None) -> dict:
     """Write ``bundle`` (a :class:`~repro.core.training.TrainedBundle`).
 
-    Creates ``adsala_config.json``, ``adsala_model.pkl`` and
+    Creates ``adsala_config.json``, ``adsala_model.pkl``, the compiled
+    plan ``adsala_plan.pkl`` (when the artefacts lower to one — plan
+    compilation is pure array packing, cheap and deterministic) and
     ``MANIFEST.json`` in ``directory`` (created if missing) and returns
     the manifest dict.  ``extra_manifest`` entries (registry metadata:
     routine, machine, version...) are merged into the manifest.
@@ -91,8 +118,17 @@ def save_bundle(bundle, directory, extra_manifest: dict = None) -> dict:
     with open(os.path.join(directory, MODEL_FILENAME), "wb") as fh:
         pickle.dump({"pipeline": bundle.pipeline, "model": bundle.model,
                      "report": bundle.report}, fh)
+    plan = bundle.compile() if hasattr(bundle, "compile") else None
+    plan_path = os.path.join(directory, PLAN_FILENAME)
+    plan_meta = None
+    if plan is not None and plan.lowers_anything:
+        with open(plan_path, "wb") as fh:
+            pickle.dump({"plan": plan}, fh)
+        plan_meta = plan.describe()
+    elif os.path.exists(plan_path):  # stale plan from an earlier save
+        os.remove(plan_path)
     files = {name: _sha256_file(os.path.join(directory, name))
-             for name in (CONFIG_FILENAME, MODEL_FILENAME)}
+             for name in _artifact_names(directory)}
     manifest = {
         "schema_version": SCHEMA_VERSION,
         "files": files,
@@ -100,6 +136,8 @@ def save_bundle(bundle, directory, extra_manifest: dict = None) -> dict:
         "model_name": bundle.config.model_name,
         "machine": bundle.config.machine,
     }
+    if plan_meta is not None:
+        manifest["plan"] = plan_meta
     if extra_manifest:
         manifest.update(extra_manifest)
     manifest_path = os.path.join(directory, MANIFEST_FILENAME)
@@ -123,22 +161,26 @@ def load_manifest(directory) -> dict:
             f"unreadable bundle manifest {path}: {exc}") from exc
 
 
-def verify_bundle(directory) -> dict:
+def verify_bundle(directory, ignore=()) -> dict:
     """Validate schema version and artefact checksums; returns the manifest.
 
     Legacy directories (no manifest) pass with ``None`` — backward
     compatibility for bundles written before the registry existed.
+    ``ignore`` names artefact files to skip (used when a rebuildable
+    artefact — the compiled plan — is about to be rewritten anyway).
     """
     manifest = load_manifest(directory)
     if manifest is None:
         return None
     schema = manifest.get("schema_version")
-    if schema != SCHEMA_VERSION:
+    if schema not in SUPPORTED_SCHEMAS:
         raise BundleSchemaError(
             f"bundle at {directory} uses serialization schema {schema!r}; "
-            f"this build reads schema {SCHEMA_VERSION} — re-install or "
+            f"this build reads schemas {SUPPORTED_SCHEMAS} — re-install or "
             f"re-publish the model with a matching version")
     for name, expected in manifest.get("files", {}).items():
+        if name in ignore:
+            continue
         path = os.path.join(directory, name)
         if not os.path.exists(path):
             raise BundleIntegrityError(
@@ -152,13 +194,18 @@ def verify_bundle(directory) -> dict:
     return manifest
 
 
-def load_bundle(directory, verify: bool = True):
+def load_bundle(directory, verify: bool = True, load_plan: bool = True):
     """Load a bundle saved by :func:`save_bundle`.
 
     With a manifest present the artefacts are checksum-verified first
     (``verify=False`` skips that, for tooling that only inspects);
     without one, the legacy load path applies.  Unpickling failures are
-    wrapped in :class:`BundleIntegrityError` either way.
+    wrapped in :class:`BundleIntegrityError` either way.  A compiled
+    plan artefact, when present, is loaded onto the bundle; pre-plan
+    bundles come back with ``plan=None`` and compile lazily.
+    ``load_plan=False`` skips (and does not verify) the plan artefact —
+    the recovery path ``models --compile`` uses to rebuild a corrupt or
+    deleted plan while still verifying the config and model.
     """
     from repro.core.training import TrainedBundle
 
@@ -168,7 +215,8 @@ def load_bundle(directory, verify: bool = True):
         if not os.path.exists(path):
             raise FileNotFoundError(f"missing installation artefact: {path}")
     if verify:
-        verify_bundle(directory)
+        verify_bundle(directory,
+                      ignore=() if load_plan else (PLAN_FILENAME,))
     config = AdsalaConfig.load(config_path)
     try:
         with open(model_path, "rb") as fh:
@@ -181,5 +229,26 @@ def load_bundle(directory, verify: bool = True):
             f"cannot unpickle bundle artefact {model_path}: {exc!r} — the "
             f"file is corrupt or was written by an incompatible build") \
             from exc
+    plan = None
+    plan_path = os.path.join(directory, PLAN_FILENAME)
+    if load_plan and os.path.exists(plan_path):
+        manifest = load_manifest(directory)
+        if manifest is not None \
+                and PLAN_FILENAME not in manifest.get("files", {}):
+            # An unmanifested plan would be unpickled with no checksum
+            # covering it — never execute an unverified pickle.
+            raise BundleIntegrityError(
+                f"compiled plan {plan_path} is not recorded in the bundle "
+                f"manifest — the file was added after installation; remove "
+                f"it, or re-run 'models compile' to build a verified plan")
+        try:
+            with open(plan_path, "rb") as fh:
+                plan = pickle.load(fh)["plan"]
+        except Exception as exc:
+            raise BundleIntegrityError(
+                f"cannot unpickle compiled plan {plan_path}: {exc!r} — the "
+                f"file is corrupt or was written by an incompatible build; "
+                f"re-run 'models compile' to rebuild it") from exc
     return TrainedBundle(config=config, pipeline=pipeline,
-                         model=model, report=payload.get("report"))
+                         model=model, report=payload.get("report"),
+                         plan=plan)

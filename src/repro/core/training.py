@@ -40,23 +40,47 @@ from repro.preprocessing.yeo_johnson import YeoJohnsonTransformer
 
 @dataclass
 class TrainedBundle:
-    """The two installation artefacts plus the bake-off report."""
+    """The two installation artefacts plus the bake-off report.
+
+    ``plan`` carries the bundle's compiled inference plan when one was
+    built (at save time, by :meth:`compile`, or loaded from the
+    ``adsala_plan.pkl`` artifact); pre-plan bundles leave it ``None``
+    and compile lazily when a serving layer asks for the fast path.
+    """
 
     config: AdsalaConfig
     pipeline: Pipeline
     model: object
     report: ModelSelectionReport = None
+    plan: object = None
 
-    def predictor(self, cache_size: int = 1,
-                  thread_grid=None) -> ThreadPredictor:
+    def compile(self, force: bool = False):
+        """Build (and cache) the compiled plan for these artefacts."""
+        if force or self.plan is None:
+            from repro.compile import compile_plan
+
+            self.plan = compile_plan(self.pipeline, self.model)
+        return self.plan
+
+    def predictor(self, cache_size: int = 1, thread_grid=None,
+                  compiled: bool = None) -> ThreadPredictor:
         """Runtime predictor over the artefacts.
 
         ``cache_size=1`` (default) keeps the paper's last-call memo;
         the engine's service layer passes a larger LRU capacity.
         ``thread_grid`` restricts the candidate grid (e.g. to the
         execution machine's feasible thread counts); the installed
-        grid is used when omitted.
+        grid is used when omitted.  ``compiled`` selects the plan path:
+        ``True`` compiles lazily if needed, ``False`` forces the object
+        path, and ``None`` (default) uses a plan only if one is already
+        attached — predictions are bitwise identical either way.
         """
+        if compiled is True:
+            plan = self.compile()
+        elif compiled is False:
+            plan = None
+        else:
+            plan = self.plan
         return ThreadPredictor(
             feature_builder=FeatureBuilder(self.config.feature_groups),
             pipeline=self.pipeline,
@@ -64,6 +88,7 @@ class TrainedBundle:
             thread_grid=(self.config.thread_grid if thread_grid is None
                          else thread_grid),
             cache_size=cache_size,
+            plan=plan,
         )
 
 

@@ -106,6 +106,11 @@ class GemmService:
         execution machine's capacity, so artefacts trained on a bigger
         node still serve (predicting only feasible team sizes) when
         dispatched to a smaller one.
+
+        The predictor takes the compiled fast path: a bundle that
+        carries a persisted plan uses it directly, and a pre-plan
+        (legacy) bundle compiles one lazily here — thread choices are
+        bitwise identical to the object path either way.
         """
         grid = list(bundle.config.thread_grid)
         max_threads = getattr(machine, "max_threads", None)
@@ -113,7 +118,7 @@ class GemmService:
         if machine_max is not None:
             grid = [t for t in grid if t <= machine_max] or grid
         service = cls(bundle.predictor(cache_size=cache_size,
-                                       thread_grid=grid),
+                                       thread_grid=grid, compiled=True),
                       backend=as_backend(machine, thread_grid=grid),
                       repeats=repeats, refine=refine)
         service._machine_max = machine_max
@@ -141,7 +146,8 @@ class GemmService:
         grid = list(bundle.config.thread_grid)
         if self._machine_max is not None:
             grid = [t for t in grid if t <= self._machine_max] or grid
-        predictor = bundle.predictor(cache_size=cache_size, thread_grid=grid)
+        predictor = bundle.predictor(cache_size=cache_size, thread_grid=grid,
+                                     compiled=True)
         new_refiner = None
         if self.refiner is not None:
             from repro.core.online import OnlineRefiner

@@ -19,6 +19,28 @@ from repro.ml._histtree import TreeParams, bin_features, build_hist_tree, quanti
 from repro.ml.base import BaseEstimator, RegressorMixin, check_array, check_X_y
 
 
+def boost_log_weights(betas) -> np.ndarray:
+    """Per-estimator combination weights ``log(1/beta)``, floored."""
+    return np.log(1.0 / np.maximum(np.asarray(betas), 1e-300))
+
+
+def weighted_median(preds: np.ndarray, log_w: np.ndarray) -> np.ndarray:
+    """The AdaBoost.R2 weighted-median combination, per sample.
+
+    ``preds`` is ``(n_samples, n_estimators)``; ``log_w`` the
+    combination weights.  Shared by the object path below and the
+    compiled plan (:mod:`repro.compile.lower`), so the two stay bitwise
+    identical structurally rather than by duplication.
+    """
+    order = np.argsort(preds, axis=1)
+    sorted_preds = np.take_along_axis(preds, order, axis=1)
+    sorted_w = log_w[order]
+    cum = np.cumsum(sorted_w, axis=1)
+    half = 0.5 * cum[:, -1:]
+    pick = (cum >= half).argmax(axis=1)
+    return sorted_preds[np.arange(preds.shape[0]), pick]
+
+
 class AdaBoostRegressor(BaseEstimator, RegressorMixin):
     """AdaBoost.R2 over shallow histogram trees.
 
@@ -98,12 +120,4 @@ class AdaBoostRegressor(BaseEstimator, RegressorMixin):
         if X.shape[1] != self.n_features_:
             raise ValueError(f"X has {X.shape[1]} features, expected {self.n_features_}")
         preds = np.stack([t.predict(X) for t in self.trees_], axis=1)
-        log_w = np.log(1.0 / np.maximum(np.asarray(self.betas_), 1e-300))
-        # Weighted median across estimators, per sample.
-        order = np.argsort(preds, axis=1)
-        sorted_preds = np.take_along_axis(preds, order, axis=1)
-        sorted_w = log_w[order]
-        cum = np.cumsum(sorted_w, axis=1)
-        half = 0.5 * cum[:, -1:]
-        pick = (cum >= half).argmax(axis=1)
-        return sorted_preds[np.arange(X.shape[0]), pick]
+        return weighted_median(preds, boost_log_weights(self.betas_))

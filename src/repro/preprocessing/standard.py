@@ -30,9 +30,10 @@ class StandardScaler(BaseEstimator):
         self.n_features_ = X.shape[1]
         return self
 
-    def transform(self, X) -> np.ndarray:
+    def transform(self, X, check_input: bool = True) -> np.ndarray:
         self._check_fitted("mean_")
-        X = check_array(X)
+        if check_input:
+            X = check_array(X)
         if X.shape[1] != self.n_features_:
             raise ValueError(f"X has {X.shape[1]} features, expected {self.n_features_}")
         return (X - self.mean_) / self.scale_

@@ -112,9 +112,10 @@ class YeoJohnsonTransformer(BaseEstimator):
             yeo_johnson(X[:, j], self.lambdas_[j]) for j in range(X.shape[1])
         ])
 
-    def transform(self, X) -> np.ndarray:
+    def transform(self, X, check_input: bool = True) -> np.ndarray:
         self._check_fitted("lambdas_")
-        X = check_array(X)
+        if check_input:
+            X = check_array(X)
         if X.shape[1] != self.n_features_:
             raise ValueError(f"X has {X.shape[1]} features, expected {self.n_features_}")
         Z = self._raw_transform(X)

@@ -25,14 +25,16 @@ compatibility.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import pickle
 import shutil
 from dataclasses import dataclass
 
-from repro.core.serialize import (SCHEMA_VERSION, BundleError,
-                                  _combine_digests, load_bundle,
-                                  load_manifest, save_bundle)
+from repro.core.serialize import (PLAN_FILENAME, SCHEMA_VERSION, BundleError,
+                                  _combine_digests, _sha256_file,
+                                  load_bundle, load_manifest, save_bundle)
 
 ROUTINES = ("gemm", "gemv", "syrk", "trsm")
 
@@ -189,6 +191,62 @@ class ModelRegistry:
                 f"disagree; re-publish the model")
         return bundle
 
+    # -- compiled plans --------------------------------------------------
+    def has_plan(self, record: ModelRecord) -> bool:
+        """Whether a bundle directory carries a compiled-plan artefact."""
+        return os.path.exists(os.path.join(record.path, PLAN_FILENAME))
+
+    def compile_plan(self, routine: str, machine: str,
+                     version="latest") -> dict:
+        """(Re)build a bundle's compiled plan, published as a new version.
+
+        Loads the source bundle (config and model checksum-verified; an
+        existing plan artefact is neither loaded nor verified, so a
+        corrupt or deleted plan is recoverable here), lowers the
+        artefacts, and publishes the result as the next version —
+        published bundle directories stay immutable and concurrent
+        readers keep the staging+rename+atomic-ref guarantees that
+        in-place mutation would break.  Returns a summary with the new
+        version and plan description.  Idempotent: when the source
+        bundle already carries a byte-identical plan the summary
+        reports ``up_to_date``, and when nothing was lowerable
+        (``plan`` is ``None``) no version is published either.
+        """
+        record = self.resolve(routine, machine, version)
+        bundle = load_bundle(record.path, load_plan=False)
+        plan = bundle.compile(force=True)
+        if not plan.lowers_anything:
+            return {"routine": record.routine, "machine": record.machine,
+                    "version": record.version, "checksum": record.checksum,
+                    "plan": None}
+        if self.has_plan(record):
+            # Plan pickling is deterministic, so byte-equality with the
+            # artefact actually on disk (not the manifest's record of
+            # it — a corrupt file must not read as current) means a
+            # republish would mint an identical duplicate version;
+            # report up-to-date instead.
+            existing = _sha256_file(
+                os.path.join(record.path, PLAN_FILENAME))
+            fresh = hashlib.sha256(
+                pickle.dumps({"plan": plan})).hexdigest()
+            if existing == fresh:
+                manifest = load_manifest(record.path) or {}
+                return {"routine": record.routine,
+                        "machine": record.machine,
+                        "version": record.version,
+                        "checksum": record.checksum,
+                        "plan": manifest.get("plan"),
+                        "up_to_date": True}
+        new_record = self.publish(
+            bundle, routine=routine, machine=machine,
+            extra={"compiled_from_version": record.version})
+        manifest = load_manifest(new_record.path)
+        return {"routine": new_record.routine, "machine": new_record.machine,
+                "version": new_record.version,
+                "compiled_from_version": record.version,
+                "checksum": new_record.checksum,
+                "plan": manifest.get("plan")}
+
     # -- enumerate -------------------------------------------------------
     def entries(self) -> list:
         """Every published (routine, machine, version), sorted."""
@@ -222,4 +280,4 @@ class ModelRegistry:
         return {"routine": record.routine, "machine": record.machine,
                 "version": record.version, "latest": record.latest,
                 "path": record.path, "checksum": record.checksum,
-                "manifest": manifest}
+                "has_plan": self.has_plan(record), "manifest": manifest}

@@ -1,0 +1,160 @@
+"""Fused-transform folding: bitwise identity, fallbacks, validation."""
+
+import numpy as np
+import pytest
+
+from repro.compile import lower_pipeline
+from repro.ml.base import BaseEstimator
+from repro.preprocessing.pipeline import Pipeline
+from repro.preprocessing.standard import StandardScaler
+from repro.preprocessing.yeo_johnson import YeoJohnsonTransformer
+
+from tests.compile.conftest import fit_stages
+
+
+@pytest.fixture(scope="module")
+def raw_data():
+    rng = np.random.default_rng(3)
+    # Mixed signs and scales so Yeo-Johnson exercises all four branches.
+    X = np.column_stack([
+        rng.standard_normal(400) * 3.0,
+        rng.exponential(5.0, 400),
+        -rng.exponential(2.0, 400),
+        rng.integers(1, 5000, 400).astype(float),
+        rng.standard_normal(400),
+    ])
+    # A correlated copy so the pruner genuinely drops a column.
+    return np.column_stack([X, X[:, 3] * 2.0 + 1e-9 * rng.standard_normal(400)])
+
+
+class TestBitwiseIdentity:
+    def test_full_pipeline_is_bitwise_identical(self, raw_data):
+        pipeline, _ = fit_stages(raw_data)
+        fused = lower_pipeline(pipeline)
+        query = raw_data[::3] * 1.7 - 0.3
+        np.testing.assert_array_equal(pipeline.transform(query),
+                                      fused.apply(query))
+
+    def test_pruner_drops_at_least_one_column(self, raw_data):
+        pipeline, _ = fit_stages(raw_data)
+        fused = lower_pipeline(pipeline)
+        assert fused.n_features_out < fused.n_features_in
+
+    def test_no_yeo_johnson_ablation(self, raw_data):
+        pipeline, _ = fit_stages(raw_data, use_yeo_johnson=False)
+        fused = lower_pipeline(pipeline)
+        assert fused.lambdas is None
+        query = raw_data[::2]
+        np.testing.assert_array_equal(pipeline.transform(query),
+                                      fused.apply(query))
+
+    def test_yj_standardize_variant(self, raw_data):
+        yj = YeoJohnsonTransformer(standardize=True)
+        yj.fit(raw_data)
+        pipeline = Pipeline.from_fitted([("yeo_johnson", yj)])
+        fused = lower_pipeline(pipeline)
+        assert len(fused.affines) == 1
+        np.testing.assert_array_equal(pipeline.transform(raw_data),
+                                      fused.apply(raw_data))
+
+    def test_pruner_then_scaler_keeps_layout_parity(self, raw_data):
+        """A gather followed by an affine still yields F-ordered object
+        output (ufuncs preserve their input's layout), and the fused
+        path must match it for downstream matmul bitwise parity."""
+        from repro.preprocessing.correlation import CorrelationPruner
+
+        pruner = CorrelationPruner().fit(raw_data)
+        scaler = StandardScaler().fit(pruner.transform(raw_data))
+        pipeline = Pipeline.from_fitted([("corr_prune", pruner),
+                                         ("scaler", scaler)])
+        fused = lower_pipeline(pipeline)
+        obj = pipeline.transform(raw_data)
+        out = fused.apply(raw_data)
+        np.testing.assert_array_equal(obj, out)
+        assert out.flags["F_CONTIGUOUS"] == obj.flags["F_CONTIGUOUS"]
+        coef = np.random.default_rng(1).standard_normal(out.shape[1])
+        np.testing.assert_array_equal(obj @ coef, out @ coef)
+
+    def test_matches_gather_memory_layout(self, raw_data):
+        """BLAS matmul is layout-sensitive: the fused output must share
+        the object path's memory order or downstream ``X @ coef`` flips
+        low bits."""
+        pipeline, _ = fit_stages(raw_data)
+        fused = lower_pipeline(pipeline)
+        obj = pipeline.transform(raw_data)
+        out = fused.apply(raw_data)
+        assert out.flags["F_CONTIGUOUS"] == obj.flags["F_CONTIGUOUS"]
+        coef = np.random.default_rng(0).standard_normal(out.shape[1])
+        np.testing.assert_array_equal(obj @ coef, out @ coef)
+
+
+class TestFallbacks:
+    def test_unknown_stage_is_not_folded(self, raw_data):
+        class Exotic(BaseEstimator):
+            def fit(self, X, y=None):
+                self.n_features_ = X.shape[1]
+                return self
+
+            def transform(self, X):
+                return np.tanh(X)
+
+        pipeline, _ = fit_stages(raw_data)
+        steps = pipeline.steps + [("exotic", Exotic().fit(raw_data))]
+        assert lower_pipeline(Pipeline.from_fitted(steps)) is None
+
+    def test_none_pipeline_is_not_folded(self):
+        assert lower_pipeline(None) is None
+
+    def test_affine_before_yeo_johnson_is_not_folded(self, raw_data):
+        scaler = StandardScaler().fit(raw_data)
+        yj = YeoJohnsonTransformer().fit(scaler.transform(raw_data))
+        pipeline = Pipeline.from_fitted([("scaler", scaler),
+                                         ("yeo_johnson", yj)])
+        assert lower_pipeline(pipeline) is None
+
+
+class TestValidation:
+    def test_feature_count_mismatch_raises(self, raw_data):
+        pipeline, _ = fit_stages(raw_data)
+        fused = lower_pipeline(pipeline)
+        with pytest.raises(ValueError, match="features"):
+            fused.apply(raw_data[:, :3])
+
+    def test_nan_rejected_at_entry(self, raw_data):
+        pipeline, _ = fit_stages(raw_data)
+        fused = lower_pipeline(pipeline)
+        bad = raw_data.copy()
+        bad[0, 0] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            fused.apply(bad)
+        with pytest.raises(ValueError, match="NaN"):
+            pipeline.transform(bad)  # object path validates once at entry
+
+    def test_pipeline_validates_once_not_per_stage(self, raw_data,
+                                                   monkeypatch):
+        """The inference pipeline coerces/validates at entry only."""
+        import repro.ml.base as base
+        import repro.preprocessing.pipeline as pipe_mod
+
+        pipeline, _ = fit_stages(raw_data)
+        calls = []
+        real = base.check_array
+
+        def counting(X, *args, **kwargs):
+            calls.append(1)
+            return real(X, *args, **kwargs)
+
+        monkeypatch.setattr(pipe_mod, "check_array", counting)
+        for mod in ("yeo_johnson", "standard", "correlation"):
+            module = __import__(f"repro.preprocessing.{mod}",
+                                fromlist=["check_array"])
+            monkeypatch.setattr(module, "check_array", counting)
+        pipeline.transform(raw_data)
+        assert len(calls) == 1
+
+    def test_describe_reports_sizes(self, raw_data):
+        pipeline, _ = fit_stages(raw_data)
+        info = lower_pipeline(pipeline).describe()
+        assert info["n_features_in"] == raw_data.shape[1]
+        assert info["yeo_johnson"] and info["n_affine_stages"] == 1
+        assert info["nbytes"] > 0

@@ -7,9 +7,10 @@ import pickle
 import pytest
 
 from repro.core.serialize import (CONFIG_FILENAME, MANIFEST_FILENAME,
-                                  MODEL_FILENAME, SCHEMA_VERSION,
-                                  BundleIntegrityError, BundleSchemaError,
-                                  bundle_checksum, load_bundle, save_bundle)
+                                  MODEL_FILENAME, PLAN_FILENAME,
+                                  SCHEMA_VERSION, BundleIntegrityError,
+                                  BundleSchemaError, bundle_checksum,
+                                  load_bundle, save_bundle)
 
 
 @pytest.fixture
@@ -24,7 +25,8 @@ class TestManifest:
     def test_save_writes_schema_and_checksums(self, saved):
         _, directory, manifest = saved
         assert manifest["schema_version"] == SCHEMA_VERSION
-        assert set(manifest["files"]) == {CONFIG_FILENAME, MODEL_FILENAME}
+        assert set(manifest["files"]) == {CONFIG_FILENAME, MODEL_FILENAME,
+                                          PLAN_FILENAME}
         assert manifest["checksum"] == bundle_checksum(directory)
         on_disk = json.loads((directory / MANIFEST_FILENAME).read_text())
         assert on_disk == manifest

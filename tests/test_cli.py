@@ -26,6 +26,18 @@ class TestParser:
         args = build_parser().parse_args(
             ["models", "--registry", "reg", "--inspect", "gemv/tiny@2"])
         assert args.registry == "reg" and args.inspect == "gemv/tiny@2"
+        assert args.compile is None
+
+    def test_models_compile_args(self):
+        args = build_parser().parse_args(
+            ["models", "--registry", "reg", "--compile", "gemm/tiny"])
+        assert args.compile == "gemm/tiny" and args.inspect is None
+
+    def test_models_compile_and_inspect_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["models", "--registry", "reg", "--compile", "gemm/tiny",
+                 "--inspect", "gemv/tiny"])
 
     def test_unknown_routine_rejected(self):
         with pytest.raises(SystemExit):
@@ -125,6 +137,46 @@ class TestEndToEnd:
         assert "batch sizes" in captured
         assert "model passes" in captured
         assert "shard tiny" in captured
+
+    def test_models_list_compile_inspect(self, tiny_bundle, tmp_path,
+                                         capsys):
+        from repro.train.registry import ModelRegistry
+
+        bundle, _ = tiny_bundle
+        registry_dir = tmp_path / "registry"
+        ModelRegistry(registry_dir).publish(bundle, routine="gemm")
+
+        rc = main(["models", "--registry", str(registry_dir)])
+        assert rc == 0
+        listing = capsys.readouterr().out
+        assert "plan" in listing  # compiled-artifact presence column
+
+        # Fresh publishes already carry a plan: compile is a no-op...
+        rc = main(["models", "--registry", str(registry_dir),
+                   "--compile", "gemm/tiny"])
+        assert rc == 0
+        assert "already up to date" in capsys.readouterr().out
+
+        # ...but after the plan artefact is lost, it republishes.
+        import os
+
+        from repro.core.serialize import PLAN_FILENAME
+        from repro.train.registry import ModelRegistry as Reg
+
+        record = Reg(registry_dir).resolve("gemm", "tiny")
+        os.remove(os.path.join(record.path, PLAN_FILENAME))
+        rc = main(["models", "--registry", str(registry_dir),
+                   "--compile", "gemm/tiny"])
+        assert rc == 0
+        compiled = capsys.readouterr().out
+        assert "compiled plan for gemm/tiny@1 published as version 2" \
+            in compiled
+
+        rc = main(["models", "--registry", str(registry_dir),
+                   "--inspect", "gemm/tiny"])
+        assert rc == 0
+        inspected = capsys.readouterr().out
+        assert "plan:" in inspected and "fused" in inspected
 
     def test_serve_rejects_missing_shape_file(self, tmp_path, capsys):
         out = tmp_path / "install"

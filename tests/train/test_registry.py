@@ -4,7 +4,7 @@ import os
 
 import pytest
 
-from repro.core.serialize import (MODEL_FILENAME, BundleError,
+from repro.core.serialize import (MODEL_FILENAME, SCHEMA_VERSION, BundleError,
                                   BundleIntegrityError)
 from repro.train.registry import ModelRegistry, RegistryError
 
@@ -93,7 +93,7 @@ class TestInspect:
         registry.publish(bundle, routine="gemm")
         info = registry.inspect("gemm", "tiny")
         manifest = info["manifest"]
-        assert manifest["schema_version"] == 1
+        assert manifest["schema_version"] == SCHEMA_VERSION
         assert manifest["version"] == 1
         assert manifest["model_name"] == bundle.config.model_name
         assert len(manifest["selection"]) == len(bundle.report.rows)
