@@ -1,0 +1,113 @@
+"""One server, four BLAS routines — the routine-generic runtime.
+
+Trains a thread-selection model for **each** registered routine (GEMM,
+GEMV, SYRK, TRSM) on the simulated Gadi node, publishes all four into a
+versioned model registry, and then drives a mixed Poisson request
+stream through a *single* :class:`~repro.serve.server.GemmServer`:
+
+* one shard per routine (each shard a
+  :class:`~repro.engine.service.GemmService` over that routine's
+  published bundle);
+* a :class:`~repro.serve.router.RoutineRouter` resolving every request
+  to its routine's shard by the spec's ``routine`` tag;
+* per-routine telemetry showing that the bandwidth-bound GEMV shard
+  picks far smaller thread teams than the compute-bound GEMM shard —
+  the whole reason per-routine models matter.
+
+The same artefacts also serve through one *multi-routine* engine
+service (``GemmService.from_registry``) — the in-process equivalent —
+and the example asserts both paths pick identical thread counts.
+
+Run with::
+
+    python examples/serve_mixed_routines.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro import GemmService, GemmServer, routine_names
+from repro.bench.report import format_table
+from repro.core.routines import get_routine, routine_of
+from repro.machine.presets import gadi
+from repro.machine.simulator import MachineSimulator
+from repro.serve import RoutineRouter, poisson_trace, replay_trace
+from repro.train.matrix import build_workflow
+from repro.train.registry import ModelRegistry
+
+GRID = [1, 2, 4, 8, 12, 16, 24, 32, 48]
+
+
+def train_registry(root: str) -> ModelRegistry:
+    """One installation per routine, published as registry cells."""
+    registry = ModelRegistry(root)
+    for routine in routine_names():
+        print(f"installing {routine} on simulated 'gadi'...")
+        workflow = build_workflow(routine, "gadi", seed=0, n_shapes=60,
+                                  thread_grid=GRID, tune_iters=2,
+                                  cv_folds=2, repeats=5)
+        record = registry.publish(workflow.run(), routine=routine,
+                                  machine="gadi")
+        print(f"  published {record.ref} ({record.model_name})")
+    return registry
+
+
+def mixed_trace(n_requests: int = 120, seed: int = 1) -> list:
+    """Interleaved requests across all four routines."""
+    rng = np.random.default_rng(seed)
+    pool = []
+    for _ in range(8):
+        for routine in routine_names():
+            info = get_routine(routine)
+            pool.append(info.build(*rng.integers(64, 2500,
+                                                 size=info.n_dims)))
+    return poisson_trace(pool, rate_hz=1000.0, n_requests=n_requests,
+                         n_clients=4, seed=seed)
+
+
+def main():
+    with tempfile.TemporaryDirectory() as root:
+        registry = train_registry(root)
+        trace = mixed_trace()
+
+        # --- path 1: one server, one shard per routine --------------
+        shards = {routine: GemmService.from_bundle(
+            registry.load(routine, "gadi"),
+            MachineSimulator(gadi(), seed=0))
+            for routine in routine_names()}
+        server = GemmServer(shards, router=RoutineRouter(),
+                            max_batch=16, max_wait_ms=2.0)
+        outcome = replay_trace(server, trace)
+
+        rows = []
+        for routine, entry in sorted(
+                server.telemetry.routine_stats().items()):
+            served = [r for r in outcome.records
+                      if r is not None and routine_of(r.spec) == routine]
+            rows.append({
+                "routine": routine,
+                "served": entry["served"],
+                "median_threads": int(np.median(
+                    [r.n_threads for r in served])),
+                "p99_ms": entry["latency_ms"]["p99_ms"],
+            })
+        print()
+        print(format_table(rows, title="per-routine serving "
+                                       f"({outcome.served} requests, "
+                                       f"{outcome.requests_per_sec:.0f} req/s)"))
+        print("\nGEMV's median team size sits far below GEMM's — the "
+              "bandwidth roofline the per-routine models capture.")
+
+        # --- path 2: one multi-routine engine service ----------------
+        service = GemmService.from_registry(
+            registry, MachineSimulator(gadi(), seed=0))
+        records = service.run_batch([item.spec for item in trace])
+        assert [r.n_threads for r in records] == outcome.thread_choices(), \
+            "engine and server paths must pick identical thread counts"
+        print("\nmulti-routine GemmService.from_registry picked identical "
+              "thread counts for the whole trace (bitwise).")
+
+
+if __name__ == "__main__":
+    main()

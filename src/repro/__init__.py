@@ -56,7 +56,8 @@ Subpackages
 
 from repro.compile import CompiledPlan, compile_plan
 from repro.core.config import AdsalaConfig
-from repro.core.library import AdsalaGemm
+from repro.core.library import AdsalaGemm, AdsalaRuntime
+from repro.core.routines import build_spec, get_routine, routine_names
 from repro.core.training import InstallationWorkflow, TrainedBundle
 from repro.engine import GemmService, PredictionCache
 from repro.gemm.interface import GemmSpec
@@ -65,11 +66,12 @@ from repro.machine.simulator import MachineSimulator
 from repro.serve import GemmServer, ServerOverloaded
 from repro.train import ModelRegistry, TrainingMatrix, TrainingPipeline
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AdsalaConfig",
     "AdsalaGemm",
+    "AdsalaRuntime",
     "CompiledPlan",
     "compile_plan",
     "GemmServer",
@@ -83,8 +85,11 @@ __all__ = [
     "TrainingPipeline",
     "GemmSpec",
     "MachineSimulator",
+    "build_spec",
+    "get_routine",
     "machine_by_name",
     "quick_install",
+    "routine_names",
     "__version__",
 ]
 

@@ -123,9 +123,11 @@ class _RoutineGatherer:
         records = []
         for spec in specs:
             m, k, n = spec.dims
+            routine = getattr(spec, "routine", "gemm")
             for p in self.thread_grid:
                 runtime = self.oracle.timed_run(spec, p, repeats=self.repeats)
-                records.append(TimingRecord(m, k, n, p, runtime))
+                records.append(TimingRecord(m, k, n, p, runtime,
+                                            routine=routine))
         return TimingDataset.from_records(records, dtype=specs[0].dtype)
 
 

@@ -11,6 +11,7 @@ stress test for the generalised thread selector.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import ClassVar
 
 import numpy as np
 
@@ -21,6 +22,9 @@ from repro.gemm.interface import GemmSpec
 @dataclass(frozen=True)
 class GemvSpec:
     """One GEMV problem: ``y (m) <- alpha * A (m x n) @ x (n) + beta * y``."""
+
+    #: Routine name in the central registry (:mod:`repro.core.routines`).
+    routine: ClassVar[str] = "gemv"
 
     m: int
     n: int
@@ -64,6 +68,10 @@ class GemvSpec:
     def dims(self) -> tuple:
         """Dimension triple in the GEMM feature convention (m, k, n)."""
         return (self.m, self.n, 1)
+
+    def key(self) -> tuple:
+        """Hashable identity, routine name first (never aliases GEMM)."""
+        return (self.routine, self.m, self.n, self.dtype)
 
 
 def gemv_reference(spec: GemvSpec, a: np.ndarray, x: np.ndarray,

@@ -11,6 +11,7 @@ same shape scaled by the work fraction.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import ClassVar
 
 import numpy as np
 
@@ -21,6 +22,9 @@ from repro.gemm.interface import GemmSpec
 @dataclass(frozen=True)
 class SyrkSpec:
     """One SYRK problem: ``C (n x n) <- alpha * A (n x k) @ A.T + beta * C``."""
+
+    #: Routine name in the central registry (:mod:`repro.core.routines`).
+    routine: ClassVar[str] = "syrk"
 
     n: int
     k: int
@@ -68,6 +72,10 @@ class SyrkSpec:
     def dims(self) -> tuple:
         """Dimension triple in the GEMM feature convention (m, k, n)."""
         return (self.n, self.k, self.n)
+
+    def key(self) -> tuple:
+        """Hashable identity, routine name first (never aliases GEMM)."""
+        return (self.routine, self.n, self.k, self.dtype, self.lower)
 
 
 def syrk_reference(spec: SyrkSpec, a: np.ndarray, c: np.ndarray) -> np.ndarray:

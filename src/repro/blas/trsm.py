@@ -13,6 +13,7 @@ dimension in ``k``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import ClassVar
 
 import numpy as np
 
@@ -23,6 +24,9 @@ from repro.gemm.interface import GemmSpec
 @dataclass(frozen=True)
 class TrsmSpec:
     """One TRSM problem: ``X (m x n) <- alpha * inv(L (m x m)) @ B``."""
+
+    #: Routine name in the central registry (:mod:`repro.core.routines`).
+    routine: ClassVar[str] = "trsm"
 
     m: int
     n: int
@@ -67,6 +71,10 @@ class TrsmSpec:
     @property
     def dims(self) -> tuple:
         return (self.m, self.m, self.n)
+
+    def key(self) -> tuple:
+        """Hashable identity, routine name first (never aliases GEMM)."""
+        return (self.routine, self.m, self.n, self.dtype)
 
 
 def trsm_reference(spec: TrsmSpec, l_mat: np.ndarray, b: np.ndarray) -> np.ndarray:

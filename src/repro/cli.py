@@ -11,7 +11,9 @@ Mirrors how a deployed ADSALA would be driven::
     python -m repro models  --registry ./registry --compile gemv/gadi@1
     python -m repro predict --install ./install 64 2048 64
     python -m repro batch   --install ./install --machine gadi shapes.txt
+    python -m repro batch   --registry ./registry --machine gadi mixed.txt
     python -m repro serve   --install ./install --rate 500 shapes.txt
+    python -m repro serve   --registry ./registry --rate 500 mixed.txt
     python -m repro demo    --machine setonix
 
 The ``install`` command runs the staged training pipeline (on the named
@@ -35,6 +37,14 @@ shape file as a Poisson request stream through the async
 control, optionally several machine shards) and reports latency
 percentiles and the batch-size distribution; ``demo`` runs a quick
 before/after comparison.
+
+``batch`` and ``serve`` also run **registry-driven**: with
+``--registry`` instead of ``--install``, the request file may mix
+routines (``gemv 2048 512`` lines next to plain ``m k n`` GEMM
+triples) and every request is answered by its routine's own published
+model — one multi-routine engine service for ``batch``, one shard per
+routine behind a :class:`~repro.serve.router.RoutineRouter` for
+``serve``.
 """
 
 from __future__ import annotations
@@ -239,46 +249,98 @@ def cmd_predict(args) -> int:
     return 0
 
 
-def parse_shape_file(path: str) -> list:
-    """Read one ``m k n`` (or ``m,k,n``) triple per line; ``#`` comments."""
-    shapes = []
+def parse_trace_file(path: str, dtype="float32") -> list:
+    """Read one routine request per line into a list of specs.
+
+    A line is either a bare ``m k n`` triple (GEMM, the historic shape
+    file format) or a routine name followed by that routine's natural
+    dimensions from the central registry — ``gemv m n``, ``syrk n k``,
+    ``trsm m n``.  Commas work as separators and ``#`` starts a
+    comment.  ``dtype`` is a precision name, or a mapping of routine
+    name to precision (registry-driven serving, where each routine's
+    bundle records its own trained dtype).
+    """
+    from repro.core.routines import REGISTRY, get_routine
+
+    specs = []
     with open(path) as fh:
         for lineno, line in enumerate(fh, start=1):
             text = line.split("#", 1)[0].strip()
             if not text:
                 continue
             parts = text.replace(",", " ").split()
-            if len(parts) != 3:
+            routine = "gemm"
+            if parts and parts[0] in REGISTRY:
+                routine, parts = parts[0], parts[1:]
+            info = get_routine(routine)
+            if len(parts) != info.n_dims or not all(
+                    p.lstrip("-").isdigit() for p in parts):
                 raise ValueError(
-                    f"{path}:{lineno}: expected 'm k n', got {line.strip()!r}")
-            shapes.append(tuple(int(p) for p in parts))
-    if not shapes:
-        raise ValueError(f"{path}: no shapes found")
-    return shapes
+                    f"{path}:{lineno}: expected "
+                    f"'[{routine}] {' '.join(info.dim_names)}', "
+                    f"got {line.strip()!r}")
+            precision = dtype.get(routine, "float32") \
+                if isinstance(dtype, dict) else dtype
+            specs.append(info.build(*(int(p) for p in parts),
+                                    dtype=precision))
+    if not specs:
+        raise ValueError(f"{path}: no requests found")
+    return specs
+
+
+def _registry_machine(registry, requested: str, seed: int):
+    """Resolve the execution machine for a registry-driven command."""
+    if requested is not None:
+        return requested, _machine(requested, seed)
+    machines = sorted({e.machine for e in registry.entries() if e.latest})
+    if len(machines) != 1:
+        raise ValueError(
+            f"registry publishes machines {machines or '[]'}; pick one "
+            f"with --machine")
+    return machines[0], _machine(machines[0], seed)
 
 
 def cmd_batch(args) -> int:
-    bundle = load_bundle(args.install)
-    machine_name = args.machine or bundle.config.machine
-    machine = _machine(machine_name, args.seed)
     try:
-        dims = parse_shape_file(args.shapes_file)
-        specs = [GemmSpec(m, k, n, dtype=bundle.config.dtype)
-                 for m, k, n in dims]
-        service = GemmService.from_bundle(bundle, machine,
-                                          repeats=args.repeats,
-                                          cache_size=args.cache_size)
-    except (OSError, ValueError) as exc:
+        if args.registry:
+            from repro.train.registry import ModelRegistry
+
+            registry = ModelRegistry(args.registry)
+            machine_name, machine = _registry_machine(registry, args.machine,
+                                                      args.seed)
+            service = GemmService.from_registry(
+                registry, machine, machine_name=machine_name,
+                routines=args.routine or None, repeats=args.repeats,
+                cache_size=args.cache_size)
+            specs = parse_trace_file(
+                args.shapes_file,
+                dtype={routine: info.get("dtype", "float32")
+                       for routine, info in service.routine_info.items()})
+        else:
+            bundle = load_bundle(args.install)
+            machine_name = args.machine or bundle.config.machine
+            machine = _machine(machine_name, args.seed)
+            specs = parse_trace_file(args.shapes_file,
+                                     dtype=bundle.config.dtype)
+            service = GemmService.from_bundle(bundle, machine,
+                                              repeats=args.repeats,
+                                              cache_size=args.cache_size)
+    except (OSError, ValueError, RuntimeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     records = service.run_batch(specs)
 
     from repro.bench.report import cache_effectiveness_table, format_table
+    from repro.core.routines import routine_of
 
+    mixed = len({routine_of(r.spec) for r in records}) > 1
     per_shape = {}
     for record in records:
-        entry = per_shape.setdefault(record.spec.dims, {
-            "shape (m,k,n)": str(record.spec.dims),
+        routine = routine_of(record.spec)
+        label = f"{routine} {record.spec.dims}" if mixed \
+            else str(record.spec.dims)
+        entry = per_shape.setdefault((routine, record.spec.dims), {
+            "request": label,
             "threads": record.n_threads, "calls": 0, "total_ms": 0.0})
         entry["calls"] += 1
         entry["total_ms"] += record.runtime * 1e3
@@ -290,12 +352,14 @@ def cmd_batch(args) -> int:
     total_ml = sum(r.runtime for r in records)
     print(f"\ntotal ADSALA runtime: {total_ml * 1e3:.3f} ms")
     if args.baseline:
+        from repro.engine.cache import routine_key
+
         baselines = {}
         for record in records:
-            key = record.spec.dims
+            key = routine_key(record.spec)
             if key not in baselines:
                 baselines[key] = service.run_baseline(record.spec)
-        total_base = sum(baselines[r.spec.dims] for r in records)
+        total_base = sum(baselines[routine_key(r.spec)] for r in records)
         print(f"max-thread baseline:  {total_base * 1e3:.3f} ms "
               f"(speedup {total_base / total_ml:.2f}x)")
     print()
@@ -304,27 +368,62 @@ def cmd_batch(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    from repro.serve.router import RoutineRouter
     from repro.serve.server import GemmServer
     from repro.serve.trace import poisson_trace, replay_trace
 
-    bundle = load_bundle(args.install)
-    machines = args.machine or [bundle.config.machine]
     try:
-        dims = parse_shape_file(args.shapes_file)
-        specs = [GemmSpec(m, k, n, dtype=bundle.config.dtype)
-                 for m, k, n in dims]
         if args.requests is not None and args.requests < 1:
             raise ValueError("--requests must be >= 1")
+        router = None
+        if args.registry:
+            # One shard per published routine, routed by routine name:
+            # a single server answers a mixed GEMM/GEMV/TRSM/SYRK trace
+            # with each request resolved by its routine's model.
+            from repro.train.registry import ModelRegistry
+
+            if args.machine and len(args.machine) > 1:
+                raise ValueError(
+                    "--registry mode shards per routine on one machine; "
+                    "pass a single --machine")
+            registry = ModelRegistry(args.registry)
+            machine_name, _ = _registry_machine(registry, args.machine[0]
+                                                if args.machine else None,
+                                                args.seed)
+            routines = args.routine or list(dict.fromkeys(
+                e.routine for e in registry.entries()
+                if e.machine == machine_name and e.latest))
+            if not routines:
+                raise ValueError(
+                    f"no published routines for machine {machine_name!r} "
+                    f"in registry {args.registry}")
+            bundles = {routine: registry.load(routine, machine_name)
+                       for routine in routines}
+            shards = {routine: GemmService.from_bundle(
+                bundle, _machine(machine_name, args.seed),
+                repeats=args.repeats, cache_size=args.cache_size)
+                for routine, bundle in bundles.items()}
+            router = RoutineRouter()
+            specs = parse_trace_file(
+                args.shapes_file,
+                dtype={routine: bundle.config.dtype
+                       for routine, bundle in bundles.items()})
+        else:
+            bundle = load_bundle(args.install)
+            machines = args.machine or [bundle.config.machine]
+            specs = parse_trace_file(args.shapes_file,
+                                     dtype=bundle.config.dtype)
+            shards = {name: GemmService.from_bundle(
+                bundle, _machine(name, args.seed), repeats=args.repeats,
+                cache_size=args.cache_size) for name in machines}
         trace = poisson_trace(specs, rate_hz=args.rate,
                               n_requests=args.requests,
                               n_clients=args.clients, seed=args.seed)
-        shards = {name: GemmService.from_bundle(
-            bundle, _machine(name, args.seed), repeats=args.repeats,
-            cache_size=args.cache_size) for name in machines}
-        server = GemmServer(shards, max_batch=args.max_batch,
+        server = GemmServer(shards, router=router,
+                            max_batch=args.max_batch,
                             max_wait_ms=args.max_wait_ms,
                             max_queue=args.max_queue)
-    except (OSError, ValueError) as exc:
+    except (OSError, ValueError, RuntimeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -348,6 +447,12 @@ def cmd_serve(args) -> int:
     if stats["batch_size_histogram"]:
         print()
         print(batch_size_table(stats["batch_size_histogram"]))
+    routine_rows = [{"routine": routine, **{k: v for k, v in entry.items()
+                                            if k != "latency_ms"}}
+                    for routine, entry in sorted(stats["routines"].items())]
+    if len(routine_rows) > 1:
+        print()
+        print(format_table(routine_rows, title="per-routine traffic"))
     for name in sorted(shards):
         print()
         print(cache_effectiveness_table(stats["shards"][name],
@@ -438,24 +543,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("n", type=int)
     p.set_defaults(func=cmd_predict)
 
-    p = sub.add_parser("batch", help="serve a shape file through the engine")
-    p.add_argument("--install", required=True, help="artefact directory")
+    p = sub.add_parser("batch", help="serve a request file through the engine")
+    source = p.add_mutually_exclusive_group(required=True)
+    source.add_argument("--install", help="artefact directory")
+    source.add_argument("--registry",
+                        help="model-registry root: serve mixed-routine "
+                             "traffic, one predictor per routine")
     p.add_argument("--machine", choices=machines, default=None,
                    help="execution backend (default: the installed machine)")
+    p.add_argument("--routine", choices=sorted(ROUTINES), action="append",
+                   default=None,
+                   help="with --registry: routines to serve (default: all "
+                        "published for the machine)")
     p.add_argument("--repeats", type=int, default=1)
     p.add_argument("--cache-size", type=int, default=256)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--baseline", action="store_true",
                    help="also time the max-thread baseline per unique shape")
-    p.add_argument("shapes_file", help="text file with one 'm k n' per line")
+    p.add_argument("shapes_file",
+                   help="text file with one request per line: 'm k n' "
+                        "(GEMM) or '<routine> dims...' (e.g. 'gemv 2048 512')")
     p.set_defaults(func=cmd_batch)
 
-    p = sub.add_parser("serve", help="replay a shape file through the "
+    p = sub.add_parser("serve", help="replay a request file through the "
                                      "async micro-batching server")
-    p.add_argument("--install", required=True, help="artefact directory")
+    source = p.add_mutually_exclusive_group(required=True)
+    source.add_argument("--install", help="artefact directory")
+    source.add_argument("--registry",
+                        help="model-registry root: one shard per routine, "
+                             "routed by routine name")
     p.add_argument("--machine", choices=machines, action="append",
                    help="shard backend; repeat for multi-tenant shards "
                         "(default: the installed machine)")
+    p.add_argument("--routine", choices=sorted(ROUTINES), action="append",
+                   default=None,
+                   help="with --registry: routines to shard (default: all "
+                        "published for the machine)")
     p.add_argument("--rate", type=float, default=500.0,
                    help="Poisson arrival rate, requests/second")
     p.add_argument("--requests", type=int, default=None,
@@ -467,7 +590,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeats", type=int, default=1)
     p.add_argument("--cache-size", type=int, default=256)
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("shapes_file", help="text file with one 'm k n' per line")
+    p.add_argument("shapes_file",
+                   help="text file with one request per line: 'm k n' "
+                        "(GEMM) or '<routine> dims...' (e.g. 'gemv 2048 512')")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("demo", help="quick install + before/after comparison")

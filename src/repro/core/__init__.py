@@ -13,8 +13,10 @@ The paper's contribution, assembled from the substrate packages:
   last-call memoisation (Fig. 3).
 - :mod:`repro.core.config` / :mod:`repro.core.serialize` — the two
   installation artefacts (config file + trained model).
-- :mod:`repro.core.library` — the ``AdsalaGemm`` runtime class users
-  link against.
+- :mod:`repro.core.library` — the routine-generic ``AdsalaRuntime``
+  class users link against (``AdsalaGemm`` is its GEMM alias).
+- :mod:`repro.core.routines` — the central routine registry making
+  GEMM, GEMV, TRSM and SYRK first-class citizens of every layer.
 """
 
 from repro.core.features import (FEATURE_NAMES_GROUP1, FEATURE_NAMES_GROUP2,
@@ -26,9 +28,12 @@ from repro.core.selection import ModelSelectionReport, SpeedupEstimate, estimate
 from repro.core.predictor import ThreadPredictor
 from repro.core.config import AdsalaConfig
 from repro.core.serialize import load_bundle, save_bundle
-from repro.core.library import AdsalaGemm
+from repro.core.library import AdsalaGemm, AdsalaRuntime
 from repro.core.diagnostics import ChoiceDiagnostics, diagnose_choices
 from repro.core.online import OnlineRefiner
+from repro.core.routines import (REGISTRY, RoutineInfo, RoutineSpec,
+                                 build_spec, get_routine, register_routine,
+                                 routine_names, routine_of)
 
 __all__ = [
     "FEATURE_NAMES_GROUP1", "FEATURE_NAMES_GROUP2", "FeatureBuilder",
@@ -39,7 +44,10 @@ __all__ = [
     "ThreadPredictor",
     "AdsalaConfig",
     "save_bundle", "load_bundle",
-    "AdsalaGemm",
+    "AdsalaGemm", "AdsalaRuntime",
     "ChoiceDiagnostics", "diagnose_choices",
     "OnlineRefiner",
+    "REGISTRY", "RoutineInfo", "RoutineSpec",
+    "build_spec", "get_routine", "register_routine",
+    "routine_names", "routine_of",
 ]

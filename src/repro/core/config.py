@@ -21,6 +21,12 @@ class AdsalaConfig:
     ----------
     machine:
         Preset name of the node the installation ran on.
+    routine:
+        The BLAS routine the timings were collected for ("gemm",
+        "gemv", "syrk", "trsm" — a name from
+        :mod:`repro.core.routines`).  Serving layers use this tag to
+        route each bundle's predictor to the right traffic; configs
+        written before the tag existed load as "gemm".
     dtype:
         GEMM precision the timings were collected for.
     thread_grid:
@@ -46,6 +52,7 @@ class AdsalaConfig:
     """
 
     machine: str
+    routine: str = "gemm"
     dtype: str = "float32"
     thread_grid: list = field(default_factory=list)
     feature_groups: str = "both"

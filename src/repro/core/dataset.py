@@ -19,33 +19,51 @@ from repro.gemm.interface import GemmSpec
 
 @dataclass(frozen=True)
 class TimingRecord:
-    """One timing measurement."""
+    """One timing measurement.
+
+    ``routine`` tags which BLAS routine the measurement timed; the
+    ``(m, k, n)`` triple is always stored in the GEMM feature
+    convention (a GEMV problem appears as ``(m, n, 1)``), so feature
+    building never branches on the routine.
+    """
 
     m: int
     k: int
     n: int
     n_threads: int
     runtime: float
+    routine: str = "gemm"
 
     @property
-    def spec(self) -> GemmSpec:
-        return GemmSpec(self.m, self.k, self.n)
+    def spec(self):
+        """The routine problem this record timed (registry-built)."""
+        if self.routine == "gemm":
+            return GemmSpec(self.m, self.k, self.n)
+        from repro.core.routines import get_routine
+
+        return get_routine(self.routine).from_feature_dims(
+            (self.m, self.k, self.n))
 
 
 class TimingDataset:
     """Column-oriented collection of timing records.
 
     Attributes (all numpy arrays of equal length):
-    ``m, k, n, threads, runtime``.
+    ``m, k, n, threads, runtime``.  ``routine`` tags the whole
+    campaign — timing datasets are homogeneous per routine by
+    construction (one installation gathers one routine), so the tag is
+    a column-free scalar.
     """
 
-    def __init__(self, m, k, n, threads, runtime, dtype: str = "float32"):
+    def __init__(self, m, k, n, threads, runtime, dtype: str = "float32",
+                 routine: str = "gemm"):
         self.m = np.asarray(m, dtype=np.int64)
         self.k = np.asarray(k, dtype=np.int64)
         self.n = np.asarray(n, dtype=np.int64)
         self.threads = np.asarray(threads, dtype=np.int64)
         self.runtime = np.asarray(runtime, dtype=np.float64)
         self.dtype = dtype
+        self.routine = str(routine)
         lengths = {a.shape[0] for a in (self.m, self.k, self.n, self.threads, self.runtime)}
         if len(lengths) != 1:
             raise ValueError(f"column length mismatch: {lengths}")
@@ -61,14 +79,21 @@ class TimingDataset:
         records = list(records)
         if not records:
             raise ValueError("no records")
+        routines = {getattr(r, "routine", "gemm") for r in records}
+        if len(routines) != 1:
+            raise ValueError(
+                f"mixed-routine timing records {sorted(routines)}: one "
+                f"dataset holds one routine's campaign")
         return cls(
             m=[r.m for r in records], k=[r.k for r in records],
             n=[r.n for r in records], threads=[r.n_threads for r in records],
-            runtime=[r.runtime for r in records], dtype=dtype)
+            runtime=[r.runtime for r in records], dtype=dtype,
+            routine=routines.pop())
 
     def records(self):
         return [TimingRecord(int(self.m[i]), int(self.k[i]), int(self.n[i]),
-                             int(self.threads[i]), float(self.runtime[i]))
+                             int(self.threads[i]), float(self.runtime[i]),
+                             routine=self.routine)
                 for i in range(len(self))]
 
     # -- derived columns -------------------------------------------------
@@ -89,7 +114,8 @@ class TimingDataset:
     def select(self, mask) -> "TimingDataset":
         mask = np.asarray(mask, dtype=bool)
         return TimingDataset(self.m[mask], self.k[mask], self.n[mask],
-                             self.threads[mask], self.runtime[mask], self.dtype)
+                             self.threads[mask], self.runtime[mask],
+                             self.dtype, routine=self.routine)
 
     def within_memory(self, cap_bytes: int) -> "TimingDataset":
         return self.select(self.memory_bytes <= cap_bytes)
@@ -131,6 +157,7 @@ class TimingDataset:
     def to_json(self) -> str:
         return json.dumps({
             "dtype": self.dtype,
+            "routine": self.routine,
             "m": self.m.tolist(), "k": self.k.tolist(), "n": self.n.tolist(),
             "threads": self.threads.tolist(), "runtime": self.runtime.tolist(),
         })
@@ -140,7 +167,8 @@ class TimingDataset:
         payload = json.loads(text)
         return cls(payload["m"], payload["k"], payload["n"],
                    payload["threads"], payload["runtime"],
-                   dtype=payload.get("dtype", "float32"))
+                   dtype=payload.get("dtype", "float32"),
+                   routine=payload.get("routine", "gemm"))
 
     def save(self, path) -> None:
         with open(path, "w") as fh:
@@ -154,10 +182,15 @@ class TimingDataset:
     def merge(self, other: "TimingDataset") -> "TimingDataset":
         if other.dtype != self.dtype:
             raise ValueError("cannot merge datasets of different dtypes")
+        if getattr(other, "routine", "gemm") != self.routine:
+            raise ValueError(
+                f"cannot merge a {other.routine!r} campaign into a "
+                f"{self.routine!r} one: per-routine models train on "
+                f"per-routine timings")
         return TimingDataset(
             np.concatenate([self.m, other.m]),
             np.concatenate([self.k, other.k]),
             np.concatenate([self.n, other.n]),
             np.concatenate([self.threads, other.threads]),
             np.concatenate([self.runtime, other.runtime]),
-            self.dtype)
+            self.dtype, routine=self.routine)

@@ -64,7 +64,9 @@ class DataGatherer:
             for p in self.thread_grid:
                 runtime = self.simulator.timed_run(spec, p, repeats=self.repeats,
                                                    reduce=self.reduce)
-                records.append(TimingRecord(spec.m, spec.k, spec.n, p, runtime))
+                records.append(TimingRecord(spec.m, spec.k, spec.n, p, runtime,
+                                            routine=getattr(spec, "routine",
+                                                            "gemm")))
         if not records:
             raise ValueError("no shapes assigned to this shard")
         return TimingDataset.from_records(records, dtype=specs[0].dtype)

@@ -50,10 +50,19 @@ class _ShapeState:
 class OnlineRefiner:
     """Epsilon-greedy local refinement on top of a ThreadPredictor.
 
+    Measurement statistics key on ``(routine, m, k, n)``: a GEMV
+    ``(m, k)`` problem and a GEMM ``(m, k, 1)`` shape share a feature
+    triple but not a runtime distribution, so mixed-routine feedback
+    must never pool.  The historic GEMM-only API (``routine`` omitted)
+    is unchanged.
+
     Parameters
     ----------
     predictor:
-        The trained :class:`~repro.core.predictor.ThreadPredictor`.
+        The trained :class:`~repro.core.predictor.ThreadPredictor` for
+        the default routine.  Further routines' predictors join via
+        :meth:`register_predictor` so each routine's prior comes from
+        its own model.
     explore_prob:
         Probability of probing a neighbouring grid entry once the
         minimum trials are done.
@@ -71,6 +80,8 @@ class OnlineRefiner:
         if min_trials < 1:
             raise ValueError("min_trials must be >= 1")
         self.predictor = predictor
+        self.routine = getattr(predictor, "routine", "gemm")
+        self.predictors = {self.routine: predictor}
         self.grid = np.asarray(predictor.thread_grid)
         self.explore_prob = float(explore_prob)
         self.min_trials = int(min_trials)
@@ -79,17 +90,40 @@ class OnlineRefiner:
         self.n_explorations = 0
 
     # ------------------------------------------------------------------
-    def _state_for(self, m: int, k: int, n: int) -> _ShapeState:
-        key = (int(m), int(k), int(n))
+    def register_predictor(self, routine: str, predictor) -> "OnlineRefiner":
+        """Serve ``routine``'s priors from its own predictor.
+
+        Replacing a routine's predictor (hot-reload) drops that
+        routine's accumulated measurements — they were taken under the
+        retired model's choices — and leaves every other routine's
+        statistics untouched.  Returns self.
+        """
+        if self.predictors.get(routine) is not predictor:
+            self._shapes = {key: state for key, state in self._shapes.items()
+                            if key[0] != routine}
+        self.predictors[routine] = predictor
+        return self
+
+    def _predictor_for(self, routine: str):
+        chosen = self.predictors.get(routine)
+        return chosen if chosen is not None else self.predictor
+
+    def _state_for(self, m: int, k: int, n: int,
+                   routine: str = None) -> _ShapeState:
+        routine = routine or self.routine
+        key = (routine, int(m), int(k), int(n))
         if key not in self._shapes:
             self._shapes[key] = _ShapeState(
-                model_choice=self.predictor.predict_threads(m, k, n))
+                model_choice=self._predictor_for(routine)
+                .predict_threads(m, k, n))
         return self._shapes[key]
 
-    def _neighbours(self, threads: int) -> list:
-        idx = int(np.argmin(np.abs(self.grid - threads)))
-        return [int(self.grid[j]) for j in (idx - 1, idx + 1)
-                if 0 <= j < self.grid.size]
+    def _neighbours(self, threads: int, routine: str = None) -> list:
+        grid = np.asarray(self._predictor_for(routine or self.routine)
+                          .thread_grid)
+        idx = int(np.argmin(np.abs(grid - threads)))
+        return [int(grid[j]) for j in (idx - 1, idx + 1)
+                if 0 <= j < grid.size]
 
     def _best_known(self, state: _ShapeState) -> int:
         """Best sufficiently-measured thread count, else the model's."""
@@ -99,38 +133,44 @@ class OnlineRefiner:
             return state.model_choice
         return min(candidates, key=lambda tc: tc[1])[0]
 
-    def choose_threads(self, m: int, k: int, n: int) -> int:
+    def choose_threads(self, m: int, k: int, n: int,
+                       routine: str = None) -> int:
         """The thread count to use for the next call of this shape."""
-        state = self._state_for(m, k, n)
+        state = self._state_for(m, k, n, routine=routine)
         base = self._best_known(state)
         # Prioritise establishing the baseline measurements.
         if state.count(base) < self.min_trials:
             return base
-        under_explored = [t for t in self._neighbours(base)
+        under_explored = [t for t in self._neighbours(base, routine=routine)
                           if state.count(t) < self.min_trials]
         if under_explored and self._rng.random() < max(self.explore_prob, 0.5):
             self.n_explorations += 1
             return under_explored[0]
         if self._rng.random() < self.explore_prob:
-            neighbours = self._neighbours(base)
+            neighbours = self._neighbours(base, routine=routine)
             if neighbours:
                 self.n_explorations += 1
                 return int(self._rng.choice(neighbours))
         return base
 
-    def record(self, m: int, k: int, n: int, threads: int, runtime: float) -> None:
+    def record(self, m: int, k: int, n: int, threads: int, runtime: float,
+               routine: str = None) -> None:
         """Feed back a measured runtime for the executed call."""
         if runtime <= 0:
             raise ValueError("runtime must be positive")
-        self._state_for(m, k, n).record(int(threads), float(runtime))
+        self._state_for(m, k, n, routine=routine).record(int(threads),
+                                                         float(runtime))
 
     def run(self, spec, machine, repeats: int = 1):
         """Choose, execute on ``machine`` and record in one step."""
-        threads = self.choose_threads(spec.m, spec.k, spec.n)
+        routine = getattr(spec, "routine", None)
+        m, k, n = spec.dims
+        threads = self.choose_threads(m, k, n, routine=routine)
         runtime = machine.timed_run(spec, threads, repeats=repeats)
-        self.record(spec.m, spec.k, spec.n, threads, runtime)
+        self.record(m, k, n, threads, runtime, routine=routine)
         return threads, runtime
 
-    def steady_choice(self, m: int, k: int, n: int) -> int:
+    def steady_choice(self, m: int, k: int, n: int,
+                      routine: str = None) -> int:
         """Current exploitation choice (no exploration)."""
-        return self._best_known(self._state_for(m, k, n))
+        return self._best_known(self._state_for(m, k, n, routine=routine))

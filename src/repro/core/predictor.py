@@ -53,15 +53,22 @@ class ThreadPredictor:
         same artefacts; when present, evaluation routes through its
         fused kernels (falling back per half where the plan records a
         fallback).  :meth:`compile` builds one in place.
+    routine:
+        The routine these artefacts were trained for ("gemm", "gemv",
+        ...).  Cache entries are keyed ``(routine, m, k, n)`` so two
+        predictors sharing one :class:`PredictionCache` — or any
+        mixed-routine table built on :meth:`cache_key` — can never
+        serve a GEMV shape from a GEMM entry.
     """
 
     def __init__(self, feature_builder: FeatureBuilder, pipeline, model,
                  thread_grid, cache: PredictionCache = None,
-                 cache_size: int = 1, plan=None):
+                 cache_size: int = 1, plan=None, routine: str = "gemm"):
         self.feature_builder = feature_builder
         self.pipeline = pipeline
         self.model = model
         self.plan = plan
+        self.routine = str(routine)
         self.thread_grid = np.asarray(sorted(set(int(t) for t in thread_grid)),
                                       dtype=np.int64)
         if self.thread_grid.size == 0:
@@ -132,13 +139,18 @@ class ThreadPredictor:
     # ------------------------------------------------------------------
     _key = staticmethod(shape_key)
 
+    def cache_key(self, shape) -> tuple:
+        """The routine-qualified key a shape caches under:
+        ``(routine, m, k, n)``."""
+        return (self.routine,) + shape_key(shape)
+
     def predict_threads(self, m: int, k: int, n: int) -> int:
         """Optimal thread count for the shape, cache-backed.
 
         Any monotone label transform leaves the argmin unchanged, so the
         raw model output is compared directly.
         """
-        key = (int(m), int(k), int(n))
+        key = (self.routine, int(m), int(k), int(n))
         cached = self.cache.get(key)
         if cached is not None:
             return cached
@@ -159,7 +171,7 @@ class ThreadPredictor:
         come back as an int64 array aligned with the input order and are
         bitwise-identical to calling :meth:`predict_threads` per shape.
         """
-        keys = [self._key(s) for s in shapes]
+        keys = [self.cache_key(s) for s in shapes]
         resolved = {}
         misses = []
         for key in dict.fromkeys(keys):  # unique keys, first-seen order
@@ -169,7 +181,7 @@ class ThreadPredictor:
             else:
                 resolved[key] = cached
         if misses:
-            scores = self.predicted_runtimes_batch(misses)
+            scores = self.predicted_runtimes_batch([k[1:] for k in misses])
             self.n_evaluations += len(misses)
             self.n_batch_evaluations += 1
             self.n_model_passes += 1

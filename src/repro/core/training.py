@@ -89,6 +89,8 @@ class TrainedBundle:
                          else thread_grid),
             cache_size=cache_size,
             plan=plan,
+            # getattr: bundles pickled before the routine tag existed.
+            routine=getattr(self.config, "routine", "gemm"),
         )
 
 
@@ -264,9 +266,16 @@ class InstallationWorkflow:
         stages.append(("corr_prune", pruner))
         return Pipeline.from_fitted(stages), X, y
 
+    #: The routine this workflow's campaign times; subclasses that
+    #: gather for other routines override it so the config artefact (and
+    #: through it the predictor's cache keys and the serving router) is
+    #: tagged correctly.
+    routine = "gemm"
+
     def _config_stub(self) -> AdsalaConfig:
         return AdsalaConfig(
             machine=self.simulator.name,
+            routine=self.routine,
             dtype=self.dtype,
             thread_grid=self.thread_grid,
             feature_groups=self.feature_groups,

@@ -182,6 +182,7 @@ class BackendDispatcher:
     def __init__(self, default: ExecutionBackend = None):
         self.default = default
         self._routes: dict = {}
+        self._routine_routes: dict = {}
 
     @classmethod
     def for_backend(cls, backend: ExecutionBackend) -> "BackendDispatcher":
@@ -194,10 +195,31 @@ class BackendDispatcher:
         self._routes[spec_type] = backend
         return self
 
+    def register_routine(self, routine: str, backend: ExecutionBackend) -> "BackendDispatcher":
+        """Route specs whose ``routine`` attribute is ``routine``.
+
+        Name-keyed registration needs no spec class import, which is
+        what lets registry-driven layers (CLI, serving) wire execution
+        per routine without touching the spec modules.  Type routes
+        (:meth:`register`) take precedence — they are the more specific
+        claim.
+        """
+        if not isinstance(routine, str):
+            raise TypeError("routine must be a string name")
+        self._routine_routes[routine] = backend
+        return self
+
+    def has_routine_route(self, routine: str) -> bool:
+        """Whether ``routine`` already has a name-keyed backend."""
+        return routine in self._routine_routes
+
     def backend_for(self, spec) -> ExecutionBackend:
         for klass in type(spec).__mro__:
             if klass in self._routes:
                 return self._routes[klass]
+        routine = getattr(spec, "routine", None)
+        if routine is not None and routine in self._routine_routes:
+            return self._routine_routes[routine]
         if self.default is not None:
             return self.default
         raise TypeError(
@@ -211,7 +233,8 @@ class BackendDispatcher:
         """All distinct registered backends (default included)."""
         seen = []
         for backend in ([self.default] if self.default is not None else []) \
-                + list(self._routes.values()):
+                + list(self._routes.values()) \
+                + list(self._routine_routes.values()):
             if all(backend is not b for b in seen):
                 seen.append(backend)
         return seen

@@ -31,6 +31,22 @@ def shape_key(shape) -> tuple:
     return (int(m), int(k), int(n))
 
 
+def routine_key(shape, routine: str = None) -> tuple:
+    """Routine-qualified cache key: ``(routine, m, k, n)``.
+
+    The leading routine name is read from the spec's ``routine``
+    attribute (bare dims triples default to ``"gemm"``) unless
+    ``routine`` overrides it.  This is the key mixed-routine tables —
+    refiner statistics, service histories, shared caches — must use: a
+    GEMV ``(m, k)`` problem and a GEMM ``(m, k, 1)`` shape have
+    identical feature dims but wildly different measured runtimes, and
+    only the routine prefix keeps their entries apart.
+    """
+    if routine is None:
+        routine = getattr(shape, "routine", "gemm")
+    return (str(routine),) + shape_key(shape)
+
+
 class PredictionCache:
     """Bounded LRU cache with lifetime statistics.
 

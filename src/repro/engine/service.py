@@ -9,18 +9,33 @@ shapes through the predictor in **one** vectorised pipeline/model pass
 dispatches each call to its :class:`~repro.engine.backend.ExecutionBackend`,
 and returns per-call :class:`GemmCallRecord` bookkeeping.
 
-:class:`~repro.core.library.AdsalaGemm` is now a thin facade over this
+Since the routine-generic refactor the service is multi-routine: it
+holds one :class:`~repro.core.predictor.ThreadPredictor` **per
+routine** (:meth:`register_routine`), resolves every incoming spec to
+its routine's predictor (falling back to the default for unregistered
+routines, the historic single-predictor behaviour), and
+:meth:`run_batch` groups a mixed GEMM/GEMV/TRSM/SYRK stream per
+routine so each predictor still pays one vectorised pass for its
+shapes — choices are bitwise identical to serving each routine through
+a dedicated single-routine service.  :meth:`reload` hot-swaps a single
+routine's predictor without touching the others.
+
+:class:`~repro.core.library.AdsalaRuntime` (and its GEMM-specific alias
+:class:`~repro.core.library.AdsalaGemm`) is a thin facade over this
 class, so single-call users keep the paper's API while batch users get
 amortised prediction cost.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.routines import routine_of
 from repro.engine.backend import BackendDispatcher, ExecutionBackend, as_backend
+from repro.engine.cache import routine_key as _routine_key
 from repro.engine.cache import shape_key as _shape_key
 
 
@@ -37,15 +52,23 @@ class GemmCallRecord:
     def gflops(self) -> float:
         return self.spec.flops / self.runtime / 1e9
 
+    @property
+    def routine(self) -> str:
+        return routine_of(self.spec)
+
 
 class GemmService:
-    """Multi-backend execution engine with vectorised thread prediction.
+    """Multi-backend, multi-routine execution engine with vectorised
+    thread prediction.
 
     Parameters
     ----------
     predictor:
-        A fitted :class:`~repro.core.predictor.ThreadPredictor`; its
-        cache is the service's prediction cache.
+        A fitted :class:`~repro.core.predictor.ThreadPredictor` for the
+        service's *default* routine (the predictor's own ``routine``
+        attribute, "gemm" historically); its cache is that routine's
+        prediction cache.  Further routines join via
+        :meth:`register_routine`.
     backend:
         Default :class:`ExecutionBackend` (anything with ``timed_run``
         is coerced via :func:`as_backend`).  Mutually exclusive with
@@ -64,7 +87,9 @@ class GemmService:
         mispredicts — at the cost of bounded exploration, which makes
         choices measurement-dependent (leave off when bitwise replay
         determinism matters, e.g. under :class:`repro.serve.GemmServer`
-        parity checks).
+        parity checks).  Refiner statistics key on
+        ``(routine, m, k, n)``, so mixed-routine feedback never
+        cross-contaminates.
     """
 
     def __init__(self, predictor, backend=None, dispatcher: BackendDispatcher = None,
@@ -75,7 +100,8 @@ class GemmService:
             dispatcher = BackendDispatcher.for_backend(as_backend(backend))
         elif backend is not None:
             raise ValueError("backend and dispatcher are mutually exclusive")
-        self.predictor = predictor
+        self.routine = getattr(predictor, "routine", "gemm")
+        self._predictors = {self.routine: predictor}
         self.dispatcher = dispatcher
         self.repeats = repeats
         self.refiner = None
@@ -93,6 +119,7 @@ class GemmService:
         self.n_reloads = 0
         self.bundle_generation = 0
         self.bundle_info: dict = {}
+        self.routine_info: dict = {}
         self._machine_max = None
         self._retired_counts = {"evaluations": 0, "model_passes": 0}
         self._closed = False
@@ -110,51 +137,202 @@ class GemmService:
         The predictor takes the compiled fast path: a bundle that
         carries a persisted plan uses it directly, and a pre-plan
         (legacy) bundle compiles one lazily here — thread choices are
-        bitwise identical to the object path either way.
+        bitwise identical to the object path either way.  The bundle's
+        ``config.routine`` tag makes the service's default routine,
+        so a GEMV installation serves GEMV traffic directly: on a
+        machine simulator, the routine's execution is routed through
+        the :class:`~repro.blas.adapter.RoutineSimulator` oracle
+        (work-fraction / roofline corrections applied), while GEMM
+        traffic keeps the native backend.
         """
-        grid = list(bundle.config.thread_grid)
         max_threads = getattr(machine, "max_threads", None)
         machine_max = max_threads() if callable(max_threads) else None
-        if machine_max is not None:
-            grid = [t for t in grid if t <= machine_max] or grid
+        grid = cls._clamped_grid(bundle, machine_max)
         service = cls(bundle.predictor(cache_size=cache_size,
                                        thread_grid=grid, compiled=True),
                       backend=as_backend(machine, thread_grid=grid),
                       repeats=repeats, refine=refine)
+        service._wire_routine_backend(service.routine, grid)
         service._machine_max = machine_max
-        service.bundle_info = {"model_name": bundle.config.model_name,
-                               "machine": bundle.config.machine}
+        meta = cls._bundle_meta(bundle)
+        service.routine_info[service.routine] = meta
+        service.bundle_info = {k: meta[k] for k in ("model_name", "machine")}
         return service
 
-    def reload(self, bundle, cache_size: int = None) -> dict:
-        """Hot-swap the installation artefacts without restarting.
+    @classmethod
+    def from_registry(cls, registry, machine, machine_name: str = None,
+                      routines=None, repeats: int = 1, cache_size: int = 256,
+                      version="latest") -> "GemmService":
+        """One mixed-routine service from a model registry's cells.
 
-        Builds a fresh predictor (fresh, empty cache) from ``bundle``
-        — grid clamped to the machine exactly as
-        :meth:`from_bundle` does — and installs it with a single
-        reference assignment, so a concurrently executing
-        :meth:`run`/:meth:`run_batch` (which snapshot the predictor on
-        entry) finishes on the artefacts it started with and the next
-        call uses the new ones.  Prediction counters accumulated by the
-        retired predictor stay in :meth:`stats`.  Returns a summary of
-        the new deployment.
+        Loads the ``(routine, machine_name)`` bundle for every requested
+        routine (default: every routine with a published version for
+        that machine), installs the first one as the service's default
+        and registers the rest — each with its own predictor and, for
+        non-GEMM routines, a
+        :class:`~repro.engine.backend.RoutineBackend` over a shared
+        :class:`~repro.blas.adapter.RoutineSimulator` on ``machine``.
+        ``machine`` must therefore be a machine *simulator* when any
+        non-GEMM routine is requested.
+        """
+        from repro.train.registry import ModelRegistry
+
+        registry = registry if isinstance(registry, ModelRegistry) \
+            else ModelRegistry(registry)
+        machine_name = machine_name or getattr(machine, "name", None)
+        if machine_name is None:
+            raise ValueError("machine has no name; pass machine_name")
+        if routines is None:
+            routines = [record.routine for record in registry.entries()
+                        if record.machine == machine_name and record.latest]
+        routines = list(dict.fromkeys(routines))
+        if not routines:
+            raise ValueError(
+                f"no published routines for machine {machine_name!r} "
+                f"in registry {registry.root}")
+        bundles = {routine: registry.load(routine, machine_name,
+                                          version=version)
+                   for routine in routines}
+        first = routines[0]
+        service = cls.from_bundle(bundles[first], machine, repeats=repeats,
+                                  cache_size=cache_size)
+        for routine in routines[1:]:
+            service.register_routine(routine, bundle=bundles[routine],
+                                     cache_size=cache_size)
+        return service
+
+    # -- routine registration --------------------------------------------
+    @staticmethod
+    def _clamped_grid(bundle, machine_max) -> list:
+        grid = list(bundle.config.thread_grid)
+        if machine_max is not None:
+            grid = [t for t in grid if t <= machine_max] or grid
+        return grid
+
+    @staticmethod
+    def _bundle_meta(bundle) -> dict:
+        return {"model_name": bundle.config.model_name,
+                "machine": bundle.config.machine,
+                "dtype": bundle.config.dtype}
+
+    def _wire_routine_backend(self, routine: str, thread_grid) -> None:
+        """Default execution wiring for a non-GEMM routine.
+
+        When the default backend wraps a machine *simulator* and the
+        routine has no route yet, its calls go through the
+        :class:`~repro.blas.adapter.RoutineSimulator` oracle
+        (work-fraction / roofline corrections applied).  Callers can
+        always register an explicit backend instead; non-simulator
+        machines are left to the default backend's own duck typing.
+        """
+        if routine == "gemm" or self.dispatcher.has_routine_route(routine):
+            return
+        machine = getattr(self.dispatcher.default, "machine", None)
+        if machine is None or not hasattr(machine, "cost_model"):
+            return
+        from repro.blas.adapter import RoutineSimulator
+
+        self.dispatcher.register_routine(
+            routine, RoutineSimulator(machine).backend(thread_grid))
+
+    def register_routine(self, routine: str, bundle=None, predictor=None,
+                         backend=None, cache_size: int = 256) -> "GemmService":
+        """Serve ``routine`` specs with their own predictor (and backend).
+
+        Pass either a trained ``bundle`` (a predictor is built from it,
+        compiled path, grid clamped to the machine exactly like
+        :meth:`from_bundle`) or a ready ``predictor``.  ``backend``
+        routes the routine's *execution* as well — equivalent to
+        :meth:`register_backend` with the routine's spec type; when
+        omitted, a non-GEMM routine on a simulator default backend is
+        wired through the routine oracle automatically
+        (:meth:`_wire_routine_backend`).  Returns self for chaining.
         """
         self._ensure_open()
-        old = self.predictor
+        if (bundle is None) == (predictor is None):
+            raise ValueError("pass exactly one of bundle or predictor")
+        if bundle is not None:
+            grid = self._clamped_grid(bundle, self._machine_max)
+            predictor = bundle.predictor(cache_size=cache_size,
+                                         thread_grid=grid, compiled=True)
+            self.routine_info[routine] = self._bundle_meta(bundle)
+        self._predictors[routine] = predictor
+        if backend is not None:
+            self.dispatcher.register_routine(routine, as_backend(backend))
+        else:
+            self._wire_routine_backend(routine, predictor.thread_grid)
+        if self.refiner is not None:
+            self.refiner.register_predictor(routine, predictor)
+        return self
+
+    @property
+    def predictor(self):
+        """The default routine's predictor (historic single-routine API)."""
+        return self._predictors[self.routine]
+
+    @predictor.setter
+    def predictor(self, value) -> None:
+        self._predictors[self.routine] = value
+
+    @property
+    def predictors(self) -> dict:
+        """Read-only view: routine name -> predictor."""
+        return dict(self._predictors)
+
+    def predictor_for(self, spec):
+        """The predictor serving ``spec``'s routine.
+
+        Unregistered routines fall back to the default predictor — the
+        historic behaviour where one GEMM model scored every routine's
+        dims triple.
+        """
+        chosen = self._predictors.get(routine_of(spec, self.routine))
+        return chosen if chosen is not None else self._predictors[self.routine]
+
+    def reload(self, bundle, cache_size: int = None, routine: str = None) -> dict:
+        """Hot-swap one routine's installation artefacts without restarting.
+
+        ``routine`` defaults to the bundle's own ``config.routine`` tag
+        (legacy pre-tag bundles: the service default), so publishing a
+        new GEMV model into a mixed service swaps *only* the GEMV
+        predictor — every other routine keeps serving its artefacts
+        untouched.  The fresh predictor (fresh, empty cache; grid
+        clamped to the machine exactly as :meth:`from_bundle` does) is
+        installed with a single reference assignment, so a concurrently
+        executing :meth:`run`/:meth:`run_batch` (which snapshot their
+        predictors on entry) finishes on the artefacts it started with
+        and the next call uses the new ones.  Prediction counters
+        accumulated by the retired predictor stay in :meth:`stats`.
+        Returns a summary of the new deployment.
+        """
+        self._ensure_open()
+        routine = routine or getattr(bundle.config, "routine", None) \
+            or self.routine
+        old = self._predictors.get(routine)
         if cache_size is None:
-            cache_size = old.cache.maxsize
-        grid = list(bundle.config.thread_grid)
-        if self._machine_max is not None:
-            grid = [t for t in grid if t <= self._machine_max] or grid
+            cache_size = old.cache.maxsize if old is not None \
+                else self.predictor.cache.maxsize
+        grid = self._clamped_grid(bundle, self._machine_max)
         predictor = bundle.predictor(cache_size=cache_size, thread_grid=grid,
                                      compiled=True)
         new_refiner = None
         if self.refiner is not None:
             from repro.core.online import OnlineRefiner
 
+            predictors = dict(self._predictors)
+            predictors[routine] = predictor
+            default = predictors[self.routine]
             new_refiner = OnlineRefiner(
-                predictor, explore_prob=self.refiner.explore_prob,
+                default, explore_prob=self.refiner.explore_prob,
                 min_trials=self.refiner.min_trials)
+            for name, pred in predictors.items():
+                new_refiner.register_predictor(name, pred)
+            # Only the reloaded routine's measurements were taken under
+            # the retired model; every other routine keeps its
+            # accumulated refinement statistics.
+            new_refiner._shapes = {
+                key: state for key, state in self.refiner._shapes.items()
+                if key[0] != routine}
         # Everything new is fully built before anything is published, and
         # the predictor is published *first*: a concurrent run() snapshot
         # taken mid-reload can pair the new predictor with the old
@@ -162,16 +340,27 @@ class GemmService:
         # never the other way round, which would serve the new bundle
         # before the swap).  stats() raced against the counter fold may
         # transiently under-report the retired predictor's counts.
-        self.predictor = predictor  # atomic swap: in-flight calls hold old
+        self._predictors[routine] = predictor  # atomic: in-flight hold old
         if new_refiner is not None:
             self.refiner = new_refiner
-        self._retired_counts["evaluations"] += old.n_evaluations
-        self._retired_counts["model_passes"] += old.n_model_passes
+        if old is not None:
+            self._retired_counts["evaluations"] += old.n_evaluations
+            self._retired_counts["model_passes"] += old.n_model_passes
+        else:
+            # reload() can install a routine the service never served;
+            # give it the same default execution wiring registration
+            # would have.
+            self._wire_routine_backend(routine, grid)
         self.n_reloads += 1
         self.bundle_generation += 1
-        self.bundle_info = {"model_name": bundle.config.model_name,
-                            "machine": bundle.config.machine}
-        return {"generation": self.bundle_generation, **self.bundle_info}
+        meta = self._bundle_meta(bundle)
+        self.routine_info[routine] = meta
+        if routine == self.routine:
+            self.bundle_info = {k: meta[k]
+                                for k in ("model_name", "machine")}
+        return {"generation": self.bundle_generation, "routine": routine,
+                **self.routine_info[routine]} if routine != self.routine \
+            else {"generation": self.bundle_generation, **self.bundle_info}
 
     # -- prediction ------------------------------------------------------
     @property
@@ -190,31 +379,52 @@ class GemmService:
     def predict(self, spec) -> int:
         """Thread choice for one spec (cache-backed, no execution)."""
         self._ensure_open()
-        return self.predictor.predict_threads(*_shape_key(spec))
+        return self.predictor_for(spec).predict_threads(*_shape_key(spec))
 
     def predict_batch(self, specs) -> np.ndarray:
-        """Thread choices for a spec stream, one model pass for all misses."""
+        """Thread choices for a spec stream, one model pass per routine's
+        misses."""
         self._ensure_open()
-        return self.predictor.predict_threads_batch(
-            [_shape_key(s) for s in specs])
+        specs = list(specs)
+        choices = np.empty(len(specs), dtype=np.int64)
+        for predictor, indices in self._group_by_predictor(specs).values():
+            choices[indices] = predictor.predict_threads_batch(
+                [_shape_key(specs[i]) for i in indices])
+        return choices
+
+    def _group_by_predictor(self, specs) -> dict:
+        """``id(predictor) -> (predictor, [input indices])``, first-seen
+        order, against a point-in-time snapshot of the predictor map."""
+        predictors = dict(self._predictors)
+        default = predictors[self.routine]
+        groups: dict = {}
+        for i, spec in enumerate(specs):
+            predictor = predictors.get(routine_of(spec, self.routine))
+            if predictor is None:
+                predictor = default
+            groups.setdefault(id(predictor), (predictor, []))[1].append(i)
+        return groups
 
     # -- execution -------------------------------------------------------
     def run(self, spec) -> GemmCallRecord:
         """Predict (or refine), dispatch and record one call."""
         self._ensure_open()
-        # Snapshot: a concurrent reload() swaps self.predictor, but this
-        # call must finish entirely on the artefacts it started with.
-        predictor, refiner = self.predictor, self.refiner
+        # Snapshot: a concurrent reload() swaps the predictor map entry,
+        # but this call must finish entirely on the artefacts it started
+        # with.
+        predictor, refiner = self.predictor_for(spec), self.refiner
         hits_before = predictor.cache.hits
-        key = _shape_key(spec)
         if refiner is not None:
-            n_threads = int(refiner.choose_threads(*key))
+            rkey = _routine_key(spec)
+            n_threads = int(refiner.choose_threads(*rkey[1:],
+                                                   routine=rkey[0]))
         else:
-            n_threads = predictor.predict_threads(*key)
+            n_threads = predictor.predict_threads(*_shape_key(spec))
         record = self._dispatch(spec, n_threads,
                                 memoised=predictor.cache.hits > hits_before)
         if refiner is not None:
-            refiner.record(*key, record.n_threads, record.runtime)
+            refiner.record(*rkey[1:], record.n_threads, record.runtime,
+                           routine=rkey[0])
         self.n_requests += 1
         return record
 
@@ -224,7 +434,11 @@ class GemmService:
         Duplicate shapes are predicted once; the ``memoised`` flag on a
         record is True when its prediction came from the cache or from
         an earlier occurrence in the same batch.  Records are returned
-        in input order.
+        in input order.  A mixed-routine stream is grouped per routine:
+        each routine's predictor pays one vectorised model pass for its
+        uncached shapes, and every choice is bitwise identical to
+        serving that routine's sub-stream through a dedicated
+        single-routine service.
 
         With ``refine`` on, the batch still pays one vectorised model
         pass for all uncached shapes (seeding the refiner's priors),
@@ -235,23 +449,31 @@ class GemmService:
         specs = list(specs)
         if not specs:
             return []
-        # Snapshot: the whole batch resolves against one predictor even
-        # if reload() swaps the service's artefacts mid-dispatch.
-        predictor, refiner = self.predictor, self.refiner
-        keys = [_shape_key(s) for s in specs]
-        fresh = {key for key in dict.fromkeys(keys)
-                 if key not in predictor.cache}
-        choices = predictor.predict_threads_batch(keys)
+        # Snapshot: the whole batch resolves against one predictor map
+        # even if reload() swaps the service's artefacts mid-dispatch.
+        refiner = self.refiner
+        choices = np.empty(len(specs), dtype=np.int64)
+        memoised = [False] * len(specs)
+        for predictor, indices in self._group_by_predictor(specs).values():
+            keys = [predictor.cache_key(specs[i]) for i in indices]
+            fresh = {key for key in dict.fromkeys(keys)
+                     if key not in predictor.cache}
+            choices[indices] = predictor.predict_threads_batch(
+                [key[1:] for key in keys])
+            seen: set = set()
+            for i, key in zip(indices, keys):
+                memoised[i] = key not in fresh or key in seen
+                seen.add(key)
         records = []
-        seen: set = set()
-        for spec, key, n_threads in zip(specs, keys, choices):
-            memoised = key not in fresh or key in seen
-            seen.add(key)
+        for spec, n_threads, memo in zip(specs, choices, memoised):
             if refiner is not None:
-                n_threads = refiner.choose_threads(*key)
-            record = self._dispatch(spec, int(n_threads), memoised=memoised)
+                rkey = _routine_key(spec)
+                n_threads = refiner.choose_threads(*rkey[1:],
+                                                   routine=rkey[0])
+            record = self._dispatch(spec, int(n_threads), memoised=memo)
             if refiner is not None:
-                refiner.record(*key, record.n_threads, record.runtime)
+                refiner.record(*rkey[1:], record.n_threads, record.runtime,
+                               routine=rkey[0])
             records.append(record)
         self.n_requests += len(specs)
         self.n_batches += 1
@@ -262,7 +484,7 @@ class GemmService:
         """Static-configuration runtime (default: the maximum grid entry)."""
         self._ensure_open()
         if n_threads is None:
-            n_threads = int(self.thread_grid.max())
+            n_threads = int(self.predictor_for(spec).thread_grid.max())
         return self.dispatcher.timed_run(
             spec, n_threads, repeats=self.repeats if repeats is None else repeats)
 
@@ -287,20 +509,47 @@ class GemmService:
 
         ``evaluations``/``model_passes`` stay monotonic across
         hot-reloads: counters of retired predictors are folded in.
+        Cache counters aggregate every routine's predictor; the
+        ``routines`` entry breaks requests, evaluations and cache
+        effectiveness down per routine.
         """
+        predictors = dict(self._predictors)
+        live = {id(p): p for p in predictors.values()}.values()
+        cache_stats = {"size": 0, "maxsize": 0,
+                       "hits": 0, "misses": 0, "evictions": 0}
+        for p in live:
+            for field, value in p.cache.stats().items():
+                if field in cache_stats:
+                    cache_stats[field] += value
+        lookups = cache_stats["hits"] + cache_stats["misses"]
+        cache_stats["hit_rate"] = round(
+            cache_stats["hits"] / lookups, 4) if lookups else 0.0
         stats = {
             "requests": self.n_requests,
             "batches": self.n_batches,
-            "unique_shapes": len({_shape_key(r.spec) for r in self.history}),
-            "evaluations": (self.predictor.n_evaluations
+            "unique_shapes": len({_routine_key(r.spec)
+                                  for r in self.history}),
+            "evaluations": (sum(p.n_evaluations for p in live)
                             + self._retired_counts["evaluations"]),
-            "model_passes": (self.predictor.n_model_passes
+            "model_passes": (sum(p.n_model_passes for p in live)
                              + self._retired_counts["model_passes"]),
             "memo_hit_rate": round(self.memo_hit_rate, 4),
             "reloads": self.n_reloads,
             "bundle_generation": self.bundle_generation,
-            **{f"cache_{k}": v for k, v in self.cache.stats().items()},
+            **{f"cache_{k}": v for k, v in cache_stats.items()},
         }
+        if len(predictors) > 1 or self.routine_info:
+            requests = Counter(r.routine for r in self.history)
+            stats["routines"] = {
+                name: {
+                    "requests": requests.get(name, 0),
+                    "evaluations": predictor.n_evaluations,
+                    "model_passes": predictor.n_model_passes,
+                    **{f"cache_{k}": v
+                       for k, v in predictor.cache.stats().items()},
+                    **self.routine_info.get(name, {}),
+                }
+                for name, predictor in predictors.items()}
         if self.bundle_info:
             stats["model_name"] = self.bundle_info.get("model_name", "")
         if self.refiner is not None:
@@ -309,8 +558,8 @@ class GemmService:
 
     # -- lifecycle -------------------------------------------------------
     def close(self) -> None:
-        """Release the model (paper: destroy the instance after last call)."""
-        self.predictor = None
+        """Release the models (paper: destroy the instance after last call)."""
+        self._predictors = {self.routine: None}
         self.refiner = None
         self._closed = True
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
+from typing import ClassVar
 
 import numpy as np
 
@@ -54,6 +55,9 @@ class GemmSpec:
     alpha, beta:
         The scalar multipliers from the BLAS interface.
     """
+
+    #: Routine name in the central registry (:mod:`repro.core.routines`).
+    routine: ClassVar[str] = "gemm"
 
     m: int
     k: int
@@ -111,6 +115,16 @@ class GemmSpec:
         """Return a copy with a different precision."""
         return replace(self, dtype=dtype)
 
+    # -- routine protocol ---------------------------------------------
+    def equivalent_gemm(self) -> "GemmSpec":
+        """GEMM is its own GEMM equivalent (routine-oracle protocol)."""
+        return self
+
+    @property
+    def work_fraction(self) -> float:
+        """Arithmetic fraction of the equivalent product (1 for GEMM)."""
+        return 1.0
+
     # -- operand helpers ----------------------------------------------
     def a_shape(self) -> tuple:
         """Stored shape of A (before ``op``) as a row-major numpy array."""
@@ -138,8 +152,13 @@ class GemmSpec:
         return a, b, c
 
     def key(self) -> tuple:
-        """Hashable identity used for runtime memoisation of predictions."""
-        return (self.m, self.k, self.n, self.dtype, self.transa.value, self.transb.value)
+        """Hashable identity used for runtime memoisation of predictions.
+
+        The routine name leads so keys from different routines with
+        coinciding dimensions can never alias in a shared table.
+        """
+        return (self.routine, self.m, self.k, self.n, self.dtype,
+                self.transa.value, self.transb.value)
 
 
 def _aligned_random(rng, shape, dtype, aligned: bool, alignment: int = 64):

@@ -22,6 +22,7 @@ request stream:
   a batch closes when it reaches ``max_batch`` or ``max_wait_ms`` after
   its first request.
 * routers — :class:`~repro.serve.router.HashRouter` (replicas),
+  :class:`~repro.serve.router.RoutineRouter` /
   :class:`~repro.serve.router.SpecTypeRouter` (per routine family),
   :class:`~repro.serve.router.TenantRouter` (per client), all
   deterministic.
@@ -35,9 +36,9 @@ engine's batch prediction is exact.
 
 from repro.serve.request import (ReloadCommand, ServeRequest, ServerClosed,
                                  ServerOverloaded)
-from repro.serve.router import (HashRouter, RoundRobinRouter, ShardRouter,
-                                SingleShardRouter, SpecTypeRouter,
-                                TenantRouter, default_router)
+from repro.serve.router import (HashRouter, RoundRobinRouter, RoutineRouter,
+                                ShardRouter, SingleShardRouter,
+                                SpecTypeRouter, TenantRouter, default_router)
 from repro.serve.scheduler import BatchPolicy, MicroBatcher
 from repro.serve.server import GemmServer
 from repro.serve.telemetry import ServeTelemetry
@@ -52,6 +53,7 @@ __all__ = [
     "ReloadCommand",
     "ReplayOutcome",
     "RoundRobinRouter",
+    "RoutineRouter",
     "ServeRequest",
     "ServeTelemetry",
     "ServerClosed",

@@ -2,15 +2,21 @@
 
 A multi-tenant :class:`~repro.serve.server.GemmServer` fronts several
 shards — one per machine profile (e.g. ``gadi`` and ``setonix``
-simulators), per routine type, or per replica — and a router maps each
-``(spec, client)`` pair to a shard name.  :class:`HashRouter`,
-:class:`SpecTypeRouter` and :class:`TenantRouter` are stateless
-deterministic functions of their inputs, so replaying a trace through
-them reproduces the exact same shard assignment (and therefore the same
-per-shard cache and batch behaviour).  :class:`RoundRobinRouter` is the
-exception: it spreads by *admission order*, which under concurrent
-clients depends on task interleaving — use it for stateless replica
-load-spreading, not when replay reproducibility matters.
+simulators), per routine family, or per replica — and a router maps
+each ``(spec, client)`` pair to a shard name.  :class:`HashRouter`,
+:class:`SpecTypeRouter`, :class:`RoutineRouter` and
+:class:`TenantRouter` are stateless deterministic functions of their
+inputs, so replaying a trace through them reproduces the exact same
+shard assignment (and therefore the same per-shard cache and batch
+behaviour).  :class:`RoundRobinRouter` is the exception: it spreads by
+*admission order*, which under concurrent clients depends on task
+interleaving — use it for stateless replica load-spreading, not when
+replay reproducibility matters.
+
+For mixed-routine traffic, :class:`RoutineRouter` is the deployment
+default: one shard per routine name, each holding that routine's
+trained predictor, so a single server answers GEMM, GEMV, TRSM and
+SYRK requests with the right model.
 """
 
 from __future__ import annotations
@@ -18,7 +24,8 @@ from __future__ import annotations
 import hashlib
 from typing import Protocol, runtime_checkable
 
-from repro.engine.cache import shape_key
+from repro.core.routines import routine_of
+from repro.engine.cache import routine_key
 
 
 @runtime_checkable
@@ -59,7 +66,7 @@ class HashRouter:
         self.shards = _require_shards(shards)
 
     def route(self, spec, client: str = "default") -> str:
-        digest = hashlib.blake2b(repr(shape_key(spec)).encode(),
+        digest = hashlib.blake2b(repr(routine_key(spec)).encode(),
                                  digest_size=8).digest()
         return self.shards[int.from_bytes(digest, "little") % len(self.shards)]
 
@@ -100,6 +107,33 @@ class SpecTypeRouter:
             return self.default
         raise TypeError(
             f"no shard registered for spec type {type(spec).__name__}")
+
+
+class RoutineRouter:
+    """Route by the spec's *routine name* (one shard per routine family).
+
+    The name-keyed twin of :class:`SpecTypeRouter`: shards are looked
+    up by the spec's ``routine`` attribute (bare dims triples count as
+    "gemm"), so registry-driven deployments can wire mixed-routine
+    traffic without importing any spec class.  With ``routes`` omitted,
+    each routine maps to the shard of its own name — the natural layout
+    when shards are built from a model registry's ``(routine, machine)``
+    cells.
+    """
+
+    def __init__(self, routes: dict = None, default: str = None):
+        self.routes = dict(routes) if routes is not None else None
+        self.default = default
+
+    def route(self, spec, client: str = "default") -> str:
+        routine = routine_of(spec)
+        if self.routes is None:
+            return routine
+        shard = self.routes.get(routine, self.default)
+        if shard is None:
+            raise KeyError(f"no shard registered for routine {routine!r} "
+                           f"(have {sorted(self.routes)})")
+        return shard
 
 
 class TenantRouter:

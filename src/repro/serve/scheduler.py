@@ -21,6 +21,7 @@ from __future__ import annotations
 import asyncio
 from dataclasses import dataclass
 
+from repro.core.routines import routine_of
 from repro.serve.request import ReloadCommand
 
 #: Queue sentinel marking the end of the request stream for a shard.
@@ -151,7 +152,8 @@ class MicroBatcher:
                 None, self.service.run_batch, [r.spec for r in batch])
         except Exception as exc:
             for request in batch:
-                self.telemetry.record_failure(request.client)
+                self.telemetry.record_failure(request.client,
+                                              routine=routine_of(request.spec))
                 if not request.future.done():
                     request.future.set_exception(exc)
                 self.release(request)
@@ -160,7 +162,8 @@ class MicroBatcher:
         for request, record in zip(batch, records):
             self.telemetry.record_done(request.client,
                                        latency=t_done - request.t_submit,
-                                       wait=t_start - request.t_submit)
+                                       wait=t_start - request.t_submit,
+                                       routine=routine_of(request.spec))
             if not request.future.done():
                 request.future.set_result(record)
             self.release(request)

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import asyncio
 
+from repro.core.routines import routine_of
 from repro.serve.request import (ReloadCommand, ServeRequest, ServerClosed,
                                  ServerOverloaded)
 from repro.serve.router import ShardRouter, default_router
@@ -136,15 +137,17 @@ class GemmServer:
     def _fair_share_cap(self) -> int:
         return max(1, int(self.max_pending * self.fair_share))
 
-    def _admit(self, client: str) -> None:
+    def _admit(self, client: str, routine: str) -> None:
         if self._pending >= self.max_pending:
-            self.telemetry.record_rejection(client, "overload")
+            self.telemetry.record_rejection(client, "overload",
+                                            routine=routine)
             raise ServerOverloaded(
                 f"{self._pending} requests pending (limit {self.max_pending})",
                 client=client, reason="overload")
         if (self.fair_share is not None
                 and self._client_pending.get(client, 0) >= self._fair_share_cap()):
-            self.telemetry.record_rejection(client, "fair_share")
+            self.telemetry.record_rejection(client, "fair_share",
+                                            routine=routine)
             raise ServerOverloaded(
                 f"client {client!r} holds {self._client_pending[client]} of "
                 f"{self.max_pending} admission slots (fair-share cap "
@@ -179,13 +182,15 @@ class GemmServer:
         if shard_name not in self._queues:
             raise KeyError(f"unknown shard {shard_name!r} "
                            f"(have {sorted(self._queues)})")
-        self._admit(client)
+        routine = routine_of(spec)
+        self._admit(client, routine)
         loop = asyncio.get_running_loop()
         request = ServeRequest(spec=spec, client=client,
                                future=loop.create_future(),
                                t_submit=loop.time(), shard=shard_name)
         queue = self._queues[shard_name]
-        self.telemetry.record_admission(client, queue_depth=queue.qsize())
+        self.telemetry.record_admission(client, queue_depth=queue.qsize(),
+                                        routine=routine)
         try:
             await queue.put(request)  # backpressure: await-until-slot
         except asyncio.CancelledError:
@@ -212,6 +217,12 @@ class GemmServer:
         :meth:`~repro.engine.service.GemmService.reload` summaries.
         A shard whose reload raises keeps serving its old bundle and
         the exception propagates.
+
+        ``kwargs`` forward to the shard's reload: in particular
+        ``routine=`` swaps a single routine's predictor inside a
+        multi-routine shard (the default is the bundle's own
+        ``config.routine`` tag), leaving every other routine serving
+        untouched.
         """
         if not self._started:
             raise ServerClosed("server not started (use 'async with' or start())")

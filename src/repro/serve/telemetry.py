@@ -5,6 +5,11 @@ decision and every executed batch.  Latency aggregation goes through
 :func:`repro.bench.stats.latency_summary`, the same helper the benchmark
 reports use, so a p99 printed by ``server.stats()`` and a p99 printed by
 ``bench/report.py`` are computed identically.
+
+Counters and latency samples are additionally segmented by *routine*
+(the spec's ``routine`` tag), so a mixed GEMM/GEMV/TRSM/SYRK deployment
+can answer "which routine's tail latency regressed?" without replaying
+the trace.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ class ServeTelemetry:
         self.latencies: list = []      # seconds, submit -> resolve
         self.waits: list = []          # seconds, submit -> batch start
         self.per_client: dict = {}     # client -> counters
+        self.per_routine: dict = {}    # routine -> counters + samples
         self.per_shard_batches = Counter()
         self.reloads = Counter()       # shard -> applied hot-reloads
 
@@ -35,28 +41,46 @@ class ServeTelemetry:
         return self.per_client.setdefault(
             client, {"submitted": 0, "served": 0, "failed": 0, "rejected": 0})
 
-    def record_admission(self, client: str, queue_depth: int) -> None:
+    def _routine(self, routine: str) -> dict:
+        return self.per_routine.setdefault(
+            routine, {"submitted": 0, "served": 0, "failed": 0,
+                      "rejected": 0, "latencies": []})
+
+    def record_admission(self, client: str, queue_depth: int,
+                         routine: str = None) -> None:
         self.submitted += 1
         self.queue_depths.append(int(queue_depth))
         self._client(client)["submitted"] += 1
+        if routine is not None:
+            self._routine(routine)["submitted"] += 1
 
-    def record_rejection(self, client: str, reason: str) -> None:
+    def record_rejection(self, client: str, reason: str,
+                         routine: str = None) -> None:
         self.rejected[reason] += 1
         self._client(client)["rejected"] += 1
+        if routine is not None:
+            self._routine(routine)["rejected"] += 1
 
     def record_batch(self, shard: str, size: int) -> None:
         self.batch_sizes.append(int(size))
         self.per_shard_batches[shard] += 1
 
-    def record_done(self, client: str, latency: float, wait: float) -> None:
+    def record_done(self, client: str, latency: float, wait: float,
+                    routine: str = None) -> None:
         self.served += 1
         self.latencies.append(float(latency))
         self.waits.append(float(wait))
         self._client(client)["served"] += 1
+        if routine is not None:
+            entry = self._routine(routine)
+            entry["served"] += 1
+            entry["latencies"].append(float(latency))
 
-    def record_failure(self, client: str) -> None:
+    def record_failure(self, client: str, routine: str = None) -> None:
         self.failed += 1
         self._client(client)["failed"] += 1
+        if routine is not None:
+            self._routine(routine)["failed"] += 1
 
     def record_reload(self, shard: str) -> None:
         self.reloads[shard] += 1
@@ -74,6 +98,22 @@ class ServeTelemetry:
         """:class:`~repro.bench.stats.LatencySummary` of queue-wait time."""
         return latency_summary(self.waits)
 
+    def routine_latency(self, routine: str):
+        """:class:`~repro.bench.stats.LatencySummary` for one routine."""
+        return latency_summary(
+            self.per_routine.get(routine, {}).get("latencies", []))
+
+    def routine_stats(self) -> dict:
+        """Per-routine counters with latency percentiles (milliseconds)."""
+        out = {}
+        for routine, entry in self.per_routine.items():
+            row = {k: v for k, v in entry.items() if k != "latencies"}
+            if entry["latencies"]:
+                row["latency_ms"] = latency_summary(
+                    entry["latencies"]).as_row()
+            out[routine] = row
+        return out
+
     def stats(self) -> dict:
         """Snapshot dict (latency fields in milliseconds)."""
         n_batches = len(self.batch_sizes)
@@ -89,6 +129,7 @@ class ServeTelemetry:
             "batch_size_histogram": self.batch_size_histogram(),
             "max_queue_depth": max(self.queue_depths, default=0),
             "clients": {c: dict(v) for c, v in self.per_client.items()},
+            "routines": self.routine_stats(),
             "reloads": sum(self.reloads.values()),
         }
         if self.latencies:

@@ -14,24 +14,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.blas.adapter import RoutineSimulator, _RoutineGatherer
-from repro.blas.gemv import GemvSpec
-from repro.blas.syrk import SyrkSpec
-from repro.blas.trsm import TrsmSpec
+from repro.core.routines import REGISTRY, get_routine
 from repro.core.training import InstallationWorkflow
 from repro.gemm.partition import choose_thread_grid
 from repro.machine.presets import PRESETS, by_name
 from repro.machine.simulator import MachineSimulator
 from repro.sampling.domain import GemmDomainSampler
-from repro.train.registry import ROUTINES, ModelRegistry
+from repro.train.registry import ModelRegistry
 from repro.train.stages import StageCache
-
-#: How a sampled GEMM problem maps onto each routine's spec shape.
-_SPEC_BUILDERS = {
-    "gemm": lambda s: s,
-    "gemv": lambda s: GemvSpec(m=s.m, n=s.k, dtype=s.dtype),
-    "syrk": lambda s: SyrkSpec(n=s.m, k=s.k, dtype=s.dtype),
-    "trsm": lambda s: TrsmSpec(m=s.m, n=s.n, dtype=s.dtype),
-}
 
 
 class RoutineWorkflow(InstallationWorkflow):
@@ -41,13 +31,14 @@ class RoutineWorkflow(InstallationWorkflow):
     :class:`~repro.blas.adapter.RoutineSimulator` oracle, so machine
     metadata (name, affinity, grid capacity) flows through unchanged;
     only :meth:`gather` differs — shapes are drawn from the GEMM domain
-    sampler and mapped onto routine specs.
+    sampler and mapped onto routine specs through the central routine
+    registry (:mod:`repro.core.routines`).
     """
 
     def __init__(self, routine: str, oracle, **kwargs):
-        if routine not in _SPEC_BUILDERS:
+        if routine not in REGISTRY:
             raise ValueError(f"unknown routine {routine!r}; "
-                             f"known: {sorted(_SPEC_BUILDERS)}")
+                             f"known: {sorted(REGISTRY.names())}")
         super().__init__(oracle, **kwargs)
         self.routine = routine
 
@@ -57,8 +48,8 @@ class RoutineWorkflow(InstallationWorkflow):
         t0 = time.perf_counter()
         sampler = GemmDomainSampler(memory_cap_bytes=self.memory_cap_bytes,
                                     dtype=self.dtype, seed=self.seed)
-        specs = [_SPEC_BUILDERS[self.routine](s)
-                 for s in sampler.sample(self.n_shapes)]
+        info = get_routine(self.routine)
+        specs = [info.from_gemm(s) for s in sampler.sample(self.n_shapes)]
         gatherer = _RoutineGatherer(self.simulator, self.thread_grid,
                                     repeats=self.repeats)
         data = gatherer.gather_for_specs(specs)
@@ -96,7 +87,7 @@ class TrainingMatrix:
     Parameters
     ----------
     routines / machines:
-        The matrix axes (routine names from ``ROUTINES``; machine
+        The matrix axes (routine names from the central registry; machine
         preset names).
     registry:
         A :class:`~repro.train.registry.ModelRegistry` or a root path.
@@ -116,9 +107,9 @@ class TrainingMatrix:
                  **workflow_kwargs):
         self.routines = list(routines)
         for routine in self.routines:
-            if routine not in ROUTINES:
+            if routine not in REGISTRY:
                 raise ValueError(f"unknown routine {routine!r}; "
-                                 f"known: {sorted(ROUTINES)}")
+                                 f"known: {sorted(REGISTRY.names())}")
         self.machines = list(machines)
         for machine in self.machines:
             if machine.lower() not in PRESETS:

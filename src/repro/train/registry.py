@@ -32,11 +32,16 @@ import pickle
 import shutil
 from dataclasses import dataclass
 
+from repro.core.routines import REGISTRY, routine_names
 from repro.core.serialize import (PLAN_FILENAME, SCHEMA_VERSION, BundleError,
                                   _combine_digests, _sha256_file,
                                   load_bundle, load_manifest, save_bundle)
 
-ROUTINES = ("gemm", "gemv", "syrk", "trsm")
+#: Import-time snapshot of the central routine registry
+#: (:mod:`repro.core.routines`) — used for static listings such as CLI
+#: choices.  Validation consults the *live* ``REGISTRY`` so routines
+#: registered later are publishable without re-imports.
+ROUTINES = routine_names()
 
 
 class RegistryError(RuntimeError):
@@ -117,9 +122,9 @@ class ModelRegistry:
         concurrent readers only ever resolve complete bundles.
         Returns the new :class:`ModelRecord`.
         """
-        if routine not in ROUTINES:
+        if routine not in REGISTRY:
             raise RegistryError(f"unknown routine {routine!r}; "
-                                f"registered: {sorted(ROUTINES)}")
+                                f"registered: {sorted(REGISTRY.names())}")
         machine = machine or bundle.config.machine
         self._init_root()
         ref = self._read_ref(routine, machine)

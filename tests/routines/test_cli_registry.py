@@ -1,0 +1,78 @@
+"""Registry-driven CLI: mixed-routine batch and serve commands."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def published_registry(routine_bundles, tmp_path):
+    from repro.train.registry import ModelRegistry
+
+    root = tmp_path / "registry"
+    registry = ModelRegistry(root)
+    for routine, bundle in routine_bundles.items():
+        registry.publish(bundle, routine=routine, machine="tiny")
+    return str(root)
+
+
+@pytest.fixture
+def mixed_file(tmp_path):
+    path = tmp_path / "mixed.txt"
+    path.write_text("64 512 64\n"
+                    "gemv 2048 512\n"
+                    "syrk 96 64\n"
+                    "trsm 128 32\n"
+                    "64 512 64\n"
+                    "gemv 2048 512\n")
+    return str(path)
+
+
+class TestRegistryBatch:
+    def test_mixed_trace_served_with_baseline(self, published_registry,
+                                              mixed_file, capsys):
+        rc = main(["batch", "--registry", published_registry, "--baseline",
+                   mixed_file])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "batch of 6 calls on tiny" in captured
+        assert "gemv (2048, 512, 1)" in captured
+        assert "syrk (96, 64, 96)" in captured
+        assert "trsm (128, 128, 32)" in captured
+        assert "speedup" in captured
+
+    def test_routine_subset(self, published_registry, tmp_path, capsys):
+        shapes = tmp_path / "gemv_only.txt"
+        shapes.write_text("gemv 256 256\ngemv 512 128\n")
+        rc = main(["batch", "--registry", published_registry,
+                   "--routine", "gemv", str(shapes)])
+        assert rc == 0
+        assert "batch of 2 calls" in capsys.readouterr().out
+
+    def test_install_and_registry_are_exclusive(self, published_registry,
+                                                mixed_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["batch", "--install", "x", "--registry",
+                  published_registry, mixed_file])
+
+
+class TestRegistryServe:
+    def test_one_server_answers_mixed_trace(self, published_registry,
+                                            mixed_file, capsys):
+        rc = main(["serve", "--registry", published_registry,
+                   "--rate", "4000", "--requests", "24", "--max-batch", "8",
+                   mixed_file])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "shards ['gemm', 'gemv', 'syrk', 'trsm']" in captured
+        assert "per-routine traffic" in captured
+        for routine in ("gemm", "gemv", "syrk", "trsm"):
+            assert f"shard {routine}" in captured
+        assert "model passes" in captured
+
+    def test_unknown_machine_in_registry_errors(self, published_registry,
+                                                mixed_file, capsys):
+        rc = main(["serve", "--registry", published_registry,
+                   "--machine", "gadi", mixed_file])
+        assert rc == 2
+        assert "no published routines" in capsys.readouterr().err

@@ -1,0 +1,86 @@
+"""OnlineRefiner routine keying: mixed traffic must never pool stats."""
+
+import numpy as np
+import pytest
+
+from repro.blas.gemv import GemvSpec
+from repro.core.online import OnlineRefiner
+from repro.gemm.interface import GemmSpec
+from tests.routines.conftest import ROUTINE_TARGETS, oracle_predictor
+
+
+class TestRoutineKeying:
+    def test_same_dims_separate_states(self):
+        """GEMV (64, 512) and GEMM (64, 512, 1) share a dims triple;
+        their measured-runtime statistics must not cross-contaminate."""
+        refiner = OnlineRefiner(oracle_predictor("gemm"), seed=0)
+        refiner.register_predictor("gemv", oracle_predictor("gemv"))
+        # Feed wildly different runtimes for the same dims triple.
+        for _ in range(4):
+            refiner.record(64, 512, 1, 8, 1.0)                      # gemm
+            refiner.record(64, 512, 1, 8, 1e-4, routine="gemv")     # gemv
+        gemm_state = refiner._state_for(64, 512, 1)
+        gemv_state = refiner._state_for(64, 512, 1, routine="gemv")
+        assert gemm_state is not gemv_state
+        assert gemm_state.mean(8) == pytest.approx(1.0)
+        assert gemv_state.mean(8) == pytest.approx(1e-4)
+
+    def test_prior_comes_from_each_routines_model(self):
+        refiner = OnlineRefiner(oracle_predictor("gemm"), seed=0)
+        refiner.register_predictor("gemv", oracle_predictor("gemv"))
+        assert refiner.choose_threads(64, 512, 1) == \
+            ROUTINE_TARGETS["gemm"]
+        assert refiner.choose_threads(64, 512, 1, routine="gemv") == \
+            ROUTINE_TARGETS["gemv"]
+
+    def test_legacy_api_unchanged(self):
+        """Routine omitted = the predictor's own routine (gemm)."""
+        refiner = OnlineRefiner(oracle_predictor("gemm"), seed=0)
+        assert refiner.choose_threads(32, 32, 32) == ROUTINE_TARGETS["gemm"]
+        refiner.record(32, 32, 32, 8, 0.5)
+        assert refiner.steady_choice(32, 32, 32) in refiner.grid
+
+    def test_replace_predictor_drops_only_that_routine(self):
+        refiner = OnlineRefiner(oracle_predictor("gemm"), seed=0)
+        refiner.register_predictor("gemv", oracle_predictor("gemv"))
+        refiner.record(10, 10, 10, 8, 0.1)
+        refiner.record(10, 10, 1, 2, 0.2, routine="gemv")
+        refiner.register_predictor("gemv", oracle_predictor("gemv"))
+        assert ("gemm", 10, 10, 10) in refiner._shapes
+        assert ("gemv", 10, 10, 1) not in refiner._shapes
+
+    def test_run_uses_spec_routine(self, tiny_sim):
+        from repro.blas.adapter import RoutineSimulator
+
+        refiner = OnlineRefiner(oracle_predictor("gemm"), seed=0)
+        refiner.register_predictor("gemv", oracle_predictor("gemv"))
+        oracle = RoutineSimulator(tiny_sim)
+        refiner.run(GemvSpec(m=256, n=256), oracle)
+        refiner.run(GemmSpec(256, 256, 1), tiny_sim)
+        assert ("gemv", 256, 256, 1) in refiner._shapes
+        assert ("gemm", 256, 256, 1) in refiner._shapes
+
+
+class TestServiceRefineOnMixedTraffic:
+    def test_mixed_stream_converges_per_routine(self, make_mixed_service,
+                                                tiny_sim):
+        """Refinement on interleaved GEMM+GEMV traffic keeps separate
+        measurement pools and steady choices stay near each routine's
+        optimum."""
+        service = make_mixed_service(refine=True, repeats=2)
+        gemm, gemv = GemmSpec(64, 512, 1), GemvSpec(m=64, n=512)
+        for _ in range(30):
+            service.run(gemm)
+            service.run(gemv)
+        steady_gemm = service.refiner.steady_choice(64, 512, 1)
+        steady_gemv = service.refiner.steady_choice(64, 512, 1,
+                                                    routine="gemv")
+        # GEMV is bandwidth-bound: its refined choice must stay small,
+        # and in particular must not be dragged toward GEMM's pool.
+        from repro.blas.adapter import RoutineSimulator
+
+        oracle = RoutineSimulator(tiny_sim)
+        assert oracle.true_time(gemv, steady_gemv) <= \
+            oracle.true_time(gemv, 16) * 1.05
+        assert tiny_sim.true_time(gemm, steady_gemm) <= \
+            tiny_sim.true_time(gemm, 16) * 1.05

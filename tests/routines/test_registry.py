@@ -1,0 +1,123 @@
+"""The central routine registry and the RoutineSpec protocol."""
+
+import pytest
+
+from repro.blas.gemv import GemvSpec
+from repro.blas.syrk import SyrkSpec
+from repro.blas.trsm import TrsmSpec
+from repro.core.routines import (DEFAULT_ROUTINE, REGISTRY, RoutineInfo,
+                                 RoutineRegistry, RoutineSpec, build_spec,
+                                 get_routine, routine_names, routine_of)
+from repro.engine.cache import routine_key
+from repro.gemm.interface import GemmSpec
+
+
+class TestRegistryContents:
+    def test_all_four_routines_registered(self):
+        assert routine_names() == ("gemm", "gemv", "syrk", "trsm")
+
+    def test_spec_types_resolve_lazily(self):
+        assert get_routine("gemm").spec_type is GemmSpec
+        assert get_routine("gemv").spec_type is GemvSpec
+        assert get_routine("syrk").spec_type is SyrkSpec
+        assert get_routine("trsm").spec_type is TrsmSpec
+
+    def test_unknown_routine_raises(self):
+        with pytest.raises(KeyError, match="unknown routine"):
+            get_routine("getrf")
+
+    def test_contains(self):
+        assert "gemv" in REGISTRY and "getrf" not in REGISTRY
+
+    def test_duplicate_registration_rejected(self):
+        registry = RoutineRegistry()
+        info = RoutineInfo("x", "repro.gemm.interface:GemmSpec",
+                           ("m", "k", "n"), lambda m, k, n: (m, k, n),
+                           lambda m, k, n: (m, k, n))
+        registry.register(info)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(info)
+
+
+class TestSpecProtocol:
+    def test_every_spec_satisfies_routine_spec(self):
+        for routine in routine_names():
+            spec = get_routine(routine).build(
+                *range(8, 8 + get_routine(routine).n_dims))
+            assert isinstance(spec, RoutineSpec)
+            assert routine_of(spec) == routine
+            assert spec.key()[0] == routine
+            assert len(spec.dims) == 3
+            assert spec.flops > 0 and spec.memory_bytes > 0
+
+    def test_routine_of_defaults_bare_triples_to_gemm(self):
+        assert routine_of((8, 8, 8)) == DEFAULT_ROUTINE
+
+    def test_keys_cannot_alias_across_routines(self):
+        """Same feature dims, different routines: distinct keys."""
+        gemm = GemmSpec(64, 512, 1)
+        gemv = GemvSpec(m=64, n=512)
+        assert gemm.dims == gemv.dims
+        assert gemm.key() != gemv.key()
+        assert routine_key(gemm) != routine_key(gemv)
+        assert routine_key(gemv) == ("gemv", 64, 512, 1)
+
+
+class TestBuilders:
+    def test_build_natural_dims(self):
+        assert build_spec("gemv", 100, 200) == GemvSpec(m=100, n=200)
+        assert build_spec("syrk", 100, 200) == SyrkSpec(n=100, k=200)
+        assert build_spec("trsm", 100, 200) == TrsmSpec(m=100, n=200)
+        assert build_spec("gemm", 1, 2, 3) == GemmSpec(1, 2, 3)
+
+    def test_build_wrong_arity_raises(self):
+        with pytest.raises(ValueError, match="takes 2 dimensions"):
+            build_spec("gemv", 1, 2, 3)
+
+    def test_from_gemm_matches_historic_campaign_mapping(self):
+        """The matrix trainer's sampled-GEMM -> spec conventions."""
+        sampled = GemmSpec(100, 20, 30, dtype="float64")
+        assert get_routine("gemv").from_gemm(sampled) == \
+            GemvSpec(m=100, n=20, dtype="float64")
+        assert get_routine("syrk").from_gemm(sampled) == \
+            SyrkSpec(n=100, k=20, dtype="float64")
+        assert get_routine("trsm").from_gemm(sampled) == \
+            TrsmSpec(m=100, n=30, dtype="float64")
+        assert get_routine("gemm").from_gemm(sampled) == sampled
+
+    def test_feature_dims_inverts_spec_dims(self):
+        for routine in routine_names():
+            info = get_routine(routine)
+            spec = info.build(*range(9, 9 + info.n_dims))
+            assert info.from_feature_dims(spec.dims) == spec
+
+
+class TestTraceFileParsing:
+    def test_mixed_lines(self, tmp_path):
+        from repro.cli import parse_trace_file
+
+        path = tmp_path / "mixed.txt"
+        path.write_text("64 512 64\n"
+                        "gemv 2048, 512  # bandwidth-bound\n"
+                        "syrk 96 64\n"
+                        "trsm 128 32\n")
+        specs = parse_trace_file(str(path))
+        assert [routine_of(s) for s in specs] == \
+            ["gemm", "gemv", "syrk", "trsm"]
+        assert specs[1] == GemvSpec(m=2048, n=512)
+
+    def test_wrong_arity_line_raises_with_lineno(self, tmp_path):
+        from repro.cli import parse_trace_file
+
+        path = tmp_path / "bad.txt"
+        path.write_text("gemv 10 20 30\n")
+        with pytest.raises(ValueError, match="bad.txt:1"):
+            parse_trace_file(str(path))
+
+    def test_dtype_threads_through(self, tmp_path):
+        from repro.cli import parse_trace_file
+
+        path = tmp_path / "one.txt"
+        path.write_text("syrk 8 8\n")
+        (spec,) = parse_trace_file(str(path), dtype="float64")
+        assert spec.dtype == "float64"

@@ -1,0 +1,201 @@
+"""GemmService with per-routine predictors: dispatch, isolation, reload."""
+
+import numpy as np
+import pytest
+
+from repro.blas.gemv import GemvSpec
+from repro.blas.syrk import SyrkSpec
+from repro.blas.trsm import TrsmSpec
+from repro.gemm.interface import GemmSpec
+from tests.routines.conftest import GRID, ROUTINE_TARGETS, oracle_predictor
+
+MIXED = [GemmSpec(64, 512, 64), GemvSpec(m=64, n=512),
+         SyrkSpec(n=96, k=64), TrsmSpec(m=128, n=32),
+         GemmSpec(64, 512, 64), GemvSpec(m=64, n=512)]
+
+
+class TestPerRoutineDispatch:
+    def test_each_routine_answered_by_its_own_model(self, make_mixed_service):
+        service = make_mixed_service()
+        for spec in [GemmSpec(32, 32, 32), GemvSpec(m=32, n=32),
+                     SyrkSpec(n=32, k=32), TrsmSpec(m=32, n=32)]:
+            assert service.predict(spec) == ROUTINE_TARGETS[spec.routine]
+
+    def test_same_dims_different_routines_no_collision(self, make_mixed_service):
+        """GEMV (64, 512) and GEMM (64, 512, 1) share a feature triple
+        but resolve through different predictors and cache entries."""
+        service = make_mixed_service()
+        gemm, gemv = GemmSpec(64, 512, 1), GemvSpec(m=64, n=512)
+        assert gemm.dims == gemv.dims
+        assert service.predict(gemm) == ROUTINE_TARGETS["gemm"]
+        assert service.predict(gemv) == ROUTINE_TARGETS["gemv"]
+        # Second round answers each from its own cache, not the other's.
+        assert service.predict(gemm) == ROUTINE_TARGETS["gemm"]
+        assert service.predict(gemv) == ROUTINE_TARGETS["gemv"]
+
+    def test_unregistered_routine_falls_back_to_default(self, tiny_sim):
+        from repro.engine import GemmService
+
+        service = GemmService(oracle_predictor("gemm"),
+                              backend=tiny_sim.backend(GRID))
+        from repro.blas.adapter import RoutineSimulator
+
+        service.register_backend(
+            SyrkSpec, RoutineSimulator(tiny_sim).backend(GRID))
+        # No syrk predictor registered: the default (gemm) model scores
+        # the dims triple — the historic single-predictor behaviour.
+        assert service.predict(SyrkSpec(n=48, k=48)) == \
+            ROUTINE_TARGETS["gemm"]
+        assert service.run(SyrkSpec(n=48, k=48)).runtime > 0
+
+    def test_register_routine_validates_arguments(self, make_mixed_service):
+        service = make_mixed_service()
+        with pytest.raises(ValueError, match="exactly one"):
+            service.register_routine("gemv")
+        with pytest.raises(ValueError, match="exactly one"):
+            service.register_routine(
+                "gemv", bundle=object(), predictor=oracle_predictor("gemv"))
+
+
+class TestMixedBatches:
+    def test_batch_matches_dedicated_single_routine_services(
+            self, make_mixed_service, tiny_sim):
+        """Mixed-stream choices are bitwise identical to serving each
+        routine's sub-stream through its own dedicated service."""
+        mixed = make_mixed_service()
+        batch = [r.n_threads for r in mixed.run_batch(MIXED)]
+
+        from repro.blas.adapter import RoutineSimulator
+        from repro.engine import GemmService
+
+        routines_backend = RoutineSimulator(tiny_sim).backend(GRID)
+        dedicated = []
+        for spec in MIXED:
+            service = GemmService(
+                oracle_predictor(spec.routine),
+                backend=(tiny_sim.backend(GRID) if spec.routine == "gemm"
+                         else routines_backend))
+            dedicated.append(service.run(spec).n_threads)
+        assert batch == dedicated
+
+    def test_one_model_pass_per_routine(self, make_mixed_service):
+        service = make_mixed_service()
+        service.run_batch(MIXED)
+        for routine, predictor in service.predictors.items():
+            expected = 1 if any(s.routine == routine for s in MIXED) else 0
+            assert predictor.n_model_passes == expected
+
+    def test_memoised_flags_per_routine(self, make_mixed_service):
+        service = make_mixed_service()
+        records = service.run_batch(MIXED)
+        # First occurrence of each routine's shape is fresh, repeats hit.
+        assert [r.memoised for r in records] == \
+            [False, False, False, False, True, True]
+
+    def test_batch_equals_scalar(self, make_mixed_service):
+        scalar = make_mixed_service()
+        batch = make_mixed_service()
+        a = [batch.run(s).n_threads for s in MIXED]
+        b = [r.n_threads for r in scalar.run_batch(MIXED)]
+        assert a == b
+
+    def test_stats_segmented_by_routine(self, make_mixed_service):
+        service = make_mixed_service()
+        service.run_batch(MIXED)
+        stats = service.stats()
+        assert stats["unique_shapes"] == 4
+        routines = stats["routines"]
+        assert routines["gemm"]["requests"] == 2
+        assert routines["gemv"]["requests"] == 2
+        assert routines["syrk"]["requests"] == 1
+        assert routines["gemm"]["evaluations"] == 1
+        # Aggregate counters cover every routine's predictor.
+        assert stats["evaluations"] == 4
+        assert stats["model_passes"] == 4
+
+
+class TestRoutineScopedReload:
+    @pytest.fixture
+    def registry_service(self, routine_bundles, tiny_sim, tmp_path):
+        from repro.engine import GemmService
+        from repro.train.registry import ModelRegistry
+
+        registry = ModelRegistry(tmp_path / "registry")
+        for routine, bundle in routine_bundles.items():
+            registry.publish(bundle, routine=routine, machine="tiny")
+        return GemmService.from_registry(registry, tiny_sim), registry
+
+    def test_reload_swaps_only_the_target_routine(self, registry_service,
+                                                  routine_bundles):
+        service, _ = registry_service
+        before = {name: p for name, p in service.predictors.items()}
+        info = service.reload(routine_bundles["gemv"])
+        assert info["routine"] == "gemv"
+        after = service.predictors
+        assert after["gemv"] is not before["gemv"]
+        for name in ("gemm", "syrk", "trsm"):
+            assert after[name] is before[name]
+
+    def test_reload_routine_tag_comes_from_bundle_config(
+            self, registry_service, routine_bundles):
+        service, _ = registry_service
+        # No explicit routine argument: the syrk bundle targets syrk.
+        old_syrk = service.predictors["syrk"]
+        service.reload(routine_bundles["syrk"])
+        assert service.predictors["syrk"] is not old_syrk
+
+    def test_choices_unchanged_for_untouched_routines(self, registry_service,
+                                                      routine_bundles):
+        from tests.routines.conftest import routine_specs
+
+        service, _ = registry_service
+        specs = routine_specs("trsm", n=6)
+        before = [service.predict(s) for s in specs]
+        service.reload(routine_bundles["gemv"])
+        assert [service.predict(s) for s in specs] == before
+
+    def test_reload_preserves_other_routines_refiner_state(
+            self, routine_bundles, tiny_sim):
+        from repro.engine import GemmService
+
+        service = GemmService.from_bundle(routine_bundles["gemm"], tiny_sim,
+                                          refine=True)
+        service.register_routine("gemv", bundle=routine_bundles["gemv"])
+        for _ in range(3):
+            service.run(GemmSpec(64, 512, 64))
+            service.run(GemvSpec(m=128, n=128))
+        assert ("gemm", 64, 512, 64) in service.refiner._shapes
+        gemm_state = service.refiner._state_for(64, 512, 64)
+        service.reload(routine_bundles["gemv"])
+        # The reloaded routine's measurements drop (stale model); every
+        # other routine keeps its accumulated statistics.
+        assert ("gemv", 128, 128, 1) not in service.refiner._shapes
+        kept = service.refiner._shapes[("gemm", 64, 512, 64)]
+        assert kept.calls == gemm_state.calls
+
+    def test_reload_can_install_a_new_routine_with_execution(
+            self, routine_bundles, tiny_sim):
+        """A routine the service never served can arrive via reload();
+        it must get the same oracle execution wiring registration
+        would have."""
+        from repro.engine import GemmService
+
+        service = GemmService.from_bundle(routine_bundles["gemm"], tiny_sim)
+        assert not service.dispatcher.has_routine_route("gemv")
+        service.reload(routine_bundles["gemv"])
+        assert service.dispatcher.has_routine_route("gemv")
+        record = service.run(GemvSpec(m=256, n=256))
+        assert record.runtime > 0
+
+    def test_counters_monotonic_across_routine_reload(self, registry_service,
+                                                      routine_bundles):
+        from tests.routines.conftest import routine_specs
+
+        service, _ = registry_service
+        service.run_batch(routine_specs("gemv", n=5))
+        before = service.stats()["evaluations"]
+        service.reload(routine_bundles["gemv"])
+        service.run_batch(routine_specs("gemv", n=5))
+        after = service.stats()
+        assert after["evaluations"] == before + 5
+        assert after["reloads"] == 1

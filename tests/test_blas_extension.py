@@ -189,3 +189,77 @@ class TestTrsmSpec:
         oracle = RoutineSimulator(MachineSimulator(tiny_test_node(), noise=QUIET))
         t = oracle.true_time(TrsmSpec(m=400, n=200), 4)
         assert t > 0
+
+
+class TestRoutineCorrections:
+    """The oracle's per-routine corrections pinned against the machine
+    simulator's cost-model breakdown (the contract the routine-generic
+    engine backends execute through)."""
+
+    def setup_method(self):
+        self.sim = MachineSimulator(tiny_test_node(), noise=QUIET, seed=0)
+        self.oracle = RoutineSimulator(self.sim)
+
+    def _breakdown(self, gemm, p):
+        return self.sim.cost_model.breakdown(gemm, p, self.sim.affinity,
+                                             self.sim.hyperthreading)
+
+    def test_syrk_work_fraction_pinned_to_breakdown(self):
+        """SYRK time == sync + copy + work_fraction * kernel, exactly:
+        only the arithmetic scales, overheads follow the full
+        schedule."""
+        spec = SyrkSpec(n=600, k=300)
+        for p in (1, 2, 4, 8, 16):
+            bd = self._breakdown(spec.equivalent_gemm(), p)
+            expected = bd.sync + bd.copy + bd.kernel * spec.work_fraction
+            assert self.oracle.true_time(spec, p) == pytest.approx(
+                expected, rel=1e-12)
+
+    def test_gemv_is_the_uncorrected_equivalent_gemm(self):
+        """GEMV needs no correction (work_fraction == 1): its n=1
+        equivalent GEMM already sits on the cost model's bandwidth
+        roofline."""
+        spec = GemvSpec(m=3000, n=3000)
+        assert spec.work_fraction == 1.0
+        for p in (1, 2, 4, 8, 16):
+            bd = self._breakdown(spec.equivalent_gemm(), p)
+            assert self.oracle.true_time(spec, p) == pytest.approx(
+                bd.total, rel=1e-12)
+
+    def test_gemv_bandwidth_roofline_saturates_early(self):
+        """The bandwidth-bound regime: GEMV's optimal thread count sits
+        well below a compute-bound GEMM of the same footprint, and
+        adding threads past it buys (almost) nothing."""
+        gemv = GemvSpec(m=4000, n=4000)
+        best_gemv = self.oracle.optimal_threads(gemv, [1, 2, 4, 8, 16])
+        from repro.gemm.interface import GemmSpec
+
+        cubic = GemmSpec(1200, 1200, 1200)  # compute-bound, saturates late
+        best_gemm = self.sim.optimal_threads(cubic, [1, 2, 4, 8, 16])
+        assert best_gemv < best_gemm
+        # Past the roofline, more threads actively hurt GEMV (the
+        # regime the extension exposes) while the cubic GEMM gains.
+        t_best = self.oracle.true_time(gemv, best_gemv)
+        t_max = self.oracle.true_time(gemv, 16)
+        assert t_max > 1.5 * t_best
+
+    def test_trsm_triangle_fraction_pinned(self):
+        from repro.blas.trsm import TrsmSpec
+
+        spec = TrsmSpec(m=500, n=250)
+        bd = self._breakdown(spec.equivalent_gemm(), 8)
+        expected = bd.sync + bd.copy + bd.kernel * spec.work_fraction
+        assert self.oracle.true_time(spec, 8) == pytest.approx(
+            expected, rel=1e-12)
+
+    def test_gemm_spec_satisfies_oracle_protocol(self):
+        """GemmSpec itself now answers the oracle protocol (identity
+        equivalent, unit work fraction), so a RoutineBackend can serve
+        stray GEMM traffic consistently."""
+        from repro.gemm.interface import GemmSpec
+
+        spec = GemmSpec(200, 100, 50)
+        assert spec.equivalent_gemm() is spec
+        assert spec.work_fraction == 1.0
+        assert self.oracle.true_time(spec, 4) == pytest.approx(
+            self._breakdown(spec, 4).total, rel=1e-12)

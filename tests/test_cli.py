@@ -189,13 +189,13 @@ class TestEndToEnd:
         assert rc == 2
 
     def test_batch_rejects_malformed_shape_file(self, tmp_path):
-        from repro.cli import parse_shape_file
+        from repro.cli import parse_trace_file
 
         bad = tmp_path / "bad.txt"
         bad.write_text("64 512\n")
         with pytest.raises(ValueError):
-            parse_shape_file(str(bad))
+            parse_trace_file(str(bad))
         empty = tmp_path / "empty.txt"
         empty.write_text("# nothing\n")
         with pytest.raises(ValueError):
-            parse_shape_file(str(empty))
+            parse_trace_file(str(empty))
