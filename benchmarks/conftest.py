@@ -21,6 +21,7 @@ Reproduction settings (documented deviations in DESIGN.md):
 
 from __future__ import annotations
 
+import json
 import os
 
 import numpy as np
@@ -118,6 +119,33 @@ def save_result():
         path = os.path.join(RESULTS_DIR, f"{name}.txt")
         with open(path, "w") as fh:
             fh.write(text + "\n")
+        return path
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def save_bench_json():
+    """Merge one experiment's metrics into ``BENCH_<suite>.json``.
+
+    The machine-readable companion of :func:`save_result`: one JSON
+    file per suite under ``benchmarks/results/``, one entry per
+    experiment, merged rather than overwritten so the serve and predict
+    benchmarks accumulate into a single artefact CI can upload and diff
+    across runs.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _save(suite: str, entry: str, metrics: dict) -> str:
+        path = os.path.join(RESULTS_DIR, f"BENCH_{suite}.json")
+        data = {}
+        if os.path.exists(path):
+            with open(path) as fh:
+                data = json.load(fh)
+        data[entry] = metrics
+        with open(path + ".tmp", "w") as fh:
+            json.dump(data, fh, indent=2, sort_keys=True)
+        os.replace(path + ".tmp", path)
         return path
 
     return _save

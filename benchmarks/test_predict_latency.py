@@ -68,7 +68,7 @@ def _best_pass_seconds(predictor, shapes, repeats: int) -> float:
     return min(one_pass() for _ in range(repeats))
 
 
-def test_compiled_forest_latency(save_result):
+def test_compiled_forest_latency(save_result, save_bench_json):
     bundle = _forest_bundle()
     shapes = _distinct_shapes(N_SHAPES)
     obj = bundle.predictor(cache_size=1, compiled=False)
@@ -99,6 +99,11 @@ def test_compiled_forest_latency(save_result):
         rows, title=f"forest predict latency, batch {BATCH} "
                     f"({arrays['n_trees']} trees, "
                     f"{arrays['n_nodes']} packed nodes)"))
+    save_bench_json("predict", "compiled_forest", {
+        "object_per_shape_us": rows[0]["per_shape_us"],
+        "compiled_per_shape_us": rows[1]["per_shape_us"],
+        "speedup": round(speedup, 2),
+        "n_shapes": len(shapes), "batch": BATCH})
 
     assert plan["fully_lowered"]
     assert speedup >= 3.0, (

@@ -9,6 +9,7 @@ Mirrors how a deployed ADSALA would be driven::
     python -m repro models  --registry ./registry
     python -m repro models  --registry ./registry --inspect gemv/gadi@1
     python -m repro models  --registry ./registry --compile gemv/gadi@1
+    python -m repro models  --registry ./registry --compile-table gemv/gadi@1
     python -m repro predict --install ./install 64 2048 64
     python -m repro batch   --install ./install --machine gadi shapes.txt
     python -m repro batch   --registry ./registry --machine gadi mixed.txt
@@ -26,8 +27,10 @@ for a non-GEMM BLAS routine, and ``--matrix`` trains every (routine,
 machine) cell and publishes versioned bundles into a model registry.
 ``models`` lists, inspects or compiles registry entries (``--compile``
 (re)builds a bundle's compiled inference plan and publishes it as a new
-version — published bundles stay immutable — and ``--inspect`` shows
-plan presence and packed-array sizes); ``predict`` loads
+version — published bundles stay immutable — ``--compile-table``
+pre-evaluates the plan over the campaign shape lattice into a tier-0
+decision table, and ``--inspect`` shows plan presence, packed-array
+sizes and decision-table coverage); ``predict`` loads
 artefacts and reports the thread choice for a shape; ``batch`` serves a
 whole shape file through the engine's
 :class:`~repro.engine.service.GemmService` (deduplicated, vectorised
@@ -175,6 +178,23 @@ def _print_plan_meta(plan_meta: dict) -> None:
               f"{transform['nbytes']} bytes")
 
 
+def _print_table_meta(table_meta: dict) -> None:
+    """Render decision-table metadata (lattice, memory, coverage)."""
+    shape = "x".join(str(s) for s in table_meta.get("lattice_shape", []))
+    print(f"  table:    lattice {shape} "
+          f"({table_meta.get('n_points')} points, "
+          f"{table_meta.get('nbytes')} bytes, "
+          f"snap={table_meta.get('snap')})")
+    coverage = table_meta.get("coverage")
+    if coverage is not None:
+        print(f"            covers {coverage:.0%} of the campaign shape "
+              f"distribution ({table_meta.get('n_probe')} probes)")
+    ranges = table_meta.get("axis_ranges")
+    if ranges:
+        spans = ", ".join(f"{lo}..{hi}" for lo, hi in ranges)
+        print(f"            axis ranges: {spans}")
+
+
 def cmd_models(args) -> int:
     from repro.bench.report import format_table
     from repro.core.serialize import BundleError
@@ -182,6 +202,20 @@ def cmd_models(args) -> int:
 
     registry = ModelRegistry(args.registry)
     try:
+        if args.compile_table:
+            routine, machine, version = _parse_model_ref(args.compile_table)
+            info = registry.compile_table(routine, machine, version)
+            if info.get("up_to_date"):
+                print(f"{routine}/{machine}@{info['version']}: decision "
+                      f"table already up to date; no new version published")
+                _print_table_meta(info["table"])
+                return 0
+            print(f"decision table for {routine}/{machine}"
+                  f"@{info['table_from_version']} published as "
+                  f"version {info['version']}")
+            print(f"  checksum: {info['checksum']}")
+            _print_table_meta(info["table"])
+            return 0
         if args.compile:
             routine, machine, version = _parse_model_ref(args.compile)
             info = registry.compile_plan(routine, machine, version)
@@ -217,6 +251,12 @@ def cmd_models(args) -> int:
             else:
                 print("  plan:     none (build with --compile "
                       f"{routine}/{machine}@{info['version']})")
+            table_meta = manifest.get("table")
+            if info["has_table"] and table_meta:
+                _print_table_meta(table_meta)
+            else:
+                print("  table:    none (build with --compile-table "
+                      f"{routine}/{machine}@{info['version']})")
             selection = manifest.get("selection")
             if selection:
                 print()
@@ -233,6 +273,7 @@ def cmd_models(args) -> int:
              "version": e.version, "model": e.model_name,
              "checksum": e.checksum[:12],
              "plan": "*" if registry.has_plan(e) else "",
+             "table": "*" if registry.has_table(e) else "",
              "latest": "*" if e.latest else ""} for e in entries]
     print(format_table(rows, title=f"registry {args.registry}"))
     return 0
@@ -529,11 +570,17 @@ def build_parser() -> argparse.ArgumentParser:
     action.add_argument("--inspect", default=None,
                         metavar="ROUTINE/MACHINE[@V]",
                         help="show one entry's manifest, compiled-plan "
-                             "sizes and selection report")
+                             "sizes, decision-table coverage and "
+                             "selection report")
     action.add_argument("--compile", default=None,
                         metavar="ROUTINE/MACHINE[@V]",
                         help="(re)build one entry's compiled inference "
                              "plan, published as a new version")
+    action.add_argument("--compile-table", dest="compile_table", default=None,
+                        metavar="ROUTINE/MACHINE[@V]",
+                        help="pre-evaluate one entry's compiled plan over "
+                             "the campaign shape lattice into a tier-0 "
+                             "decision table, published as a new version")
     p.set_defaults(func=cmd_models)
 
     p = sub.add_parser("predict", help="query a saved installation")

@@ -13,22 +13,34 @@ lowering a *fitted* preprocessing pipeline + model, once, into a flat
 - :mod:`repro.compile.lower` — per-model lowering (linear family to one
   dot product, ensembles to packed trees, kNN falls back);
 - :mod:`repro.compile.plan` — the plan object the runtime predictor
-  evaluates through, with object-path fallbacks per half.
+  evaluates through, with object-path fallbacks per half;
+- :mod:`repro.compile.table` — the plan pre-evaluated over the
+  campaign's reachable shape lattice into a packed
+  :class:`~repro.compile.table.DecisionTable`, serving lattice shapes
+  with no model pass at all.
 
 Every lowered operation is bitwise identical to its object path, so
-compiled and interpreted serving give identical thread choices.
+compiled and interpreted serving give identical thread choices; tables
+are additionally validated point-by-point against the plan at build
+time.
 """
 
 from repro.compile.lower import lower_model
 from repro.compile.plan import CompiledPlan, compile_plan
+from repro.compile.table import (DecisionTable, TableValidationError,
+                                 campaign_axes, compile_table)
 from repro.compile.transform import FusedTransform, lower_pipeline
 from repro.compile.trees import PackedTrees
 
 __all__ = [
     "CompiledPlan",
+    "DecisionTable",
     "FusedTransform",
     "PackedTrees",
+    "TableValidationError",
+    "campaign_axes",
     "compile_plan",
+    "compile_table",
     "lower_model",
     "lower_pipeline",
 ]

@@ -1,0 +1,316 @@
+"""Decision tables: the compiled plan pre-evaluated over a shape lattice.
+
+A :class:`~repro.compile.plan.CompiledPlan` made the *model pass* cheap;
+a :class:`DecisionTable` removes it entirely for the dense head of the
+traffic distribution.  At build time the plan is evaluated over the
+reachable shape lattice — the cross-product of per-axis quantised
+``(m, k, n)`` values derived from the training campaign's sampling
+domain — and the argmin thread choice per lattice point is packed into
+one small integer array.  Serving a lattice shape then costs three
+``searchsorted`` probes and one fancy-indexed gather: no features, no
+pipeline, no model.
+
+Correctness is anchored the same way the plan's is: every lattice point
+is round-tripped through the table's own lookup machinery at build time
+and compared against the plan-computed choices
+(:class:`TableValidationError` on any mismatch), so a table can never
+answer differently from the plan it was compiled from.  Shapes off the
+lattice **fall through** — :meth:`DecisionTable.lookup_batch` reports
+them unresolved and the predictor runs the plan for just those shapes.
+
+Two snap modes bound how far "on the lattice" stretches:
+
+* ``"exact"`` (default): only exact lattice hits are answered; every
+  other shape falls through.  The table is then a pure accelerator —
+  thread choices are bitwise identical with or without it.
+* ``"nearest"``: shapes inside the lattice bounding box snap to the
+  nearest lattice point per axis (an explicit approximation for
+  quantisation-tolerant deployments); out-of-box shapes still fall
+  through.
+
+The table holds only numpy arrays and plain scalars, so it pickles
+small and deterministically and the bundle checksum can cover it
+(:mod:`repro.core.serialize` persists tables as ``adsala_table.pkl``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Upper bound on lattice size; a resolution/axes mistake should fail
+#: loudly at build time, not allocate gigabytes.
+MAX_LATTICE_POINTS = 1_000_000
+
+#: Lattice points evaluated per plan pass during compilation.
+BUILD_CHUNK = 4096
+
+
+class TableValidationError(RuntimeError):
+    """The built table disagrees with the plan on a lattice point."""
+
+
+def _as_axis(values) -> np.ndarray:
+    axis = np.unique(np.asarray(list(values), dtype=np.int64))
+    if axis.size == 0:
+        raise ValueError("lattice axes must be non-empty")
+    if (axis < 1).any():
+        raise ValueError("lattice dimensions must be >= 1")
+    return axis
+
+
+def _snap_axis(axis: np.ndarray, values: np.ndarray):
+    """Nearest lattice index per value, plus exact/in-box masks.
+
+    Ties between two equidistant lattice values resolve to the larger
+    one — any fixed rule works, it just has to be deterministic so the
+    build-time validation pins serving behaviour.
+    """
+    pos = np.searchsorted(axis, values)
+    left = np.clip(pos - 1, 0, axis.size - 1)
+    right = np.clip(pos, 0, axis.size - 1)
+    idx = np.where(axis[right] - values <= values - axis[left], right, left)
+    exact = axis[idx] == values
+    in_box = (values >= axis[0]) & (values <= axis[-1])
+    return idx, exact, in_box
+
+
+class DecisionTable:
+    """Packed shape-lattice -> thread-choice mapping with O(1) lookup.
+
+    Attributes
+    ----------
+    routine:
+        The routine the source predictor serves; lookups are only valid
+        for shapes in that routine's feature-dims convention.
+    thread_grid:
+        The candidate grid the choices index into (int64, ascending).
+        A table is only usable by a predictor with the *identical*
+        grid — a clamped serving grid would make packed indices point
+        at infeasible thread counts.
+    axes:
+        Three sorted int64 arrays of lattice values for m, k, n.
+    grid_index:
+        ``(|m|, |k|, |n|)`` int16 array of indices into ``thread_grid``.
+    snap:
+        ``"exact"`` or ``"nearest"`` (see module docstring).
+    meta:
+        Build provenance: resolution, probe count, campaign coverage.
+    """
+
+    __slots__ = ("routine", "thread_grid", "axes", "grid_index", "snap",
+                 "meta")
+
+    def __init__(self, routine: str, thread_grid, axes, grid_index,
+                 snap: str = "exact", meta: dict = None):
+        if snap not in ("exact", "nearest"):
+            raise ValueError(f"snap must be 'exact' or 'nearest', got {snap!r}")
+        self.routine = str(routine)
+        self.thread_grid = np.asarray(thread_grid, dtype=np.int64)
+        self.axes = tuple(_as_axis(a) for a in axes)
+        if len(self.axes) != 3:
+            raise ValueError("need exactly three lattice axes (m, k, n)")
+        self.grid_index = np.asarray(grid_index, dtype=np.int16)
+        shape = tuple(a.size for a in self.axes)
+        if self.grid_index.shape != shape:
+            raise ValueError(f"grid_index shape {self.grid_index.shape} "
+                             f"does not match lattice {shape}")
+        if self.grid_index.size and (
+                (self.grid_index < 0).any()
+                or (self.grid_index >= self.thread_grid.size).any()):
+            raise ValueError("grid_index entries outside the thread grid")
+        self.snap = snap
+        self.meta = dict(meta or {})
+
+    # -- geometry --------------------------------------------------------
+    @property
+    def lattice_shape(self) -> tuple:
+        return tuple(a.size for a in self.axes)
+
+    @property
+    def n_points(self) -> int:
+        return int(self.grid_index.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the packed arrays."""
+        return int(self.grid_index.nbytes + self.thread_grid.nbytes
+                   + sum(a.nbytes for a in self.axes))
+
+    def lattice_points(self) -> np.ndarray:
+        """Every lattice ``(m, k, n)`` as an ``(n_points, 3)`` array."""
+        mesh = np.meshgrid(*self.axes, indexing="ij")
+        return np.stack([g.ravel() for g in mesh], axis=1)
+
+    # -- lookup ----------------------------------------------------------
+    def lookup_batch(self, shapes):
+        """Vectorised probe: ``(choices, resolved)`` aligned with input.
+
+        ``choices`` is int64; entries where ``resolved`` is False are 0
+        and the caller must fall through to the plan for those shapes.
+        One fancy-indexing pass regardless of batch size.
+        """
+        dims = np.asarray([s.dims if hasattr(s, "dims") else s
+                           for s in shapes], dtype=np.int64)
+        if dims.size == 0:
+            return (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=bool))
+        dims = dims.reshape(-1, 3)
+        idx, resolved = [], None
+        for axis, col in zip(self.axes, dims.T):
+            i, exact, in_box = _snap_axis(axis, col)
+            ok = exact if self.snap == "exact" else in_box
+            idx.append(i)
+            resolved = ok if resolved is None else (resolved & ok)
+        choices = np.zeros(dims.shape[0], dtype=np.int64)
+        if resolved.any():
+            rows = self.grid_index[idx[0][resolved], idx[1][resolved],
+                                   idx[2][resolved]]
+            choices[resolved] = self.thread_grid[rows.astype(np.intp)]
+        return choices, resolved
+
+    def lookup(self, m: int, k: int, n: int):
+        """Scalar probe: the thread choice, or ``None`` off the lattice."""
+        choices, resolved = self.lookup_batch([(m, k, n)])
+        return int(choices[0]) if resolved[0] else None
+
+    # -- reporting -------------------------------------------------------
+    def describe(self) -> dict:
+        """JSON-able summary for manifests and ``models inspect``."""
+        info = {
+            "routine": self.routine,
+            "snap": self.snap,
+            "lattice_shape": list(self.lattice_shape),
+            "n_points": self.n_points,
+            "nbytes": self.nbytes,
+            "thread_grid": self.thread_grid.tolist(),
+            "axis_ranges": [[int(a[0]), int(a[-1])] for a in self.axes],
+        }
+        for key in ("resolution", "coverage", "n_probe", "source"):
+            if key in self.meta:
+                info[key] = self.meta[key]
+        return info
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DecisionTable({self.routine!r}, "
+                f"lattice={self.lattice_shape}, snap={self.snap!r})")
+
+
+def campaign_axes(config, routine: str = None, resolution: int = 16,
+                  n_probe: int = 512):
+    """Quantised lattice axes for the shapes a campaign can reach.
+
+    Re-runs the training campaign's domain sampler (same cap, dtype and
+    seed recorded in ``config``) to probe the shape distribution the
+    model was fitted on, maps each GEMM problem onto the routine's
+    feature dims, and quantises every *varying* axis to ``resolution``
+    square-root-scale values between the observed extremes — matching
+    the sampler's own sqrt-scale draw, so lattice density follows
+    sampling density.  Constant axes (GEMV's trailing 1, TRSM's tied
+    k = m) collapse to a single lattice value.
+
+    Returns ``(axes, probe_dims)`` — the probe is reused for the
+    coverage statistic.
+    """
+    from repro.core.routines import REGISTRY
+    from repro.sampling.domain import GemmDomainSampler
+
+    if resolution < 1:
+        raise ValueError("resolution must be >= 1")
+    cap = int(getattr(config, "memory_cap_bytes", 0) or 0)
+    if cap <= 0:
+        raise ValueError(
+            "config records no sampling domain (memory_cap_bytes) — pass "
+            "explicit axes to compile a table for this bundle")
+    routine = routine or getattr(config, "routine", "gemm")
+    info = REGISTRY.get(routine)
+    sampler = GemmDomainSampler(memory_cap_bytes=cap,
+                                dtype=getattr(config, "dtype", "float32"),
+                                seed=int(getattr(config, "seed", 0)))
+    probe = sampler.sample(int(n_probe))
+    probe_dims = np.asarray([info.from_gemm(s).dims for s in probe],
+                            dtype=np.int64)
+    axes = []
+    for col in probe_dims.T:
+        lo, hi = int(col.min()), int(col.max())
+        if lo == hi:
+            axes.append(np.asarray([lo], dtype=np.int64))
+            continue
+        ticks = np.linspace(np.sqrt(lo), np.sqrt(hi), int(resolution)) ** 2
+        ticks = np.clip(np.round(ticks).astype(np.int64), lo, hi)
+        axes.append(np.unique(ticks))
+    return tuple(axes), probe_dims
+
+
+def compile_table(predictor, config=None, axes=None, snap: str = "exact",
+                  resolution: int = 16, n_probe: int = 512) -> DecisionTable:
+    """Pre-evaluate ``predictor`` over a shape lattice into a table.
+
+    ``axes`` gives the lattice explicitly; otherwise it derives from the
+    training campaign recorded in ``config`` (:func:`campaign_axes`).
+    Evaluation goes through whatever path the predictor itself uses —
+    pass a compiled predictor to tabulate the plan — in
+    :data:`BUILD_CHUNK`-point batches, then **every** lattice point is
+    looked up back through the packed table and compared bitwise against
+    the directly-computed choices; any disagreement raises
+    :class:`TableValidationError` rather than shipping a wrong table.
+    """
+    if axes is None:
+        if config is None:
+            raise ValueError("compile_table needs explicit axes or a config "
+                             "to derive the campaign lattice from")
+        axes, probe_dims = campaign_axes(config, routine=predictor.routine,
+                                         resolution=resolution,
+                                         n_probe=n_probe)
+        source = "campaign"
+    else:
+        axes = tuple(_as_axis(a) for a in axes)
+        if len(axes) != 3:
+            raise ValueError("need exactly three lattice axes (m, k, n)")
+        probe_dims = None
+        source = "explicit"
+    grid = np.asarray(predictor.thread_grid, dtype=np.int64)
+    if grid.size > np.iinfo(np.int16).max:
+        raise ValueError("thread grid too large to pack into int16 indices")
+    shape = tuple(a.size for a in axes)
+    n_points = int(np.prod(shape))
+    if n_points > MAX_LATTICE_POINTS:
+        raise ValueError(
+            f"lattice of {n_points} points exceeds the "
+            f"{MAX_LATTICE_POINTS}-point bound; lower the resolution")
+
+    mesh = np.meshgrid(*axes, indexing="ij")
+    points = np.stack([g.ravel() for g in mesh], axis=1)
+    rows = np.empty(n_points, dtype=np.int16)
+    for start in range(0, n_points, BUILD_CHUNK):
+        chunk = points[start:start + BUILD_CHUNK]
+        scores = predictor.predicted_runtimes_batch(
+            [tuple(int(v) for v in p) for p in chunk])
+        rows[start:start + BUILD_CHUNK] = np.argmin(
+            scores, axis=1).astype(np.int16)
+
+    meta = {"resolution": int(resolution), "source": source}
+    if probe_dims is not None:
+        lo = np.asarray([a[0] for a in axes])
+        hi = np.asarray([a[-1] for a in axes])
+        in_box = ((probe_dims >= lo) & (probe_dims <= hi)).all(axis=1)
+        meta["coverage"] = round(float(in_box.mean()), 4)
+        meta["n_probe"] = int(probe_dims.shape[0])
+    table = DecisionTable(routine=predictor.routine, thread_grid=grid,
+                          axes=axes, grid_index=rows.reshape(shape),
+                          snap=snap, meta=meta)
+
+    expected = grid[rows.astype(np.intp)]
+    for start in range(0, n_points, BUILD_CHUNK):
+        chunk = points[start:start + BUILD_CHUNK]
+        got, resolved = table.lookup_batch(chunk)
+        if not resolved.all():
+            raise TableValidationError(
+                f"table failed to resolve its own lattice points for "
+                f"routine {table.routine!r}")
+        if not np.array_equal(got, expected[start:start + BUILD_CHUNK]):
+            bad = np.nonzero(got != expected[start:start + BUILD_CHUNK])[0][0]
+            m, k, n = (int(v) for v in chunk[bad])
+            raise TableValidationError(
+                f"table answer diverges from the plan at lattice point "
+                f"({m}, {k}, {n}): table={int(got[bad])} "
+                f"plan={int(expected[start + bad])}")
+    return table

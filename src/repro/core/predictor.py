@@ -53,6 +53,15 @@ class ThreadPredictor:
         same artefacts; when present, evaluation routes through its
         fused kernels (falling back per half where the plan records a
         fallback).  :meth:`compile` builds one in place.
+    table:
+        An optional :class:`~repro.compile.table.DecisionTable` built
+        from the same artefacts — tier 0 of the prediction hierarchy.
+        Cache misses probe the table first (no model pass at all);
+        shapes off its lattice fall through to the plan/object path
+        and are counted in ``n_table_fallbacks``.  The table must have
+        been compiled for this routine **and** this exact thread grid —
+        packed indices against any other grid would select infeasible
+        thread counts, so a mismatch raises immediately.
     routine:
         The routine these artefacts were trained for ("gemm", "gemv",
         ...).  Cache entries are keyed ``(routine, m, k, n)`` so two
@@ -63,7 +72,8 @@ class ThreadPredictor:
 
     def __init__(self, feature_builder: FeatureBuilder, pipeline, model,
                  thread_grid, cache: PredictionCache = None,
-                 cache_size: int = 1, plan=None, routine: str = "gemm"):
+                 cache_size: int = 1, plan=None, table=None,
+                 routine: str = "gemm"):
         self.feature_builder = feature_builder
         self.pipeline = pipeline
         self.model = model
@@ -75,10 +85,24 @@ class ThreadPredictor:
             raise ValueError("thread_grid must be non-empty")
         if (self.thread_grid < 1).any():
             raise ValueError("thread counts must be >= 1")
+        if table is not None:
+            if table.routine != self.routine:
+                raise ValueError(
+                    f"decision table was compiled for routine "
+                    f"{table.routine!r}, predictor serves {self.routine!r}")
+            if not np.array_equal(table.thread_grid, self.thread_grid):
+                raise ValueError(
+                    f"decision table was compiled for thread grid "
+                    f"{table.thread_grid.tolist()}, predictor uses "
+                    f"{self.thread_grid.tolist()} — recompile the table "
+                    f"for this grid")
+        self.table = table
         self.cache = cache if cache is not None else PredictionCache(cache_size)
         self.n_evaluations = 0
         self.n_batch_evaluations = 0
         self.n_model_passes = 0
+        self.n_table_hits = 0
+        self.n_table_fallbacks = 0
 
     @property
     def n_memo_hits(self) -> int:
@@ -89,6 +113,11 @@ class ThreadPredictor:
     def compiled(self) -> bool:
         """Whether evaluation routes through a compiled plan."""
         return self.plan is not None
+
+    @property
+    def tabled(self) -> bool:
+        """Whether a decision table fronts the model as tier 0."""
+        return self.table is not None
 
     def compile(self) -> "ThreadPredictor":
         """Lower this predictor's own artefacts into a plan; returns self."""
@@ -145,15 +174,24 @@ class ThreadPredictor:
         return (self.routine,) + shape_key(shape)
 
     def predict_threads(self, m: int, k: int, n: int) -> int:
-        """Optimal thread count for the shape, cache-backed.
+        """Optimal thread count for the shape, cache- and table-backed.
 
-        Any monotone label transform leaves the argmin unchanged, so the
+        Tier 0 after a cache miss is the decision table (no model
+        pass); only off-lattice shapes reach the pipeline/model.  Any
+        monotone label transform leaves the argmin unchanged, so the
         raw model output is compared directly.
         """
         key = (self.routine, int(m), int(k), int(n))
         cached = self.cache.get(key)
         if cached is not None:
             return cached
+        if self.table is not None:
+            choice = self.table.lookup(m, k, n)
+            if choice is not None:
+                self.n_table_hits += 1
+                self.cache.put(key, choice)
+                return choice
+            self.n_table_fallbacks += 1
         scores = self.predicted_runtimes(m, k, n)
         self.n_evaluations += 1
         self.n_model_passes += 1
@@ -165,30 +203,38 @@ class ThreadPredictor:
         """Thread choices for a stream of shapes, one model pass for misses.
 
         ``shapes`` is a sequence of ``(m, k, n)`` triples (or objects
-        with a ``dims`` attribute).  Unique uncached shapes are pushed
-        through the pipeline/model in a single vectorised evaluation;
-        duplicate and cached shapes cost a dictionary lookup.  Choices
-        come back as an int64 array aligned with the input order and are
-        bitwise-identical to calling :meth:`predict_threads` per shape.
+        with a ``dims`` attribute).  Unique keys probe the cache in one
+        :meth:`~repro.engine.cache.PredictionCache.get_many` pass; the
+        remaining shapes resolve through the decision table in a single
+        fancy-indexing lookup, and only the off-lattice leftovers are
+        pushed through the pipeline/model in one vectorised evaluation.
+        Choices come back as an int64 array aligned with the input
+        order and are bitwise-identical to calling
+        :meth:`predict_threads` per shape.
         """
         keys = [self.cache_key(s) for s in shapes]
-        resolved = {}
-        misses = []
-        for key in dict.fromkeys(keys):  # unique keys, first-seen order
-            cached = self.cache.get(key)
-            if cached is None:
-                misses.append(key)
-            else:
-                resolved[key] = cached
+        unique = list(dict.fromkeys(keys))  # unique keys, first-seen order
+        resolved = self.cache.get_many(unique)
+        misses = [key for key in unique if key not in resolved]
+        if misses and self.table is not None:
+            choices, hit = self.table.lookup_batch([k[1:] for k in misses])
+            self.n_table_hits += int(hit.sum())
+            self.n_table_fallbacks += len(misses) - int(hit.sum())
+            served = {key: int(choice)
+                      for key, choice, ok in zip(misses, choices, hit) if ok}
+            self.cache.put_many(served)
+            resolved.update(served)
+            misses = [key for key in misses if key not in served]
         if misses:
             scores = self.predicted_runtimes_batch([k[1:] for k in misses])
             self.n_evaluations += len(misses)
             self.n_batch_evaluations += 1
             self.n_model_passes += 1
+            served = {}
             for key, row in zip(misses, np.argmin(scores, axis=1)):
-                choice = int(self.thread_grid[int(row)])
-                self.cache.put(key, choice)
-                resolved[key] = choice
+                served[key] = int(self.thread_grid[int(row)])
+            self.cache.put_many(served)
+            resolved.update(served)
         return np.asarray([resolved[key] for key in keys], dtype=np.int64)
 
     def invalidate_memo(self) -> None:

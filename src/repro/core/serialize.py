@@ -21,6 +21,14 @@ bundle's :class:`~repro.compile.plan.CompiledPlan` (fused transform +
 packed model arrays), built at save time and checksummed like the other
 files.  Schema-1 (pre-plan) bundles still load — they simply carry no
 plan and the serving layers compile one lazily.
+
+Schema 3 adds a fourth optional artefact, ``adsala_table.pkl``: the
+bundle's :class:`~repro.compile.table.DecisionTable` (the plan
+pre-evaluated over the campaign's shape lattice).  Tables are strictly
+opt-in — :func:`save_bundle` persists one only when the bundle already
+carries it (built via ``TrainedBundle.compile_table`` or the registry's
+``compile_table`` retrofit); schema-1 and schema-2 bundles load and
+serve exactly as before, just without the tier-0 lookup.
 """
 
 from __future__ import annotations
@@ -35,16 +43,18 @@ from repro.core.config import AdsalaConfig
 CONFIG_FILENAME = "adsala_config.json"
 MODEL_FILENAME = "adsala_model.pkl"
 PLAN_FILENAME = "adsala_plan.pkl"
+TABLE_FILENAME = "adsala_table.pkl"
 MANIFEST_FILENAME = "MANIFEST.json"
 
 #: Bump on any incompatible change to the artefact layout or pickle
 #: payload structure.  Loaders accept :data:`SUPPORTED_SCHEMAS` and
 #: refuse anything else (notably future majors).
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
-#: Schemas this build can read: 1 (config + model) and 2 (adds the
-#: optional compiled-plan artefact).
-SUPPORTED_SCHEMAS = (1, 2)
+#: Schemas this build can read: 1 (config + model), 2 (adds the
+#: optional compiled-plan artefact) and 3 (adds the optional
+#: decision-table artefact).
+SUPPORTED_SCHEMAS = (1, 2, 3)
 
 
 class BundleError(RuntimeError):
@@ -83,10 +93,12 @@ def _combine_digests(file_digests: dict) -> str:
 
 
 def _artifact_names(directory) -> list:
-    """The artefact files a bundle directory carries (plan is optional)."""
+    """The artefact files a bundle directory carries (plan and table
+    are optional)."""
     names = [CONFIG_FILENAME, MODEL_FILENAME]
-    if os.path.exists(os.path.join(directory, PLAN_FILENAME)):
-        names.append(PLAN_FILENAME)
+    for optional in (PLAN_FILENAME, TABLE_FILENAME):
+        if os.path.exists(os.path.join(directory, optional)):
+            names.append(optional)
     return names
 
 
@@ -108,10 +120,13 @@ def save_bundle(bundle, directory, extra_manifest: dict = None) -> dict:
 
     Creates ``adsala_config.json``, ``adsala_model.pkl``, the compiled
     plan ``adsala_plan.pkl`` (when the artefacts lower to one — plan
-    compilation is pure array packing, cheap and deterministic) and
-    ``MANIFEST.json`` in ``directory`` (created if missing) and returns
-    the manifest dict.  ``extra_manifest`` entries (registry metadata:
-    routine, machine, version...) are merged into the manifest.
+    compilation is pure array packing, cheap and deterministic), the
+    decision table ``adsala_table.pkl`` (only when the bundle already
+    carries one: table compilation re-evaluates the whole lattice, so
+    it never happens implicitly here) and ``MANIFEST.json`` in
+    ``directory`` (created if missing) and returns the manifest dict.
+    ``extra_manifest`` entries (registry metadata: routine, machine,
+    version...) are merged into the manifest.
     """
     os.makedirs(directory, exist_ok=True)
     bundle.config.save(os.path.join(directory, CONFIG_FILENAME))
@@ -127,6 +142,15 @@ def save_bundle(bundle, directory, extra_manifest: dict = None) -> dict:
         plan_meta = plan.describe()
     elif os.path.exists(plan_path):  # stale plan from an earlier save
         os.remove(plan_path)
+    table = getattr(bundle, "table", None)
+    table_path = os.path.join(directory, TABLE_FILENAME)
+    table_meta = None
+    if table is not None:
+        with open(table_path, "wb") as fh:
+            pickle.dump({"table": table}, fh)
+        table_meta = table.describe()
+    elif os.path.exists(table_path):  # stale table from an earlier save
+        os.remove(table_path)
     files = {name: _sha256_file(os.path.join(directory, name))
              for name in _artifact_names(directory)}
     manifest = {
@@ -138,6 +162,8 @@ def save_bundle(bundle, directory, extra_manifest: dict = None) -> dict:
     }
     if plan_meta is not None:
         manifest["plan"] = plan_meta
+    if table_meta is not None:
+        manifest["table"] = table_meta
     if extra_manifest:
         manifest.update(extra_manifest)
     manifest_path = os.path.join(directory, MANIFEST_FILENAME)
@@ -194,18 +220,49 @@ def verify_bundle(directory, ignore=()) -> dict:
     return manifest
 
 
-def load_bundle(directory, verify: bool = True, load_plan: bool = True):
+def _load_optional_pickle(directory, filename, key, rebuild_hint):
+    """Load an optional checksummed artefact (plan or table).
+
+    Refuses a file the manifest does not cover — an unmanifested
+    artefact would be unpickled with no checksum protecting it; never
+    execute an unverified pickle.  Unpickling failures wrap in
+    :class:`BundleIntegrityError` with the recovery command.
+    """
+    path = os.path.join(directory, filename)
+    if not os.path.exists(path):
+        return None
+    manifest = load_manifest(directory)
+    if manifest is not None and filename not in manifest.get("files", {}):
+        raise BundleIntegrityError(
+            f"bundle artefact {path} is not recorded in the bundle "
+            f"manifest — the file was added after installation; remove "
+            f"it, or re-run {rebuild_hint!r} to build a verified one")
+    try:
+        with open(path, "rb") as fh:
+            return pickle.load(fh)[key]
+    except Exception as exc:
+        raise BundleIntegrityError(
+            f"cannot unpickle bundle artefact {path}: {exc!r} — the "
+            f"file is corrupt or was written by an incompatible build; "
+            f"re-run {rebuild_hint!r} to rebuild it") from exc
+
+
+def load_bundle(directory, verify: bool = True, load_plan: bool = True,
+                load_table: bool = True):
     """Load a bundle saved by :func:`save_bundle`.
 
     With a manifest present the artefacts are checksum-verified first
     (``verify=False`` skips that, for tooling that only inspects);
     without one, the legacy load path applies.  Unpickling failures are
-    wrapped in :class:`BundleIntegrityError` either way.  A compiled
-    plan artefact, when present, is loaded onto the bundle; pre-plan
-    bundles come back with ``plan=None`` and compile lazily.
-    ``load_plan=False`` skips (and does not verify) the plan artefact —
-    the recovery path ``models --compile`` uses to rebuild a corrupt or
-    deleted plan while still verifying the config and model.
+    wrapped in :class:`BundleIntegrityError` either way.  Compiled plan
+    and decision-table artefacts, when present, are loaded onto the
+    bundle; older bundles come back with ``plan``/``table`` ``None``
+    (the plan compiles lazily, the table stays absent until a
+    ``compile_table`` retrofit).  ``load_plan=False`` /
+    ``load_table=False`` skip (and do not verify) the corresponding
+    artefact — the recovery paths ``models --compile`` and
+    ``models --compile-table`` use these to rebuild a corrupt or
+    deleted artefact while still verifying the config and model.
     """
     from repro.core.training import TrainedBundle
 
@@ -215,8 +272,12 @@ def load_bundle(directory, verify: bool = True, load_plan: bool = True):
         if not os.path.exists(path):
             raise FileNotFoundError(f"missing installation artefact: {path}")
     if verify:
-        verify_bundle(directory,
-                      ignore=() if load_plan else (PLAN_FILENAME,))
+        ignore = ()
+        if not load_plan:
+            ignore += (PLAN_FILENAME,)
+        if not load_table:
+            ignore += (TABLE_FILENAME,)
+        verify_bundle(directory, ignore=ignore)
     config = AdsalaConfig.load(config_path)
     try:
         with open(model_path, "rb") as fh:
@@ -230,25 +291,13 @@ def load_bundle(directory, verify: bool = True, load_plan: bool = True):
             f"file is corrupt or was written by an incompatible build") \
             from exc
     plan = None
-    plan_path = os.path.join(directory, PLAN_FILENAME)
-    if load_plan and os.path.exists(plan_path):
-        manifest = load_manifest(directory)
-        if manifest is not None \
-                and PLAN_FILENAME not in manifest.get("files", {}):
-            # An unmanifested plan would be unpickled with no checksum
-            # covering it — never execute an unverified pickle.
-            raise BundleIntegrityError(
-                f"compiled plan {plan_path} is not recorded in the bundle "
-                f"manifest — the file was added after installation; remove "
-                f"it, or re-run 'models compile' to build a verified plan")
-        try:
-            with open(plan_path, "rb") as fh:
-                plan = pickle.load(fh)["plan"]
-        except Exception as exc:
-            raise BundleIntegrityError(
-                f"cannot unpickle compiled plan {plan_path}: {exc!r} — the "
-                f"file is corrupt or was written by an incompatible build; "
-                f"re-run 'models compile' to rebuild it") from exc
+    if load_plan:
+        plan = _load_optional_pickle(directory, PLAN_FILENAME, "plan",
+                                     "models --compile")
+    table = None
+    if load_table:
+        table = _load_optional_pickle(directory, TABLE_FILENAME, "table",
+                                      "models --compile-table")
     return TrainedBundle(config=config, pipeline=pipeline,
                          model=model, report=payload.get("report"),
-                         plan=plan)
+                         plan=plan, table=table)

@@ -46,6 +46,11 @@ class TrainedBundle:
     built (at save time, by :meth:`compile`, or loaded from the
     ``adsala_plan.pkl`` artifact); pre-plan bundles leave it ``None``
     and compile lazily when a serving layer asks for the fast path.
+    ``table`` carries the bundle's decision table — the plan
+    pre-evaluated over the campaign's shape lattice — when one was
+    built (:meth:`compile_table`, or loaded from ``adsala_table.pkl``).
+    Unlike the plan, tables are **opt-in**: compilation re-probes the
+    sampling domain, so it runs when asked, never implicitly at save.
     """
 
     config: AdsalaConfig
@@ -53,6 +58,7 @@ class TrainedBundle:
     model: object
     report: ModelSelectionReport = None
     plan: object = None
+    table: object = None
 
     def compile(self, force: bool = False):
         """Build (and cache) the compiled plan for these artefacts."""
@@ -62,8 +68,27 @@ class TrainedBundle:
             self.plan = compile_plan(self.pipeline, self.model)
         return self.plan
 
+    def compile_table(self, resolution: int = 16, snap: str = "exact",
+                      axes=None, n_probe: int = 512, force: bool = False):
+        """Build (and cache) the bundle's decision table.
+
+        The lattice derives from the training campaign recorded in the
+        config unless ``axes`` pins it explicitly; evaluation goes
+        through the compiled plan and the result is validated bitwise
+        against it on every lattice point before being attached.
+        """
+        if force or self.table is None:
+            from repro.compile import compile_table
+
+            self.table = compile_table(
+                self.predictor(compiled=True, table=False),
+                config=self.config, axes=axes, snap=snap,
+                resolution=resolution, n_probe=n_probe)
+        return self.table
+
     def predictor(self, cache_size: int = 1, thread_grid=None,
-                  compiled: bool = None) -> ThreadPredictor:
+                  compiled: bool = None, table: bool = None) \
+            -> ThreadPredictor:
         """Runtime predictor over the artefacts.
 
         ``cache_size=1`` (default) keeps the paper's last-call memo;
@@ -74,6 +99,12 @@ class TrainedBundle:
         ``True`` compiles lazily if needed, ``False`` forces the object
         path, and ``None`` (default) uses a plan only if one is already
         attached — predictions are bitwise identical either way.
+        ``table`` works the same for the tier-0 decision table, with
+        one extra rule: a table is only usable with the exact grid it
+        was compiled for, so under the default ``None`` an attached
+        table is silently dropped when ``thread_grid`` narrows the grid
+        (e.g. clamped to a smaller machine), while ``table=True`` on an
+        incompatible grid raises.
         """
         if compiled is True:
             plan = self.compile()
@@ -81,14 +112,27 @@ class TrainedBundle:
             plan = None
         else:
             plan = self.plan
+        grid = (self.config.thread_grid if thread_grid is None
+                else thread_grid)
+        if table is True:
+            tbl = self.compile_table()
+        elif table is False:
+            tbl = None
+        else:
+            tbl = self.table
+            if tbl is not None and not np.array_equal(
+                    tbl.thread_grid,
+                    np.asarray(sorted(set(int(t) for t in grid)),
+                               dtype=np.int64)):
+                tbl = None  # grid narrowed: table indices no longer apply
         return ThreadPredictor(
             feature_builder=FeatureBuilder(self.config.feature_groups),
             pipeline=self.pipeline,
             model=self.model,
-            thread_grid=(self.config.thread_grid if thread_grid is None
-                         else thread_grid),
+            thread_grid=grid,
             cache_size=cache_size,
             plan=plan,
+            table=tbl,
             # getattr: bundles pickled before the routine tag existed.
             routine=getattr(self.config, "routine", "gemm"),
         )

@@ -77,6 +77,24 @@ class PredictionCache:
         self.misses += 1
         return default
 
+    def get_many(self, keys) -> dict:
+        """Bulk lookup: ``{key: value}`` for the keys present.
+
+        Counts one hit or miss per key and refreshes recency exactly
+        like :meth:`get` called in sequence, but in one pass — this is
+        the batched probe the vectorised serving path leans on.
+        """
+        data = self._data
+        found = {}
+        for key in keys:
+            if key in data:
+                data.move_to_end(key)
+                found[key] = data[key]
+                self.hits += 1
+            else:
+                self.misses += 1
+        return found
+
     def peek(self, key, default=None):
         """Lookup without touching statistics or recency."""
         return self._data.get(key, default)
@@ -99,6 +117,19 @@ class PredictionCache:
         self._data[key] = value
         while len(self._data) > self.maxsize:
             self._data.popitem(last=False)
+            self.evictions += 1
+
+    def put_many(self, items) -> None:
+        """Bulk insert: ``items`` is a ``{key: value}`` mapping or an
+        iterable of pairs; eviction runs once after all inserts."""
+        data = self._data
+        pairs = items.items() if hasattr(items, "items") else items
+        for key, value in pairs:
+            if key in data:
+                data.move_to_end(key)
+            data[key] = value
+        while len(data) > self.maxsize:
+            data.popitem(last=False)
             self.evictions += 1
 
     def invalidate(self, key=None) -> None:

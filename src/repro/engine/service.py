@@ -121,7 +121,8 @@ class GemmService:
         self.bundle_info: dict = {}
         self.routine_info: dict = {}
         self._machine_max = None
-        self._retired_counts = {"evaluations": 0, "model_passes": 0}
+        self._retired_counts = {"evaluations": 0, "model_passes": 0,
+                                "table_hits": 0, "table_fallbacks": 0}
         self._closed = False
 
     @classmethod
@@ -346,6 +347,10 @@ class GemmService:
         if old is not None:
             self._retired_counts["evaluations"] += old.n_evaluations
             self._retired_counts["model_passes"] += old.n_model_passes
+            self._retired_counts["table_hits"] += \
+                getattr(old, "n_table_hits", 0)
+            self._retired_counts["table_fallbacks"] += \
+                getattr(old, "n_table_fallbacks", 0)
         else:
             # reload() can install a routine the service never served;
             # give it the same default execution wiring registration
@@ -497,6 +502,26 @@ class GemmService:
         return record
 
     # -- stats -----------------------------------------------------------
+    def table_counters(self) -> dict:
+        """Lifetime decision-table counters across every predictor.
+
+        ``table_hits`` are predictions answered straight from a tier-0
+        table (no model pass); ``table_fallbacks`` are cache misses
+        that probed a table but fell off its lattice and took the
+        plan/object path.  Retired (hot-reloaded) predictors' counts
+        are folded in, so the values are monotonic — the serving
+        telemetry diffs them per micro-batch.
+        """
+        live = {id(p): p for p in self._predictors.values()
+                if p is not None}.values()
+        return {
+            "table_hits": (sum(getattr(p, "n_table_hits", 0) for p in live)
+                           + self._retired_counts["table_hits"]),
+            "table_fallbacks": (
+                sum(getattr(p, "n_table_fallbacks", 0) for p in live)
+                + self._retired_counts["table_fallbacks"]),
+        }
+
     @property
     def memo_hit_rate(self) -> float:
         """Fraction of served calls whose prediction was cached."""
@@ -538,6 +563,10 @@ class GemmService:
             "bundle_generation": self.bundle_generation,
             **{f"cache_{k}": v for k, v in cache_stats.items()},
         }
+        if any(getattr(p, "table", None) is not None for p in live) \
+                or self._retired_counts["table_hits"] \
+                or self._retired_counts["table_fallbacks"]:
+            stats.update(self.table_counters())
         if len(predictors) > 1 or self.routine_info:
             requests = Counter(r.routine for r in self.history)
             stats["routines"] = {
@@ -545,6 +574,10 @@ class GemmService:
                     "requests": requests.get(name, 0),
                     "evaluations": predictor.n_evaluations,
                     "model_passes": predictor.n_model_passes,
+                    **({"table_hits": predictor.n_table_hits,
+                        "table_fallbacks": predictor.n_table_fallbacks}
+                       if getattr(predictor, "table", None) is not None
+                       else {}),
                     **{f"cache_{k}": v
                        for k, v in predictor.cache.stats().items()},
                     **self.routine_info.get(name, {}),

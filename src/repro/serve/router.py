@@ -30,7 +30,15 @@ from repro.engine.cache import routine_key
 
 @runtime_checkable
 class ShardRouter(Protocol):
-    """Structural protocol: map a request to a shard name."""
+    """Structural protocol: map a request to a shard name.
+
+    Routers may additionally expose a vectorised
+    ``route_batch(specs, client)`` returning one shard name per spec;
+    the server uses it to assign a whole burst in one call instead of
+    N protocol dispatches.  Every built-in router implements it (a
+    plain ``route`` loop stays the semantic reference: ``route_batch``
+    must equal ``[route(s, client) for s in specs]`` element-wise).
+    """
 
     def route(self, spec, client: str = "default") -> str:
         ...  # pragma: no cover - protocol stub
@@ -52,6 +60,9 @@ class SingleShardRouter:
     def route(self, spec, client: str = "default") -> str:
         return self.shard
 
+    def route_batch(self, specs, client: str = "default") -> list:
+        return [self.shard] * len(specs)
+
 
 class HashRouter:
     """Deterministic shape-hash spreading across identical replicas.
@@ -70,6 +81,19 @@ class HashRouter:
                                  digest_size=8).digest()
         return self.shards[int.from_bytes(digest, "little") % len(self.shards)]
 
+    def route_batch(self, specs, client: str = "default") -> list:
+        # One digest per *distinct* key: repeated shapes in a burst
+        # (the common case the cache exists for) hash once.
+        memo: dict = {}
+        out = []
+        for spec in specs:
+            key = routine_key(spec)
+            shard = memo.get(key)
+            if shard is None:
+                shard = memo[key] = self.route(spec, client)
+            out.append(shard)
+        return out
+
 
 class RoundRobinRouter:
     """Cycle through shards in admission order (replica load-spreading)."""
@@ -82,6 +106,12 @@ class RoundRobinRouter:
         shard = self.shards[self._next]
         self._next = (self._next + 1) % len(self.shards)
         return shard
+
+    def route_batch(self, specs, client: str = "default") -> list:
+        n = len(self.shards)
+        out = [self.shards[(self._next + i) % n] for i in range(len(specs))]
+        self._next = (self._next + len(specs)) % n
+        return out
 
 
 class SpecTypeRouter:
@@ -107,6 +137,17 @@ class SpecTypeRouter:
             return self.default
         raise TypeError(
             f"no shard registered for spec type {type(spec).__name__}")
+
+    def route_batch(self, specs, client: str = "default") -> list:
+        memo: dict = {}  # one MRO walk per distinct spec type
+        out = []
+        for spec in specs:
+            klass = type(spec)
+            shard = memo.get(klass)
+            if shard is None:
+                shard = memo[klass] = self.route(spec, client)
+            out.append(shard)
+        return out
 
 
 class RoutineRouter:
@@ -135,6 +176,25 @@ class RoutineRouter:
                            f"(have {sorted(self.routes)})")
         return shard
 
+    def route_batch(self, specs, client: str = "default") -> list:
+        memo: dict = {}  # one table lookup per distinct routine name
+        out = []
+        for spec in specs:
+            routine = routine_of(spec)
+            shard = memo.get(routine)
+            if shard is None:
+                if self.routes is None:
+                    shard = routine
+                else:
+                    shard = self.routes.get(routine, self.default)
+                    if shard is None:
+                        raise KeyError(
+                            f"no shard registered for routine {routine!r} "
+                            f"(have {sorted(self.routes)})")
+                memo[routine] = shard
+            out.append(shard)
+        return out
+
 
 class TenantRouter:
     """Route by client identity (one shard per tenant or tenant group)."""
@@ -148,6 +208,12 @@ class TenantRouter:
         if shard is None:
             raise KeyError(f"no shard registered for client {client!r}")
         return shard
+
+    def route_batch(self, specs, client: str = "default") -> list:
+        shard = self.routes.get(client, self.default)
+        if shard is None:
+            raise KeyError(f"no shard registered for client {client!r}")
+        return [shard] * len(specs)
 
 
 def default_router(shard_names) -> ShardRouter:

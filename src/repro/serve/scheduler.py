@@ -136,6 +136,24 @@ class MicroBatcher:
         if not command.future.done():
             command.future.set_result(info)
 
+    def _table_snapshot(self) -> dict:
+        """Per-routine decision-table counters of the shard's predictors.
+
+        Per-shard execution is strictly sequential (the batcher awaits
+        its own pass), so diffing this snapshot across one
+        :meth:`_execute` attributes table hits/fallbacks to exactly that
+        batch.
+        """
+        counters = {}
+        predictors = getattr(self.service, "predictors", None)
+        if not predictors:  # duck-typed service without predictor map
+            return counters
+        for routine, predictor in predictors.items():
+            if getattr(predictor, "table", None) is not None:
+                counters[routine] = (predictor.n_table_hits,
+                                     predictor.n_table_fallbacks)
+        return counters
+
     async def _execute(self, batch, loop) -> None:
         """One vectorised service pass; resolve every caller's future.
 
@@ -147,6 +165,7 @@ class MicroBatcher:
         """
         t_start = loop.time()
         self.telemetry.record_batch(self.shard, len(batch))
+        tables_before = self._table_snapshot()
         try:
             records = await loop.run_in_executor(
                 None, self.service.run_batch, [r.spec for r in batch])
@@ -159,6 +178,11 @@ class MicroBatcher:
                 self.release(request)
             return
         t_done = loop.time()
+        for routine, (hits, fallbacks) in self._table_snapshot().items():
+            h0, f0 = tables_before.get(routine, (0, 0))
+            if hits > h0 or fallbacks > f0:
+                self.telemetry.record_table(routine, hits - h0,
+                                            fallbacks - f0)
         for request, record in zip(batch, records):
             self.telemetry.record_done(request.client,
                                        latency=t_done - request.t_submit,

@@ -199,9 +199,23 @@ class GemmServer:
         return await request.future
 
     async def submit_many(self, specs, client: str = "default") -> list:
-        """Submit a burst concurrently; records come back in input order."""
+        """Submit a burst concurrently; records come back in input order.
+
+        Routing is vectorised: when the router exposes ``route_batch``
+        the whole burst is assigned shards in one call (pre-routed
+        submissions then skip the per-request router dispatch), which
+        is both cheaper and — for order-sensitive routers like
+        round-robin — assigns shards in input order rather than in
+        whatever order the event loop happens to start the submit
+        coroutines.
+        """
+        specs = list(specs)
+        route_batch = getattr(self.router, "route_batch", None)
+        shards = route_batch(specs, client) if route_batch is not None \
+            else [None] * len(specs)
         return list(await asyncio.gather(
-            *(self.submit(spec, client=client) for spec in specs)))
+            *(self.submit(spec, client=client, shard=shard)
+              for spec, shard in zip(specs, shards))))
 
     # -- control plane ---------------------------------------------------
     async def reload(self, bundle, shard: str = None, **kwargs) -> dict:

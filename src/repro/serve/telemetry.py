@@ -26,6 +26,8 @@ class ServeTelemetry:
         self.submitted = 0
         self.served = 0
         self.failed = 0
+        self.table_hits = 0
+        self.table_fallbacks = 0
         self.rejected = Counter()      # reason -> count
         self.batch_sizes: list = []    # one entry per executed batch
         self.queue_depths: list = []   # sampled at every admission
@@ -85,6 +87,23 @@ class ServeTelemetry:
     def record_reload(self, shard: str) -> None:
         self.reloads[shard] += 1
 
+    def record_table(self, routine: str, hits: int, fallbacks: int) -> None:
+        """Decision-table outcomes for one executed batch.
+
+        ``hits`` are predictions answered from a tier-0 table without a
+        model pass; ``fallbacks`` are cache misses that fell off the
+        table's lattice onto the plan path — the drift signal operators
+        watch when traffic leaves the compiled lattice.  Only called
+        for shards actually serving through a table, so table-less
+        deployments keep their historic stats shape.
+        """
+        self.table_hits += int(hits)
+        self.table_fallbacks += int(fallbacks)
+        entry = self._routine(routine)
+        entry["table_hits"] = entry.get("table_hits", 0) + int(hits)
+        entry["table_fallbacks"] = (entry.get("table_fallbacks", 0)
+                                    + int(fallbacks))
+
     # -- reporting -------------------------------------------------------
     def batch_size_histogram(self) -> dict:
         """``{batch size: number of batches}`` in ascending size order."""
@@ -132,6 +151,9 @@ class ServeTelemetry:
             "routines": self.routine_stats(),
             "reloads": sum(self.reloads.values()),
         }
+        if self.table_hits or self.table_fallbacks:
+            out["table_hits"] = self.table_hits
+            out["table_fallbacks"] = self.table_fallbacks
         if self.latencies:
             out["latency_ms"] = self.latency().as_row()
             out["queue_wait_ms"] = self.wait().as_row()

@@ -33,7 +33,8 @@ import shutil
 from dataclasses import dataclass
 
 from repro.core.routines import REGISTRY, routine_names
-from repro.core.serialize import (PLAN_FILENAME, SCHEMA_VERSION, BundleError,
+from repro.core.serialize import (PLAN_FILENAME, SCHEMA_VERSION,
+                                  TABLE_FILENAME, BundleError,
                                   _combine_digests, _sha256_file,
                                   load_bundle, load_manifest, save_bundle)
 
@@ -252,6 +253,58 @@ class ModelRegistry:
                 "checksum": new_record.checksum,
                 "plan": manifest.get("plan")}
 
+    # -- decision tables -------------------------------------------------
+    def has_table(self, record: ModelRecord) -> bool:
+        """Whether a bundle directory carries a decision-table artefact."""
+        return os.path.exists(os.path.join(record.path, TABLE_FILENAME))
+
+    def compile_table(self, routine: str, machine: str, version="latest",
+                      resolution: int = 16, snap: str = "exact",
+                      n_probe: int = 512) -> dict:
+        """(Re)build a bundle's decision table, published as a new version.
+
+        The retrofit twin of :meth:`compile_plan`: loads the source
+        bundle (config and model checksum-verified; an existing table
+        artefact is neither loaded nor verified, so a corrupt or
+        deleted table is recoverable here), pre-evaluates the compiled
+        plan over the campaign lattice — validated bitwise on every
+        lattice point — and publishes the result as the next immutable
+        version with a ``table_from_version`` provenance entry.
+        Idempotent: a source bundle already carrying a byte-identical
+        table reports ``up_to_date`` and mints no duplicate version.
+        """
+        record = self.resolve(routine, machine, version)
+        bundle = load_bundle(record.path, load_table=False)
+        table = bundle.compile_table(resolution=resolution, snap=snap,
+                                     n_probe=n_probe, force=True)
+        if self.has_table(record):
+            # Table pickling is deterministic, so byte-equality with
+            # the artefact actually on disk (not the manifest's record
+            # of it — a corrupt file must not read as current) means a
+            # republish would mint an identical duplicate version;
+            # report up-to-date instead.
+            existing = _sha256_file(
+                os.path.join(record.path, TABLE_FILENAME))
+            fresh = hashlib.sha256(
+                pickle.dumps({"table": table})).hexdigest()
+            if existing == fresh:
+                manifest = load_manifest(record.path) or {}
+                return {"routine": record.routine,
+                        "machine": record.machine,
+                        "version": record.version,
+                        "checksum": record.checksum,
+                        "table": manifest.get("table"),
+                        "up_to_date": True}
+        new_record = self.publish(
+            bundle, routine=routine, machine=machine,
+            extra={"table_from_version": record.version})
+        manifest = load_manifest(new_record.path)
+        return {"routine": new_record.routine, "machine": new_record.machine,
+                "version": new_record.version,
+                "table_from_version": record.version,
+                "checksum": new_record.checksum,
+                "table": manifest.get("table")}
+
     # -- enumerate -------------------------------------------------------
     def entries(self) -> list:
         """Every published (routine, machine, version), sorted."""
@@ -285,4 +338,5 @@ class ModelRegistry:
         return {"routine": record.routine, "machine": record.machine,
                 "version": record.version, "latest": record.latest,
                 "path": record.path, "checksum": record.checksum,
-                "has_plan": self.has_plan(record), "manifest": manifest}
+                "has_plan": self.has_plan(record),
+                "has_table": self.has_table(record), "manifest": manifest}

@@ -89,6 +89,51 @@ class TestStatistics:
         assert cache.hits == 0 and len(cache) == 1
 
 
+class TestBulkOps:
+    def test_get_many_matches_sequential_gets(self):
+        cache = PredictionCache(maxsize=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        found = cache.get_many(["a", "x", "b", "y"])
+        assert found == {"a": 1, "b": 2}
+        assert cache.hits == 2 and cache.misses == 2
+
+    def test_get_many_refreshes_recency(self):
+        cache = PredictionCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get_many(["a"])  # "b" is now the LRU entry
+        cache.put("c", 3)
+        assert "b" not in cache and "a" in cache
+
+    def test_get_many_counts_duplicates(self):
+        cache = PredictionCache(maxsize=4)
+        cache.put("a", 1)
+        cache.get_many(["a", "a", "z"])
+        assert cache.hits == 2 and cache.misses == 1
+
+    def test_put_many_accepts_mapping_and_pairs(self):
+        cache = PredictionCache(maxsize=8)
+        cache.put_many({"a": 1, "b": 2})
+        cache.put_many([("c", 3), ("d", 4)])
+        assert cache.peek("a") == 1 and cache.peek("d") == 4
+        assert len(cache) == 4
+
+    def test_put_many_evicts_once_at_the_end(self):
+        cache = PredictionCache(maxsize=2)
+        cache.put_many({"a": 1, "b": 2, "c": 3, "d": 4})
+        assert cache.keys() == ["c", "d"]
+        assert cache.evictions == 2
+
+    def test_empty_bulk_ops_are_noops(self):
+        cache = PredictionCache(maxsize=2)
+        assert cache.get_many([]) == {}
+        cache.put_many({})
+        cache.put_many([])
+        assert len(cache) == 0
+        assert cache.hits == 0 and cache.misses == 0
+
+
 class TestInvalidate:
     def test_invalidate_all(self):
         cache = PredictionCache(maxsize=4)
