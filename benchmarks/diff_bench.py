@@ -1,0 +1,193 @@
+"""Compare two BENCH_*.json artefacts and flag regressions.
+
+The benchmark suites persist machine-readable metrics to
+``benchmarks/results/BENCH_<suite>.json`` (one entry per experiment).
+CI uploads them per run; this tool diffs two of those files so a
+throughput or latency regression shows up as a diff line instead of a
+number someone has to eyeball::
+
+    python benchmarks/diff_bench.py old/BENCH_serve.json new/BENCH_serve.json
+    python benchmarks/diff_bench.py old.json new.json --tolerance 0.15
+
+The comparison is direction-aware: for throughput-like metrics
+(``req_per_s``, ``speedup``, ...) only a *drop* beyond the tolerance is
+a regression; for latency/wall-clock-like metrics (``*_ms``, ``*_s``,
+``overhead_pct``) only a *rise* is.  Count-like metrics (``served``,
+``model_passes``, ...) regress on drift in either direction beyond the
+tolerance, and non-numeric values (e.g. the selected model name) are
+reported as ``changed`` without failing the diff.  Exit status is 1
+when any regression was found, 0 otherwise — suitable for a CI gate.
+
+Importable too: :func:`compare_bench` returns the finding rows for
+tests and ad-hoc analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from typing import Any, Dict, List, Optional
+
+#: Relative change beyond which a metric's drift counts as significant.
+DEFAULT_TOLERANCE = 0.10
+
+#: Metric names where bigger is better (a drop is the regression).
+HIGHER_IS_BETTER = {"req_per_s", "speedup", "speedup_vs_plan",
+                    "complete_chains", "table_hits"}
+
+#: Suffixes marking cost metrics where smaller is better.
+LOWER_IS_BETTER_SUFFIXES = ("_ms", "_s", "_pct")
+
+
+def direction_of(metric: str) -> str:
+    """``"higher"``, ``"lower"`` or ``"either"`` — which way is worse."""
+    if metric in HIGHER_IS_BETTER or metric.endswith("_per_s"):
+        return "higher"
+    if metric.endswith(LOWER_IS_BETTER_SUFFIXES):
+        return "lower"
+    return "either"
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def relative_change(old: float, new: float) -> float:
+    """Signed relative change ``(new - old) / |old|`` (inf from zero)."""
+    if old == 0:
+        return 0.0 if new == 0 else math.inf * (1 if new > 0 else -1)
+    return (new - old) / abs(old)
+
+
+def _finding(entry: str, metric: str, old: Any, new: Any,
+             status: str, change: Optional[float] = None) -> Dict[str, Any]:
+    return {"entry": entry, "metric": metric, "old": old, "new": new,
+            "change": change, "status": status}
+
+
+def compare_metric(entry: str, metric: str, old: Any, new: Any,
+                   tolerance: float) -> Dict[str, Any]:
+    """One finding row for one (entry, metric) pair present in both."""
+    if not (_is_number(old) and _is_number(new)):
+        status = "ok" if old == new else "changed"
+        return _finding(entry, metric, old, new, status)
+    change = relative_change(float(old), float(new))
+    direction = direction_of(metric)
+    if direction == "higher":
+        worse, better = change < -tolerance, change > tolerance
+    elif direction == "lower":
+        worse, better = change > tolerance, change < -tolerance
+    else:
+        worse, better = abs(change) > tolerance, False
+    if worse:
+        status = "regression"
+    elif better:
+        status = "improved"
+    else:
+        status = "ok"
+    return _finding(entry, metric, old, new, status, change=change)
+
+
+def compare_bench(old: Dict[str, dict], new: Dict[str, dict],
+                  tolerance: float = DEFAULT_TOLERANCE) -> List[dict]:
+    """Diff two loaded BENCH dicts; returns one finding per metric.
+
+    Entries or metrics present on only one side are reported as
+    ``added`` / ``removed`` (informational, never a regression — a new
+    experiment must not fail the first diff that sees it).
+    """
+    findings: List[dict] = []
+    for entry in sorted(set(old) | set(new)):
+        if entry not in new:
+            findings.append(_finding(entry, "-", old[entry], None, "removed"))
+            continue
+        if entry not in old:
+            findings.append(_finding(entry, "-", None, new[entry], "added"))
+            continue
+        old_metrics, new_metrics = old[entry], new[entry]
+        for metric in sorted(set(old_metrics) | set(new_metrics)):
+            if metric not in new_metrics:
+                findings.append(_finding(entry, metric, old_metrics[metric],
+                                         None, "removed"))
+            elif metric not in old_metrics:
+                findings.append(_finding(entry, metric, None,
+                                         new_metrics[metric], "added"))
+            else:
+                findings.append(compare_metric(
+                    entry, metric, old_metrics[metric], new_metrics[metric],
+                    tolerance))
+    return findings
+
+
+def regressions(findings: List[dict]) -> List[dict]:
+    return [f for f in findings if f["status"] == "regression"]
+
+
+def _fmt(value: Any) -> str:
+    if _is_number(value) and isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_findings(findings: List[dict], *, verbose: bool = False) -> str:
+    """Human-readable diff: regressions and changes, counts for the rest."""
+    lines: List[str] = []
+    quiet = 0
+    for f in findings:
+        if f["status"] == "ok" and not verbose:
+            quiet += 1
+            continue
+        change = (f" ({f['change']:+.1%})"
+                  if isinstance(f.get("change"), float)
+                  and math.isfinite(f["change"]) else "")
+        lines.append(f"  {f['status']:<10} {f['entry']}.{f['metric']}: "
+                     f"{_fmt(f['old'])} -> {_fmt(f['new'])}{change}")
+    if quiet:
+        lines.append(f"  ({quiet} metric(s) within tolerance)")
+    return "\n".join(lines) if lines else "  (no findings)"
+
+
+def load_bench(path: str) -> Dict[str, dict]:
+    with open(path) as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: expected a JSON object of entries")
+    return data
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="diff_bench",
+        description="Diff two BENCH_*.json files; exit 1 on regression.")
+    parser.add_argument("old", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="relative drift allowed before a numeric metric "
+                             f"regresses (default {DEFAULT_TOLERANCE:g})")
+    parser.add_argument("--verbose", action="store_true",
+                        help="also list metrics that are within tolerance")
+    args = parser.parse_args(argv)
+
+    try:
+        old = load_bench(args.old)
+        new = load_bench(args.new)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"diff_bench: {exc}", file=sys.stderr)
+        return 2
+
+    findings = compare_bench(old, new, tolerance=args.tolerance)
+    bad = regressions(findings)
+    print(f"diff_bench: {args.old} -> {args.new} "
+          f"(tolerance {args.tolerance:.0%})")
+    print(render_findings(findings, verbose=args.verbose))
+    if bad:
+        print(f"{len(bad)} regression(s) beyond tolerance")
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -88,7 +88,7 @@ def _shards(ctx, bundles, compiled: bool) -> dict:
 
 
 def test_mixed_routine_serving_matches_single_routine_bitwise(
-        ctx, routine_bundles, save_result):
+        ctx, routine_bundles, save_result, save_bench_json):
     trace = poisson_trace(_spec_pool(), rate_hz=RATE_HZ,
                           n_requests=N_REQUESTS, n_clients=4, seed=0)
 
@@ -133,6 +133,17 @@ def test_mixed_routine_serving_matches_single_routine_bitwise(
                      title="per-routine selections vs dedicated path"),
     ])
     save_result("routine_throughput", report)
+    for label, (outcome, server) in outcomes.items():
+        row = outcome.report_row()
+        save_bench_json("routine", f"mixed_{label}", {
+            "req_per_s": row["req_per_s"],
+            "p50_ms": row.get("p50_ms"),
+            "p95_ms": row.get("p95_ms"),
+            "served": row["served"],
+            "model_passes": row["model_passes"],
+            "routines": {
+                routine: entry["served"] for routine, entry
+                in sorted(server.telemetry.routine_stats().items())}})
 
     # Every routine genuinely participated and was answered by its own
     # model (one model pass minimum per routine shard).

@@ -17,6 +17,14 @@ path answers every cache miss with an O(1) lattice lookup instead of a
 fused model pass.  Acceptance: >= 3x sustained requests/second with
 zero model passes.
 
+A third experiment prices **request tracing**: the same
+decision-dominated replay with the span collector on and off.  The
+decision-table path with an instant backend is the worst case for the
+observability layer — there is almost no real work per request to
+hide the trace stamps behind.  Acceptance: thread selections bitwise
+identical, zero extra model passes, every finished trace a complete
+span chain, and <= 5% sustained-throughput overhead.
+
 Both experiments append machine-readable metrics to
 ``benchmarks/results/BENCH_serve.json`` (the artefact CI uploads).
 
@@ -260,3 +268,80 @@ def test_table_throughput_vs_compiled_plan(table_bundle, save_result,
         f"table path only {speedup:.2f}x the plan path "
         f"({table_outcome.requests_per_sec:.0f} vs "
         f"{plan_outcome.requests_per_sec:.0f} req/s)")
+
+
+# -- tracing overhead ----------------------------------------------------
+
+def test_tracing_overhead(table_bundle, save_result, save_bench_json):
+    """Span collection must cost <= 5% throughput in the worst case."""
+    import gc
+
+    table = table_bundle.table
+    pool = _lattice_pool(table, N_TABLE_POOL)
+    trace = poisson_trace(pool, rate_hz=TABLE_RATE_HZ,
+                          n_requests=len(pool), n_clients=4, seed=0)
+    backend = _InstantBackend(table_bundle.config.thread_grid)
+
+    def replay(tracing: bool, with_table: bool = True):
+        predictor = table_bundle.predictor(cache_size=2 * len(pool),
+                                           compiled=True, table=with_table)
+        service = GemmService(predictor, backend=backend)
+        server = GemmServer(service, max_batch=MAX_BATCH,
+                            max_wait_ms=MAX_WAIT_MS, max_queue=1024,
+                            tracing=tracing)
+        gc.collect()
+        gc.disable()
+        try:
+            return replay_trace(server, trace), server
+        finally:
+            gc.enable()
+
+    def best(tracing: bool, trials: int = 3):
+        outcomes = [replay(tracing) for _ in range(trials)]
+        return max(outcomes, key=lambda pair: pair[0].requests_per_sec)
+
+    off_outcome, _ = best(tracing=False)
+    on_outcome, on_server = best(tracing=True)
+    overhead = 1.0 - (on_outcome.requests_per_sec
+                      / off_outcome.requests_per_sec)
+    trace_stats = on_server.collector.stats()
+
+    rows = [off_outcome.report_row("tracing off"),
+            on_outcome.report_row("tracing on")]
+    rows[0]["overhead_pct"] = 0.0
+    rows[1]["overhead_pct"] = round(100.0 * overhead, 2)
+    save_result("serve_tracing_overhead", format_table(
+        rows, title="serve replay: tracing on vs off "
+                    f"({len(pool)} lattice-point requests "
+                    f"@ {TABLE_RATE_HZ:g}/s, instant backend)"))
+    save_bench_json("serve", "tracing_off", _bench_metrics(off_outcome))
+    save_bench_json("serve", "tracing_on", {
+        **_bench_metrics(on_outcome),
+        "overhead_pct": round(100.0 * overhead, 2),
+        "complete_chains": trace_stats["complete"]})
+
+    # Observability must not change behaviour: selections bitwise
+    # identical, and not one extra model pass.
+    assert on_outcome.thread_choices() == off_outcome.thread_choices()
+    assert on_outcome.stats["model_passes"] \
+        == off_outcome.stats["model_passes"] == 0
+
+    # Every finished request produced a complete six-span chain.
+    assert trace_stats["traces"] == on_outcome.served
+    assert trace_stats["complete"] == on_outcome.served
+    assert trace_stats["dropped"] == 0
+
+    # The compiled-plan path (model passes > 0) agrees too: tracing
+    # adds zero model passes even when the model is in the loop.
+    plan_on, _ = replay(tracing=True, with_table=False)
+    plan_off, _ = replay(tracing=False, with_table=False)
+    assert plan_on.thread_choices() == plan_off.thread_choices()
+    assert plan_on.stats["model_passes"] \
+        == plan_off.stats["model_passes"] > 0
+
+    # The acceptance bar: <= 5% sustained-throughput overhead in the
+    # decision-dominated worst case (best-of-3 each side).
+    assert overhead <= 0.05, (
+        f"tracing costs {100 * overhead:.1f}% throughput "
+        f"({on_outcome.requests_per_sec:.0f} vs "
+        f"{off_outcome.requests_per_sec:.0f} req/s)")

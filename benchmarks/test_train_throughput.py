@@ -59,7 +59,7 @@ def _install(data, n_jobs: int, executor: str):
     return bundle, time.perf_counter() - t0
 
 
-def test_parallel_tuning_speedup(campaign):
+def test_parallel_tuning_speedup(campaign, save_bench_json):
     serial_bundle, serial_s = _install(campaign, n_jobs=1,
                                        executor="thread")
     parallel_bundle, parallel_s = _install(campaign, n_jobs=N_JOBS,
@@ -79,6 +79,13 @@ def test_parallel_tuning_speedup(campaign):
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, "train_throughput.txt"), "w") as fh:
         fh.write(table + "\n")
+    save_bench_json("train", "tuning_serial", {
+        "wall_s": round(serial_s, 3), "workers": 1,
+        "selected": serial_bundle.report.selected})
+    save_bench_json("train", "tuning_parallel", {
+        "wall_s": round(parallel_s, 3), "workers": N_JOBS,
+        "speedup": round(speedup, 2),
+        "selected": parallel_bundle.report.selected})
 
     # Correctness before speed: any worker count, same model — bitwise.
     assert parallel_bundle.report.selected == serial_bundle.report.selected

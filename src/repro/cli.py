@@ -15,6 +15,10 @@ Mirrors how a deployed ADSALA would be driven::
     python -m repro batch   --registry ./registry --machine gadi mixed.txt
     python -m repro serve   --install ./install --rate 500 shapes.txt
     python -m repro serve   --registry ./registry --rate 500 mixed.txt
+    python -m repro serve   --install ./install --trace --obs-dir ./obs shapes.txt
+    python -m repro obs     ./obs
+    python -m repro obs     ./obs --tail 5
+    python -m repro obs     ./obs --dump
     python -m repro demo    --machine setonix
 
 The ``install`` command runs the staged training pipeline (on the named
@@ -460,10 +464,12 @@ def cmd_serve(args) -> int:
         trace = poisson_trace(specs, rate_hz=args.rate,
                               n_requests=args.requests,
                               n_clients=args.clients, seed=args.seed)
+        tracing = args.trace or args.obs_dir is not None
         server = GemmServer(shards, router=router,
                             max_batch=args.max_batch,
                             max_wait_ms=args.max_wait_ms,
-                            max_queue=args.max_queue)
+                            max_queue=args.max_queue,
+                            tracing=tracing)
     except (OSError, ValueError, RuntimeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -502,6 +508,125 @@ def cmd_serve(args) -> int:
           f"{stats['evaluations']} evaluated shapes and {stats['served']} "
           f"served requests (per-request serving would pay "
           f"{stats['evaluations']} passes)")
+    if server.collector is not None:
+        trace_stats = server.collector.stats()
+        print(f"trace: {trace_stats['complete']} complete span chains of "
+              f"{trace_stats['traces']} finished traces "
+              f"({trace_stats['dropped']} dropped)")
+    if args.obs_dir:
+        from repro.obs.exporters import write_snapshot
+
+        written = write_snapshot(server.registry, args.obs_dir,
+                                 collector=server.collector, stats=stats)
+        print("observability artefacts:")
+        for role, path in sorted(written.items()):
+            print(f"  {role:<10} {path}")
+    return 0
+
+
+def _span_ms(span: dict) -> float:
+    return span.get("duration_s", 0.0) * 1e3
+
+
+def cmd_obs(args) -> int:
+    """Inspect an observability artefact directory (``serve --obs-dir``)."""
+    import json
+
+    from repro.bench.report import format_table
+    from repro.obs.exporters import read_jsonl
+    from repro.obs.tracing import CHAIN
+
+    d = args.obs_dir
+    stats_path = os.path.join(d, "stats.json")
+    spans_path = os.path.join(d, "spans.jsonl")
+    metrics_path = os.path.join(d, "metrics.jsonl")
+    prom_path = os.path.join(d, "metrics.prom")
+    if not os.path.isdir(d):
+        print(f"error: {d} is not a directory (write one with "
+              f"'repro serve ... --obs-dir {d}')", file=sys.stderr)
+        return 2
+
+    if args.dump:
+        # Raw artefacts, machine-readable, ready to pipe elsewhere.
+        for path in (prom_path, stats_path):
+            if os.path.exists(path):
+                print(f"# ---- {path}")
+                with open(path) as fh:
+                    sys.stdout.write(fh.read())
+                print()
+        return 0
+
+    if args.tail:
+        if not os.path.exists(spans_path):
+            print(f"error: {spans_path} not found (serve with tracing "
+                  f"enabled)", file=sys.stderr)
+            return 2
+        spans = read_jsonl(spans_path)
+        by_trace: dict = {}
+        for span in spans:
+            by_trace.setdefault(span["trace_id"], []).append(span)
+        recent = list(by_trace.items())[-args.tail:]
+        for trace_id, chain in recent:
+            root = next((s for s in chain if s["name"] == "request"),
+                        chain[0])
+            complete = "" if tuple(s["name"] for s in chain) == CHAIN \
+                else "  [incomplete]"
+            print(f"{trace_id}  client={root.get('client')} "
+                  f"routine={root.get('routine', '-')} "
+                  f"shard={root.get('shard')} "
+                  f"status={root.get('status')}{complete}")
+            for span in chain:
+                if span["name"] == "request":
+                    continue
+                attrs = {k: v for k, v in span.items()
+                         if k not in ("trace_id", "span_id", "parent_id",
+                                      "name", "t_start", "t_end",
+                                      "duration_s")}
+                detail = " ".join(f"{k}={v}" for k, v in attrs.items()
+                                  if v is not None)
+                print(f"  {span['name']:<12} {_span_ms(span):9.3f} ms"
+                      f"{'  ' + detail if detail else ''}")
+        return 0
+
+    # Default view: the stats table plus metric and event summaries.
+    shown = False
+    if os.path.exists(stats_path):
+        with open(stats_path) as fh:
+            payload = json.load(fh)
+        stats = payload.get("stats") or {}
+        rows = [{"metric": key, "value": value}
+                for key, value in sorted(stats.items())
+                if isinstance(value, (int, float, str))]
+        if rows:
+            print(format_table(rows, title=f"serve stats ({stats_path})"))
+            shown = True
+        trace_stats = payload.get("trace")
+        if trace_stats:
+            print(f"\ntrace: {trace_stats['complete']} complete chains of "
+                  f"{trace_stats['traces']} traces "
+                  f"({trace_stats['dropped']} dropped, capacity "
+                  f"{trace_stats['capacity']})")
+        events = payload.get("events") or []
+        drifts = [e for e in events if e.get("event") == "drift"]
+        if drifts:
+            print()
+            print(format_table(
+                [{k: v for k, v in e.items() if k != "event"}
+                 for e in drifts], title="drift events"))
+    if os.path.exists(metrics_path):
+        metrics = read_jsonl(metrics_path)
+        kinds = {}
+        for row in metrics:
+            kinds[row.get("type", "?")] = kinds.get(row.get("type", "?"), 0) + 1
+        summary = ", ".join(f"{n} {kind}s" for kind, n in sorted(kinds.items()))
+        print(f"\nmetrics: {len(metrics)} series ({summary}) "
+              f"in {metrics_path}")
+        shown = True
+    if not shown:
+        print(f"error: no artefacts in {d} (expected stats.json / "
+              f"metrics.jsonl from 'repro serve --obs-dir')",
+              file=sys.stderr)
+        return 2
     return 0
 
 
@@ -637,10 +762,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeats", type=int, default=1)
     p.add_argument("--cache-size", type=int, default=256)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", action="store_true",
+                   help="record a span chain per served request "
+                        "(admission, queue wait, batch, predict tier, "
+                        "execution)")
+    p.add_argument("--obs-dir", default=None, metavar="DIR",
+                   help="write observability artefacts (metrics.prom, "
+                        "metrics.jsonl, spans.jsonl, stats.json) into DIR "
+                        "after the replay; implies --trace")
     p.add_argument("shapes_file",
                    help="text file with one request per line: 'm k n' "
                         "(GEMM) or '<routine> dims...' (e.g. 'gemv 2048 512')")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("obs", help="inspect observability artefacts "
+                                   "written by 'serve --obs-dir'")
+    p.add_argument("obs_dir", metavar="DIR",
+                   help="artefact directory (stats.json, spans.jsonl, "
+                        "metrics.prom, metrics.jsonl)")
+    view = p.add_mutually_exclusive_group()
+    view.add_argument("--tail", type=int, default=None, metavar="N",
+                      help="show the span chains of the N most recent "
+                           "traces")
+    view.add_argument("--dump", action="store_true",
+                      help="print the raw Prometheus text and stats JSON "
+                           "artefacts")
+    p.set_defaults(func=cmd_obs)
 
     p = sub.add_parser("demo", help="quick install + before/after comparison")
     p.add_argument("--machine", choices=machines, default="gadi")
@@ -653,7 +800,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # A downstream reader (head, grep -q) closed the pipe early —
+        # a normal way to consume `obs --dump` output, not an error.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -174,3 +174,21 @@ class OnlineRefiner:
                       routine: str = None) -> int:
         """Current exploitation choice (no exploration)."""
         return self._best_known(self._state_for(m, k, n, routine=routine))
+
+    def drift_statistic(self) -> dict:
+        """How far measurement has moved choices away from the model.
+
+        A shape has *drifted* when its measured-best thread count (a
+        candidate with at least ``min_trials`` observations,
+        :meth:`_best_known`) differs from the model's prior choice; a
+        shape without sufficient evidence counts as undrifted.  The
+        ``drift_fraction`` over all tracked shapes is the retrain
+        trigger ROADMAP item 2 names: a deployed model whose priors are
+        systematically overturned by local measurement no longer fits
+        the machine.
+        """
+        shapes = len(self._shapes)
+        drifted = sum(self._best_known(state) != state.model_choice
+                      for state in self._shapes.values())
+        return {"shapes": shapes, "drifted": drifted,
+                "drift_fraction": drifted / shapes if shapes else 0.0}

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -37,6 +38,7 @@ from repro.core.routines import routine_of
 from repro.engine.backend import BackendDispatcher, ExecutionBackend, as_backend
 from repro.engine.cache import routine_key as _routine_key
 from repro.engine.cache import shape_key as _shape_key
+from repro.obs.metrics import default_registry, next_instance_id
 
 
 @dataclass
@@ -114,16 +116,23 @@ class GemmService:
                 raise ValueError(
                     "refine must wrap this service's own predictor")
         self.history: list = []
-        self.n_requests = 0
-        self.n_batches = 0
-        self.n_reloads = 0
-        self.bundle_generation = 0
-        self.bundle_info: dict = {}
-        self.routine_info: dict = {}
-        self._machine_max = None
-        self._retired_counts = {"evaluations": 0, "model_passes": 0,
-                                "table_hits": 0, "table_fallbacks": 0}
+        self.n_requests: int = 0
+        self.n_batches: int = 0
+        self.n_reloads: int = 0
+        self.bundle_generation: int = 0
+        self.bundle_info: Dict[str, str] = {}
+        self.routine_info: Dict[str, dict] = {}
+        self._machine_max: Optional[int] = None
+        self._retired_counts: Dict[str, int] = {
+            "evaluations": 0, "model_passes": 0,
+            "table_hits": 0, "table_fallbacks": 0}
         self._closed = False
+        self.instance = next_instance_id("engine")
+        # Weakly-held pull collector: exporters see the live counters,
+        # the hot path never touches the registry, and a discarded
+        # service drops out of snapshots on its own.
+        default_registry().register_collector(
+            self.metrics, component="engine", instance=self.instance)
 
     @classmethod
     def from_bundle(cls, bundle, machine, repeats: int = 1,
@@ -161,7 +170,8 @@ class GemmService:
         return service
 
     @classmethod
-    def from_registry(cls, registry, machine, machine_name: str = None,
+    def from_registry(cls, registry, machine,
+                      machine_name: Optional[str] = None,
                       routines=None, repeats: int = 1, cache_size: int = 256,
                       version="latest") -> "GemmService":
         """One mixed-routine service from a model registry's cells.
@@ -290,7 +300,8 @@ class GemmService:
         chosen = self._predictors.get(routine_of(spec, self.routine))
         return chosen if chosen is not None else self._predictors[self.routine]
 
-    def reload(self, bundle, cache_size: int = None, routine: str = None) -> dict:
+    def reload(self, bundle, cache_size: Optional[int] = None,
+               routine: Optional[str] = None) -> dict:
         """Hot-swap one routine's installation artefacts without restarting.
 
         ``routine`` defaults to the bundle's own ``config.routine`` tag
@@ -502,6 +513,38 @@ class GemmService:
         return record
 
     # -- stats -----------------------------------------------------------
+    def metrics(self) -> Dict[str, float]:
+        """Flat counter pull for a metrics-registry collector.
+
+        Cheap by construction — counter sums over the handful of live
+        predictors, never a walk of ``history`` (unlike the fuller
+        :meth:`stats`), so registry snapshots stay O(1) per service.
+        """
+        if self._closed:
+            return {}
+        live = list({id(p): p for p in self._predictors.values()
+                     if p is not None}.values())
+        cache_hits = cache_misses = 0
+        for p in live:
+            cache_hits += p.cache.hits
+            cache_misses += p.cache.misses
+        out = {
+            "engine_requests": self.n_requests,
+            "engine_batches": self.n_batches,
+            "engine_evaluations": (sum(p.n_evaluations for p in live)
+                                   + self._retired_counts["evaluations"]),
+            "engine_model_passes": (sum(p.n_model_passes for p in live)
+                                    + self._retired_counts["model_passes"]),
+            "engine_cache_hits": cache_hits,
+            "engine_cache_misses": cache_misses,
+            "engine_reloads": self.n_reloads,
+        }
+        tables = self.table_counters()
+        if tables["table_hits"] or tables["table_fallbacks"]:
+            out["engine_table_hits"] = tables["table_hits"]
+            out["engine_table_fallbacks"] = tables["table_fallbacks"]
+        return out
+
     def table_counters(self) -> dict:
         """Lifetime decision-table counters across every predictor.
 

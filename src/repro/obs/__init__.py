@@ -1,0 +1,53 @@
+"""repro.obs — observability: metrics, tracing, exporters, drift monitors.
+
+The layer ROADMAP items 1 (canary/rollback) and 2 (drift-triggered
+retraining) stand on: a process-wide :class:`MetricsRegistry` every
+subsystem publishes into, per-request span traces with a bounded
+collector, Prometheus/JSONL exporters, and latching threshold monitors.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_CAPACITY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Reservoir,
+    default_registry,
+    next_instance_id,
+    set_default_registry,
+)
+from repro.obs.tracing import (
+    CHAIN,
+    RequestTrace,
+    Span,
+    SpanCollector,
+    new_trace_id,
+)
+from repro.obs.exporters import (
+    read_jsonl,
+    render_prometheus,
+    write_metrics_jsonl,
+    write_prometheus,
+    write_snapshot,
+)
+from repro.obs.monitors import (
+    DriftEvent,
+    DriftMonitor,
+    MonitorSet,
+    cache_hit_rate_monitor,
+    p99_latency_monitor,
+    refiner_drift_monitor,
+    table_fallback_monitor,
+)
+
+__all__ = [
+    "DEFAULT_CAPACITY", "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "Reservoir", "default_registry", "next_instance_id",
+    "set_default_registry",
+    "CHAIN", "RequestTrace", "Span", "SpanCollector", "new_trace_id",
+    "read_jsonl", "render_prometheus", "write_metrics_jsonl",
+    "write_prometheus", "write_snapshot",
+    "DriftEvent", "DriftMonitor", "MonitorSet", "cache_hit_rate_monitor",
+    "p99_latency_monitor", "refiner_drift_monitor", "table_fallback_monitor",
+]

@@ -1,0 +1,168 @@
+"""Exporters: turn a registry + span collector into inspectable artefacts.
+
+Two machine-readable formats, one directory convention:
+
+* **Prometheus text** (:func:`render_prometheus`) — the de-facto pull
+  format; a scrape endpoint or a file-glob sidecar can serve it as-is.
+  Instrument names are sanitised to the Prometheus grammar, labels are
+  escaped, histograms render as ``_count`` / ``_sum`` plus
+  ``quantile``-labelled gauges (reservoir-estimated, so quantiles are
+  marked with the standard summary convention);
+* **JSONL snapshots** (:func:`write_metrics_jsonl`) — one metric per
+  line, the format ``diff_bench``-style tooling and the fv3net-like
+  diagnostics gates consume.
+
+:func:`write_snapshot` bundles both plus span JSONL and a raw
+``stats.json`` into one directory — the artefact set CI uploads and
+``repro obs`` reads back.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.tracing import SpanCollector
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_QUANTILES = ((0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99"))
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    name = _NAME_OK.sub("_", str(name))
+    return f"{prefix}_{name}" if prefix else name
+
+
+def _prom_labels(labels: dict, extra: dict = None) -> str:
+    merged = {**(labels or {}), **(extra or {})}
+    if not merged:
+        return ""
+    parts = []
+    for key, value in sorted(merged.items()):
+        key = _NAME_OK.sub("_", str(key))
+        value = str(value).replace("\\", r"\\").replace('"', r'\"')
+        parts.append(f'{key}="{value}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _prom_value(value) -> str:
+    if value is None:
+        return "NaN"
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry, prefix: str = "repro") -> str:
+    """Render instruments + collector pulls as Prometheus text format."""
+    lines = []
+    seen_types = set()
+
+    def header(name: str, kind: str):
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for inst in registry.instruments():
+        name = _prom_name(inst.name, prefix)
+        if isinstance(inst, Histogram):
+            # Reservoir histograms export with the summary convention:
+            # exact count/sum, estimated quantiles.
+            header(name, "summary")
+            summary = inst.reservoir.summary()
+            for q, q_label in _QUANTILES:
+                key = f"p{q_label[2:]}" if q != 0.5 else "p50"
+                if key in summary:
+                    labels = _prom_labels(inst.labels,
+                                          {"quantile": q_label})
+                    lines.append(f"{name}{labels} "
+                                 f"{_prom_value(summary[key])}")
+            labels = _prom_labels(inst.labels)
+            lines.append(f"{name}_count{labels} {summary['count']}")
+            lines.append(f"{name}_sum{labels} {_prom_value(summary['sum'])}")
+        else:
+            header(name, inst.kind)
+            labels = _prom_labels(inst.labels)
+            lines.append(f"{name}{labels} {_prom_value(inst.value)}")
+
+    for row in registry.collect():
+        name = _prom_name(row["name"], prefix)
+        header(name, "gauge")
+        labels = _prom_labels(row["labels"])
+        lines.append(f"{name}{labels} {_prom_value(row['value'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(registry: MetricsRegistry, path,
+                     prefix: str = "repro") -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_prometheus(registry, prefix=prefix))
+    return path
+
+
+def write_metrics_jsonl(registry: MetricsRegistry, path,
+                        ts: float = None) -> int:
+    """One metric per line (instruments then collector pulls).
+
+    Returns the number of lines written.  ``ts`` stamps every line so
+    successive snapshots concatenate into a time series.
+    """
+    ts = time.time() if ts is None else float(ts)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    rows = [i.describe() for i in registry.instruments()]
+    rows += registry.collect()
+    with open(path, "w") as fh:
+        for row in rows:
+            fh.write(json.dumps({"ts": round(ts, 3), **row},
+                                sort_keys=True, default=str) + "\n")
+    return len(rows)
+
+
+def write_snapshot(registry: MetricsRegistry, out_dir, *,
+                   collector: Optional[SpanCollector] = None,
+                   stats: dict = None, prefix: str = "repro") -> dict:
+    """Write the full artefact set into ``out_dir``.
+
+    ============== =====================================================
+    file           contents
+    ============== =====================================================
+    metrics.prom   Prometheus text rendering of the registry
+    metrics.jsonl  one metric per line (instruments + collector pulls)
+    spans.jsonl    one span per line (when a collector is given)
+    stats.json     the raw ``stats()`` dict (when given) + events
+    ============== =====================================================
+
+    Returns ``{file role: path}`` for the files actually written.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = {}
+    written["prometheus"] = str(write_prometheus(
+        registry, out_dir / "metrics.prom", prefix=prefix))
+    write_metrics_jsonl(registry, out_dir / "metrics.jsonl")
+    written["metrics"] = str(out_dir / "metrics.jsonl")
+    if collector is not None:
+        collector.export_jsonl(out_dir / "spans.jsonl")
+        written["spans"] = str(out_dir / "spans.jsonl")
+    if stats is not None:
+        payload = {"stats": stats, "events": registry.events(),
+                   "trace": collector.stats() if collector else None}
+        (out_dir / "stats.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True, default=str))
+        written["stats"] = str(out_dir / "stats.json")
+    return written
+
+
+def read_jsonl(path) -> list:
+    """Read one-object-per-line files (spans.jsonl / metrics.jsonl)."""
+    rows = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows

@@ -1,0 +1,227 @@
+"""Request tracing: one span chain per served request, ring-buffered.
+
+The serving path answers "how fast on average?" through telemetry; it
+could not answer "what happened to *this* request?".  Tracing fills
+that gap with the span model every production tracer uses, tuned so
+the hot path pays almost nothing:
+
+* a :class:`RequestTrace` is a ``__slots__`` scratchpad of timestamps
+  the server and scheduler stamp as the request moves — admission,
+  batch formation, execution window, predict-tier resolution.  No
+  span objects, no dicts, no string formatting on the hot path;
+* the :class:`SpanCollector` ring buffer stores finished traces and
+  materialises :class:`Span` objects **lazily** — only when someone
+  asks (``tail``, ``chain``, JSONL export).  A trace that is never
+  inspected costs a dozen attribute writes and one list append;
+* with tracing disabled the server never allocates a trace at all —
+  the hot path is a single ``is None`` check.
+
+Span chain per request (all sharing the request's ``trace_id``)::
+
+    request                          admission -> resolution, root
+    ├── admission                    instant: queue depth at admit
+    ├── queue_wait                   admission -> batch execution start
+    ├── batch                        batch formation window (size, shard)
+    ├── predict                      tier resolution (cache/table/plan/
+    │                                object) + chosen thread count
+    └── execute                      backend execution window + runtime
+
+Trace ids are deterministic within a process (a monotonic counter), so
+replaying the same trace twice yields comparable chains; callers may
+supply their own ids (``TimedRequest.trace_id``) for cross-system
+correlation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Span names of one complete chain, in causal order.
+CHAIN = ("request", "admission", "queue_wait", "batch", "predict", "execute")
+
+_trace_seq = itertools.count(1)
+
+
+def new_trace_id(prefix: str = "t") -> str:
+    """Process-unique, deterministic-order trace id."""
+    return f"{prefix}{next(_trace_seq):08d}"
+
+
+@dataclass(frozen=True)
+class Span:
+    """One materialised span of a request's journey."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    t_start: float
+    t_end: float
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return self.t_end - self.t_start
+
+    def as_dict(self) -> dict:
+        return {"trace_id": self.trace_id, "span_id": self.span_id,
+                "parent_id": self.parent_id, "name": self.name,
+                "t_start": round(self.t_start, 9),
+                "t_end": round(self.t_end, 9),
+                "duration_s": round(self.duration_s, 9), **self.attrs}
+
+
+class RequestTrace:
+    """Mutable per-request trace context (the hot-path scratchpad).
+
+    The server stamps admission, the scheduler stamps batch formation
+    and execution; :meth:`spans` turns the stamps into the span chain.
+    All timestamps are event-loop seconds (``loop.time()``), the same
+    clock the latency telemetry uses.
+    """
+
+    __slots__ = ("trace_id", "client", "routine", "shard", "queue_depth",
+                 "t_submit", "t_batch_form", "t_exec_start", "t_exec_done",
+                 "batch_size", "tier", "n_threads", "runtime_s", "status")
+
+    def __init__(self, trace_id: str, client: str, routine: Optional[str],
+                 shard: str, queue_depth: int, t_submit: float):
+        self.trace_id = trace_id
+        self.client = client
+        self.routine = routine
+        self.shard = shard
+        self.queue_depth = queue_depth
+        self.t_submit = t_submit
+        self.t_batch_form: Optional[float] = None
+        self.t_exec_start: Optional[float] = None
+        self.t_exec_done: Optional[float] = None
+        self.batch_size: int = 0
+        self.tier: Optional[str] = None
+        self.n_threads: Optional[int] = None
+        self.runtime_s: Optional[float] = None
+        self.status: str = "ok"
+
+    # -- materialisation (cold path only) --------------------------------
+    def spans(self) -> List[Span]:
+        """The chain in causal order; complete once execution finished."""
+        t0 = self.t_submit
+        t_form = self.t_batch_form if self.t_batch_form is not None else t0
+        t_exec = self.t_exec_start if self.t_exec_start is not None else t_form
+        t_done = self.t_exec_done if self.t_exec_done is not None else t_exec
+        root_id = f"{self.trace_id}/0"
+        common = {"client": self.client, "shard": self.shard}
+        if self.routine is not None:
+            common["routine"] = self.routine
+        spans = [Span(self.trace_id, root_id, None, "request", t0, t_done,
+                      {**common, "status": self.status}),
+                 Span(self.trace_id, f"{self.trace_id}/1", root_id,
+                      "admission", t0, t0,
+                      {"queue_depth": self.queue_depth}),
+                 Span(self.trace_id, f"{self.trace_id}/2", root_id,
+                      "queue_wait", t0, t_exec, {}),
+                 Span(self.trace_id, f"{self.trace_id}/3", root_id,
+                      "batch", t_form, t_exec,
+                      {"batch_size": self.batch_size, "shard": self.shard}),
+                 Span(self.trace_id, f"{self.trace_id}/4", root_id,
+                      "predict", t_exec, t_exec,
+                      {"tier": self.tier, "n_threads": self.n_threads}),
+                 Span(self.trace_id, f"{self.trace_id}/5", root_id,
+                      "execute", t_exec, t_done,
+                      {"runtime_s": self.runtime_s,
+                       "n_threads": self.n_threads})]
+        return spans
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RequestTrace({self.trace_id!r}, tier={self.tier!r}, "
+                f"status={self.status!r})")
+
+
+class SpanCollector:
+    """Bounded ring buffer of finished request traces.
+
+    ``capacity`` bounds *traces* (each materialises into
+    ``len(CHAIN)`` spans); the oldest are dropped first and counted in
+    ``n_dropped`` so an exporter can report truncation instead of
+    silently presenting a partial history as complete.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if int(capacity) < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._traces: List[RequestTrace] = []
+        self.n_traces = 0          # lifetime finished traces
+        self.n_dropped = 0
+        self._lock = threading.Lock()
+
+    # -- hot path --------------------------------------------------------
+    def finish(self, trace: RequestTrace) -> None:
+        """Record one finished request trace (one append, no spans yet)."""
+        with self._lock:
+            self.n_traces += 1
+            self._traces.append(trace)
+            if len(self._traces) > self.capacity:
+                overflow = len(self._traces) - self.capacity
+                del self._traces[:overflow]
+                self.n_dropped += overflow
+
+    # -- inspection (cold path) ------------------------------------------
+    def traces(self) -> List[RequestTrace]:
+        with self._lock:
+            return list(self._traces)
+
+    def trace_ids(self) -> List[str]:
+        return [t.trace_id for t in self.traces()]
+
+    def spans(self) -> List[Span]:
+        """Every retained span, oldest trace first, causal order within."""
+        return [span for trace in self.traces() for span in trace.spans()]
+
+    def chain(self, trace_id: str) -> List[Span]:
+        """The span chain of one trace (empty when evicted/unknown)."""
+        for trace in self.traces():
+            if trace.trace_id == trace_id:
+                return trace.spans()
+        return []
+
+    def tail(self, n: int) -> List[Span]:
+        """The spans of the ``n`` most recent traces."""
+        recent = self.traces()[-max(int(n), 0):]
+        return [span for trace in recent for span in trace.spans()]
+
+    def complete(self, trace: RequestTrace) -> bool:
+        """Whether a trace carries every stamp of a full chain."""
+        return (trace.t_batch_form is not None
+                and trace.t_exec_start is not None
+                and trace.t_exec_done is not None
+                and trace.tier is not None
+                and trace.status == "ok")
+
+    def stats(self) -> dict:
+        traces = self.traces()
+        return {"traces": self.n_traces,
+                "retained": len(traces),
+                "dropped": self.n_dropped,
+                "complete": sum(self.complete(t) for t in traces),
+                "capacity": self.capacity}
+
+    # -- export ----------------------------------------------------------
+    def export_jsonl(self, path) -> int:
+        """Write one span per line; returns the number of spans written."""
+        spans = self.spans()
+        with open(path, "w") as fh:
+            for span in spans:
+                fh.write(json.dumps(span.as_dict(), sort_keys=True) + "\n")
+        return len(spans)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SpanCollector({len(self)}/{self.capacity} traces, "
+                f"{self.n_dropped} dropped)")

@@ -42,6 +42,10 @@ class ServeRequest:
 
     ``t_submit`` is event-loop time at admission; the scheduler stamps
     queue-wait and total latency against it when the batch resolves.
+    ``trace`` is the request's
+    :class:`~repro.obs.tracing.RequestTrace` scratchpad when the server
+    runs with tracing enabled — ``None`` otherwise, so the disabled
+    path never allocates trace state.
     """
 
     spec: object
@@ -49,6 +53,7 @@ class ServeRequest:
     future: asyncio.Future
     t_submit: float
     shard: str = field(default="default")
+    trace: object = field(default=None)
 
 
 @dataclass

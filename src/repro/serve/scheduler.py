@@ -22,6 +22,7 @@ import asyncio
 from dataclasses import dataclass
 
 from repro.core.routines import routine_of
+from repro.engine.cache import shape_key as _shape_key
 from repro.serve.request import ReloadCommand
 
 #: Queue sentinel marking the end of the request stream for a shard.
@@ -68,15 +69,27 @@ class MicroBatcher:
         (the server decrements pending/fair-share accounting here).
     shard:
         Shard name, for telemetry attribution.
+    collector:
+        Optional :class:`~repro.obs.tracing.SpanCollector`; when set,
+        each executed request's :class:`~repro.obs.tracing.RequestTrace`
+        is stamped (batch formation, execution window, the tier that
+        answered its prediction) and finished into the collector.
+        ``None`` keeps the hot path span-free.
+    after_batch:
+        Optional zero-argument callback invoked once per executed batch
+        after every future has resolved — the server evaluates its
+        drift monitors here.
     """
 
     def __init__(self, service, policy: BatchPolicy, telemetry, release,
-                 shard: str = "default"):
+                 shard: str = "default", collector=None, after_batch=None):
         self.service = service
         self.policy = policy
         self.telemetry = telemetry
         self.release = release
         self.shard = shard
+        self.collector = collector
+        self.after_batch = after_batch
 
     async def run(self, queue: asyncio.Queue) -> None:
         """Consume ``queue`` until the shutdown sentinel arrives.
@@ -96,8 +109,11 @@ class MicroBatcher:
                 self._apply_reload(first)
                 continue
             batch = [first]
+            # Traced runs stamp when batch formation began (the pull of
+            # the first request); untraced runs skip the clock read.
+            t_form = loop.time() if self.collector is not None else None
             closing, pending_reload = await self._collect(queue, batch, loop)
-            await self._execute(batch, loop)
+            await self._execute(batch, loop, t_form=t_form)
             if pending_reload is not None:
                 self._apply_reload(pending_reload)
 
@@ -154,7 +170,46 @@ class MicroBatcher:
                                      predictor.n_table_fallbacks)
         return counters
 
-    async def _execute(self, batch, loop) -> None:
+    def _tiers_of(self, specs, records) -> list:
+        """Which prediction tier answered each record's thread choice.
+
+        ``memoised`` marks the cache (or an earlier duplicate in the
+        same batch).  The rest are probed against their routine's
+        tier-0 table with **one** vectorised
+        :meth:`~repro.compile.table.DecisionTable.lookup_batch` call per
+        predictor (the probe is a pure lattice lookup —
+        side-effect-free, no counters, no model pass; per-request
+        scalar probes would re-pay the numpy setup the serving path
+        amortises over the batch).  Off-lattice shapes attribute to the
+        compiled "plan" when one is installed, else the "object"
+        pipeline path.
+        """
+        tiers = [None] * len(specs)
+        predictor_for = getattr(self.service, "predictor_for", None)
+        groups = {}  # id(predictor) -> (predictor, [row indices])
+        for i, (spec, record) in enumerate(zip(specs, records)):
+            if record.memoised:
+                tiers[i] = "cache"
+            elif predictor_for is None:  # duck-typed service
+                tiers[i] = "object"
+            else:
+                predictor = predictor_for(spec)
+                groups.setdefault(id(predictor), (predictor, []))[1].append(i)
+        for predictor, rows in groups.values():
+            fallthrough = "plan" if getattr(predictor, "plan", None) \
+                is not None else "object"
+            table = getattr(predictor, "table", None)
+            if table is None:
+                for i in rows:
+                    tiers[i] = fallthrough
+                continue
+            _, resolved = table.lookup_batch(
+                [_shape_key(specs[i]) for i in rows])
+            for i, on_lattice in zip(rows, resolved):
+                tiers[i] = "table" if on_lattice else fallthrough
+        return tiers
+
+    async def _execute(self, batch, loop, t_form: float = None) -> None:
         """One vectorised service pass; resolve every caller's future.
 
         The pass runs in the loop's default executor so a long batch
@@ -175,7 +230,12 @@ class MicroBatcher:
                                               routine=routine_of(request.spec))
                 if not request.future.done():
                     request.future.set_exception(exc)
+                if self.collector is not None and request.trace is not None:
+                    request.trace.status = "error"
+                    self.collector.finish(request.trace)
                 self.release(request)
+            if self.after_batch is not None:
+                self.after_batch()
             return
         t_done = loop.time()
         for routine, (hits, fallbacks) in self._table_snapshot().items():
@@ -183,11 +243,25 @@ class MicroBatcher:
             if hits > h0 or fallbacks > f0:
                 self.telemetry.record_table(routine, hits - h0,
                                             fallbacks - f0)
-        for request, record in zip(batch, records):
+        tiers = self._tiers_of([r.spec for r in batch], records) \
+            if self.collector is not None else None
+        for i, (request, record) in enumerate(zip(batch, records)):
             self.telemetry.record_done(request.client,
                                        latency=t_done - request.t_submit,
                                        wait=t_start - request.t_submit,
                                        routine=routine_of(request.spec))
             if not request.future.done():
                 request.future.set_result(record)
+            if self.collector is not None and request.trace is not None:
+                trace = request.trace
+                trace.t_batch_form = t_form if t_form is not None else t_start
+                trace.t_exec_start = t_start
+                trace.t_exec_done = t_done
+                trace.batch_size = len(batch)
+                trace.tier = tiers[i]
+                trace.n_threads = record.n_threads
+                trace.runtime_s = record.runtime
+                self.collector.finish(trace)
             self.release(request)
+        if self.after_batch is not None:
+            self.after_batch()

@@ -26,6 +26,9 @@ from __future__ import annotations
 import asyncio
 
 from repro.core.routines import routine_of
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.monitors import MonitorSet
+from repro.obs.tracing import RequestTrace, SpanCollector, new_trace_id
 from repro.serve.request import (ReloadCommand, ServeRequest, ServerClosed,
                                  ServerOverloaded)
 from repro.serve.router import ShardRouter, default_router
@@ -61,12 +64,31 @@ class GemmServer:
         *reserve* so a tenant arriving mid-flood still finds admission
         slots, which means even a sole client is bounded by it.  Set
         ``None`` (or ``1.0``) for single-tenant deployments.
+    tracing:
+        Enable per-request span tracing: every served request's journey
+        (admission → queue wait → batch formation → predict-tier
+        resolution → execution) is recorded into ``collector`` (a
+        bounded :class:`~repro.obs.tracing.SpanCollector`).  Off by
+        default; when off, no trace state is allocated anywhere on the
+        hot path.  Thread choices are bitwise identical either way and
+        tracing adds zero model passes.
+    trace_capacity:
+        Ring-buffer bound on retained traces when ``tracing`` is on.
+    monitors:
+        A :class:`~repro.obs.monitors.MonitorSet` (or list of
+        :class:`~repro.obs.monitors.DriftMonitor`) evaluated against
+        this server after every executed batch.
+    registry:
+        The :class:`~repro.obs.metrics.MetricsRegistry` the server's
+        telemetry publishes into (default: the process-wide one).
     """
 
     def __init__(self, shards, router: ShardRouter = None, *,
                  max_batch: int = 16, max_wait_ms: float = 2.0,
                  max_queue: int = 64, max_pending: int = None,
-                 fair_share: float = 0.5):
+                 fair_share: float = 0.5, tracing: bool = False,
+                 trace_capacity: int = 4096, monitors=None,
+                 registry: MetricsRegistry = None):
         if hasattr(shards, "run_batch"):  # a bare GemmService
             shards = {"default": shards}
         if not shards:
@@ -85,7 +107,14 @@ class GemmServer:
         if fair_share is not None and not 0.0 < fair_share <= 1.0:
             raise ValueError("fair_share must be in (0, 1] or None")
         self.fair_share = fair_share
-        self.telemetry = ServeTelemetry()
+        self.registry = registry if registry is not None \
+            else default_registry()
+        self.telemetry = ServeTelemetry(registry=self.registry)
+        self.collector = SpanCollector(trace_capacity) if tracing else None
+        if monitors is None or isinstance(monitors, MonitorSet):
+            self.monitors = monitors
+        else:
+            self.monitors = MonitorSet(monitors, registry=self.registry)
         self._queues: dict = {}
         self._tasks: list = []
         self._pending = 0
@@ -99,10 +128,14 @@ class GemmServer:
         if self._started:
             raise RuntimeError("server already started")
         self._started = True
+        after_batch = self._after_batch if self.monitors is not None \
+            and len(self.monitors) else None
         for name, service in self.shards.items():
             queue: asyncio.Queue = asyncio.Queue(maxsize=self.max_queue)
             batcher = MicroBatcher(service, self.policy, self.telemetry,
-                                   release=self._release, shard=name)
+                                   release=self._release, shard=name,
+                                   collector=self.collector,
+                                   after_batch=after_batch)
             self._queues[name] = queue
             self._tasks.append(asyncio.ensure_future(batcher.run(queue)))
         return self
@@ -164,14 +197,21 @@ class GemmServer:
         else:
             del self._client_pending[request.client]  # no unbounded growth
 
+    def _after_batch(self) -> None:
+        """Per-executed-batch hook: evaluate the drift monitors."""
+        self.monitors.evaluate(self)
+
     # -- serving ---------------------------------------------------------
-    async def submit(self, spec, client: str = "default", shard: str = None):
+    async def submit(self, spec, client: str = "default", shard: str = None,
+                     trace_id: str = None):
         """Admit, route, enqueue and await one request.
 
         Returns the :class:`~repro.engine.service.GemmCallRecord` the
         shard produced.  ``shard`` overrides the router (explicit
         tenant targeting); backpressure is an ``await``, overload an
-        exception.
+        exception.  ``trace_id`` names the request's span chain when
+        tracing is enabled (one is generated otherwise) and is ignored
+        on an untraced server.
         """
         if not self._started:
             raise ServerClosed("server not started (use 'async with' or start())")
@@ -185,11 +225,19 @@ class GemmServer:
         routine = routine_of(spec)
         self._admit(client, routine)
         loop = asyncio.get_running_loop()
+        queue = self._queues[shard_name]
+        depth = queue.qsize()
+        t_submit = loop.time()
+        trace = None
+        if self.collector is not None:
+            trace = RequestTrace(
+                trace_id if trace_id is not None else new_trace_id(),
+                client, routine, shard_name, depth, t_submit)
         request = ServeRequest(spec=spec, client=client,
                                future=loop.create_future(),
-                               t_submit=loop.time(), shard=shard_name)
-        queue = self._queues[shard_name]
-        self.telemetry.record_admission(client, queue_depth=queue.qsize(),
+                               t_submit=t_submit, shard=shard_name,
+                               trace=trace)
+        self.telemetry.record_admission(client, queue_depth=depth,
                                         routine=routine)
         try:
             await queue.put(request)  # backpressure: await-until-slot
@@ -267,7 +315,7 @@ class GemmServer:
         """
         shard_stats = {name: service.stats()
                        for name, service in self.shards.items()}
-        return {
+        out = {
             **self.telemetry.stats(),
             "pending": self._pending,
             "max_pending": self.max_pending,
@@ -278,3 +326,10 @@ class GemmServer:
             "model_passes": sum(s["model_passes"] for s in shard_stats.values()),
             "shards": shard_stats,
         }
+        # Observability keys appear only when the features are on, so
+        # the default stats dict stays exactly its historic shape.
+        if self.collector is not None:
+            out["trace"] = self.collector.stats()
+        if self.monitors is not None and len(self.monitors):
+            out["monitors"] = self.monitors.stats()
+        return out

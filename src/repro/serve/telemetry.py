@@ -10,33 +10,69 @@ Counters and latency samples are additionally segmented by *routine*
 (the spec's ``routine`` tag), so a mixed GEMM/GEMV/TRSM/SYRK deployment
 can answer "which routine's tail latency regressed?" without replaying
 the trace.
+
+Samples are held in bounded :class:`~repro.obs.metrics.Reservoir`
+stores rather than plain lists: a long-lived server's memory no longer
+grows with traffic, while counts, sums and extrema stay exact (and the
+retained sample is the *whole* stream until ``capacity`` observations,
+so short-run statistics are bitwise identical to the unbounded
+implementation this replaced).  Each instance also registers a
+weakly-referenced collector with a
+:class:`~repro.obs.metrics.MetricsRegistry`, so exporters can pull the
+live counters without the hot path ever touching the registry.
 """
 
 from __future__ import annotations
 
 from collections import Counter
+from typing import Dict, Optional
 
 from repro.bench.stats import latency_summary
+from repro.obs.metrics import (DEFAULT_CAPACITY, MetricsRegistry, Reservoir,
+                               default_registry, next_instance_id)
 
 
 class ServeTelemetry:
-    """Counters and samples for one server's lifetime."""
+    """Counters and samples for one server's lifetime.
 
-    def __init__(self):
-        self.submitted = 0
-        self.served = 0
-        self.failed = 0
-        self.table_hits = 0
-        self.table_fallbacks = 0
-        self.rejected = Counter()      # reason -> count
-        self.batch_sizes: list = []    # one entry per executed batch
-        self.queue_depths: list = []   # sampled at every admission
-        self.latencies: list = []      # seconds, submit -> resolve
-        self.waits: list = []          # seconds, submit -> batch start
-        self.per_client: dict = {}     # client -> counters
-        self.per_routine: dict = {}    # routine -> counters + samples
-        self.per_shard_batches = Counter()
-        self.reloads = Counter()       # shard -> applied hot-reloads
+    Parameters
+    ----------
+    capacity:
+        Bound on every retained sample store (latencies, waits, batch
+        sizes, queue depths — globally and per routine).  Counts and
+        aggregate statistics stay exact past it; only the percentile
+        sample is subsampled.
+    registry:
+        The :class:`~repro.obs.metrics.MetricsRegistry` this instance's
+        pull collector registers with (default: the process-wide one).
+        The registry holds the collector weakly, so a discarded server
+        disappears from snapshots automatically.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 registry: Optional[MetricsRegistry] = None):
+        self._capacity = int(capacity)
+        self.submitted: int = 0
+        self.served: int = 0
+        self.failed: int = 0
+        self.table_hits: int = 0
+        self.table_fallbacks: int = 0
+        self.rejected: Counter = Counter()   # reason -> count
+        # Bounded sample stores (exact count/sum/min/max; the retained
+        # sample is exact below `capacity` observations).
+        self.batch_sizes = Reservoir(capacity)   # one entry per batch
+        self.queue_depths = Reservoir(capacity)  # sampled per admission
+        self.latencies = Reservoir(capacity)     # s, submit -> resolve
+        self.waits = Reservoir(capacity)         # s, submit -> batch start
+        self._batch_size_counts: Counter = Counter()  # size -> n (exact)
+        self.per_client: Dict[str, dict] = {}    # client -> counters
+        self.per_routine: Dict[str, dict] = {}   # routine -> counters+samples
+        self.per_shard_batches: Counter = Counter()
+        self.reloads: Counter = Counter()        # shard -> applied reloads
+        self.instance = next_instance_id("serve")
+        (registry if registry is not None
+         else default_registry()).register_collector(
+            self.metrics, component="serve", instance=self.instance)
 
     # -- recording -------------------------------------------------------
     def _client(self, client: str) -> dict:
@@ -46,10 +82,10 @@ class ServeTelemetry:
     def _routine(self, routine: str) -> dict:
         return self.per_routine.setdefault(
             routine, {"submitted": 0, "served": 0, "failed": 0,
-                      "rejected": 0, "latencies": []})
+                      "rejected": 0, "latencies": Reservoir(self._capacity)})
 
     def record_admission(self, client: str, queue_depth: int,
-                         routine: str = None) -> None:
+                         routine: Optional[str] = None) -> None:
         self.submitted += 1
         self.queue_depths.append(int(queue_depth))
         self._client(client)["submitted"] += 1
@@ -57,7 +93,7 @@ class ServeTelemetry:
             self._routine(routine)["submitted"] += 1
 
     def record_rejection(self, client: str, reason: str,
-                         routine: str = None) -> None:
+                         routine: Optional[str] = None) -> None:
         self.rejected[reason] += 1
         self._client(client)["rejected"] += 1
         if routine is not None:
@@ -65,10 +101,11 @@ class ServeTelemetry:
 
     def record_batch(self, shard: str, size: int) -> None:
         self.batch_sizes.append(int(size))
+        self._batch_size_counts[int(size)] += 1
         self.per_shard_batches[shard] += 1
 
     def record_done(self, client: str, latency: float, wait: float,
-                    routine: str = None) -> None:
+                    routine: Optional[str] = None) -> None:
         self.served += 1
         self.latencies.append(float(latency))
         self.waits.append(float(wait))
@@ -78,7 +115,8 @@ class ServeTelemetry:
             entry["served"] += 1
             entry["latencies"].append(float(latency))
 
-    def record_failure(self, client: str, routine: str = None) -> None:
+    def record_failure(self, client: str,
+                       routine: Optional[str] = None) -> None:
         self.failed += 1
         self._client(client)["failed"] += 1
         if routine is not None:
@@ -106,8 +144,12 @@ class ServeTelemetry:
 
     # -- reporting -------------------------------------------------------
     def batch_size_histogram(self) -> dict:
-        """``{batch size: number of batches}`` in ascending size order."""
-        return dict(sorted(Counter(self.batch_sizes).items()))
+        """``{batch size: number of batches}`` in ascending size order.
+
+        Exact over the server's lifetime (counted at record time, not
+        recovered from the bounded sample).
+        """
+        return dict(sorted(self._batch_size_counts.items()))
 
     def latency(self):
         """:class:`~repro.bench.stats.LatencySummary` of request latency."""
@@ -133,9 +175,28 @@ class ServeTelemetry:
             out[routine] = row
         return out
 
+    def metrics(self) -> Dict[str, float]:
+        """Flat counter pull for a metrics-registry collector."""
+        out = {
+            "serve_submitted": self.submitted,
+            "serve_served": self.served,
+            "serve_failed": self.failed,
+            "serve_rejected": sum(self.rejected.values()),
+            "serve_batches": self.batch_sizes.count,
+            "serve_reloads": sum(self.reloads.values()),
+        }
+        if self.table_hits or self.table_fallbacks:
+            out["serve_table_hits"] = self.table_hits
+            out["serve_table_fallbacks"] = self.table_fallbacks
+        if self.latencies.count:
+            out["serve_latency_p99_s"] = self.latencies.percentile(99)
+            out["serve_latency_mean_s"] = (self.latencies.total
+                                           / self.latencies.count)
+        return out
+
     def stats(self) -> dict:
         """Snapshot dict (latency fields in milliseconds)."""
-        n_batches = len(self.batch_sizes)
+        n_batches = self.batch_sizes.count
         out = {
             "submitted": self.submitted,
             "served": self.served,
@@ -143,10 +204,11 @@ class ServeTelemetry:
             "rejected": sum(self.rejected.values()),
             "rejected_by_reason": dict(self.rejected),
             "batches": n_batches,
-            "mean_batch_size": (round(sum(self.batch_sizes) / n_batches, 3)
+            "mean_batch_size": (round(self.batch_sizes.total / n_batches, 3)
                                 if n_batches else 0.0),
             "batch_size_histogram": self.batch_size_histogram(),
-            "max_queue_depth": max(self.queue_depths, default=0),
+            "max_queue_depth": (int(self.queue_depths.maximum)
+                                if self.queue_depths.count else 0),
             "clients": {c: dict(v) for c, v in self.per_client.items()},
             "routines": self.routine_stats(),
             "reloads": sum(self.reloads.values()),

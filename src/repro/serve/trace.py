@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -25,11 +26,18 @@ from repro.serve.request import ServerOverloaded
 
 @dataclass(frozen=True)
 class TimedRequest:
-    """One trace entry: ``spec`` arrives ``at`` seconds into the replay."""
+    """One trace entry: ``spec`` arrives ``at`` seconds into the replay.
+
+    ``trace_id`` is an optional trace-context carrier: replayed against
+    a tracing-enabled server it names the request's span chain
+    (cross-system correlation); left ``None`` the server assigns its
+    own id when tracing is on.
+    """
 
     spec: object
     at: float
     client: str = "default"
+    trace_id: Optional[str] = None
 
 
 def poisson_trace(specs, rate_hz: float, n_requests: int = None,
@@ -118,7 +126,8 @@ async def replay_trace_async(server, trace, time_scale: float = 1.0) -> ReplayOu
     async def one_client_call(item: TimedRequest):
         await asyncio.sleep(item.at * time_scale)
         try:
-            return await server.submit(item.spec, client=item.client)
+            return await server.submit(item.spec, client=item.client,
+                                       trace_id=item.trace_id)
         except ServerOverloaded:
             return None
 

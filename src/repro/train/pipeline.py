@@ -29,6 +29,7 @@ from repro.ml.metrics import normalised_rmse
 from repro.ml.model_selection import KFold, fold_indices
 from repro.ml.registry import candidate_models
 from repro.ml.tuning import RandomizedSearchCV, candidate_seed
+from repro.obs.metrics import default_registry
 from repro.train.fingerprint import dataset_fingerprint
 from repro.train.stages import Stage, StageCache, run_stages
 from repro.train.tuning import evaluate_params, make_pool
@@ -273,7 +274,18 @@ class TrainingPipeline:
         self.workflow.timings_["train_s"] = sum(
             seconds for name, seconds in run.durations.items()
             if name.startswith("tune:") or name == "select")
+        self._publish_metrics(run)
         return run.artifacts["select"]
+
+    def _publish_metrics(self, run) -> None:
+        """Per-stage wall times + a run audit event into the registry."""
+        registry = default_registry()
+        for name, seconds in run.durations.items():
+            registry.gauge("train_stage_seconds", stage=name).set(seconds)
+        registry.event("train_run",
+                       stages_run=len(run.executed),
+                       stages_hit=run.cache_hits,
+                       train_s=round(self.workflow.timings_["train_s"], 6))
 
     def stats(self) -> dict:
         """Cache effectiveness of the last run (hit counters for tests

@@ -37,6 +37,7 @@ from repro.core.serialize import (PLAN_FILENAME, SCHEMA_VERSION,
                                   TABLE_FILENAME, BundleError,
                                   _combine_digests, _sha256_file,
                                   load_bundle, load_manifest, save_bundle)
+from repro.obs.metrics import default_registry
 
 #: Import-time snapshot of the central routine registry
 #: (:mod:`repro.core.routines`) — used for static listings such as CLI
@@ -148,6 +149,14 @@ class ModelRegistry:
         }
         ref["latest"] = version
         self._write_ref(routine, machine, ref)
+        # Registry mutations are audit events: the control-plane loops
+        # (rollout, rollback, retrain) subscribe to exactly this stream.
+        registry = default_registry()
+        registry.event("registry_publish", routine=routine, machine=machine,
+                       version=version, checksum=manifest["checksum"],
+                       model_name=bundle.config.model_name)
+        registry.counter("registry_publishes",
+                         routine=routine, machine=machine).inc()
         return ModelRecord(routine=routine, machine=machine, version=version,
                            path=final_dir, checksum=manifest["checksum"],
                            model_name=bundle.config.model_name, latest=True)

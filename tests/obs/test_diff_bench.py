@@ -1,0 +1,111 @@
+"""BENCH artefact diffing: direction-aware tolerance comparison."""
+
+import json
+
+import pytest
+
+from benchmarks.diff_bench import (compare_bench, direction_of, main,
+                                   regressions, relative_change)
+
+
+class TestDirections:
+    def test_throughput_like_higher_is_better(self):
+        assert direction_of("req_per_s") == "higher"
+        assert direction_of("speedup") == "higher"
+        assert direction_of("anything_per_s") == "higher"
+
+    def test_cost_like_lower_is_better(self):
+        assert direction_of("p99_ms") == "lower"
+        assert direction_of("wall_s") == "lower"
+        assert direction_of("overhead_pct") == "lower"
+
+    def test_counts_drift_either_way(self):
+        assert direction_of("served") == "either"
+        assert direction_of("model_passes") == "either"
+
+
+def test_relative_change():
+    assert relative_change(100.0, 110.0) == pytest.approx(0.10)
+    assert relative_change(100.0, 85.0) == pytest.approx(-0.15)
+    assert relative_change(0.0, 0.0) == 0.0
+    assert relative_change(0.0, 5.0) == float("inf")
+
+
+class TestCompareBench:
+    def test_throughput_drop_is_regression_rise_is_improvement(self):
+        old = {"serve": {"req_per_s": 1000.0}}
+        drop = compare_bench(old, {"serve": {"req_per_s": 850.0}})
+        assert [f["status"] for f in drop] == ["regression"]
+        rise = compare_bench(old, {"serve": {"req_per_s": 1200.0}})
+        assert [f["status"] for f in rise] == ["improved"]
+        flat = compare_bench(old, {"serve": {"req_per_s": 1005.0}})
+        assert [f["status"] for f in flat] == ["ok"]
+
+    def test_latency_rise_is_regression(self):
+        old = {"serve": {"p99_ms": 10.0}}
+        rise = compare_bench(old, {"serve": {"p99_ms": 15.0}})
+        assert regressions(rise)[0]["metric"] == "p99_ms"
+        drop = compare_bench(old, {"serve": {"p99_ms": 6.0}})
+        assert [f["status"] for f in drop] == ["improved"]
+
+    def test_count_drift_regresses_both_directions(self):
+        old = {"serve": {"served": 100}}
+        up = compare_bench(old, {"serve": {"served": 150}})
+        down = compare_bench(old, {"serve": {"served": 50}})
+        assert regressions(up) and regressions(down)
+
+    def test_tolerance_respected(self):
+        old = {"s": {"req_per_s": 1000.0}}
+        new = {"s": {"req_per_s": 880.0}}            # -12%
+        assert regressions(compare_bench(old, new, tolerance=0.10))
+        assert not regressions(compare_bench(old, new, tolerance=0.15))
+
+    def test_non_numeric_change_reported_not_failed(self):
+        old = {"train": {"selected": "XGBoost"}}
+        new = {"train": {"selected": "LightGBM"}}
+        findings = compare_bench(old, new)
+        assert [f["status"] for f in findings] == ["changed"]
+        assert not regressions(findings)
+        same = compare_bench(old, dict(old))
+        assert [f["status"] for f in same] == ["ok"]
+
+    def test_added_and_removed_are_informational(self):
+        findings = compare_bench({"gone": {"x": 1}}, {"fresh": {"x": 1}})
+        assert sorted(f["status"] for f in findings) == ["added", "removed"]
+        assert not regressions(findings)
+        findings = compare_bench({"s": {"old_metric": 1}},
+                                 {"s": {"new_metric": 2}})
+        assert sorted(f["status"] for f in findings) == ["added", "removed"]
+
+
+class TestCli:
+    def write(self, tmp_path, name, data):
+        path = tmp_path / name
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        old = self.write(tmp_path, "old.json", {"s": {"req_per_s": 100.0}})
+        new = self.write(tmp_path, "new.json", {"s": {"req_per_s": 101.0}})
+        assert main([old, new]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        old = self.write(tmp_path, "old.json", {"s": {"req_per_s": 100.0}})
+        new = self.write(tmp_path, "new.json", {"s": {"req_per_s": 50.0}})
+        assert main([old, new]) == 1
+        out = capsys.readouterr().out
+        assert "regression" in out and "s.req_per_s" in out
+
+    def test_tolerance_flag(self, tmp_path):
+        old = self.write(tmp_path, "old.json", {"s": {"req_per_s": 100.0}})
+        new = self.write(tmp_path, "new.json", {"s": {"req_per_s": 88.0}})
+        assert main([old, new]) == 1
+        assert main([old, new, "--tolerance", "0.2"]) == 0
+
+    def test_exit_two_on_unreadable_input(self, tmp_path, capsys):
+        new = self.write(tmp_path, "new.json", {"s": {}})
+        assert main([str(tmp_path / "missing.json"), new]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2]")
+        assert main([str(bad), new]) == 2

@@ -1,0 +1,114 @@
+"""Exporters: Prometheus text rendering, JSONL snapshots, artefact dirs."""
+
+import json
+
+from repro.obs.exporters import (read_jsonl, render_prometheus,
+                                 write_metrics_jsonl, write_prometheus,
+                                 write_snapshot)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import SpanCollector
+
+from .test_tracing import finished_trace
+
+
+def populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("serve.requests", routine="gemm").inc(7)
+    reg.gauge("queue_depth").set(3)
+    hist = reg.histogram("latency_s", routine="gemm")
+    for v in range(1, 101):
+        hist.observe(v / 1000.0)
+    return reg
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_lines(self):
+        text = render_prometheus(populated_registry())
+        assert "# TYPE repro_serve_requests counter" in text
+        assert 'repro_serve_requests{routine="gemm"} 7.0' in text
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "repro_queue_depth 3.0" in text
+        assert text.endswith("\n")
+
+    def test_name_sanitisation(self):
+        """Dots and dashes are not Prometheus grammar; underscores are."""
+        text = render_prometheus(populated_registry())
+        assert "serve.requests" not in text
+        assert "repro_serve_requests" in text
+
+    def test_histogram_renders_as_summary(self):
+        text = render_prometheus(populated_registry())
+        assert "# TYPE repro_latency_s summary" in text
+        assert 'repro_latency_s{quantile="0.5",routine="gemm"}' in text
+        assert 'repro_latency_s{quantile="0.99",routine="gemm"}' in text
+        assert 'repro_latency_s_count{routine="gemm"} 100' in text
+        assert 'repro_latency_s_sum{routine="gemm"}' in text
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c", path='a"b\\c').inc()
+        text = render_prometheus(reg)
+        assert r'path="a\"b\\c"' in text
+
+    def test_collector_rows_render_as_gauges(self):
+        reg = MetricsRegistry()
+        reg.register_collector(lambda: {"engine_hits": 5},
+                               component="engine")
+        text = render_prometheus(reg)
+        assert "# TYPE repro_engine_hits gauge" in text
+        assert 'repro_engine_hits{component="engine"} 5.0' in text
+
+    def test_custom_prefix_and_empty(self):
+        reg = MetricsRegistry()
+        assert render_prometheus(reg) == ""
+        reg.counter("x").inc()
+        assert "adsala_x" in render_prometheus(reg, prefix="adsala")
+
+    def test_write_prometheus_creates_parents(self, tmp_path):
+        path = write_prometheus(populated_registry(),
+                                tmp_path / "deep" / "metrics.prom")
+        assert path.exists()
+        assert "repro_serve_requests" in path.read_text()
+
+
+class TestJsonl:
+    def test_metrics_jsonl_one_row_per_metric(self, tmp_path):
+        reg = populated_registry()
+        reg.register_collector(lambda: {"pulled": 1.0})
+        path = tmp_path / "metrics.jsonl"
+        n = write_metrics_jsonl(reg, path, ts=123.0)
+        rows = read_jsonl(path)
+        assert len(rows) == n == 4          # 3 instruments + 1 pull
+        assert all(row["ts"] == 123.0 for row in rows)
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["serve.requests"]["value"] == 7.0
+        assert by_name["latency_s"]["count"] == 100
+        assert by_name["pulled"]["type"] == "gauge"
+
+    def test_read_jsonl_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        path.write_text('{"a": 1}\n\n{"b": 2}\n')
+        assert read_jsonl(path) == [{"a": 1}, {"b": 2}]
+
+
+class TestSnapshot:
+    def test_full_artefact_set(self, tmp_path):
+        reg = populated_registry()
+        reg.event("reload", ts=1.0, version=3)
+        collector = SpanCollector()
+        collector.finish(finished_trace())
+        written = write_snapshot(reg, tmp_path / "obs", collector=collector,
+                                 stats={"served": 12})
+        assert set(written) == {"prometheus", "metrics", "spans", "stats"}
+        payload = json.loads((tmp_path / "obs" / "stats.json").read_text())
+        assert payload["stats"] == {"served": 12}
+        assert payload["events"][0]["event"] == "reload"
+        assert payload["trace"]["traces"] == 1
+        spans = read_jsonl(tmp_path / "obs" / "spans.jsonl")
+        assert len(spans) == 6
+
+    def test_minimal_artefact_set(self, tmp_path):
+        written = write_snapshot(populated_registry(), tmp_path)
+        assert set(written) == {"prometheus", "metrics"}
+        assert not (tmp_path / "spans.jsonl").exists()
+        assert not (tmp_path / "stats.json").exists()

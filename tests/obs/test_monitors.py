@@ -1,0 +1,124 @@
+"""Drift monitors: latching, thresholds, rate limits, set delivery."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.monitors import DriftEvent, DriftMonitor, MonitorSet
+
+
+def constant(value, count=100):
+    """An extractor ignoring its source."""
+    return lambda source: (value, count)
+
+
+class TestDriftMonitor:
+    def test_exactly_one_direction_required(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            DriftMonitor("m", constant(1.0))
+        with pytest.raises(ValueError, match="exactly one"):
+            DriftMonitor("m", constant(1.0), above=1.0, below=0.5)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="min_count"):
+            DriftMonitor("m", constant(1.0), above=0.5, min_count=0)
+        with pytest.raises(ValueError, match="every"):
+            DriftMonitor("m", constant(1.0), above=0.5, every=0)
+
+    def test_fires_exactly_once_then_latches(self):
+        fired = []
+        monitor = DriftMonitor("rate", constant(0.9), above=0.5,
+                               callback=fired.append)
+        event = monitor.evaluate(None)
+        assert isinstance(event, DriftEvent)
+        assert event.value == 0.9 and event.threshold == 0.5
+        assert event.direction == "above" and event.count == 100
+        # Staying beyond the threshold must NOT re-fire.
+        for _ in range(10):
+            assert monitor.evaluate(None) is None
+        assert len(fired) == 1
+        assert monitor.fired is event
+
+    def test_reset_rearms(self):
+        monitor = DriftMonitor("rate", constant(0.9), above=0.5)
+        assert monitor.evaluate(None) is not None
+        assert monitor.evaluate(None) is None
+        monitor.reset()
+        assert monitor.evaluate(None) is not None
+
+    def test_below_threshold_never_fires(self):
+        monitor = DriftMonitor("rate", constant(0.3), above=0.5)
+        for _ in range(5):
+            assert monitor.evaluate(None) is None
+        assert monitor.fired is None
+        assert monitor.last_value == 0.3
+
+    def test_below_direction(self):
+        monitor = DriftMonitor("hit_rate", constant(0.2), below=0.6)
+        event = monitor.evaluate(None)
+        assert event is not None and event.direction == "below"
+
+    def test_min_count_gates_until_evidence(self):
+        calls = {"n": 0}
+
+        def extract(source):
+            calls["n"] += 1
+            return 0.9, calls["n"]      # count grows per evaluation
+
+        monitor = DriftMonitor("rate", extract, above=0.5, min_count=3)
+        assert monitor.evaluate(None) is None       # count=1
+        assert monitor.evaluate(None) is None       # count=2
+        assert monitor.evaluate(None) is not None   # count=3: trusted
+
+    def test_none_extraction_skipped(self):
+        monitor = DriftMonitor("rate", lambda s: None, above=0.5)
+        assert monitor.evaluate(None) is None
+        assert monitor.last_value is None
+
+    def test_every_rate_limits_extraction(self):
+        calls = {"n": 0}
+
+        def extract(source):
+            calls["n"] += 1
+            return 0.1, 1               # never crosses
+
+        monitor = DriftMonitor("p99", extract, above=2.0, every=3)
+        for _ in range(9):
+            monitor.evaluate(None)
+        assert calls["n"] == 3          # evaluations 1, 4, 7
+
+    def test_event_as_dict(self):
+        event = DriftEvent("m", value=0.123456789, threshold=0.1,
+                           direction="above", count=5)
+        assert event.as_dict() == {"monitor": "m", "value": 0.123457,
+                                   "threshold": 0.1, "direction": "above",
+                                   "count": 5}
+
+
+class TestMonitorSet:
+    def test_evaluate_delivers_and_records(self):
+        registry = MetricsRegistry()
+        seen = []
+        monitors = MonitorSet([DriftMonitor("a", constant(0.9), above=0.5),
+                               DriftMonitor("b", constant(0.1), above=0.5)],
+                              on_fire=seen.append, registry=registry)
+        fired = monitors.evaluate(None)
+        assert [e.monitor for e in fired] == ["a"]
+        assert [e.monitor for e in seen] == ["a"]
+        assert monitors.evaluate(None) == []            # latched
+        drift_events = registry.events("drift")
+        assert len(drift_events) == 1
+        assert drift_events[0]["monitor"] == "a"
+        assert len(monitors.events) == 1
+
+    def test_add_len_reset_stats(self):
+        monitors = MonitorSet(registry=MetricsRegistry())
+        assert len(monitors) == 0
+        monitors.add(DriftMonitor("a", constant(0.9), above=0.5))
+        assert len(monitors) == 1
+        monitors.evaluate(None)
+        stats = monitors.stats()
+        assert stats["monitors"]["a"]["fired"]["value"] == 0.9
+        assert stats["monitors"]["a"]["last_value"] == 0.9
+        assert len(stats["events"]) == 1
+        monitors.reset()
+        assert monitors.stats()["monitors"]["a"]["fired"] is None

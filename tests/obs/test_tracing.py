@@ -1,0 +1,133 @@
+"""Request tracing: span chains, ring-buffer collector, JSONL export."""
+
+import json
+
+import pytest
+
+from repro.obs.tracing import (CHAIN, RequestTrace, Span, SpanCollector,
+                               new_trace_id)
+
+
+def finished_trace(trace_id="t-test", t0=10.0) -> RequestTrace:
+    trace = RequestTrace(trace_id, client="c0", routine="gemm",
+                         shard="default", queue_depth=3, t_submit=t0)
+    trace.t_batch_form = t0 + 0.001
+    trace.t_exec_start = t0 + 0.002
+    trace.t_exec_done = t0 + 0.005
+    trace.batch_size = 4
+    trace.tier = "table"
+    trace.n_threads = 8
+    trace.runtime_s = 0.003
+    return trace
+
+
+def test_new_trace_id_unique_and_prefixed():
+    a, b = new_trace_id(), new_trace_id("x")
+    assert a != b
+    assert a.startswith("t") and b.startswith("x")
+
+
+class TestSpanChain:
+    def test_complete_chain_shape(self):
+        spans = finished_trace().spans()
+        assert [s.name for s in spans] == list(CHAIN)
+        assert len(spans) == 6
+        assert {s.trace_id for s in spans} == {"t-test"}
+
+    def test_parentage(self):
+        spans = finished_trace().spans()
+        root = spans[0]
+        assert root.parent_id is None
+        assert all(s.parent_id == root.span_id for s in spans[1:])
+        assert len({s.span_id for s in spans}) == 6  # unique within trace
+
+    def test_causal_timestamps(self):
+        by_name = {s.name: s for s in finished_trace().spans()}
+        assert by_name["request"].t_start == 10.0
+        assert by_name["request"].t_end == by_name["execute"].t_end
+        assert by_name["queue_wait"].t_end == by_name["execute"].t_start
+        assert by_name["batch"].t_start <= by_name["execute"].t_start
+        for span in by_name.values():
+            assert span.t_end >= span.t_start
+            assert span.duration_s >= 0
+
+    def test_attrs(self):
+        by_name = {s.name: s for s in finished_trace().spans()}
+        assert by_name["admission"].attrs["queue_depth"] == 3
+        assert by_name["batch"].attrs["batch_size"] == 4
+        assert by_name["predict"].attrs == {"tier": "table", "n_threads": 8}
+        assert by_name["execute"].attrs["runtime_s"] == 0.003
+        assert by_name["request"].attrs["status"] == "ok"
+        assert by_name["request"].attrs["routine"] == "gemm"
+
+    def test_unfinished_trace_still_materialises(self):
+        """Missing stamps collapse to the submit time (no crash)."""
+        trace = RequestTrace("t-x", "c0", None, "default", 0, 5.0)
+        spans = trace.spans()
+        assert [s.name for s in spans] == list(CHAIN)
+        assert all(s.t_start == s.t_end == 5.0 for s in spans)
+        assert "routine" not in spans[0].attrs  # omitted when unknown
+
+    def test_span_as_dict_roundtrips_json(self):
+        span = finished_trace().spans()[0]
+        d = json.loads(json.dumps(span.as_dict()))
+        assert d["name"] == "request"
+        assert d["duration_s"] == pytest.approx(0.005)
+
+
+class TestSpanCollector:
+    def test_ring_bound_and_drop_accounting(self):
+        collector = SpanCollector(capacity=5)
+        for i in range(12):
+            collector.finish(finished_trace(f"t{i}"))
+        assert len(collector) == 5
+        assert collector.n_traces == 12
+        assert collector.n_dropped == 7
+        assert collector.trace_ids() == [f"t{i}" for i in range(7, 12)]
+        stats = collector.stats()
+        assert stats == {"traces": 12, "retained": 5, "dropped": 7,
+                         "complete": 5, "capacity": 5}
+
+    def test_complete_requires_every_stamp_and_ok_status(self):
+        collector = SpanCollector()
+        assert collector.complete(finished_trace())
+        unfinished = RequestTrace("t-u", "c", None, "default", 0, 0.0)
+        assert not collector.complete(unfinished)
+        errored = finished_trace()
+        errored.status = "error"
+        assert not collector.complete(errored)
+
+    def test_chain_and_tail(self):
+        collector = SpanCollector()
+        for i in range(4):
+            collector.finish(finished_trace(f"t{i}", t0=float(i)))
+        chain = collector.chain("t2")
+        assert [s.name for s in chain] == list(CHAIN)
+        assert chain[0].trace_id == "t2"
+        assert collector.chain("nope") == []
+        tail = collector.tail(2)
+        assert [s.trace_id for s in tail[::6]] == ["t2", "t3"]
+        assert len(collector.spans()) == 4 * len(CHAIN)
+
+    def test_export_jsonl(self, tmp_path):
+        collector = SpanCollector()
+        for i in range(3):
+            collector.finish(finished_trace(f"t{i}"))
+        path = tmp_path / "spans.jsonl"
+        n = collector.export_jsonl(path)
+        assert n == 3 * len(CHAIN)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == n
+        assert {line["trace_id"] for line in lines} == {"t0", "t1", "t2"}
+        assert all({"span_id", "parent_id", "name", "t_start", "t_end",
+                    "duration_s"} <= set(line) for line in lines)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            SpanCollector(capacity=0)
+
+
+def test_span_is_frozen():
+    span = Span("t", "t/0", None, "request", 0.0, 1.0)
+    with pytest.raises(AttributeError):
+        span.name = "other"

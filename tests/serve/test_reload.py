@@ -129,6 +129,57 @@ class TestServerReload:
 
         run(scenario())
 
+    def test_stats_and_table_counters_monotonic_across_reload(self,
+                                                              tiny_sim):
+        """Reload retires a predictor but never rewinds a counter: table
+        hits, per-routine served counts and engine totals all keep
+        counting across the swap (the old predictor's tallies fold into
+        the retired-counter bucket instead of vanishing)."""
+        from repro.core.features import FeatureBuilder
+        from repro.core.predictor import ThreadPredictor
+        from repro.engine import GemmService, PredictionCache
+
+        from .test_observability import LATTICE, oracle_table
+
+        predictor = ThreadPredictor(
+            FeatureBuilder("both"), None, OracleModel(), GRID,
+            cache=PredictionCache(maxsize=4), table=oracle_table())
+        service = GemmService(predictor, backend=tiny_sim.backend(GRID))
+
+        async def scenario():
+            async with GemmServer(service, max_batch=4,
+                                  max_wait_ms=0.5) as server:
+                await server.submit_many(LATTICE[:10])
+                before = server.stats()
+                tables_before = service.table_counters()
+                await server.reload(oracle_bundle(1))
+                await server.submit_many(LATTICE[:10])
+                return server, before, tables_before
+
+        server, before, tables_before = run(scenario())
+        after = server.stats()
+        tables_after = service.table_counters()
+
+        # Every pre-reload table hit survives the swap (the reloaded
+        # oracle bundle has no table, so the count stays put rather
+        # than resetting to zero with the fresh predictor).
+        assert tables_before["table_hits"] == 10
+        assert tables_after["table_hits"] == tables_before["table_hits"]
+        assert tables_after["table_fallbacks"] \
+            >= tables_before["table_fallbacks"]
+
+        # Per-routine serving stats keep counting across the swap.
+        assert before["routines"]["gemm"]["served"] == 10
+        assert after["routines"]["gemm"]["served"] == 20
+        assert after["reloads"] == 1
+
+        # Engine aggregates are monotonic too — the reload folded the
+        # retired predictor's evaluations instead of dropping them.
+        for key in ("served", "submitted", "evaluations", "model_passes"):
+            assert after[key] >= before[key], key
+        assert after["shards"]["default"]["requests"] \
+            >= before["shards"]["default"]["requests"]
+
     def test_failed_reload_keeps_old_bundle(self, make_service):
         class BrokenBundle:
             """No .config / .predictor: service.reload must raise."""

@@ -64,6 +64,28 @@ class TestParser:
         args = build_parser().parse_args(["serve", "--install", "dir", "t.txt"])
         assert args.machine is None and args.clients == 4
 
+    def test_serve_trace_and_obs_args(self):
+        args = build_parser().parse_args(
+            ["serve", "--install", "dir", "--trace",
+             "--obs-dir", "obs_out", "t.txt"])
+        assert args.trace and args.obs_dir == "obs_out"
+        args = build_parser().parse_args(["serve", "--install", "dir",
+                                          "t.txt"])
+        assert not args.trace and args.obs_dir is None
+
+    def test_obs_args(self):
+        args = build_parser().parse_args(["obs", "artefacts"])
+        assert args.obs_dir == "artefacts"
+        assert args.tail is None and not args.dump
+        args = build_parser().parse_args(["obs", "artefacts", "--tail", "5"])
+        assert args.tail == 5
+        args = build_parser().parse_args(["obs", "artefacts", "--dump"])
+        assert args.dump
+
+    def test_obs_tail_and_dump_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs", "d", "--tail", "3", "--dump"])
+
     def test_predict_args(self):
         args = build_parser().parse_args(
             ["predict", "--install", "dir", "8", "16", "32"])
@@ -137,6 +159,50 @@ class TestEndToEnd:
         assert "batch sizes" in captured
         assert "model passes" in captured
         assert "shard tiny" in captured
+
+    def test_serve_with_obs_dir_then_obs_views(self, tmp_path, capsys):
+        """serve --obs-dir writes the artefact set; obs reads it back."""
+        out = tmp_path / "install"
+        main(["install", "--machine", "tiny", "--shapes", "25",
+              "--cap-mb", "8", "--tune-iters", "1", "--cv-folds", "2",
+              "--out", str(out)])
+        capsys.readouterr()
+
+        shapes = tmp_path / "shapes.txt"
+        shapes.write_text("64 512 64\n32 768 32\n64 512 64\n128 128 128\n")
+        obs_dir = tmp_path / "obs"
+        rc = main(["serve", "--install", str(out), "--rate", "4000",
+                   "--requests", "16", str(shapes),
+                   "--obs-dir", str(obs_dir)])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "complete span chains" in captured
+        for name in ("metrics.prom", "metrics.jsonl", "spans.jsonl",
+                     "stats.json"):
+            assert (obs_dir / name).exists(), name
+
+        rc = main(["obs", str(obs_dir)])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "serving stats" in captured or "served" in captured
+        assert "trace" in captured
+
+        rc = main(["obs", str(obs_dir), "--tail", "2"])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "admission" in captured and "execute" in captured
+        assert "tier=" in captured
+
+        rc = main(["obs", str(obs_dir), "--dump"])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "# TYPE" in captured           # Prometheus text
+        assert "repro_serve_served" in captured
+
+    def test_obs_rejects_missing_dir(self, tmp_path, capsys):
+        rc = main(["obs", str(tmp_path / "nope")])
+        assert rc == 2
+        assert "not a directory" in capsys.readouterr().err
 
     def test_models_list_compile_inspect(self, tiny_bundle, tmp_path,
                                          capsys):

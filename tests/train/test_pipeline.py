@@ -33,6 +33,29 @@ class TestFacade:
         assert workflow.timings_["gather_s"] > 0
         assert bundle.report.selected in ("Linear Regression", "ElasticNet")
 
+    def test_run_publishes_stage_timings_and_audit_event(self, make_workflow,
+                                                         train_data):
+        from repro.obs.metrics import MetricsRegistry, set_default_registry
+
+        registry = MetricsRegistry()
+        set_default_registry(registry)
+        try:
+            workflow = make_workflow()
+            workflow.run(train_data)
+        finally:
+            set_default_registry(None)
+
+        stages = {i.labels["stage"]: i.value for i in registry.instruments()
+                  if i.name == "train_stage_seconds"}
+        assert {"gather", "split", "preprocess", "select",
+                "tune:Linear Regression", "tune:ElasticNet"} <= set(stages)
+        assert all(seconds >= 0 for seconds in stages.values())
+        events = registry.events("train_run")
+        assert len(events) == 1
+        assert events[0]["stages_run"] == 6
+        assert events[0]["stages_hit"] == 0
+        assert events[0]["train_s"] >= 0
+
 
 class TestStageCaching:
     def test_rerun_replays_every_stage(self, make_workflow, train_data,

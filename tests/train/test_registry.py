@@ -34,6 +34,27 @@ class TestPublish:
                 for e in registry.entries()} \
             == {("gemm", "tiny", 1), ("gemv", "tiny", 1)}
 
+    def test_publish_emits_audit_event_and_counter(self, registry,
+                                                   tiny_bundle):
+        from repro.obs.metrics import MetricsRegistry, set_default_registry
+
+        bundle, _ = tiny_bundle
+        metrics = MetricsRegistry()
+        set_default_registry(metrics)
+        try:
+            record = registry.publish(bundle, routine="gemm")
+            registry.publish(bundle, routine="gemm")
+        finally:
+            set_default_registry(None)
+
+        events = metrics.events("registry_publish")
+        assert [e["version"] for e in events] == [1, 2]
+        assert events[0]["routine"] == "gemm"
+        assert events[0]["machine"] == record.machine
+        assert events[0]["checksum"] == record.checksum
+        assert metrics.counter("registry_publishes", routine="gemm",
+                               machine=record.machine).value == 2.0
+
     def test_unknown_routine_rejected(self, registry, tiny_bundle):
         bundle, _ = tiny_bundle
         with pytest.raises(RegistryError, match="unknown routine"):
