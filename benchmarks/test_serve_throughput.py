@@ -25,7 +25,21 @@ hide the trace stamps behind.  Acceptance: thread selections bitwise
 identical, zero extra model passes, every finished trace a complete
 span chain, and <= 5% sustained-throughput overhead.
 
-Both experiments append machine-readable metrics to
+A fourth experiment measures the **plateau interpolation** win on an
+off-lattice-heavy trace (75% of the pool drawn from the validated
+off-lattice probe distribution, 25% lattice points): a
+``snap="plateau"`` table answers the near-lattice tail from tier 0,
+while the exact-snap table pays a compiled forest pass per off-lattice
+shape.  Acceptance: >= 2x sustained requests/second with **zero**
+selection divergence between the two paths.
+
+A fifth experiment prices the slab-batched bulk submit path: a
+256-request burst through ``max_batch=16`` must allocate exactly
+``ceil(256/16) = 16`` slab futures (asserted by counting
+``SlabRequest`` construction) while producing records bitwise
+identical, and in the same order, as per-request ``submit`` calls.
+
+All experiments append machine-readable metrics to
 ``benchmarks/results/BENCH_serve.json`` (the artefact CI uploads).
 
 Smoke mode for CI: ``SERVE_BENCH_SMOKE=1`` shrinks the installation and
@@ -268,6 +282,190 @@ def test_table_throughput_vs_compiled_plan(table_bundle, save_result,
         f"table path only {speedup:.2f}x the plan path "
         f"({table_outcome.requests_per_sec:.0f} vs "
         f"{plan_outcome.requests_per_sec:.0f} req/s)")
+
+
+# -- plateau interpolation on off-lattice traffic ------------------------
+
+@pytest.fixture(scope="module")
+def plateau_bundle(table_bundle):
+    """The same installation with a ``snap="plateau"`` table."""
+    import dataclasses
+
+    bundle = dataclasses.replace(table_bundle, table=None)
+    bundle.compile_table(snap="plateau")
+    return bundle
+
+
+def _off_lattice_pool(table, n: int, seed: int = 0) -> list:
+    """Distinct off-lattice shapes the plateau table absorbs.
+
+    Drawn from the *validated* probe distribution — exactly the traffic
+    the build-time sweep vetted, so an interpolated answer is plan-equal
+    by construction — and filtered to surviving (non-demoted) cells:
+    the near-lattice tail this tier exists to serve.  An exact-snap
+    table pays a plan pass for every one of these.
+    """
+    from repro.compile.table import PLATEAU_PROBES, _plateau_probe_points
+
+    probes = _plateau_probe_points(table.axes, None, PLATEAU_PROBES)
+    _, _, interpolated = table.lookup_batch_ex(probes)
+    probes = probes[interpolated]
+    rng = np.random.default_rng(seed)
+    index = rng.choice(len(probes), size=min(n, len(probes)), replace=False)
+    return [GemmSpec(int(m), int(k), int(n_dim))
+            for m, k, n_dim in probes[np.sort(index)]]
+
+
+def test_plateau_throughput_on_off_lattice_trace(table_bundle, plateau_bundle,
+                                                 save_result,
+                                                 save_bench_json):
+    """Plateau tier-0 vs exact-table-with-plan-fallback, same trace."""
+    import gc
+
+    table = plateau_bundle.table
+    pool = _off_lattice_pool(table, 3 * N_TABLE_POOL // 4, seed=3)
+    pool += _lattice_pool(table, N_TABLE_POOL - len(pool), seed=5)
+    trace = poisson_trace(pool, rate_hz=TABLE_RATE_HZ,
+                          n_requests=len(pool), n_clients=4, seed=0)
+    backend = _InstantBackend(table_bundle.config.thread_grid)
+
+    def replay(bundle):
+        predictor = bundle.predictor(cache_size=2 * len(pool),
+                                     compiled=True, table=True)
+        service = GemmService(predictor, backend=backend)
+        server = GemmServer(service, max_batch=MAX_BATCH,
+                            max_wait_ms=MAX_WAIT_MS, max_queue=1024)
+        gc.collect()
+        gc.disable()
+        try:
+            return replay_trace(server, trace)
+        finally:
+            gc.enable()
+
+    def best(bundle, trials: int = 3):
+        outcomes = [replay(bundle) for _ in range(trials)]
+        return max(outcomes, key=lambda o: o.requests_per_sec)
+
+    fallback_outcome = best(table_bundle)    # exact table: misses hit the plan
+    plateau_outcome = best(plateau_bundle)   # plateau: misses absorbed
+    speedup = (plateau_outcome.requests_per_sec
+               / fallback_outcome.requests_per_sec)
+
+    rows = [plateau_outcome.report_row("plateau table"),
+            fallback_outcome.report_row("exact table + plan fallback")]
+    for row, outcome in zip(rows, (plateau_outcome, fallback_outcome)):
+        row["speedup"] = round(outcome.requests_per_sec
+                               / fallback_outcome.requests_per_sec, 2)
+    save_result("serve_plateau_throughput", format_table(
+        rows, title="serve replay: plateau interpolation vs plan fallback "
+                    f"({len(pool)} requests, 75% off-lattice "
+                    f"@ {TABLE_RATE_HZ:g}/s, instant backend)"))
+    save_bench_json("serve", "plateau_path", {
+        **_bench_metrics(plateau_outcome),
+        "table_interpolated": plateau_outcome.stats.get(
+            "table_interpolated", 0),
+        "table_fallbacks": plateau_outcome.stats.get("table_fallbacks", 0),
+        "speedup_vs_fallback": round(speedup, 2)})
+    save_bench_json("serve", "plan_fallback_path", {
+        **_bench_metrics(fallback_outcome),
+        "table_fallbacks": fallback_outcome.stats.get("table_fallbacks", 0)})
+
+    # Nothing dropped on either path.
+    assert plateau_outcome.served == fallback_outcome.served == len(pool)
+
+    # Zero selection divergence: an interpolated answer is only ever
+    # the one the plan-fallback path computes the long way round.
+    assert plateau_outcome.thread_choices() == fallback_outcome.thread_choices()
+
+    # The plateau genuinely absorbed off-lattice traffic into tier 0
+    # (interpolated hits counted separately), while the exact table fell
+    # back to the plan for it.  (Model *passes* are per batch, so they
+    # need not differ — the fallback path's passes are just far bigger.)
+    assert plateau_outcome.stats.get("table_interpolated", 0) > 0
+    assert fallback_outcome.stats["table_fallbacks"] > 0
+    assert plateau_outcome.stats.get("table_fallbacks", 0) \
+        < fallback_outcome.stats["table_fallbacks"]
+
+    # The acceptance bar: >= 2x sustained request rate on the
+    # off-lattice-heavy trace.
+    assert speedup >= 2.0, (
+        f"plateau path only {speedup:.2f}x the plan-fallback path "
+        f"({plateau_outcome.requests_per_sec:.0f} vs "
+        f"{fallback_outcome.requests_per_sec:.0f} req/s)")
+
+
+# -- slab-batched bulk submit --------------------------------------------
+
+def test_slab_submit_future_economy(table_bundle, save_result,
+                                    save_bench_json, monkeypatch):
+    """One future per micro-batch on a 256-burst, records identical."""
+    import asyncio
+    import gc
+    import time
+
+    from repro.serve.request import SlabRequest
+
+    burst = _lattice_pool(table_bundle.table, 256, seed=9)
+    assert len(burst) == 256
+    backend = _InstantBackend(table_bundle.config.thread_grid)
+
+    def make_server():
+        predictor = table_bundle.predictor(cache_size=2 * len(burst),
+                                           compiled=True, table=True)
+        service = GemmService(predictor, backend=backend)
+        return GemmServer(service, max_batch=16, max_wait_ms=MAX_WAIT_MS,
+                          max_queue=1024, max_pending=2048, fair_share=None)
+
+    created = []
+
+    def counting_slab(*args, **kwargs):
+        slab = SlabRequest(*args, **kwargs)
+        created.append(slab)
+        return slab
+
+    monkeypatch.setattr("repro.serve.server.SlabRequest", counting_slab)
+
+    async def bulk():
+        async with make_server() as server:
+            t0 = time.perf_counter()
+            records = await server.submit_many(burst)
+            return records, time.perf_counter() - t0
+
+    async def streaming():
+        async with make_server() as server:
+            t0 = time.perf_counter()
+            records = await asyncio.gather(*(server.submit(s)
+                                             for s in burst))
+            return records, time.perf_counter() - t0
+
+    gc.collect()
+    slab_records, slab_dt = asyncio.run(bulk())
+    single_records, single_dt = asyncio.run(streaming())
+
+    # The acceptance assertion: ceil(256 / 16) slabs, one future each.
+    assert len(created) == 16
+    assert all(slab.count == 16 for slab in created)
+    assert len({id(slab.future) for slab in created}) == 16
+
+    # Bulk and streaming submission produce identical records in order.
+    assert [(r.spec, r.n_threads) for r in slab_records] \
+        == [(r.spec, r.n_threads) for r in single_records]
+
+    slab_rps = len(burst) / slab_dt
+    single_rps = len(burst) / single_dt
+    save_result("serve_slab_submit", format_table(
+        [{"mode": "submit_many (slabs)", "req_per_s": round(slab_rps, 1),
+          "futures": len(created)},
+         {"mode": "per-request submit", "req_per_s": round(single_rps, 1),
+          "futures": len(burst)}],
+        title="256-request burst: slab-batched vs per-request submission "
+              "(max_batch=16, instant backend)"))
+    save_bench_json("serve", "slab_submit", {
+        "req_per_s": round(slab_rps, 1), "served": len(burst),
+        "futures": len(created)})
+    save_bench_json("serve", "per_request_submit", {
+        "req_per_s": round(single_rps, 1), "served": len(burst),
+        "futures": len(burst)})
 
 
 # -- tracing overhead ----------------------------------------------------

@@ -208,7 +208,8 @@ def cmd_models(args) -> int:
     try:
         if args.compile_table:
             routine, machine, version = _parse_model_ref(args.compile_table)
-            info = registry.compile_table(routine, machine, version)
+            info = registry.compile_table(routine, machine, version,
+                                          snap=args.snap)
             if info.get("up_to_date"):
                 print(f"{routine}/{machine}@{info['version']}: decision "
                       f"table already up to date; no new version published")
@@ -217,6 +218,36 @@ def cmd_models(args) -> int:
             print(f"decision table for {routine}/{machine}"
                   f"@{info['table_from_version']} published as "
                   f"version {info['version']}")
+            print(f"  checksum: {info['checksum']}")
+            _print_table_meta(info["table"])
+            return 0
+        if args.refine_table:
+            from repro.core.routines import routine_of
+
+            routine, machine, version = _parse_model_ref(args.refine_table)
+            if not args.shapes_file:
+                raise ValueError(
+                    "--refine-table needs --shapes-file with the observed "
+                    "off-lattice request shapes")
+            specs = parse_trace_file(args.shapes_file)
+            shapes = [tuple(int(v) for v in s.dims) for s in specs
+                      if routine_of(s) == routine]
+            if not shapes:
+                raise ValueError(
+                    f"{args.shapes_file}: no {routine} requests to refine "
+                    f"the lattice from")
+            info = registry.refine_table(routine, machine, version,
+                                         shapes=shapes)
+            if info.get("up_to_date"):
+                print(f"{routine}/{machine}@{info['version']}: lattice "
+                      f"already covers the {info['n_miss_shapes']} offered "
+                      f"shapes (generation {info['generation']}); no new "
+                      f"version published")
+                return 0
+            print(f"refined decision table for {routine}/{machine}"
+                  f"@{info['refined_from_version']} published as version "
+                  f"{info['version']} (generation {info['generation']}, "
+                  f"{info['n_miss_shapes']} miss shapes)")
             print(f"  checksum: {info['checksum']}")
             _print_table_meta(info["table"])
             return 0
@@ -420,6 +451,12 @@ def cmd_serve(args) -> int:
     try:
         if args.requests is not None and args.requests < 1:
             raise ValueError("--requests must be >= 1")
+        if args.refine_after is not None:
+            if args.refine_after < 1:
+                raise ValueError("--refine-after must be >= 1")
+            if not args.registry:
+                raise ValueError("--refine-after republishes refined "
+                                 "tables, which needs --registry mode")
         router = None
         if args.registry:
             # One shard per published routine, routed by routine name:
@@ -513,6 +550,38 @@ def cmd_serve(args) -> int:
         print(f"trace: {trace_stats['complete']} complete span chains of "
               f"{trace_stats['traces']} finished traces "
               f"({trace_stats['dropped']} dropped)")
+    if args.refine_after is not None:
+        # Close the tier-0 loop: any predictor whose fallback counter
+        # crossed the threshold donates its miss reservoir to a lattice
+        # refinement, republished as a new immutable version.
+        print()
+        refined = 0
+        for shard_name in sorted(shards):
+            for routine, predictor in sorted(
+                    shards[shard_name].predictors.items()):
+                if getattr(predictor, "table", None) is None:
+                    continue
+                if predictor.n_table_fallbacks < args.refine_after \
+                        or not len(predictor.fallback_shapes):
+                    continue
+                info = registry.refine_table(
+                    routine, machine_name,
+                    shapes=predictor.fallback_shapes.shapes())
+                refined += 1
+                if info.get("up_to_date"):
+                    print(f"refine {routine}/{machine_name}: lattice "
+                          f"already covers the observed misses "
+                          f"(generation {info['generation']})")
+                else:
+                    print(f"refine {routine}/{machine_name}: "
+                          f"{predictor.n_table_fallbacks} fallbacks >= "
+                          f"{args.refine_after}; published version "
+                          f"{info['version']} (generation "
+                          f"{info['generation']}, "
+                          f"{info['n_miss_shapes']} miss shapes)")
+        if refined == 0:
+            print(f"refine: no routine crossed {args.refine_after} table "
+                  f"fallbacks with a new off-lattice shape")
     if args.obs_dir:
         from repro.obs.exporters import write_snapshot
 
@@ -706,6 +775,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="pre-evaluate one entry's compiled plan over "
                              "the campaign shape lattice into a tier-0 "
                              "decision table, published as a new version")
+    action.add_argument("--refine-table", dest="refine_table", default=None,
+                        metavar="ROUTINE/MACHINE[@V]",
+                        help="densify one entry's table lattice where the "
+                             "shapes in --shapes-file missed it, published "
+                             "as a new version (no-op when the lattice "
+                             "already covers them)")
+    p.add_argument("--snap", choices=["exact", "nearest", "plateau"],
+                   default="exact",
+                   help="--compile-table snap mode: 'plateau' also answers "
+                        "off-lattice shapes from cells whose corners agree "
+                        "(validated against the plan at build time)")
+    p.add_argument("--shapes-file", default=None, metavar="FILE",
+                   help="observed request shapes for --refine-table (same "
+                        "format as the batch/serve trace files)")
     p.set_defaults(func=cmd_models)
 
     p = sub.add_parser("predict", help="query a saved installation")
@@ -762,6 +845,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeats", type=int, default=1)
     p.add_argument("--cache-size", type=int, default=256)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--refine-after", dest="refine_after", type=int,
+                   default=None, metavar="N",
+                   help="after the replay, refine and republish the "
+                        "decision table of any routine that logged >= N "
+                        "table fallbacks, densifying the lattice at its "
+                        "recorded miss shapes (--registry mode only)")
     p.add_argument("--trace", action="store_true",
                    help="record a span chain per served request "
                         "(admission, queue wait, batch, predict tier, "

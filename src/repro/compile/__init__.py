@@ -28,7 +28,7 @@ time.
 from repro.compile.lower import lower_model
 from repro.compile.plan import CompiledPlan, compile_plan
 from repro.compile.table import (DecisionTable, TableValidationError,
-                                 campaign_axes, compile_table)
+                                 campaign_axes, compile_table, refine_axes)
 from repro.compile.transform import FusedTransform, lower_pipeline
 from repro.compile.trees import PackedTrees
 
@@ -43,4 +43,5 @@ __all__ = [
     "compile_table",
     "lower_model",
     "lower_pipeline",
+    "refine_axes",
 ]

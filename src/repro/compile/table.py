@@ -18,7 +18,7 @@ answer differently from the plan it was compiled from.  Shapes off the
 lattice **fall through** — :meth:`DecisionTable.lookup_batch` reports
 them unresolved and the predictor runs the plan for just those shapes.
 
-Two snap modes bound how far "on the lattice" stretches:
+Three snap modes bound how far "on the lattice" stretches:
 
 * ``"exact"`` (default): only exact lattice hits are answered; every
   other shape falls through.  The table is then a pure accelerator —
@@ -27,10 +27,23 @@ Two snap modes bound how far "on the lattice" stretches:
   nearest lattice point per axis (an explicit approximation for
   quantisation-tolerant deployments); out-of-box shapes still fall
   through.
+* ``"plateau"``: exact hits are answered as in ``"exact"``; an
+  off-lattice shape inside the bounding box is answered from its
+  bracketing lattice cell **iff** all eight cell corners agree on the
+  thread choice (the cell is a *plateau* of the decision function) and
+  the cell survived build-time probe validation.  Corner disagreement
+  — or a build-time probe that caught the plan changing its mind
+  *inside* an agreeing cell — demotes the cell, and shapes landing in
+  it fall through to the plan unchanged.  Every table answer therefore
+  remains bitwise-equal to what the plan would have said on the
+  validated probe distribution, while the long tail of near-lattice
+  traffic is absorbed into tier 0.
 
 The table holds only numpy arrays and plain scalars, so it pickles
 small and deterministically and the bundle checksum can cover it
-(:mod:`repro.core.serialize` persists tables as ``adsala_table.pkl``).
+(:mod:`repro.core.serialize` persists tables as ``adsala_table.pkl``;
+refined tables additionally carry a ``generation`` counter in their
+metadata).
 """
 
 from __future__ import annotations
@@ -43,6 +56,9 @@ MAX_LATTICE_POINTS = 1_000_000
 
 #: Lattice points evaluated per plan pass during compilation.
 BUILD_CHUNK = 4096
+
+#: Interior probe points per plateau-mode build-time validation pass.
+PLATEAU_PROBES = 512
 
 
 class TableValidationError(RuntimeError):
@@ -74,6 +90,88 @@ def _snap_axis(axis: np.ndarray, values: np.ndarray):
     return idx, exact, in_box
 
 
+def _cell_axis(axis: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Bracketing cell index per value: cell ``i`` spans
+    ``axis[i]..axis[i+1]``.
+
+    Deterministic for every input, including exact ticks (they anchor
+    the cell whose *lower* edge they are; the last tick clips into the
+    last cell) and degenerate single-value axes (everything maps to
+    cell 0).
+    """
+    pos = np.searchsorted(axis, values, side="right") - 1
+    return np.clip(pos, 0, max(axis.size - 2, 0))
+
+
+def _corner_agreement(grid_index: np.ndarray) -> np.ndarray:
+    """Boolean per-cell mask: do all 2^3 cell corners pick one choice?
+
+    The cell array has ``max(size-1, 1)`` entries per axis; a
+    single-value axis contributes one degenerate "cell" whose two
+    corners coincide, so it never blocks agreement.
+    """
+    shape = grid_index.shape
+    cdim = tuple(max(s - 1, 1) for s in shape)
+    base = None
+    ok = np.ones(cdim, dtype=bool)
+    for dm in (0, 1):
+        for dk in (0, 1):
+            for dn in (0, 1):
+                # For a degenerate axis (size 1) every corner offset
+                # clips back to the single plane.
+                sl = tuple(slice(min(d, s - c), min(d, s - c) + c)
+                           for d, s, c in zip((dm, dk, dn), shape, cdim))
+                corner = grid_index[sl]
+                if base is None:
+                    base = corner
+                else:
+                    ok &= corner == base
+    return ok
+
+
+def refine_axes(axes, miss_dims, max_new_per_axis: int = 8):
+    """Densify lattice ``axes`` where observed traffic missed them.
+
+    ``miss_dims`` is the fallback evidence — ``(m, k, n)`` triples that
+    probed the table and fell through.  Per axis, the most frequent
+    missing values (ties broken toward the smaller value, so the result
+    is fully deterministic) are merged in, at most ``max_new_per_axis``
+    of them; misses outside the old bounding box extend it.  When the
+    densified lattice would exceed :data:`MAX_LATTICE_POINTS` the
+    per-axis budget shrinks until it fits — refinement degrades
+    gracefully instead of failing a serving loop.
+
+    Returns a new axes tuple; the input axes are never mutated.  Axes
+    that gain nothing come back equal, so callers can detect a no-op
+    refinement with ``np.array_equal``.
+    """
+    if max_new_per_axis < 0:
+        raise ValueError("max_new_per_axis must be >= 0")
+    axes = tuple(_as_axis(a) for a in axes)
+    miss = np.asarray([d.dims if hasattr(d, "dims") else d
+                       for d in miss_dims], dtype=np.int64)
+    if miss.size == 0:
+        return axes
+    miss = miss.reshape(-1, 3)
+    if (miss < 1).any():
+        raise ValueError("miss dimensions must be >= 1")
+    ranked = []
+    for axis, col in zip(axes, miss.T):
+        values, counts = np.unique(col, return_counts=True)
+        fresh = ~np.isin(values, axis)
+        values, counts = values[fresh], counts[fresh]
+        # Most frequent first; equal frequencies resolve to the smaller
+        # value (lexsort keys are least-significant first).
+        order = np.lexsort((values, -counts))
+        ranked.append(values[order])
+    for budget in range(int(max_new_per_axis), -1, -1):
+        out = tuple(np.unique(np.concatenate([axis, new[:budget]]))
+                    for axis, new in zip(axes, ranked))
+        if int(np.prod([a.size for a in out])) <= MAX_LATTICE_POINTS:
+            return out
+    return axes  # pragma: no cover - axes alone exceed the bound
+
+
 class DecisionTable:
     """Packed shape-lattice -> thread-choice mapping with O(1) lookup.
 
@@ -92,18 +190,25 @@ class DecisionTable:
     grid_index:
         ``(|m|, |k|, |n|)`` int16 array of indices into ``thread_grid``.
     snap:
-        ``"exact"`` or ``"nearest"`` (see module docstring).
+        ``"exact"``, ``"nearest"`` or ``"plateau"`` (module docstring).
+    cell_ok:
+        Plateau mode only: ``(max(|m|-1,1), max(|k|-1,1), max(|n|-1,1))``
+        boolean mask of cells allowed to answer their interior.  Derived
+        from corner agreement when not given; build-time probe
+        validation may demote cells.  ``None`` for the other modes.
     meta:
-        Build provenance: resolution, probe count, campaign coverage.
+        Build provenance: resolution, probe count, campaign coverage,
+        refinement ``generation``.
     """
 
     __slots__ = ("routine", "thread_grid", "axes", "grid_index", "snap",
-                 "meta")
+                 "meta", "cell_ok", "_scratch")
 
     def __init__(self, routine: str, thread_grid, axes, grid_index,
-                 snap: str = "exact", meta: dict = None):
-        if snap not in ("exact", "nearest"):
-            raise ValueError(f"snap must be 'exact' or 'nearest', got {snap!r}")
+                 snap: str = "exact", meta: dict = None, cell_ok=None):
+        if snap not in ("exact", "nearest", "plateau"):
+            raise ValueError(f"snap must be 'exact', 'nearest' or "
+                             f"'plateau', got {snap!r}")
         self.routine = str(routine)
         self.thread_grid = np.asarray(thread_grid, dtype=np.int64)
         self.axes = tuple(_as_axis(a) for a in axes)
@@ -119,7 +224,47 @@ class DecisionTable:
                 or (self.grid_index >= self.thread_grid.size).any()):
             raise ValueError("grid_index entries outside the thread grid")
         self.snap = snap
+        if snap == "plateau":
+            agreement = _corner_agreement(self.grid_index)
+            if cell_ok is None:
+                cell_ok = agreement
+            else:
+                cell_ok = np.asarray(cell_ok, dtype=bool)
+                if cell_ok.shape != agreement.shape:
+                    raise ValueError(
+                        f"cell_ok shape {cell_ok.shape} does not match "
+                        f"the cell lattice {agreement.shape}")
+                # A mask can only ever demote agreeing cells: a cell
+                # whose corners disagree has no plateau to answer from.
+                cell_ok = cell_ok & agreement
+        else:
+            cell_ok = None
+        self.cell_ok = cell_ok
         self.meta = dict(meta or {})
+        self._scratch = np.empty((1, 3), dtype=np.int64)
+
+    # -- pickling --------------------------------------------------------
+    def __getstate__(self) -> dict:
+        # The scalar-lookup scratch buffer is per-process working state,
+        # not table identity; keeping it out preserves deterministic
+        # pickles (the idempotence anchor for registry retrofits).
+        return {name: getattr(self, name) for name in self.__slots__
+                if name != "_scratch"}
+
+    def __setstate__(self, state) -> None:
+        if isinstance(state, tuple):  # default slots reduce: (dict, slots)
+            merged = {}
+            for part in state:
+                if part:
+                    merged.update(part)
+            state = merged
+        for name in self.__slots__:
+            if name in state:
+                setattr(self, name, state[name])
+        if "cell_ok" not in state:  # tables pickled before plateau mode
+            self.cell_ok = (_corner_agreement(self.grid_index)
+                            if self.snap == "plateau" else None)
+        self._scratch = np.empty((1, 3), dtype=np.int64)
 
     # -- geometry --------------------------------------------------------
     @property
@@ -134,7 +279,8 @@ class DecisionTable:
     def nbytes(self) -> int:
         """Memory footprint of the packed arrays."""
         return int(self.grid_index.nbytes + self.thread_grid.nbytes
-                   + sum(a.nbytes for a in self.axes))
+                   + sum(a.nbytes for a in self.axes)
+                   + (self.cell_ok.nbytes if self.cell_ok is not None else 0))
 
     def lattice_points(self) -> np.ndarray:
         """Every lattice ``(m, k, n)`` as an ``(n_points, 3)`` array."""
@@ -142,6 +288,55 @@ class DecisionTable:
         return np.stack([g.ravel() for g in mesh], axis=1)
 
     # -- lookup ----------------------------------------------------------
+    def _lookup_dims(self, dims: np.ndarray):
+        """The one lookup kernel every probe goes through.
+
+        ``dims`` is an ``(n, 3)`` int64 array.  Returns
+        ``(choices, resolved, interpolated)``: int64 choices (0 where
+        unresolved), the resolved mask, and the subset of resolved
+        entries that were answered *between* lattice points (snapped in
+        ``"nearest"`` mode, plateau-cell interiors in ``"plateau"``
+        mode; always all-False in ``"exact"`` mode).
+        """
+        n = dims.shape[0]
+        if n == 0:
+            zero = np.zeros(0, dtype=bool)
+            return np.zeros(0, dtype=np.int64), zero, zero.copy()
+        snapped, exact_all, in_box_all = [], None, None
+        for axis, col in zip(self.axes, dims.T):
+            i, exact, in_box = _snap_axis(axis, col)
+            snapped.append(i)
+            exact_all = exact if exact_all is None else exact_all & exact
+            in_box_all = in_box if in_box_all is None else in_box_all & in_box
+        if self.snap == "exact":
+            resolved, use = exact_all, snapped
+            interpolated = np.zeros(n, dtype=bool)
+        elif self.snap == "nearest":
+            resolved, use = in_box_all, snapped
+            interpolated = in_box_all & ~exact_all
+        else:  # plateau: exact hits always answer; interiors need cell_ok
+            cells = [_cell_axis(axis, col)
+                     for axis, col in zip(self.axes, dims.T)]
+            interpolated = (in_box_all & ~exact_all
+                            & self.cell_ok[cells[0], cells[1], cells[2]])
+            resolved = exact_all | interpolated
+            # All agreeing corners answer alike, so the lower corner of
+            # the bracketing cell stands in for the whole interior.
+            use = [np.where(exact_all, i, c)
+                   for i, c in zip(snapped, cells)]
+        choices = np.zeros(n, dtype=np.int64)
+        if resolved.any():
+            rows = self.grid_index[use[0][resolved], use[1][resolved],
+                                   use[2][resolved]]
+            choices[resolved] = self.thread_grid[rows.astype(np.intp)]
+        return choices, resolved, interpolated
+
+    @staticmethod
+    def _as_dims(shapes) -> np.ndarray:
+        dims = np.asarray([s.dims if hasattr(s, "dims") else s
+                           for s in shapes], dtype=np.int64)
+        return dims.reshape(-1, 3) if dims.size else dims.reshape(0, 3)
+
     def lookup_batch(self, shapes):
         """Vectorised probe: ``(choices, resolved)`` aligned with input.
 
@@ -149,28 +344,40 @@ class DecisionTable:
         and the caller must fall through to the plan for those shapes.
         One fancy-indexing pass regardless of batch size.
         """
-        dims = np.asarray([s.dims if hasattr(s, "dims") else s
-                           for s in shapes], dtype=np.int64)
-        if dims.size == 0:
-            return (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=bool))
-        dims = dims.reshape(-1, 3)
-        idx, resolved = [], None
-        for axis, col in zip(self.axes, dims.T):
-            i, exact, in_box = _snap_axis(axis, col)
-            ok = exact if self.snap == "exact" else in_box
-            idx.append(i)
-            resolved = ok if resolved is None else (resolved & ok)
-        choices = np.zeros(dims.shape[0], dtype=np.int64)
-        if resolved.any():
-            rows = self.grid_index[idx[0][resolved], idx[1][resolved],
-                                   idx[2][resolved]]
-            choices[resolved] = self.thread_grid[rows.astype(np.intp)]
+        choices, resolved, _ = self._lookup_dims(self._as_dims(shapes))
         return choices, resolved
 
+    def lookup_batch_ex(self, shapes):
+        """:meth:`lookup_batch` plus the interpolation mask.
+
+        Returns ``(choices, resolved, interpolated)`` — the extra mask
+        marks resolved entries answered between lattice points, so the
+        predictor can account tier-0 interpolation separately from
+        exact hits.
+        """
+        return self._lookup_dims(self._as_dims(shapes))
+
     def lookup(self, m: int, k: int, n: int):
-        """Scalar probe: the thread choice, or ``None`` off the lattice."""
-        choices, resolved = self.lookup_batch([(m, k, n)])
-        return int(choices[0]) if resolved[0] else None
+        """Scalar probe: the thread choice, or ``None`` off the lattice.
+
+        A thin wrapper over the batch kernel (one code path to
+        validate) through a persistent scratch row, so the scalar hot
+        path allocates nothing per call.  Like the predictor counters
+        it feeds, the scalar path is not re-entrant.
+        """
+        choice, _ = self.lookup_ex(m, k, n)
+        return choice
+
+    def lookup_ex(self, m: int, k: int, n: int):
+        """Scalar probe with attribution: ``(choice or None, interpolated)``."""
+        buf = self._scratch
+        buf[0, 0] = m
+        buf[0, 1] = k
+        buf[0, 2] = n
+        choices, resolved, interpolated = self._lookup_dims(buf)
+        if not resolved[0]:
+            return None, False
+        return int(choices[0]), bool(interpolated[0])
 
     # -- reporting -------------------------------------------------------
     def describe(self) -> dict:
@@ -184,7 +391,12 @@ class DecisionTable:
             "thread_grid": self.thread_grid.tolist(),
             "axis_ranges": [[int(a[0]), int(a[-1])] for a in self.axes],
         }
-        for key in ("resolution", "coverage", "n_probe", "source"):
+        if self.cell_ok is not None:
+            info["cells"] = int(self.cell_ok.size)
+            info["plateau_cells"] = int(self.cell_ok.sum())
+        for key in ("resolution", "coverage", "n_probe", "source",
+                    "generation", "refined_from_version", "demoted_cells",
+                    "validation_probes"):
             if key in self.meta:
                 info[key] = self.meta[key]
         return info
@@ -240,6 +452,33 @@ def campaign_axes(config, routine: str = None, resolution: int = 16,
     return tuple(axes), probe_dims
 
 
+def _plateau_probe_points(axes, probe_dims, n_probe: int) -> np.ndarray:
+    """Off-lattice validation probes for plateau cells.
+
+    Campaign probe shapes that land inside the bounding box without
+    being exact lattice points (real traffic the plateau will answer),
+    plus a seeded uniform sweep of the box interior so sparse campaigns
+    still exercise every region.  Deterministic by construction.
+    """
+    lo = np.asarray([a[0] for a in axes], dtype=np.int64)
+    hi = np.asarray([a[-1] for a in axes], dtype=np.int64)
+    rng = np.random.default_rng(abs(hash(("plateau",) + tuple(
+        int(v) for v in np.concatenate(axes)))) % (2 ** 32))
+    uniform = np.column_stack([
+        rng.integers(int(l), int(h) + 1, size=int(n_probe), dtype=np.int64)
+        for l, h in zip(lo, hi)])
+    points = [uniform]
+    if probe_dims is not None and len(probe_dims):
+        in_box = ((probe_dims >= lo) & (probe_dims <= hi)).all(axis=1)
+        points.append(np.asarray(probe_dims, dtype=np.int64)[in_box])
+    merged = np.concatenate(points, axis=0)
+    exact = np.ones(len(merged), dtype=bool)
+    for axis, col in zip(axes, merged.T):
+        _, is_exact, _ = _snap_axis(axis, col)
+        exact &= is_exact
+    return np.unique(merged[~exact], axis=0)
+
+
 def compile_table(predictor, config=None, axes=None, snap: str = "exact",
                   resolution: int = 16, n_probe: int = 512) -> DecisionTable:
     """Pre-evaluate ``predictor`` over a shape lattice into a table.
@@ -252,6 +491,13 @@ def compile_table(predictor, config=None, axes=None, snap: str = "exact",
     looked up back through the packed table and compared bitwise against
     the directly-computed choices; any disagreement raises
     :class:`TableValidationError` rather than shipping a wrong table.
+
+    ``snap="plateau"`` adds a second validation sweep over a sampled
+    off-lattice probe set: any agreeing cell whose *interior* the plan
+    nevertheless answers differently (piecewise-constant tree models
+    can carve a cell without moving its corners) is **demoted** — the
+    cell falls through at serving time instead of shipping a wrong
+    interpolation.  The demotion count lands in the table's metadata.
     """
     if axes is None:
         if config is None:
@@ -313,4 +559,36 @@ def compile_table(predictor, config=None, axes=None, snap: str = "exact",
                 f"table answer diverges from the plan at lattice point "
                 f"({m}, {k}, {n}): table={int(got[bad])} "
                 f"plan={int(expected[start + bad])}")
+
+    if snap == "plateau":
+        _validate_plateaus(table, predictor, probe_dims,
+                           n_probe=max(int(n_probe), PLATEAU_PROBES))
     return table
+
+
+def _validate_plateaus(table: DecisionTable, predictor, probe_dims,
+                       n_probe: int) -> None:
+    """Demote plateau cells the plan disagrees with on interior probes."""
+    probes = _plateau_probe_points(table.axes, probe_dims, n_probe)
+    demoted = 0
+    checked = 0
+    for start in range(0, len(probes), BUILD_CHUNK):
+        chunk = probes[start:start + BUILD_CHUNK]
+        got, resolved, interpolated = table.lookup_batch_ex(chunk)
+        if not interpolated.any():
+            continue
+        sample = chunk[interpolated]
+        answers = got[interpolated]
+        checked += len(sample)
+        scores = predictor.predicted_runtimes_batch(
+            [tuple(int(v) for v in p) for p in sample])
+        plan = table.thread_grid[np.argmin(scores, axis=1)]
+        bad = answers != plan
+        if bad.any():
+            cells = tuple(_cell_axis(axis, col) for axis, col
+                          in zip(table.axes, sample[bad].T))
+            before = int(table.cell_ok.sum())
+            table.cell_ok[cells] = False
+            demoted += before - int(table.cell_ok.sum())
+    table.meta["validation_probes"] = int(checked)
+    table.meta["demoted_cells"] = int(demoted)

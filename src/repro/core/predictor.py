@@ -25,12 +25,55 @@ Two serving-oriented generalisations sit on top of the paper's design:
 
 from __future__ import annotations
 
+import random
 import time
 
 import numpy as np
 
 from repro.core.features import FeatureBuilder
 from repro.engine.cache import PredictionCache, shape_key
+
+#: Default size of the per-predictor fallback-shape reservoir.
+RESERVOIR_CAPACITY = 256
+
+
+class ShapeReservoir:
+    """Bounded uniform sample of observed shapes (Vitter's Algorithm R).
+
+    The serving path records every table fallback here; the reservoir
+    keeps a uniform random sample of *at most* ``capacity`` of them, in
+    O(capacity) memory no matter how long the server runs.  The RNG is
+    seeded, so the same miss stream always yields the same reservoir —
+    lattice refinement driven from it is reproducible.
+    """
+
+    __slots__ = ("capacity", "seen", "_items", "_rng")
+
+    def __init__(self, capacity: int = RESERVOIR_CAPACITY, seed: int = 0):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.seen = 0
+        self._items = []
+        self._rng = random.Random(seed)
+
+    def add(self, shape) -> None:
+        """Offer one ``(m, k, n)`` triple to the sample."""
+        item = tuple(int(v) for v in shape)
+        self.seen += 1
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+            return
+        j = self._rng.randrange(self.seen)
+        if j < self.capacity:
+            self._items[j] = item
+
+    def shapes(self) -> list:
+        """The current sample, as a list of ``(m, k, n)`` tuples."""
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
 
 
 class ThreadPredictor:
@@ -103,6 +146,12 @@ class ThreadPredictor:
         self.n_model_passes = 0
         self.n_table_hits = 0
         self.n_table_fallbacks = 0
+        # Interpolated answers are a sub-count of n_table_hits: lookups
+        # the table resolved *between* lattice points (plateau/nearest).
+        self.n_table_interpolated = 0
+        # Every table fallback deposits its shape here; the registry's
+        # refine_table retrofit densifies the lattice where they cluster.
+        self.fallback_shapes = ShapeReservoir()
 
     @property
     def n_memo_hits(self) -> int:
@@ -186,12 +235,14 @@ class ThreadPredictor:
         if cached is not None:
             return cached
         if self.table is not None:
-            choice = self.table.lookup(m, k, n)
+            choice, interpolated = self.table.lookup_ex(m, k, n)
             if choice is not None:
                 self.n_table_hits += 1
+                self.n_table_interpolated += int(interpolated)
                 self.cache.put(key, choice)
                 return choice
             self.n_table_fallbacks += 1
+            self.fallback_shapes.add(key[1:])
         scores = self.predicted_runtimes(m, k, n)
         self.n_evaluations += 1
         self.n_model_passes += 1
@@ -217,13 +268,18 @@ class ThreadPredictor:
         resolved = self.cache.get_many(unique)
         misses = [key for key in unique if key not in resolved]
         if misses and self.table is not None:
-            choices, hit = self.table.lookup_batch([k[1:] for k in misses])
+            choices, hit, interpolated = self.table.lookup_batch_ex(
+                [k[1:] for k in misses])
             self.n_table_hits += int(hit.sum())
+            self.n_table_interpolated += int(interpolated.sum())
             self.n_table_fallbacks += len(misses) - int(hit.sum())
             served = {key: int(choice)
                       for key, choice, ok in zip(misses, choices, hit) if ok}
             self.cache.put_many(served)
             resolved.update(served)
+            for key, ok in zip(misses, hit):
+                if not ok:
+                    self.fallback_shapes.add(key[1:])
             misses = [key for key in misses if key not in served]
         if misses:
             scores = self.predicted_runtimes_batch([k[1:] for k in misses])

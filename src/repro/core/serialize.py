@@ -28,7 +28,11 @@ pre-evaluated over the campaign's shape lattice).  Tables are strictly
 opt-in — :func:`save_bundle` persists one only when the bundle already
 carries it (built via ``TrainedBundle.compile_table`` or the registry's
 ``compile_table`` retrofit); schema-1 and schema-2 bundles load and
-serve exactly as before, just without the tier-0 lookup.
+serve exactly as before, just without the tier-0 lookup.  A table's
+manifest entry is its ``describe()`` summary, which for
+traffic-refined tables (the registry's ``refine_table`` retrofit)
+carries the refinement provenance: ``source="refined"``, the
+``generation`` counter and the version the lattice was densified from.
 """
 
 from __future__ import annotations

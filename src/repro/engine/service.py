@@ -125,7 +125,7 @@ class GemmService:
         self._machine_max: Optional[int] = None
         self._retired_counts: Dict[str, int] = {
             "evaluations": 0, "model_passes": 0,
-            "table_hits": 0, "table_fallbacks": 0}
+            "table_hits": 0, "table_fallbacks": 0, "table_interpolated": 0}
         self._closed = False
         self.instance = next_instance_id("engine")
         # Weakly-held pull collector: exporters see the live counters,
@@ -362,6 +362,8 @@ class GemmService:
                 getattr(old, "n_table_hits", 0)
             self._retired_counts["table_fallbacks"] += \
                 getattr(old, "n_table_fallbacks", 0)
+            self._retired_counts["table_interpolated"] += \
+                getattr(old, "n_table_interpolated", 0)
         else:
             # reload() can install a routine the service never served;
             # give it the same default execution wiring registration
@@ -543,6 +545,9 @@ class GemmService:
         if tables["table_hits"] or tables["table_fallbacks"]:
             out["engine_table_hits"] = tables["table_hits"]
             out["engine_table_fallbacks"] = tables["table_fallbacks"]
+            if tables["table_interpolated"]:
+                out["engine_table_interpolated"] = \
+                    tables["table_interpolated"]
         return out
 
     def table_counters(self) -> dict:
@@ -563,6 +568,9 @@ class GemmService:
             "table_fallbacks": (
                 sum(getattr(p, "n_table_fallbacks", 0) for p in live)
                 + self._retired_counts["table_fallbacks"]),
+            "table_interpolated": (
+                sum(getattr(p, "n_table_interpolated", 0) for p in live)
+                + self._retired_counts["table_interpolated"]),
         }
 
     @property
@@ -618,7 +626,11 @@ class GemmService:
                     "evaluations": predictor.n_evaluations,
                     "model_passes": predictor.n_model_passes,
                     **({"table_hits": predictor.n_table_hits,
-                        "table_fallbacks": predictor.n_table_fallbacks}
+                        "table_fallbacks": predictor.n_table_fallbacks,
+                        **({"table_interpolated":
+                            predictor.n_table_interpolated}
+                           if getattr(predictor, "n_table_interpolated", 0)
+                           else {})}
                        if getattr(predictor, "table", None) is not None
                        else {}),
                     **{f"cache_{k}": v

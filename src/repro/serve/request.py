@@ -57,6 +57,38 @@ class ServeRequest:
 
 
 @dataclass
+class SlabRequest:
+    """One admitted burst of requests sharing a single future.
+
+    The bulk-submit path (:meth:`GemmServer.submit_many`) admits a
+    whole routed burst per shard as one queue entry: ``specs`` are the
+    slots, ``future`` resolves exactly once with the slot-aligned list
+    of :class:`~repro.engine.service.TimingRecord` results (or the
+    batch's exception), and the submitter scatters them back to the
+    caller's original order.  One future and one queue put per
+    micro-batch instead of one per request — the event-loop bookkeeping
+    that dominated large-burst submission drops out of the hot path.
+
+    ``traces`` is the slot-aligned list of per-request
+    :class:`~repro.obs.tracing.RequestTrace` scratchpads when tracing
+    is on, ``None`` otherwise (the disabled path allocates no trace
+    state, same contract as :class:`ServeRequest`).
+    """
+
+    specs: list
+    client: str
+    future: asyncio.Future
+    t_submit: float
+    shard: str = field(default="default")
+    traces: list = field(default=None)
+
+    @property
+    def count(self) -> int:
+        """How many request slots this entry occupies in a batch."""
+        return len(self.specs)
+
+
+@dataclass
 class ReloadCommand:
     """Control-plane message: hot-swap a shard's model bundle.
 

@@ -23,10 +23,15 @@ from dataclasses import dataclass
 
 from repro.core.routines import routine_of
 from repro.engine.cache import shape_key as _shape_key
-from repro.serve.request import ReloadCommand
+from repro.serve.request import ReloadCommand, SlabRequest
 
 #: Queue sentinel marking the end of the request stream for a shard.
 SHUTDOWN = object()
+
+
+def _entry_size(entry) -> int:
+    """Request slots a queue entry occupies (slabs carry many)."""
+    return getattr(entry, "count", 1)
 
 
 @dataclass(frozen=True)
@@ -101,8 +106,12 @@ class MicroBatcher:
         """
         loop = asyncio.get_running_loop()
         closing = False
+        carry = None
         while not closing:
-            first = await queue.get()
+            if carry is not None:
+                first, carry = carry, None
+            else:
+                first = await queue.get()
             if first is SHUTDOWN:
                 break
             if isinstance(first, ReloadCommand):
@@ -112,7 +121,8 @@ class MicroBatcher:
             # Traced runs stamp when batch formation began (the pull of
             # the first request); untraced runs skip the clock read.
             t_form = loop.time() if self.collector is not None else None
-            closing, pending_reload = await self._collect(queue, batch, loop)
+            closing, pending_reload, carry = await self._collect(
+                queue, batch, loop)
             await self._execute(batch, loop, t_form=t_form)
             if pending_reload is not None:
                 self._apply_reload(pending_reload)
@@ -120,25 +130,34 @@ class MicroBatcher:
     async def _collect(self, queue, batch, loop):
         """Fill ``batch`` until size/window/control closes it.
 
-        Returns ``(closing, pending_reload)``: ``closing`` is True on
+        Size counts request *slots*, not queue entries — a
+        :class:`SlabRequest` occupies ``count`` of them.  Returns
+        ``(closing, pending_reload, carry)``: ``closing`` is True on
         shutdown; a :class:`ReloadCommand` stops collection so the
-        in-flight batch stays on the bundle it was admitted under.
+        in-flight batch stays on the bundle it was admitted under; an
+        entry that would push the batch past ``max_batch`` comes back
+        as ``carry`` and seeds the next batch (the queue is FIFO, so it
+        cannot be put back without reordering).
         """
+        size = sum(_entry_size(r) for r in batch)
         deadline = loop.time() + self.policy.max_wait_ms / 1e3
-        while len(batch) < self.policy.max_batch:
+        while size < self.policy.max_batch:
             remaining = deadline - loop.time()
             if remaining <= 0:
-                return False, None
+                return False, None, None
             try:
                 item = await asyncio.wait_for(queue.get(), remaining)
             except asyncio.TimeoutError:
-                return False, None
+                return False, None, None
             if item is SHUTDOWN:
-                return True, None
+                return True, None, None
             if isinstance(item, ReloadCommand):
-                return False, item
+                return False, item, None
+            if size + _entry_size(item) > self.policy.max_batch:
+                return False, None, item
             batch.append(item)
-        return False, None
+            size += _entry_size(item)
+        return False, None, None
 
     def _apply_reload(self, command: ReloadCommand) -> None:
         """Swap the shard's bundle; resolve the command's future."""
@@ -166,8 +185,10 @@ class MicroBatcher:
             return counters
         for routine, predictor in predictors.items():
             if getattr(predictor, "table", None) is not None:
-                counters[routine] = (predictor.n_table_hits,
-                                     predictor.n_table_fallbacks)
+                counters[routine] = (
+                    predictor.n_table_hits,
+                    predictor.n_table_fallbacks,
+                    getattr(predictor, "n_table_interpolated", 0))
         return counters
 
     def _tiers_of(self, specs, records) -> list:
@@ -209,6 +230,18 @@ class MicroBatcher:
                 tiers[i] = "table" if on_lattice else fallthrough
         return tiers
 
+    def _stamp_trace(self, trace, record, tier, batch_size, t_form,
+                     t_start, t_done) -> None:
+        """Fill one request's trace with the batch window and finish it."""
+        trace.t_batch_form = t_form if t_form is not None else t_start
+        trace.t_exec_start = t_start
+        trace.t_exec_done = t_done
+        trace.batch_size = batch_size
+        trace.tier = tier
+        trace.n_threads = record.n_threads
+        trace.runtime_s = record.runtime
+        self.collector.finish(trace)
+
     async def _execute(self, batch, loop, t_form: float = None) -> None:
         """One vectorised service pass; resolve every caller's future.
 
@@ -217,51 +250,87 @@ class MicroBatcher:
         other shards' windows or new admissions; this shard's own
         batcher stays suspended here, so per-shard execution remains
         strictly sequential and choices stay deterministic.
+
+        A :class:`SlabRequest` entry contributes all its slots to the
+        flattened spec list and gets its *single* future resolved with
+        the slot-aligned slice of records; telemetry and tracing stay
+        per-request, so slab and streaming submissions are
+        indistinguishable downstream.
         """
         t_start = loop.time()
-        self.telemetry.record_batch(self.shard, len(batch))
+        specs = []
+        for entry in batch:
+            if isinstance(entry, SlabRequest):
+                specs.extend(entry.specs)
+            else:
+                specs.append(entry.spec)
+        self.telemetry.record_batch(self.shard, len(specs))
         tables_before = self._table_snapshot()
         try:
             records = await loop.run_in_executor(
-                None, self.service.run_batch, [r.spec for r in batch])
+                None, self.service.run_batch, specs)
         except Exception as exc:
-            for request in batch:
-                self.telemetry.record_failure(request.client,
-                                              routine=routine_of(request.spec))
-                if not request.future.done():
-                    request.future.set_exception(exc)
-                if self.collector is not None and request.trace is not None:
-                    request.trace.status = "error"
-                    self.collector.finish(request.trace)
-                self.release(request)
+            for entry in batch:
+                if isinstance(entry, SlabRequest):
+                    for spec in entry.specs:
+                        self.telemetry.record_failure(
+                            entry.client, routine=routine_of(spec))
+                    if self.collector is not None and entry.traces is not None:
+                        for trace in entry.traces:
+                            trace.status = "error"
+                            self.collector.finish(trace)
+                else:
+                    self.telemetry.record_failure(
+                        entry.client, routine=routine_of(entry.spec))
+                    if self.collector is not None and entry.trace is not None:
+                        entry.trace.status = "error"
+                        self.collector.finish(entry.trace)
+                if not entry.future.done():
+                    entry.future.set_exception(exc)
+                self.release(entry)
             if self.after_batch is not None:
                 self.after_batch()
             return
         t_done = loop.time()
-        for routine, (hits, fallbacks) in self._table_snapshot().items():
-            h0, f0 = tables_before.get(routine, (0, 0))
+        for routine, counts in self._table_snapshot().items():
+            hits, fallbacks, interpolated = counts
+            h0, f0, i0 = tables_before.get(routine, (0, 0, 0))
             if hits > h0 or fallbacks > f0:
                 self.telemetry.record_table(routine, hits - h0,
-                                            fallbacks - f0)
-        tiers = self._tiers_of([r.spec for r in batch], records) \
+                                            fallbacks - f0,
+                                            interpolated=interpolated - i0)
+        tiers = self._tiers_of(specs, records) \
             if self.collector is not None else None
-        for i, (request, record) in enumerate(zip(batch, records)):
-            self.telemetry.record_done(request.client,
-                                       latency=t_done - request.t_submit,
-                                       wait=t_start - request.t_submit,
-                                       routine=routine_of(request.spec))
-            if not request.future.done():
-                request.future.set_result(record)
-            if self.collector is not None and request.trace is not None:
-                trace = request.trace
-                trace.t_batch_form = t_form if t_form is not None else t_start
-                trace.t_exec_start = t_start
-                trace.t_exec_done = t_done
-                trace.batch_size = len(batch)
-                trace.tier = tiers[i]
-                trace.n_threads = record.n_threads
-                trace.runtime_s = record.runtime
-                self.collector.finish(trace)
-            self.release(request)
+        n_total = len(specs)
+        offset = 0
+        for entry in batch:
+            n = _entry_size(entry)
+            if isinstance(entry, SlabRequest):
+                slab_records = list(records[offset:offset + n])
+                for spec in entry.specs:
+                    self.telemetry.record_done(
+                        entry.client, latency=t_done - entry.t_submit,
+                        wait=t_start - entry.t_submit,
+                        routine=routine_of(spec))
+                if not entry.future.done():
+                    entry.future.set_result(slab_records)
+                if self.collector is not None and entry.traces is not None:
+                    for j, (trace, record) in enumerate(
+                            zip(entry.traces, slab_records)):
+                        self._stamp_trace(trace, record, tiers[offset + j],
+                                          n_total, t_form, t_start, t_done)
+            else:
+                record = records[offset]
+                self.telemetry.record_done(
+                    entry.client, latency=t_done - entry.t_submit,
+                    wait=t_start - entry.t_submit,
+                    routine=routine_of(entry.spec))
+                if not entry.future.done():
+                    entry.future.set_result(record)
+                if self.collector is not None and entry.trace is not None:
+                    self._stamp_trace(entry.trace, record, tiers[offset],
+                                      n_total, t_form, t_start, t_done)
+            self.release(entry)
+            offset += n
         if self.after_batch is not None:
             self.after_batch()

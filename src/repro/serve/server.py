@@ -24,13 +24,15 @@ the same service, whatever batches the scheduler happens to form.
 from __future__ import annotations
 
 import asyncio
+from collections import Counter
+from typing import Optional
 
 from repro.core.routines import routine_of
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.obs.monitors import MonitorSet
 from repro.obs.tracing import RequestTrace, SpanCollector, new_trace_id
 from repro.serve.request import (ReloadCommand, ServeRequest, ServerClosed,
-                                 ServerOverloaded)
+                                 ServerOverloaded, SlabRequest)
 from repro.serve.router import ShardRouter, default_router
 from repro.serve.scheduler import SHUTDOWN, BatchPolicy, MicroBatcher
 from repro.serve.telemetry import ServeTelemetry
@@ -83,12 +85,12 @@ class GemmServer:
         telemetry publishes into (default: the process-wide one).
     """
 
-    def __init__(self, shards, router: ShardRouter = None, *,
+    def __init__(self, shards, router: Optional[ShardRouter] = None, *,
                  max_batch: int = 16, max_wait_ms: float = 2.0,
-                 max_queue: int = 64, max_pending: int = None,
-                 fair_share: float = 0.5, tracing: bool = False,
+                 max_queue: int = 64, max_pending: Optional[int] = None,
+                 fair_share: Optional[float] = 0.5, tracing: bool = False,
                  trace_capacity: int = 4096, monitors=None,
-                 registry: MetricsRegistry = None):
+                 registry: Optional[MetricsRegistry] = None):
         if hasattr(shards, "run_batch"):  # a bare GemmService
             shards = {"default": shards}
         if not shards:
@@ -189,9 +191,43 @@ class GemmServer:
         self._pending += 1
         self._client_pending[client] = self._client_pending.get(client, 0) + 1
 
-    def _release(self, request: ServeRequest) -> None:
-        self._pending -= 1
-        remaining = self._client_pending[request.client] - 1
+    def _admit_many(self, client: str, routines: list) -> None:
+        """All-or-nothing admission of a burst of ``len(routines)`` slots.
+
+        A burst that does not fit — the hard limit or the client's
+        fair share — is rejected whole: partially admitting a slab
+        would hand the caller a result list with holes.  Rejection
+        telemetry records every slot, per routine.
+        """
+        n = len(routines)
+
+        def _reject(reason: str, message: str):
+            for routine, cnt in Counter(routines).items():
+                self.telemetry.record_rejection(client, reason,
+                                                routine=routine, n=cnt)
+            raise ServerOverloaded(message, client=client, reason=reason)
+
+        if self._pending + n > self.max_pending:
+            _reject("overload",
+                    f"{self._pending} requests pending + burst of {n} "
+                    f"exceeds limit {self.max_pending}")
+        if (self.fair_share is not None
+                and self._client_pending.get(client, 0) + n
+                > self._fair_share_cap()):
+            _reject("fair_share",
+                    f"client {client!r} holds "
+                    f"{self._client_pending.get(client, 0)} of "
+                    f"{self.max_pending} admission slots; a burst of {n} "
+                    f"exceeds the fair-share cap {self._fair_share_cap()}")
+        self._pending += n
+        self._client_pending[client] = self._client_pending.get(client, 0) + n
+
+    def _release(self, request) -> None:
+        # A SlabRequest releases all its slots at once; plain requests
+        # count one.
+        n = getattr(request, "count", 1)
+        self._pending -= n
+        remaining = self._client_pending[request.client] - n
         if remaining > 0:
             self._client_pending[request.client] = remaining
         else:
@@ -202,8 +238,9 @@ class GemmServer:
         self.monitors.evaluate(self)
 
     # -- serving ---------------------------------------------------------
-    async def submit(self, spec, client: str = "default", shard: str = None,
-                     trace_id: str = None):
+    async def submit(self, spec, client: str = "default",
+                     shard: Optional[str] = None,
+                     trace_id: Optional[str] = None):
         """Admit, route, enqueue and await one request.
 
         Returns the :class:`~repro.engine.service.GemmCallRecord` the
@@ -247,26 +284,91 @@ class GemmServer:
         return await request.future
 
     async def submit_many(self, specs, client: str = "default") -> list:
-        """Submit a burst concurrently; records come back in input order.
+        """Submit a burst as slotted slabs; records come back in input order.
 
-        Routing is vectorised: when the router exposes ``route_batch``
-        the whole burst is assigned shards in one call (pre-routed
-        submissions then skip the per-request router dispatch), which
-        is both cheaper and — for order-sensitive routers like
-        round-robin — assigns shards in input order rather than in
-        whatever order the event loop happens to start the submit
-        coroutines.
+        The whole burst is routed in one ``route_batch`` call, admitted
+        all-or-nothing, and enqueued as
+        :class:`~repro.serve.request.SlabRequest` entries — one queue
+        put and **one future per micro-batch** (each shard's slots are
+        chopped into ``max_batch``-sized slabs), not one per request.
+        The batcher resolves each slab future once with the
+        slot-aligned record list and the results scatter back to the
+        caller's original order, so the returned list is exactly what
+        per-request :meth:`submit` calls would have produced — the
+        per-request event-loop bookkeeping (future churn, queue puts,
+        coroutine scheduling) just drops from O(requests) to
+        O(micro-batches).  The streaming path keeps :meth:`submit`.
         """
+        if not self._started:
+            raise ServerClosed("server not started (use 'async with' or start())")
+        if self._closing:
+            raise ServerClosed("server is shutting down")
         specs = list(specs)
+        if not specs:
+            return []
         route_batch = getattr(self.router, "route_batch", None)
-        shards = route_batch(specs, client) if route_batch is not None \
-            else [None] * len(specs)
-        return list(await asyncio.gather(
-            *(self.submit(spec, client=client, shard=shard)
-              for spec, shard in zip(specs, shards))))
+        if route_batch is not None:
+            shard_names = list(route_batch(specs, client))
+        else:
+            shard_names = [self.router.route(spec, client) for spec in specs]
+        by_shard: dict = {}  # shard name -> input slot indices, in order
+        for slot, name in enumerate(shard_names):
+            if name not in self._queues:
+                raise KeyError(f"unknown shard {name!r} "
+                               f"(have {sorted(self._queues)})")
+            by_shard.setdefault(name, []).append(slot)
+        routines = [routine_of(spec) for spec in specs]
+        self._admit_many(client, routines)
+        loop = asyncio.get_running_loop()
+        max_batch = self.policy.max_batch
+        slabs = []  # (slab, its input slots)
+        for name, slots in by_shard.items():
+            queue = self._queues[name]
+            for start in range(0, len(slots), max_batch):
+                chunk = slots[start:start + max_batch]
+                depth = queue.qsize()
+                t_submit = loop.time()
+                traces = None
+                if self.collector is not None:
+                    traces = [RequestTrace(new_trace_id(), client,
+                                           routines[i], name, depth, t_submit)
+                              for i in chunk]
+                slab = SlabRequest(specs=[specs[i] for i in chunk],
+                                   client=client,
+                                   future=loop.create_future(),
+                                   t_submit=t_submit, shard=name,
+                                   traces=traces)
+                for routine, cnt in Counter(routines[i]
+                                            for i in chunk).items():
+                    self.telemetry.record_admission(client, queue_depth=depth,
+                                                    routine=routine, n=cnt)
+                slabs.append((slab, chunk))
+        enqueued = 0
+        try:
+            for slab, _ in slabs:
+                await self._queues[slab.shard].put(slab)  # backpressure
+                enqueued += 1
+        except asyncio.CancelledError:
+            for slab, _ in slabs[enqueued:]:
+                self._release(slab)  # enqueued slabs release via the batcher
+            raise
+        results = [None] * len(specs)
+        outcomes = await asyncio.gather(*(slab.future for slab, _ in slabs),
+                                        return_exceptions=True)
+        error = None
+        for (slab, slots), outcome in zip(slabs, outcomes):
+            if isinstance(outcome, BaseException):
+                error = error if error is not None else outcome
+                continue
+            for slot, record in zip(slots, outcome):
+                results[slot] = record
+        if error is not None:
+            raise error
+        return results
 
     # -- control plane ---------------------------------------------------
-    async def reload(self, bundle, shard: str = None, **kwargs) -> dict:
+    async def reload(self, bundle, shard: Optional[str] = None,
+                     **kwargs) -> dict:
         """Zero-downtime hot-swap of a new model bundle.
 
         Enqueues a :class:`~repro.serve.request.ReloadCommand` behind

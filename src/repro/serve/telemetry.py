@@ -57,6 +57,7 @@ class ServeTelemetry:
         self.failed: int = 0
         self.table_hits: int = 0
         self.table_fallbacks: int = 0
+        self.table_interpolated: int = 0
         self.rejected: Counter = Counter()   # reason -> count
         # Bounded sample stores (exact count/sum/min/max; the retained
         # sample is exact below `capacity` observations).
@@ -85,19 +86,25 @@ class ServeTelemetry:
                       "rejected": 0, "latencies": Reservoir(self._capacity)})
 
     def record_admission(self, client: str, queue_depth: int,
-                         routine: Optional[str] = None) -> None:
-        self.submitted += 1
+                         routine: Optional[str] = None, n: int = 1) -> None:
+        """Record ``n`` admitted requests sharing one queue snapshot.
+
+        The bulk-submit path admits a whole slab per call; the depth
+        sample is recorded once per call (one queue observation), while
+        the counters advance by ``n``.
+        """
+        self.submitted += n
         self.queue_depths.append(int(queue_depth))
-        self._client(client)["submitted"] += 1
+        self._client(client)["submitted"] += n
         if routine is not None:
-            self._routine(routine)["submitted"] += 1
+            self._routine(routine)["submitted"] += n
 
     def record_rejection(self, client: str, reason: str,
-                         routine: Optional[str] = None) -> None:
-        self.rejected[reason] += 1
-        self._client(client)["rejected"] += 1
+                         routine: Optional[str] = None, n: int = 1) -> None:
+        self.rejected[reason] += n
+        self._client(client)["rejected"] += n
         if routine is not None:
-            self._routine(routine)["rejected"] += 1
+            self._routine(routine)["rejected"] += n
 
     def record_batch(self, shard: str, size: int) -> None:
         self.batch_sizes.append(int(size))
@@ -125,22 +132,30 @@ class ServeTelemetry:
     def record_reload(self, shard: str) -> None:
         self.reloads[shard] += 1
 
-    def record_table(self, routine: str, hits: int, fallbacks: int) -> None:
+    def record_table(self, routine: str, hits: int, fallbacks: int,
+                     interpolated: int = 0) -> None:
         """Decision-table outcomes for one executed batch.
 
         ``hits`` are predictions answered from a tier-0 table without a
         model pass; ``fallbacks`` are cache misses that fell off the
         table's lattice onto the plan path — the drift signal operators
-        watch when traffic leaves the compiled lattice.  Only called
-        for shards actually serving through a table, so table-less
-        deployments keep their historic stats shape.
+        watch when traffic leaves the compiled lattice.
+        ``interpolated`` is the sub-count of hits answered *between*
+        lattice points (plateau cells), distinguishing "traffic sits on
+        the lattice" from "the lattice is coarse but plateaus cover
+        it".  Only called for shards actually serving through a table,
+        so table-less deployments keep their historic stats shape.
         """
         self.table_hits += int(hits)
         self.table_fallbacks += int(fallbacks)
+        self.table_interpolated += int(interpolated)
         entry = self._routine(routine)
         entry["table_hits"] = entry.get("table_hits", 0) + int(hits)
         entry["table_fallbacks"] = (entry.get("table_fallbacks", 0)
                                     + int(fallbacks))
+        if interpolated:
+            entry["table_interpolated"] = (entry.get("table_interpolated", 0)
+                                           + int(interpolated))
 
     # -- reporting -------------------------------------------------------
     def batch_size_histogram(self) -> dict:
@@ -188,6 +203,8 @@ class ServeTelemetry:
         if self.table_hits or self.table_fallbacks:
             out["serve_table_hits"] = self.table_hits
             out["serve_table_fallbacks"] = self.table_fallbacks
+            if self.table_interpolated:
+                out["serve_table_interpolated"] = self.table_interpolated
         if self.latencies.count:
             out["serve_latency_p99_s"] = self.latencies.percentile(99)
             out["serve_latency_mean_s"] = (self.latencies.total
@@ -216,6 +233,8 @@ class ServeTelemetry:
         if self.table_hits or self.table_fallbacks:
             out["table_hits"] = self.table_hits
             out["table_fallbacks"] = self.table_fallbacks
+            if self.table_interpolated:
+                out["table_interpolated"] = self.table_interpolated
         if self.latencies:
             out["latency_ms"] = self.latency().as_row()
             out["queue_wait_ms"] = self.wait().as_row()

@@ -32,6 +32,8 @@ import pickle
 import shutil
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.routines import REGISTRY, routine_names
 from repro.core.serialize import (PLAN_FILENAME, SCHEMA_VERSION,
                                   TABLE_FILENAME, BundleError,
@@ -311,6 +313,70 @@ class ModelRegistry:
         return {"routine": new_record.routine, "machine": new_record.machine,
                 "version": new_record.version,
                 "table_from_version": record.version,
+                "checksum": new_record.checksum,
+                "table": manifest.get("table")}
+
+    def refine_table(self, routine: str, machine: str, version="latest",
+                     shapes=(), max_new_per_axis: int = 8,
+                     n_probe: int = 512) -> dict:
+        """Densify a bundle's table lattice where traffic missed it.
+
+        ``shapes`` is fallback evidence — ``(m, k, n)`` triples that
+        probed the published table and fell through (typically a
+        predictor's ``fallback_shapes`` reservoir).  The lattice axes
+        gain the most-missed off-lattice values
+        (:func:`~repro.compile.table.refine_axes`), the table is
+        rebuilt over the densified lattice with the same snap mode and
+        full build-time validation, and the result is published as the
+        next immutable version — the same staging/atomic-ref/provenance
+        discipline as :meth:`compile_table`, with a ``generation``
+        counter in the table metadata tracking how many refinement
+        rounds the lattice has absorbed.
+
+        Idempotent by construction: once the missed values are lattice
+        ticks, re-offering the same misses changes no axis, and the
+        summary reports ``up_to_date`` without minting a version (so a
+        ``serve --refine-after`` loop cannot publish forever on a
+        stable traffic mix).
+        """
+        from repro.compile.table import refine_axes
+
+        shapes = list(shapes)
+        record = self.resolve(routine, machine, version)
+        bundle = load_bundle(record.path)  # table needed: axes + generation
+        old_table = bundle.table
+        if old_table is None:
+            raise RegistryError(
+                f"{record.ref} has no decision table to refine — run "
+                f"compile_table first")
+        refined = refine_axes(old_table.axes, shapes,
+                              max_new_per_axis=max_new_per_axis)
+        generation = int(old_table.meta.get("generation", 0))
+        if all(np.array_equal(a, b)
+               for a, b in zip(refined, old_table.axes)):
+            return {"routine": record.routine, "machine": record.machine,
+                    "version": record.version, "checksum": record.checksum,
+                    "generation": generation,
+                    "n_miss_shapes": len(shapes),
+                    "up_to_date": True}
+        table = bundle.compile_table(axes=refined, snap=old_table.snap,
+                                     n_probe=n_probe, force=True)
+        table.meta.update({
+            "source": "refined",
+            "generation": generation + 1,
+            "refined_from_version": record.version,
+            "n_miss_shapes": len(shapes),
+        })
+        new_record = self.publish(
+            bundle, routine=routine, machine=machine,
+            extra={"refined_from_version": record.version,
+                   "table_generation": generation + 1})
+        manifest = load_manifest(new_record.path)
+        return {"routine": new_record.routine, "machine": new_record.machine,
+                "version": new_record.version,
+                "refined_from_version": record.version,
+                "generation": generation + 1,
+                "n_miss_shapes": len(shapes),
                 "checksum": new_record.checksum,
                 "table": manifest.get("table")}
 
