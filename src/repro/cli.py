@@ -13,9 +13,13 @@ Mirrors how a deployed ADSALA would be driven::
     python -m repro predict --install ./install 64 2048 64
     python -m repro batch   --install ./install --machine gadi shapes.txt
     python -m repro batch   --registry ./registry --machine gadi mixed.txt
+    python -m repro models  --registry ./registry --gc 3
     python -m repro serve   --install ./install --rate 500 shapes.txt
     python -m repro serve   --registry ./registry --rate 500 mixed.txt
+    python -m repro serve   --registry ./registry --workers 4 \\
+                            --router least_loaded mixed.txt
     python -m repro serve   --install ./install --trace --obs-dir ./obs shapes.txt
+    python -m repro fleet   --registry ./registry --workers 2 --route-file mixed.txt
     python -m repro obs     ./obs
     python -m repro obs     ./obs --tail 5
     python -m repro obs     ./obs --dump
@@ -52,6 +56,18 @@ triples) and every request is answered by its routine's own published
 model — one multi-routine engine service for ``batch``, one shard per
 routine behind a :class:`~repro.serve.router.RoutineRouter` for
 ``serve``.
+
+``serve --workers N`` (registry mode) replays the trace through a
+multi-process :class:`~repro.fleet.FleetServer` instead — N spawned
+worker processes, each a full server over its own registry-loaded
+service, behind a least-loaded or consistent-hash front router; with
+``--watch-interval`` workers hot-reload whenever the registry's
+``latest`` moves.  ``fleet`` inspects that deployment shape without
+serving traffic: it spawns the workers, reports each one's pid and
+loaded versions, and previews where a trace file's requests would
+route.  ``models --gc N`` bounds registry disk by deleting all but the
+newest N versions per (routine, machine) cell (never the one
+``latest`` points at).
 """
 
 from __future__ import annotations
@@ -206,6 +222,17 @@ def cmd_models(args) -> int:
 
     registry = ModelRegistry(args.registry)
     try:
+        if args.gc is not None:
+            report = registry.gc(keep_last=args.gc)
+            if not report["n_removed"]:
+                print(f"gc: nothing to collect ({report['n_kept']} versions "
+                      f"within keep_last={report['keep_last']})")
+                return 0
+            print(f"gc: removed {report['n_removed']} versions, kept "
+                  f"{report['n_kept']} (keep_last={report['keep_last']})")
+            for ref in report["removed"]:
+                print(f"  removed {ref}")
+            return 0
         if args.compile_table:
             routine, machine, version = _parse_model_ref(args.compile_table)
             info = registry.compile_table(routine, machine, version,
@@ -443,6 +470,111 @@ def cmd_batch(args) -> int:
     return 0
 
 
+def _worker_version_cell(versions: dict) -> str:
+    return ",".join(f"{routine}@{version}"
+                    for routine, version in sorted(versions.items()))
+
+
+def _serve_fleet(args, machine_name: str, routines, specs) -> int:
+    """Registry-mode ``serve --workers N``: replay through a fleet."""
+    from repro.bench.report import format_table
+    from repro.fleet import FleetServer
+    from repro.serve.trace import poisson_trace, replay_trace
+
+    trace = poisson_trace(specs, rate_hz=args.rate, n_requests=args.requests,
+                          n_clients=args.clients, seed=args.seed)
+    server = FleetServer.from_registry(
+        args.registry, machine_name, workers=args.workers,
+        routines=tuple(routines), router=args.router,
+        watch_interval_s=args.watch_interval, seed=args.seed,
+        repeats=args.repeats, cache_size=args.cache_size,
+        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+        max_queue=args.max_queue)
+    print(f"replaying {len(trace)} requests at ~{args.rate:g}/s "
+          f"({args.clients} clients) across {args.workers} workers "
+          f"({args.router} routing)")
+    outcome = replay_trace(server, trace)
+    stats = outcome.stats
+    print()
+    print(format_table([outcome.report_row(f"fleet-{args.workers}w")],
+                       title="serve replay"))
+    rows = []
+    for name, entry in sorted(stats["workers"].items()):
+        counters = entry.get("counters", {})
+        rows.append({"worker": name, "pid": entry.get("pid"),
+                     "dispatched": counters.get("dispatched", 0),
+                     "completed": counters.get("completed", 0),
+                     "failed": counters.get("failed", 0),
+                     "frames": counters.get("frames", 0),
+                     "reloads": entry.get("reloads", 0),
+                     "versions": _worker_version_cell(
+                         entry.get("versions", {}))})
+    print()
+    print(format_table(rows, title="fleet workers"))
+    print(f"\nfleet: {stats.get('served', outcome.served)} served, "
+          f"{stats.get('rejected', 0)} rejected, {stats.get('batches', 0)} "
+          f"worker batches, {stats.get('model_passes', 0)} model passes")
+    return 0
+
+
+def cmd_fleet(args) -> int:
+    import asyncio
+    from collections import Counter
+
+    from repro.bench.report import format_table
+    from repro.fleet import FleetServer
+    from repro.train.registry import ModelRegistry
+
+    try:
+        if args.workers < 1:
+            raise ValueError("--workers must be >= 1")
+        registry = ModelRegistry(args.registry)
+        machine_name, _ = _registry_machine(registry, args.machine, args.seed)
+        routines = args.routine or list(dict.fromkeys(
+            e.routine for e in registry.entries()
+            if e.machine == machine_name and e.latest))
+        if not routines:
+            raise ValueError(
+                f"no published routines for machine {machine_name!r} "
+                f"in registry {args.registry}")
+        specs = (parse_trace_file(args.route_file)
+                 if args.route_file else None)
+        server = FleetServer.from_registry(
+            args.registry, machine_name, workers=args.workers,
+            routines=tuple(routines), router=args.router, seed=args.seed)
+
+        async def inspect():
+            # Routing must be previewed while workers are alive: dead
+            # workers leave the routing ring.
+            async with server:
+                live = await server.worker_stats()
+                assignment = (server.router.route_batch(specs)
+                              if specs else None)
+                return live, assignment
+
+        live, assignment = asyncio.run(inspect())
+    except (OSError, ValueError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows = [{"worker": name,
+             "pid": stats.get("pid"),
+             "reloads": stats.get("reloads", 0),
+             "versions": _worker_version_cell(stats.get("versions", {}))}
+            for name, stats in sorted(live.items())]
+    print(format_table(
+        rows, title=f"fleet: {args.workers} workers over {args.registry} "
+                    f"({machine_name}, {args.router} routing)"))
+    if assignment is not None:
+        counts = Counter(assignment)
+        print()
+        print(format_table(
+            [{"worker": name, "requests": counts.get(name, 0)}
+             for name in sorted(live)],
+            title=f"routing preview: {len(assignment)} requests from "
+                  f"{args.route_file}"))
+    return 0
+
+
 def cmd_serve(args) -> int:
     from repro.serve.router import RoutineRouter
     from repro.serve.server import GemmServer
@@ -457,6 +589,21 @@ def cmd_serve(args) -> int:
             if not args.registry:
                 raise ValueError("--refine-after republishes refined "
                                  "tables, which needs --registry mode")
+        if args.workers < 1:
+            raise ValueError("--workers must be >= 1")
+        if args.workers > 1:
+            if not args.registry:
+                raise ValueError("--workers > 1 spawns a fleet whose "
+                                 "workers load from the registry; needs "
+                                 "--registry mode")
+            if args.refine_after is not None:
+                raise ValueError("--refine-after reads in-process "
+                                 "predictor counters; not available with "
+                                 "--workers > 1")
+            if args.trace or args.obs_dir:
+                raise ValueError("--trace/--obs-dir instrument the "
+                                 "in-process server; not available with "
+                                 "--workers > 1")
         router = None
         if args.registry:
             # One shard per published routine, routed by routine name:
@@ -490,6 +637,8 @@ def cmd_serve(args) -> int:
                 args.shapes_file,
                 dtype={routine: bundle.config.dtype
                        for routine, bundle in bundles.items()})
+            if args.workers > 1:
+                return _serve_fleet(args, machine_name, routines, specs)
         else:
             bundle = load_bundle(args.install)
             machines = args.machine or [bundle.config.machine]
@@ -781,6 +930,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "shapes in --shapes-file missed it, published "
                              "as a new version (no-op when the lattice "
                              "already covers them)")
+    action.add_argument("--gc", type=int, default=None, metavar="N",
+                        help="delete all but the newest N versions per "
+                             "(routine, machine) cell; the version "
+                             "'latest' points at is never collected")
     p.add_argument("--snap", choices=["exact", "nearest", "plateau"],
                    default="exact",
                    help="--compile-table snap mode: 'plateau' also answers "
@@ -834,6 +987,19 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None,
                    help="with --registry: routines to shard (default: all "
                         "published for the machine)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="with --registry: spawn a multi-process fleet of "
+                        "this many workers instead of one in-process "
+                        "server (default: 1)")
+    p.add_argument("--router", choices=["least_loaded", "hash"],
+                   default="least_loaded",
+                   help="fleet routing policy: live in-flight counts, or "
+                        "consistent-hash shape affinity (--workers > 1)")
+    p.add_argument("--watch-interval", dest="watch_interval", type=float,
+                   default=None, metavar="SECONDS",
+                   help="fleet workers poll the registry's latest refs "
+                        "this often and hot-reload published versions "
+                        "(--workers > 1)")
     p.add_argument("--rate", type=float, default=500.0,
                    help="Poisson arrival rate, requests/second")
     p.add_argument("--requests", type=int, default=None,
@@ -863,6 +1029,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="text file with one request per line: 'm k n' "
                         "(GEMM) or '<routine> dims...' (e.g. 'gemv 2048 512')")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("fleet", help="inspect a multi-process serving "
+                                     "fleet: spawn workers, report loaded "
+                                     "versions, preview routing")
+    p.add_argument("--registry", required=True,
+                   help="model-registry root the workers load from")
+    p.add_argument("--machine", choices=machines, default=None,
+                   help="registry machine cell (default: the single "
+                        "published machine)")
+    p.add_argument("--routine", choices=sorted(ROUTINES), action="append",
+                   default=None,
+                   help="routines to serve (default: all published for "
+                        "the machine)")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--router", choices=["least_loaded", "hash"],
+                   default="least_loaded")
+    p.add_argument("--route-file", dest="route_file", default=None,
+                   metavar="FILE",
+                   help="preview where this trace file's requests would "
+                        "route (same format as the serve shape files)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser("obs", help="inspect observability artefacts "
                                    "written by 'serve --obs-dir'")

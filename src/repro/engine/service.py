@@ -136,7 +136,8 @@ class GemmService:
 
     @classmethod
     def from_bundle(cls, bundle, machine, repeats: int = 1,
-                    cache_size: int = 256, refine=None) -> "GemmService":
+                    cache_size: int = 256, refine=None,
+                    backend=None) -> "GemmService":
         """Service over installation artefacts and a machine-like object.
 
         The candidate grid is the installed one clamped to the
@@ -154,13 +155,20 @@ class GemmService:
         the :class:`~repro.blas.adapter.RoutineSimulator` oracle
         (work-fraction / roofline corrections applied), while GEMM
         traffic keeps the native backend.
+
+        ``backend`` substitutes the default execution backend while the
+        *prediction* artefacts (grid clamping included) still derive
+        from ``machine`` — the fleet benchmark serves registry bundles
+        against a synthetic CPU-bound backend this way.
         """
         max_threads = getattr(machine, "max_threads", None)
         machine_max = max_threads() if callable(max_threads) else None
         grid = cls._clamped_grid(bundle, machine_max)
+        execution = as_backend(machine if backend is None else backend,
+                               thread_grid=grid)
         service = cls(bundle.predictor(cache_size=cache_size,
                                        thread_grid=grid, compiled=True),
-                      backend=as_backend(machine, thread_grid=grid),
+                      backend=execution,
                       repeats=repeats, refine=refine)
         service._wire_routine_backend(service.routine, grid)
         service._machine_max = machine_max
@@ -173,7 +181,7 @@ class GemmService:
     def from_registry(cls, registry, machine,
                       machine_name: Optional[str] = None,
                       routines=None, repeats: int = 1, cache_size: int = 256,
-                      version="latest") -> "GemmService":
+                      version="latest", backend=None) -> "GemmService":
         """One mixed-routine service from a model registry's cells.
 
         Loads the ``(routine, machine_name)`` bundle for every requested
@@ -184,7 +192,10 @@ class GemmService:
         :class:`~repro.engine.backend.RoutineBackend` over a shared
         :class:`~repro.blas.adapter.RoutineSimulator` on ``machine``.
         ``machine`` must therefore be a machine *simulator* when any
-        non-GEMM routine is requested.
+        non-GEMM routine is requested — unless ``backend`` overrides
+        execution entirely, in which case every routine (GEMM
+        included) dispatches to the override and no simulator wiring
+        happens.
         """
         from repro.train.registry import ModelRegistry
 
@@ -206,7 +217,7 @@ class GemmService:
                    for routine in routines}
         first = routines[0]
         service = cls.from_bundle(bundles[first], machine, repeats=repeats,
-                                  cache_size=cache_size)
+                                  cache_size=cache_size, backend=backend)
         for routine in routines[1:]:
             service.register_routine(routine, bundle=bundles[routine],
                                      cache_size=cache_size)

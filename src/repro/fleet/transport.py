@@ -1,0 +1,125 @@
+"""Wire format between the fleet front and its worker processes.
+
+Everything crossing a worker pipe is one of the small frame dataclasses
+below, pickled by ``multiprocessing.Connection`` itself.  Requests are
+**slab-framed**: the front chops each routed burst into
+``max_batch``-sized :class:`SlabFrame` messages — the same chunk size
+the worker's own :meth:`~repro.serve.server.GemmServer.submit_many`
+turns into one :class:`~repro.serve.request.SlabRequest` queue entry —
+so a 256-request burst crosses the pipe as ~16 messages with one
+reply future each, not 256, and lands in the worker as ready-made
+micro-batches.
+
+Correlation is by ``msg_id``: the front allocates ids, workers echo
+them on :class:`ResultFrame`/:class:`ErrorFrame`/ack frames.  Frames a
+worker originates on its own (registry-watch reloads, the final
+:class:`StoppedFrame`) carry no id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+# -- front -> worker -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SlabFrame:
+    """One micro-batch worth of request specs."""
+
+    msg_id: int
+    specs: tuple
+    client: str = "default"
+
+
+@dataclass(frozen=True)
+class ReloadFrame:
+    """Hot-swap one routine's bundle from the worker's registry."""
+
+    msg_id: int
+    routine: str
+    version: object = "latest"  # int or "latest"
+
+
+@dataclass(frozen=True)
+class StatsFrame:
+    """Request the worker's full serving statistics."""
+
+    msg_id: int
+
+
+@dataclass(frozen=True)
+class StopFrame:
+    """Drain in-flight slabs, close the server, exit the process."""
+
+
+# -- worker -> front -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReadyFrame:
+    """First frame a worker sends: it is serving.
+
+    ``versions`` records the registry versions actually loaded, as a
+    sorted ``((routine, version), ...)`` tuple.
+    """
+
+    worker: str
+    pid: int
+    versions: Tuple = ()
+
+
+@dataclass(frozen=True)
+class ResultFrame:
+    """Slot-aligned records answering one :class:`SlabFrame`."""
+
+    msg_id: int
+    records: tuple
+
+
+@dataclass(frozen=True)
+class ErrorFrame:
+    """A slab or control frame failed inside the worker."""
+
+    msg_id: int
+    message: str
+    kind: str = "RuntimeError"
+
+
+@dataclass(frozen=True)
+class ReloadedFrame:
+    """A bundle swap completed.
+
+    ``msg_id`` echoes the triggering :class:`ReloadFrame`, or is
+    ``None`` when the worker's own registry watcher initiated the
+    swap.
+    """
+
+    msg_id: Optional[int]
+    routine: str
+    version: int
+    generation: int = 0
+
+
+@dataclass(frozen=True)
+class StatsReply:
+    """Answer to a :class:`StatsFrame`."""
+
+    msg_id: int
+    stats: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class StoppedFrame:
+    """Last frame before exit: the worker's final statistics."""
+
+    stats: dict = field(default_factory=dict)
+
+
+def chunk_slots(slots, max_batch: int):
+    """Yield ``max_batch``-sized runs of ``slots`` (slab framing)."""
+    if int(max_batch) < 1:
+        raise ValueError("max_batch must be >= 1")
+    for start in range(0, len(slots), max_batch):
+        yield slots[start:start + max_batch]

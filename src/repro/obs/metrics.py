@@ -265,6 +265,46 @@ class MetricsRegistry:
         with self._lock:
             return list(self._instruments.values())
 
+    # -- aggregation -----------------------------------------------------
+    def total(self, name: str, **labels) -> float:
+        """Sum an instrument across every label set carrying ``name``.
+
+        ``labels`` filters: only instruments whose labels include every
+        given key/value pair contribute.  Histograms contribute their
+        observation count.  This is the fleet-level rollup: per-worker
+        counters stay labelled (``worker="worker-3"``) and exporters or
+        dashboards read one number here.
+        """
+        out = 0.0
+        for instrument in self.instruments():
+            if instrument.name != name:
+                continue
+            if any(str(instrument.labels.get(str(k))) != str(v)
+                   for k, v in labels.items()):
+                continue
+            out += (instrument.count if isinstance(instrument, Histogram)
+                    else instrument.value)
+        return out
+
+    def by_label(self, name: str, label: str) -> dict:
+        """Per-label-value breakdown of an instrument, summed otherwise.
+
+        ``by_label("fleet_served", "worker")`` returns
+        ``{"worker-0": 812.0, "worker-1": 790.0, ...}``; instruments
+        without the label are skipped.  The labelled twin of
+        :meth:`total`.
+        """
+        out: Dict[str, float] = {}
+        label = str(label)
+        for instrument in self.instruments():
+            if instrument.name != name or label not in instrument.labels:
+                continue
+            value = (instrument.count if isinstance(instrument, Histogram)
+                     else instrument.value)
+            key = str(instrument.labels[label])
+            out[key] = out.get(key, 0.0) + value
+        return out
+
     # -- collectors ------------------------------------------------------
     def register_collector(self, fn: Callable[[], Dict[str, float]],
                            **labels) -> None:

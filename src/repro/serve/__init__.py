@@ -21,11 +21,15 @@ request stream:
   :class:`~repro.serve.scheduler.BatchPolicy` — dynamic micro-batching:
   a batch closes when it reaches ``max_batch`` or ``max_wait_ms`` after
   its first request.
-* routers — :class:`~repro.serve.router.HashRouter` (replicas),
+* routers — :class:`~repro.serve.router.HashRouter` /
+  :class:`~repro.serve.router.ConsistentHashRouter` (replicas, the
+  latter stable under membership changes),
+  :class:`~repro.serve.router.LeastLoadedRouter` (live in-flight
+  counts), :class:`~repro.serve.router.CanaryRouter` (deterministic
+  traffic-fraction split for rollouts),
   :class:`~repro.serve.router.RoutineRouter` /
   :class:`~repro.serve.router.SpecTypeRouter` (per routine family),
-  :class:`~repro.serve.router.TenantRouter` (per client), all
-  deterministic.
+  :class:`~repro.serve.router.TenantRouter` (per client).
 * :mod:`~repro.serve.trace` — Poisson load generation and the replay
   harness shared by the CLI, the serve benchmark and the examples.
 
@@ -36,9 +40,11 @@ engine's batch prediction is exact.
 
 from repro.serve.request import (ReloadCommand, ServeRequest, ServerClosed,
                                  ServerOverloaded)
-from repro.serve.router import (HashRouter, RoundRobinRouter, RoutineRouter,
-                                ShardRouter, SingleShardRouter,
-                                SpecTypeRouter, TenantRouter, default_router)
+from repro.serve.router import (CanaryRouter, ConsistentHashRouter,
+                                HashRouter, LeastLoadedRouter,
+                                RoundRobinRouter, RoutineRouter, ShardRouter,
+                                SingleShardRouter, SpecTypeRouter,
+                                TenantRouter, default_router)
 from repro.serve.scheduler import BatchPolicy, MicroBatcher
 from repro.serve.server import GemmServer
 from repro.serve.telemetry import ServeTelemetry
@@ -47,8 +53,11 @@ from repro.serve.trace import (ReplayOutcome, TimedRequest, poisson_trace,
 
 __all__ = [
     "BatchPolicy",
+    "CanaryRouter",
+    "ConsistentHashRouter",
     "GemmServer",
     "HashRouter",
+    "LeastLoadedRouter",
     "MicroBatcher",
     "ReloadCommand",
     "ReplayOutcome",

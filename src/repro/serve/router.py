@@ -21,6 +21,7 @@ SYRK requests with the right model.
 
 from __future__ import annotations
 
+import bisect
 import hashlib
 from typing import Protocol, runtime_checkable
 
@@ -92,6 +93,167 @@ class HashRouter:
             if shard is None:
                 shard = memo[key] = self.route(spec, client)
             out.append(shard)
+        return out
+
+
+class ConsistentHashRouter:
+    """Hash-ring spreading that survives shard membership changes.
+
+    :class:`HashRouter` maps keys with ``hash % n``, so losing one
+    shard remaps nearly every key — a dead fleet worker would flush
+    every surviving worker's prediction cache.  The ring keeps each
+    shard at ``replicas`` virtual points; a key routes to the first
+    point clockwise of its own hash, so removing a shard remaps *only*
+    the keys that lived on it and adding one steals an even slice from
+    everyone.  Assignments hash the canonical shape key with blake2b,
+    so they are stable across processes and runs.
+    """
+
+    def __init__(self, shards, replicas: int = 64):
+        if int(replicas) < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = int(replicas)
+        self._points: list = []   # sorted ring positions
+        self._owners: list = []   # shard name at each position
+        self.shards: list = []
+        for shard in _require_shards(shards):
+            self.add(shard)
+
+    @staticmethod
+    def _hash(data: str) -> int:
+        digest = hashlib.blake2b(data.encode(), digest_size=8).digest()
+        return int.from_bytes(digest, "little")
+
+    def add(self, shard: str) -> None:
+        if shard in self.shards:
+            return
+        self.shards.append(shard)
+        for i in range(self.replicas):
+            point = self._hash(f"{shard}#{i}")
+            at = bisect.bisect_left(self._points, point)
+            self._points.insert(at, point)
+            self._owners.insert(at, shard)
+
+    def remove(self, shard: str) -> None:
+        if shard not in self.shards:
+            return
+        if len(self.shards) == 1:
+            raise ValueError("cannot remove the last shard from the ring")
+        self.shards.remove(shard)
+        keep = [i for i, owner in enumerate(self._owners) if owner != shard]
+        self._points = [self._points[i] for i in keep]
+        self._owners = [self._owners[i] for i in keep]
+
+    def route(self, spec, client: str = "default") -> str:
+        point = self._hash(repr(routine_key(spec)))
+        at = bisect.bisect_right(self._points, point) % len(self._points)
+        return self._owners[at]
+
+    def route_batch(self, specs, client: str = "default") -> list:
+        memo: dict = {}  # one ring lookup per distinct key
+        out = []
+        for spec in specs:
+            key = routine_key(spec)
+            shard = memo.get(key)
+            if shard is None:
+                shard = memo[key] = self.route(spec, client)
+            out.append(shard)
+        return out
+
+
+class LeastLoadedRouter:
+    """Route each request to the shard holding the fewest in-flight slots.
+
+    ``loads`` supplies the live occupancy — either a dict the owner
+    mutates in place or a zero-argument callable returning one — and
+    the router picks the least-loaded shard, breaking ties by shard
+    registration order so identical load states route identically.
+    ``route_batch`` additionally counts its *own* assignments while it
+    spreads a burst: each routed slot will occupy its shard the moment
+    the burst is admitted, so simulating that admission is what makes
+    the batch land exactly where sequential route-then-admit calls
+    would have put it.  Like :class:`RoundRobinRouter`, assignments
+    depend on live state, not only on the spec — use it for replica
+    load-spreading, not when replay reproducibility matters.
+    """
+
+    def __init__(self, shards, loads=None):
+        self.shards = _require_shards(shards)
+        self._loads = loads if loads is not None else {}
+
+    def current_loads(self) -> dict:
+        return dict(self._loads() if callable(self._loads) else self._loads)
+
+    def add(self, shard: str) -> None:
+        if shard not in self.shards:
+            self.shards.append(shard)
+
+    def remove(self, shard: str) -> None:
+        if shard in self.shards:
+            if len(self.shards) == 1:
+                raise ValueError("cannot remove the last shard")
+            self.shards.remove(shard)
+
+    def route(self, spec, client: str = "default") -> str:
+        loads = self.current_loads()
+        return min(self.shards, key=lambda s: loads.get(s, 0))
+
+    def route_batch(self, specs, client: str = "default") -> list:
+        loads = self.current_loads()
+        out = []
+        for _ in specs:
+            shard = min(self.shards, key=lambda s: loads.get(s, 0))
+            loads[shard] = loads.get(shard, 0) + 1
+            out.append(shard)
+        return out
+
+
+class CanaryRouter:
+    """Divert a deterministic key fraction of traffic to one shard.
+
+    Wraps a base router during a canary rollout: every spec whose
+    hashed shape key falls into the lowest ``fraction`` of the hash
+    space routes to ``canary``, everything else follows the base
+    router.  The split is a pure function of the shape key (blake2b,
+    not Python's salted ``hash``), so the same request always lands on
+    the same side — canary-vs-fleet comparisons see disjoint, stable
+    traffic sets rather than a random sample.
+    """
+
+    def __init__(self, base, canary: str, fraction: float = 0.25):
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        self.base = base
+        self.canary = str(canary)
+        self.fraction = float(fraction)
+
+    def _is_canary(self, spec) -> bool:
+        digest = hashlib.blake2b(
+            b"canary:" + repr(routine_key(spec)).encode(),
+            digest_size=8).digest()
+        bucket = int.from_bytes(digest, "little") / float(2 ** 64)
+        return bucket < self.fraction
+
+    def route(self, spec, client: str = "default") -> str:
+        if self._is_canary(spec):
+            return self.canary
+        return self.base.route(spec, client)
+
+    def route_batch(self, specs, client: str = "default") -> list:
+        # The base router must see only the slots it will actually own:
+        # a stateful base (least-loaded, round-robin) would otherwise
+        # account for slots the canary took.
+        flags = [self._is_canary(spec) for spec in specs]
+        rest = [i for i, taken in enumerate(flags) if not taken]
+        out: list = [self.canary] * len(specs)
+        if rest:
+            base_route = getattr(self.base, "route_batch", None)
+            if base_route is not None:
+                names = base_route([specs[i] for i in rest], client)
+            else:
+                names = [self.base.route(specs[i], client) for i in rest]
+            for i, name in zip(rest, names):
+                out[i] = name
         return out
 
 

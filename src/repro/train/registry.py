@@ -380,6 +380,87 @@ class ModelRegistry:
                 "checksum": new_record.checksum,
                 "table": manifest.get("table")}
 
+    # -- watch / generation ----------------------------------------------
+    def latest_version(self, routine: str, machine: str):
+        """The cell's ``latest`` version number, or ``None`` if unpublished."""
+        return self._read_ref(routine, machine)["latest"]
+
+    def cell_generation(self, routine: str, machine: str) -> tuple:
+        """Cheap change token for one ``(routine, machine)`` cell.
+
+        Returns ``(latest_version, ref_mtime_ns)``.  Every publish
+        rewrites the ref file atomically, so the token changes iff the
+        cell changed — pollers compare the mtime first and only parse
+        the JSON when it moved.  An unpublished cell yields
+        ``(None, None)``.
+        """
+        path = self._ref_path(routine, machine)
+        try:
+            mtime = os.stat(path).st_mtime_ns
+        except OSError:
+            return (None, None)
+        return (self.latest_version(routine, machine), mtime)
+
+    def watch(self, cells, versions: dict = None) -> "RegistryWatcher":
+        """A :class:`RegistryWatcher` over ``cells`` of this registry."""
+        return RegistryWatcher(self, cells, versions=versions)
+
+    # -- garbage collection ----------------------------------------------
+    def gc(self, keep_last: int = 1, routine: str = None,
+           machine: str = None) -> dict:
+        """Delete old bundle versions, keeping the newest ``keep_last``.
+
+        Applies per ``(routine, machine)`` cell (optionally filtered to
+        one routine and/or machine): the highest ``keep_last`` version
+        numbers survive, and the version the ``latest`` ref points at
+        is *never* collected even if it is older than the keep window
+        (a rollback may have moved ``latest`` backwards).  The ref is
+        rewritten — atomically — before any bundle directory is
+        removed, so a concurrent reader never resolves a version whose
+        files are mid-deletion.  Returns a summary with the removed
+        refs; collection is idempotent.
+        """
+        if int(keep_last) < 1:
+            raise RegistryError("gc keep_last must be >= 1")
+        keep_last = int(keep_last)
+        removed, n_kept = [], 0
+        cells = sorted({(r.routine, r.machine) for r in self.entries()})
+        for cell_routine, cell_machine in cells:
+            if routine is not None and cell_routine != routine:
+                continue
+            if machine is not None and cell_machine != machine:
+                continue
+            ref = self._read_ref(cell_routine, cell_machine)
+            versions = sorted((int(v) for v in ref["versions"]), reverse=True)
+            keep = set(versions[:keep_last])
+            if ref["latest"] is not None:
+                keep.add(int(ref["latest"]))
+            doomed = [v for v in versions if v not in keep]
+            n_kept += len(versions) - len(doomed)
+            if not doomed:
+                continue
+            records = [ModelRecord(
+                routine=cell_routine, machine=cell_machine, version=v,
+                path=self._bundle_dir(cell_routine, cell_machine, v),
+                checksum=ref["versions"][str(v)]["checksum"],
+                model_name=ref["versions"][str(v)].get("model_name", ""))
+                for v in doomed]
+            for v in doomed:
+                del ref["versions"][str(v)]
+            self._write_ref(cell_routine, cell_machine, ref)
+            for record in records:
+                if os.path.isdir(record.path):
+                    shutil.rmtree(record.path)
+                removed.append(record)
+        if removed:
+            registry = default_registry()
+            registry.event("registry_gc", keep_last=keep_last,
+                           removed=[r.ref for r in removed])
+            registry.counter("registry_gc_removed").inc(len(removed))
+        return {"removed": [r.ref for r in removed],
+                "n_removed": len(removed), "n_kept": n_kept,
+                "keep_last": keep_last}
+
     # -- enumerate -------------------------------------------------------
     def entries(self) -> list:
         """Every published (routine, machine, version), sorted."""
@@ -415,3 +496,62 @@ class ModelRegistry:
                 "path": record.path, "checksum": record.checksum,
                 "has_plan": self.has_plan(record),
                 "has_table": self.has_table(record), "manifest": manifest}
+
+
+class RegistryWatcher:
+    """Poll a set of ``(routine, machine)`` cells for new ``latest`` refs.
+
+    The fleet's workers watch the registry with one of these: each
+    :meth:`poll` stats the cells' ref files (nanosecond mtimes — a
+    publish always rewrites the ref atomically) and only parses the
+    JSON of cells whose token moved, so an idle poll costs one
+    ``stat`` per cell and zero reads.  ``versions`` seeds the known
+    state (e.g. the versions a worker actually loaded); cells default
+    to whatever is ``latest`` at construction, so only publishes
+    *after* the watcher exists count as changes.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`ModelRegistry` to watch.
+    cells:
+        Iterable of ``(routine, machine)`` pairs.
+    versions:
+        Optional ``{(routine, machine): version}`` overriding the
+        initial known version per cell.
+    """
+
+    def __init__(self, registry: ModelRegistry, cells, versions: dict = None):
+        self.registry = registry
+        self.generation = 0  # bumps once per detected change
+        self._known: dict = {}
+        versions = versions or {}
+        for cell in cells:
+            routine, machine = cell
+            latest, mtime = registry.cell_generation(routine, machine)
+            known = versions.get((routine, machine), latest)
+            self._known[(routine, machine)] = [mtime, known]
+
+    @property
+    def cells(self) -> list:
+        return sorted(self._known)
+
+    def poll(self) -> list:
+        """Changed cells since the last poll, as ``ModelRecord`` list.
+
+        A cell reports at most its *newest* state: intermediate
+        versions published between two polls collapse into one record
+        (the fleet only ever rolls to ``latest``).
+        """
+        changed = []
+        for (routine, machine), state in self._known.items():
+            latest, mtime = self.registry.cell_generation(routine, machine)
+            if mtime == state[0]:
+                continue
+            state[0] = mtime
+            if latest is None or latest == state[1]:
+                continue
+            state[1] = latest
+            self.generation += 1
+            changed.append(self.registry.resolve(routine, machine, latest))
+        return changed

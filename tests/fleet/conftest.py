@@ -1,0 +1,32 @@
+"""Fixtures for the multi-process serving fleet tests.
+
+Worker processes load bundles from a registry *path*, so every test
+gets its own throwaway copy of a session-built seed registry — tests
+publish and garbage-collect freely without coupling to each other,
+while the expensive installation campaign runs once.
+"""
+
+import shutil
+
+import pytest
+
+from repro.train.registry import ModelRegistry
+
+
+@pytest.fixture(scope="session")
+def fleet_registry_seed(tmp_path_factory, tiny_bundle):
+    """Session registry with the tiny bundle published as gemm and gemv."""
+    bundle, _ = tiny_bundle
+    root = tmp_path_factory.mktemp("fleet-registry-seed")
+    registry = ModelRegistry(root)
+    registry.publish(bundle, routine="gemm")
+    registry.publish(bundle, routine="gemv")
+    return root
+
+
+@pytest.fixture
+def fleet_registry(fleet_registry_seed, tmp_path):
+    """Private copy of the seed registry for one test."""
+    dest = tmp_path / "registry"
+    shutil.copytree(fleet_registry_seed, dest)
+    return dest

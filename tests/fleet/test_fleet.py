@@ -1,0 +1,207 @@
+"""Multi-process fleet: spawn, parity, hot-reload, rollout, worker death.
+
+Every test here spawns real worker processes, so the suite keeps the
+process count small (2-worker fleets) and folds related assertions
+into shared scenarios rather than paying a spawn per claim.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.bench.loadgen import bias_bundle
+from repro.blas.gemv import GemvSpec
+from repro.engine.service import GemmService
+from repro.fleet import FleetServer, WorkerFailed, WorkerSpec
+from repro.gemm.interface import GemmSpec
+from repro.machine.presets import by_name
+from repro.machine.simulator import MachineSimulator
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.request import ServerOverloaded
+from repro.train.registry import ModelRegistry
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def mixed_specs(n, base=24):
+    """Deterministic gemm/gemv mix exercising both routing cells."""
+    specs = []
+    for i in range(n):
+        if i % 3 == 2:
+            specs.append(GemvSpec(base + 8 * i, 4 * base + 8 * i))
+        else:
+            specs.append(GemmSpec(base + 8 * i, 2 * base, base + 4 * i))
+    return specs
+
+
+def make_fleet(registry_root, workers=2, **kwargs):
+    kwargs.setdefault("max_wait_ms", 1.0)
+    return FleetServer.from_registry(
+        registry_root, "tiny", workers=workers,
+        routines=("gemm", "gemv"), **kwargs)
+
+
+class TestFleetServing:
+    def test_parity_overload_and_stats(self, fleet_registry):
+        specs = mixed_specs(30)
+        reference = GemmService.from_registry(
+            ModelRegistry(fleet_registry),
+            MachineSimulator(by_name("tiny"), seed=0), machine_name="tiny")
+        expected = [r.n_threads for r in reference.run_batch(specs)]
+
+        async def scenario():
+            fleet = make_fleet(fleet_registry)
+            async with fleet:
+                records = await fleet.submit_many(specs)
+                # A tiny admission window must reject a burst whole,
+                # not strand a prefix of it on worker queues.
+                fleet.max_pending = 4
+                with pytest.raises(ServerOverloaded):
+                    await fleet.submit_many(mixed_specs(8))
+                fleet.max_pending = 1024
+                ws = await fleet.worker_stats()
+            return records, ws, fleet.stats()
+
+        records, worker_stats, stats = run(scenario())
+        assert [r.n_threads for r in records] == expected
+        served = [w["server"]["served"] for w in worker_stats.values()]
+        assert sum(served) == len(specs)
+        assert all(s > 0 for s in served), "router starved a worker"
+        assert stats["served"] == len(specs)
+        assert stats["rejected"] == 8
+        assert stats["n_workers"] == 2 and stats["batches"] >= 2
+        assert stats["latency_ms"]["count"] > 0
+        for entry in stats["workers"].values():
+            assert entry["counters"]["completed"] > 0
+            assert entry["versions"] == {"gemm": 1, "gemv": 1}
+
+    def test_watcher_rolls_fleet_without_drops(self, fleet_registry,
+                                               tiny_bundle):
+        bundle, _ = tiny_bundle
+        registry = ModelRegistry(fleet_registry)
+
+        async def scenario():
+            fleet = make_fleet(fleet_registry, watch_interval_s=0.05)
+            async with fleet:
+                before = await fleet.submit_many(mixed_specs(12))
+                # Publish-to-registry is the rollout: no fleet API call.
+                registry.publish(bias_bundle(bundle, target=1),
+                                 routine="gemm")
+                deadline = asyncio.get_running_loop().time() + 10.0
+                after = []
+                while asyncio.get_running_loop().time() < deadline:
+                    after = await fleet.submit_many(mixed_specs(12))
+                    versions = {w.versions.get("gemm")
+                                for w in fleet._workers.values()}
+                    if versions == {2}:
+                        break
+                    await asyncio.sleep(0.05)
+                else:
+                    pytest.fail("watcher never rolled the fleet to v2")
+                stats = fleet.telemetry.stats()
+            return before, after, stats
+
+        before, after, stats = run(scenario())
+        assert all(r is not None for r in before + after)
+        assert stats["failed"] == 0 and stats["rejected"] == 0
+        # Both workers picked the publish up on their own.
+        assert stats["reloads"] >= 2
+        # The biased bundle pins gemm to 1 thread — proof the new
+        # version is actually serving, not just acknowledged.
+        gemm_after = [r.n_threads for r in after
+                      if isinstance(r.spec, GemmSpec)]
+        assert set(gemm_after) == {1}
+
+    def test_rollout_promotes_and_rolls_back(self, fleet_registry,
+                                             tiny_bundle):
+        bundle, _ = tiny_bundle
+        registry = ModelRegistry(fleet_registry)
+        probes = [GemmSpec(24 + 16 * i, 48, 32) for i in range(8)]
+
+        async def scenario():
+            fleet = make_fleet(fleet_registry)
+            async with fleet:
+                registry.publish(bias_bundle(bundle, target=1),
+                                 routine="gemm")
+                bad = await fleet.rollout("gemm", probes=probes,
+                                          max_divergence=0.0)
+                versions_bad = {name: w.versions["gemm"]
+                                for name, w in fleet._workers.items()}
+                registry.publish(bundle, routine="gemm")
+                good = await fleet.rollout("gemm", probes=probes,
+                                           max_divergence=0.0)
+                versions_good = {name: w.versions["gemm"]
+                                 for name, w in fleet._workers.items()}
+                records = await fleet.submit_many(probes)
+            return bad, versions_bad, good, versions_good, records
+
+        bad, versions_bad, good, versions_good, records = run(scenario())
+        assert bad["action"] == "rolled_back" and bad["divergence"] > 0
+        # Canary is back on the pre-rollout version; nobody promoted.
+        assert set(versions_bad.values()) == {1}
+        assert good["action"] == "promoted" and good["divergence"] == 0.0
+        assert set(versions_good.values()) == {3}
+        assert all(r is not None for r in records)
+
+    def test_worker_death_drains_and_respawn_rejoins(self, fleet_registry,
+                                                     tiny_bundle):
+        bundle, _ = tiny_bundle
+        registry = ModelRegistry(fleet_registry)
+
+        async def scenario():
+            fleet = make_fleet(fleet_registry, registry=MetricsRegistry())
+            async with fleet:
+                await fleet.submit_many(mixed_specs(6))
+                victim = fleet._workers["worker-0"]
+                old_pid = victim.pid
+                # In-flight work on the victim when it dies...
+                doomed = asyncio.ensure_future(
+                    fleet.submit(GemmSpec(64, 64, 64), worker="worker-0"))
+                await asyncio.sleep(0)
+                victim.process.kill()
+                with pytest.raises(WorkerFailed):
+                    await doomed
+                # ...while the survivor keeps serving the fleet.
+                survivors = await fleet.submit_many(mixed_specs(9))
+                with pytest.raises((WorkerFailed, KeyError)):
+                    await fleet.submit(GemmSpec(32, 32, 32),
+                                       worker="worker-0")
+                # Publish while the worker is down: the respawn must
+                # come back on the *current* latest, not a snapshot.
+                registry.publish(bundle, routine="gemm")
+                new_pid = await fleet.respawn("worker-0")
+                rejoined = await fleet.submit(GemmSpec(80, 48, 48),
+                                              worker="worker-0")
+                versions = dict(fleet._workers["worker-0"].versions)
+                events = fleet.telemetry.registry.events(
+                    "fleet_worker_death")
+            return old_pid, new_pid, survivors, rejoined, versions, events
+
+        old_pid, new_pid, survivors, rejoined, versions, events = run(
+            scenario())
+        assert new_pid != old_pid
+        assert all(r is not None for r in survivors)
+        assert rejoined is not None
+        assert versions == {"gemm": 2, "gemv": 1}
+        assert len(events) == 1 and events[0]["worker"] == "worker-0"
+
+
+class TestFleetConstruction:
+    def test_from_registry_builds_named_specs(self, fleet_registry):
+        fleet = make_fleet(fleet_registry, workers=3)
+        specs = [w.spec for w in fleet._workers.values()]
+        assert [s.name for s in specs] == ["worker-0", "worker-1",
+                                           "worker-2"]
+        assert all(s.registry_root == str(fleet_registry) for s in specs)
+
+    def test_duplicate_names_rejected(self, fleet_registry):
+        spec = WorkerSpec(name="w", registry_root=str(fleet_registry),
+                          machine="tiny")
+        with pytest.raises(ValueError, match="duplicate"):
+            FleetServer([spec, spec])
+
+    def test_unknown_router_rejected(self, fleet_registry):
+        with pytest.raises(ValueError):
+            make_fleet(fleet_registry, router="zigzag")

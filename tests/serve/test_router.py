@@ -127,3 +127,123 @@ class TestServerSharding:
         asyncio.run(run())
         assert shards["west"].n_requests == 3
         assert shards["east"].n_requests == 0
+
+
+class TestConsistentHashRouter:
+    def test_deterministic_across_instances(self):
+        from repro.serve import ConsistentHashRouter
+
+        a = ConsistentHashRouter(["w0", "w1", "w2"])
+        b = ConsistentHashRouter(["w0", "w1", "w2"])
+        specs = [GemmSpec(16 + i, 64, 64) for i in range(50)]
+        assert [a.route(s) for s in specs] == [b.route(s) for s in specs]
+        assert a.route_batch(specs) == [a.route(s) for s in specs]
+
+    def test_spreads_across_shards(self):
+        from repro.serve import ConsistentHashRouter
+
+        router = ConsistentHashRouter(["w0", "w1", "w2"])
+        hit = {router.route(GemmSpec(16 + i, 64, 64)) for i in range(80)}
+        assert hit == {"w0", "w1", "w2"}
+
+    def test_removal_only_remaps_lost_shard_keys(self):
+        from repro.serve import ConsistentHashRouter
+
+        router = ConsistentHashRouter(["w0", "w1", "w2"])
+        specs = [GemmSpec(16 + i, 64, 64) for i in range(100)]
+        before = [router.route(s) for s in specs]
+        router.remove("w1")
+        after = [router.route(s) for s in specs]
+        for owner_before, owner_after in zip(before, after):
+            if owner_before != "w1":
+                # Keys that did not live on the removed shard stay put —
+                # the property a plain hash % n router lacks.
+                assert owner_after == owner_before
+            else:
+                assert owner_after in {"w0", "w2"}
+
+    def test_add_restores_prior_assignment(self):
+        from repro.serve import ConsistentHashRouter
+
+        router = ConsistentHashRouter(["w0", "w1", "w2"])
+        specs = [GemmSpec(16 + i, 64, 64) for i in range(60)]
+        before = [router.route(s) for s in specs]
+        router.remove("w1")
+        router.add("w1")
+        assert [router.route(s) for s in specs] == before
+
+    def test_cannot_empty_the_ring(self):
+        from repro.serve import ConsistentHashRouter
+
+        router = ConsistentHashRouter(["only"])
+        with pytest.raises(ValueError):
+            router.remove("only")
+
+
+class TestLeastLoadedRouter:
+    def test_routes_to_minimum_with_stable_ties(self):
+        from repro.serve import LeastLoadedRouter
+
+        loads = {"w0": 2, "w1": 0, "w2": 0}
+        router = LeastLoadedRouter(["w0", "w1", "w2"], loads=loads)
+        # Tie between w1 and w2 breaks by registration order.
+        assert router.route(GemmSpec(8, 8, 8)) == "w1"
+        loads["w1"] = 5
+        assert router.route(GemmSpec(8, 8, 8)) == "w2"
+
+    def test_accepts_callable_loads(self):
+        from repro.serve import LeastLoadedRouter
+
+        live = {"w0": 3, "w1": 1}
+        router = LeastLoadedRouter(["w0", "w1"], loads=lambda: live)
+        assert router.route(GemmSpec(8, 8, 8)) == "w1"
+
+    def test_batch_spreads_by_simulated_admission(self):
+        from repro.serve import LeastLoadedRouter
+
+        router = LeastLoadedRouter(["w0", "w1"],
+                                   loads={"w0": 0, "w1": 0})
+        specs = [GemmSpec(8 + i, 8, 8) for i in range(6)]
+        assignment = router.route_batch(specs)
+        # Each assignment counts toward the load the next one sees, so
+        # an even burst splits evenly instead of all landing on w0.
+        assert assignment.count("w0") == 3
+        assert assignment.count("w1") == 3
+
+
+class TestCanaryRouter:
+    def test_split_is_deterministic_and_disjoint(self):
+        from repro.serve import CanaryRouter, SingleShardRouter
+
+        base = SingleShardRouter("stable")
+        router = CanaryRouter(base, "canary", fraction=0.5)
+        specs = [GemmSpec(16 + i, 64, 64) for i in range(60)]
+        first = [router.route(s) for s in specs]
+        assert first == [router.route(s) for s in specs]
+        assert first == router.route_batch(specs)
+        assert {"stable", "canary"} == set(first)
+
+    def test_fraction_bounds(self):
+        from repro.serve import CanaryRouter, SingleShardRouter
+
+        base = SingleShardRouter("stable")
+        all_canary = CanaryRouter(base, "canary", fraction=1.0)
+        no_canary = CanaryRouter(base, "canary", fraction=0.0)
+        specs = [GemmSpec(16 + i, 64, 64) for i in range(20)]
+        assert set(all_canary.route_batch(specs)) == {"canary"}
+        assert set(no_canary.route_batch(specs)) == {"stable"}
+        with pytest.raises(ValueError):
+            CanaryRouter(base, "canary", fraction=1.5)
+
+    def test_stateful_base_sees_only_its_own_slots(self):
+        from repro.serve import CanaryRouter, RoundRobinRouter
+
+        specs = [GemmSpec(16 + i, 64, 64) for i in range(40)]
+        solo = RoundRobinRouter(["a", "b"])
+        wrapped = RoundRobinRouter(["a", "b"])
+        router = CanaryRouter(wrapped, "canary", fraction=0.4)
+        assignment = router.route_batch(specs)
+        rest = [name for name in assignment if name != "canary"]
+        # The wrapped round-robin advanced once per non-canary slot:
+        # its assignment equals routing just those slots standalone.
+        assert rest == solo.route_batch(specs[:len(rest)])

@@ -265,3 +265,107 @@ class TestEndToEnd:
         empty.write_text("# nothing\n")
         with pytest.raises(ValueError):
             parse_trace_file(str(empty))
+
+
+class TestFleetCli:
+    def test_serve_fleet_args(self):
+        args = build_parser().parse_args(
+            ["serve", "--registry", "reg", "--workers", "4",
+             "--router", "hash", "--watch-interval", "0.5", "t.txt"])
+        assert args.workers == 4 and args.router == "hash"
+        assert args.watch_interval == 0.5
+
+    def test_serve_fleet_defaults(self):
+        args = build_parser().parse_args(
+            ["serve", "--registry", "reg", "t.txt"])
+        assert args.workers == 1 and args.router == "least_loaded"
+        assert args.watch_interval is None
+
+    def test_fleet_args(self):
+        args = build_parser().parse_args(
+            ["fleet", "--registry", "reg", "--workers", "3",
+             "--route-file", "t.txt"])
+        assert args.workers == 3 and args.route_file == "t.txt"
+        assert args.router == "least_loaded"
+
+    def test_models_gc_args(self):
+        args = build_parser().parse_args(
+            ["models", "--registry", "reg", "--gc", "2"])
+        assert args.gc == 2
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["models", "--registry", "reg", "--gc", "2",
+                 "--compile", "gemm/tiny"])
+
+    def test_serve_workers_validation(self, tmp_path, capsys):
+        trace = tmp_path / "t.txt"
+        trace.write_text("64 512 64\n")
+        rc = main(["serve", "--install", "dir", "--workers", "2",
+                   str(trace)])
+        assert rc == 2
+        assert "--registry mode" in capsys.readouterr().err
+        rc = main(["serve", "--registry", "dir", "--workers", "0",
+                   str(trace)])
+        assert rc == 2
+        assert "--workers" in capsys.readouterr().err
+        rc = main(["serve", "--registry", "dir", "--workers", "2",
+                   "--trace", str(trace)])
+        assert rc == 2
+        assert "not available" in capsys.readouterr().err
+
+    @staticmethod
+    def _registry_with(tiny_bundle, tmp_path, publishes=1):
+        from repro.train.registry import ModelRegistry
+
+        bundle, _ = tiny_bundle
+        registry_dir = tmp_path / "registry"
+        registry = ModelRegistry(registry_dir)
+        for _ in range(publishes):
+            registry.publish(bundle, routine="gemm")
+        registry.publish(bundle, routine="gemv")
+        return registry_dir
+
+    def test_models_gc_end_to_end(self, tiny_bundle, tmp_path, capsys):
+        registry_dir = self._registry_with(tiny_bundle, tmp_path,
+                                           publishes=3)
+        rc = main(["models", "--registry", str(registry_dir), "--gc", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "removed 2 versions" in out
+        assert "removed gemm/tiny@1" in out and "gemm/tiny@2" in out
+
+        rc = main(["models", "--registry", str(registry_dir), "--gc", "1"])
+        assert rc == 0
+        assert "nothing to collect" in capsys.readouterr().out
+
+    def test_serve_fleet_end_to_end(self, tiny_bundle, tmp_path, capsys):
+        registry_dir = self._registry_with(tiny_bundle, tmp_path)
+        trace = tmp_path / "mixed.txt"
+        trace.write_text("64 512 64\n128 128 128\ngemv 512 256\n"
+                         "96 64 96\ngemv 256 768\n48 48 48\n")
+        rc = main(["serve", "--registry", str(registry_dir),
+                   "--workers", "2", "--rate", "4000", "--requests", "24",
+                   str(trace)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fleet-2w" in out
+        assert "worker-0" in out and "worker-1" in out
+        assert "rejected" in out
+
+    def test_fleet_inspect_end_to_end(self, tiny_bundle, tmp_path, capsys):
+        registry_dir = self._registry_with(tiny_bundle, tmp_path)
+        trace = tmp_path / "mixed.txt"
+        trace.write_text("64 512 64\ngemv 512 256\n128 128 128\n"
+                         "gemv 256 768\n")
+        rc = main(["fleet", "--registry", str(registry_dir),
+                   "--route-file", str(trace)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fleet: 2 workers" in out
+        assert "routing preview: 4 requests" in out
+        assert "gemm@1,gemv@1" in out
+
+    def test_fleet_rejects_empty_registry(self, tmp_path, capsys):
+        rc = main(["fleet", "--registry", str(tmp_path / "empty")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err

@@ -119,3 +119,107 @@ class TestInspect:
         assert manifest["model_name"] == bundle.config.model_name
         assert len(manifest["selection"]) == len(bundle.report.rows)
         assert info["checksum"] == manifest["checksum"]
+
+
+class TestGC:
+    def _publish(self, registry, bundle, routine="gemm", n=1):
+        for _ in range(n):
+            registry.publish(bundle, routine=routine)
+
+    def test_keeps_newest_and_removes_rest(self, registry, tiny_bundle):
+        bundle, _ = tiny_bundle
+        self._publish(registry, bundle, n=4)
+        report = registry.gc(keep_last=2)
+        assert sorted(report["removed"]) == ["gemm/tiny@1", "gemm/tiny@2"]
+        assert report["n_removed"] == 2 and report["n_kept"] == 2
+        assert registry.resolve("gemm", "tiny").version == 4
+        assert registry.resolve("gemm", "tiny", version=3).version == 3
+        with pytest.raises(RegistryError):
+            registry.resolve("gemm", "tiny", version=1)
+
+    def test_bundle_directories_are_deleted(self, registry, tiny_bundle):
+        bundle, _ = tiny_bundle
+        self._publish(registry, bundle, n=3)
+        doomed = registry.resolve("gemm", "tiny", version=1).path
+        survivor = registry.resolve("gemm", "tiny", version=3).path
+        registry.gc(keep_last=1)
+        assert not os.path.exists(doomed)
+        assert os.path.isdir(survivor)
+        # Survivors still load with their checksums intact.
+        registry.load("gemm", "tiny")
+
+    def test_latest_is_never_collected(self, registry, tiny_bundle):
+        bundle, _ = tiny_bundle
+        self._publish(registry, bundle, n=3)
+        # Roll "latest" back to version 1 by hand (a rollback moved it).
+        ref = registry._read_ref("gemm", "tiny")
+        ref["latest"] = 1
+        registry._write_ref("gemm", "tiny", ref)
+        report = registry.gc(keep_last=1)
+        # Version 3 survives as the newest keep_last window, version 1
+        # survives because latest points at it; only 2 is collected.
+        assert report["removed"] == ["gemm/tiny@2"]
+        assert registry.resolve("gemm", "tiny").version == 1
+        registry.load("gemm", "tiny")
+
+    def test_idempotent_and_cell_scoped(self, registry, tiny_bundle):
+        bundle, _ = tiny_bundle
+        self._publish(registry, bundle, routine="gemm", n=3)
+        self._publish(registry, bundle, routine="gemv", n=2)
+        report = registry.gc(keep_last=1, routine="gemm")
+        assert sorted(report["removed"]) == ["gemm/tiny@1", "gemm/tiny@2"]
+        # gemv untouched by the routine filter.
+        assert registry.resolve("gemv", "tiny", version=1).version == 1
+        assert registry.gc(keep_last=1, routine="gemm")["n_removed"] == 0
+
+    def test_keep_last_validated(self, registry):
+        with pytest.raises(RegistryError):
+            registry.gc(keep_last=0)
+
+
+class TestWatch:
+    def test_idle_poll_reports_nothing(self, registry, tiny_bundle):
+        bundle, _ = tiny_bundle
+        registry.publish(bundle, routine="gemm")
+        watcher = registry.watch([("gemm", "tiny")])
+        assert watcher.poll() == []
+        assert watcher.generation == 0
+
+    def test_publish_is_detected_once(self, registry, tiny_bundle):
+        bundle, _ = tiny_bundle
+        registry.publish(bundle, routine="gemm")
+        watcher = registry.watch([("gemm", "tiny")])
+        registry.publish(bundle, routine="gemm")
+        changed = watcher.poll()
+        assert [(r.routine, r.machine, r.version)
+                for r in changed] == [("gemm", "tiny", 2)]
+        assert watcher.generation == 1
+        assert watcher.poll() == []
+
+    def test_intermediate_versions_collapse_to_latest(self, registry,
+                                                      tiny_bundle):
+        bundle, _ = tiny_bundle
+        registry.publish(bundle, routine="gemm")
+        watcher = registry.watch([("gemm", "tiny")])
+        registry.publish(bundle, routine="gemm")
+        registry.publish(bundle, routine="gemm")
+        changed = watcher.poll()
+        assert [r.version for r in changed] == [3]
+
+    def test_unpublished_cell_waits_for_first_publish(self, registry,
+                                                      tiny_bundle):
+        bundle, _ = tiny_bundle
+        watcher = registry.watch([("gemm", "tiny")])
+        assert watcher.poll() == []
+        registry.publish(bundle, routine="gemm")
+        assert [r.version for r in watcher.poll()] == [1]
+
+    def test_cell_generation_token(self, registry, tiny_bundle):
+        bundle, _ = tiny_bundle
+        assert registry.cell_generation("gemm", "tiny") == (None, None)
+        registry.publish(bundle, routine="gemm")
+        first = registry.cell_generation("gemm", "tiny")
+        assert first[0] == 1 and first[1] is not None
+        registry.publish(bundle, routine="gemm")
+        second = registry.cell_generation("gemm", "tiny")
+        assert second[0] == 2 and second[1] != first[1]
