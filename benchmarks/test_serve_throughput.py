@@ -692,3 +692,207 @@ def test_fleet_throughput(fleet_registry, save_result, save_bench_json):
     assert speedup >= 2.5, (
         f"{FLEET_WORKERS}-worker fleet only {speedup:.2f}x the single "
         f"process ({fleet_rps:.0f} vs {single_rps:.0f} req/s)")
+
+
+# -- cost-aware batch formation ------------------------------------------
+
+COST_RATE_HZ = 100.0                       # Poisson arrivals, mixed trace
+N_COST_REQUESTS = 120 if SMOKE else 240
+HEAVY_EVERY = 4                            # every 4th request is a heavy GEMM
+COST_WINDOW_MS = 120.0                     # wide window: count-only batches
+                                           # span several heavy arrivals
+SECONDS_PER_FLOP = 7.5e-10                 # heavy ~25 ms, light ~6 us
+
+
+class _CostProportionalBackend:
+    """Blocks wall time proportional to the spec's FLOPs.
+
+    A batch's execution window is then the *sum* of its members'
+    predicted costs — exactly the quantity ``max_batch_cost`` budgets —
+    so a light request stuck in a batch with heavy GEMMs pays their
+    wall time, and the cost-budgeted scheduler's win is measurable.
+    The *returned* runtime stays a pure function of the spec, keeping
+    records bitwise-comparable across modes.
+    """
+
+    def __init__(self, thread_grid, seconds_per_flop: float):
+        import numpy as _np
+
+        self.name = "cost_proportional"
+        self.thread_grid = _np.asarray(
+            sorted(set(int(t) for t in thread_grid)), dtype=np.int64)
+        self.seconds_per_flop = float(seconds_per_flop)
+
+    def timed_run(self, spec, n_threads: int, repeats: int = 1, **kw) -> float:
+        import time as _time
+
+        flops = float(getattr(spec, "flops", 1.0))
+        _time.sleep(flops * self.seconds_per_flop)
+        return flops / (float(n_threads) * 1e12)
+
+
+def _mixed_pool(n: int) -> list:
+    """Every ``HEAVY_EVERY``-th request a heavy GEMM, the rest light GEMVs."""
+    from repro.blas.gemv import GemvSpec
+
+    pool = []
+    for i in range(n):
+        if i % HEAVY_EVERY == HEAVY_EVERY - 1:
+            pool.append(GemmSpec(256, 256, 256))       # ~33.7 MFLOP
+        else:
+            pool.append(GemvSpec(64, 64 + (i % 32)))   # ~8 kFLOP
+    return pool
+
+
+def test_cost_aware_batching(fleet_registry, save_result, save_bench_json):
+    """FLOPs-budgeted batch formation vs count-only on a mixed trace.
+
+    Acceptance: light-routine (gemv) p99 latency >= 2x better under
+    ``max_batch_cost`` than count-only batching with the same window
+    and size limits, and thread selections bitwise identical — the
+    budget moves batch boundaries, never predictions.
+    """
+    import asyncio  # noqa: F401  (replay_trace drives its own loop)
+
+    from repro.machine.presets import by_name
+    from repro.machine.simulator import MachineSimulator
+    from repro.train.registry import ModelRegistry
+
+    pool = _mixed_pool(N_COST_REQUESTS)
+    trace = poisson_trace(pool, rate_hz=COST_RATE_HZ,
+                          n_requests=N_COST_REQUESTS, n_clients=4, seed=2)
+    heavy_flops = float(GemmSpec(256, 256, 256).flops)
+    budget = 0.5 * heavy_flops  # a heavy always frames alone
+
+    def replay(max_batch_cost):
+        registry = ModelRegistry(fleet_registry)
+        service = GemmService.from_registry(
+            registry, MachineSimulator(by_name("tiny"), seed=0),
+            machine_name="tiny",
+            backend=_CostProportionalBackend((1, 2, 4, 8, 12, 16),
+                                             SECONDS_PER_FLOP))
+        server = GemmServer(service, max_batch=64,
+                            max_wait_ms=COST_WINDOW_MS, max_queue=1024,
+                            max_pending=2048, fair_share=None,
+                            max_batch_cost=max_batch_cost)
+        return replay_trace(server, trace)
+
+    count_only = replay(None)
+    cost_aware = replay(budget)
+
+    # Nothing dropped, and the budget never moved a thread selection.
+    assert count_only.served == cost_aware.served == N_COST_REQUESTS
+    assert cost_aware.thread_choices() == count_only.thread_choices()
+
+    # The budget genuinely closed batches on predicted cost.
+    closes = cost_aware.stats["batch_close_reasons"]
+    assert closes.get("cost", 0) > 0
+    assert "batch_cost" in cost_aware.stats
+
+    light_cost_p99 = \
+        cost_aware.stats["routines"]["gemv"]["latency_ms"]["p99_ms"]
+    light_count_p99 = \
+        count_only.stats["routines"]["gemv"]["latency_ms"]["p99_ms"]
+    heavy_cost_p99 = \
+        cost_aware.stats["routines"]["gemm"]["latency_ms"]["p99_ms"]
+    heavy_count_p99 = \
+        count_only.stats["routines"]["gemm"]["latency_ms"]["p99_ms"]
+    improvement = light_count_p99 / light_cost_p99
+
+    rows = []
+    for label, outcome, light_p99, heavy_p99 in (
+            ("cost-budgeted", cost_aware, light_cost_p99, heavy_cost_p99),
+            ("count-only", count_only, light_count_p99, heavy_count_p99)):
+        row = outcome.report_row(label)
+        row["light_p99_ms"] = light_p99
+        row["heavy_p99_ms"] = heavy_p99
+        rows.append(row)
+    save_result("serve_cost_aware", format_table(
+        rows, title="serve replay: FLOPs-budgeted vs count-only batching "
+                    f"({N_COST_REQUESTS} mixed gemm/gemv requests "
+                    f"@ {COST_RATE_HZ:g}/s, cost-proportional backend, "
+                    f"budget {budget:.3g} FLOPs)"))
+    save_bench_json("serve", "cost_aware", {
+        **_bench_metrics(cost_aware),
+        "light_p99_ms": light_cost_p99, "heavy_p99_ms": heavy_cost_p99,
+        "cost_closed_batches": closes.get("cost", 0),
+        "light_p99_improvement": round(improvement, 2)})
+    save_bench_json("serve", "count_only", {
+        **_bench_metrics(count_only),
+        "light_p99_ms": light_count_p99, "heavy_p99_ms": heavy_count_p99})
+
+    # The acceptance bar: the budget shields light traffic from heavy
+    # batch-mates — >= 2x better light-routine tail latency.
+    assert improvement >= 2.0, (
+        f"cost budget improved light p99 only {improvement:.2f}x "
+        f"({light_count_p99:.1f} ms count-only vs "
+        f"{light_cost_p99:.1f} ms budgeted)")
+
+
+def test_cost_aware_fleet_routing_parity(fleet_registry, save_result,
+                                         save_bench_json):
+    """Cost-weighted routing must not tax a uniform trace.
+
+    On uniform per-request cost the :class:`CostAwareLeastLoadedRouter`
+    degenerates to least-loaded-by-count, so a 4-worker fleet must
+    sustain the same throughput (0.7x floor absorbs process-spawn and
+    scheduling noise) with bitwise-identical selections.
+    """
+    import asyncio
+    import time
+
+    from repro.fleet import FleetServer
+
+    burst = [GemmSpec(64 + (i % 8), 128, 96) for i in range(N_FLEET_REQUESTS)]
+
+    def run_fleet(router: str):
+        async def go():
+            server = FleetServer.from_registry(
+                fleet_registry, "tiny", workers=FLEET_WORKERS,
+                router=router,
+                backend="repro.bench.loadgen:cpu_bound_backend",
+                backend_args=(("iters", FLEET_ITERS),
+                              ("sleep_s", FLEET_KERNEL_S)))
+            async with server:
+                await server.submit_many(burst)        # warm caches
+                t0 = time.perf_counter()
+                records = await server.submit_many(burst)
+                dt = time.perf_counter() - t0
+                return records, dt, server.stats()
+
+        return asyncio.run(go())
+
+    count_records, count_dt, _ = run_fleet("least_loaded")
+    cost_records, cost_dt, cost_stats = run_fleet("cost_least_loaded")
+
+    cost_rps = len(burst) / cost_dt
+    count_rps = len(burst) / count_dt
+    parity = cost_rps / count_rps
+
+    # Routing policy must not change behaviour.
+    assert [r.n_threads for r in cost_records] \
+        == [r.n_threads for r in count_records]
+
+    # The front priced every dispatch: outstanding-cost accounting
+    # exists per worker and settled back to zero after the drain.
+    workers = cost_stats["workers"]
+    assert all("cost_in_flight" in w for w in workers.values())
+    assert all(w["cost_in_flight"] == 0.0 for w in workers.values())
+    assert all("outstanding_cost_flops" in w["counters"]
+               for w in workers.values())
+
+    save_result("serve_cost_routing", format_table(
+        [{"router": "cost_least_loaded", "req_per_s": round(cost_rps, 1),
+          "parity": round(parity, 2)},
+         {"router": "least_loaded", "req_per_s": round(count_rps, 1),
+          "parity": 1.0}],
+        title=f"uniform burst ({N_FLEET_REQUESTS} requests, "
+              f"{FLEET_WORKERS} workers): cost-weighted vs count routing"))
+    save_bench_json("serve", "fleet_cost_router", {
+        "req_per_s": round(cost_rps, 1), "served": len(burst),
+        "parity_vs_least_loaded": round(parity, 2)})
+
+    # The acceptance bar: no worse than least-loaded on uniform cost.
+    assert parity >= 0.7, (
+        f"cost-aware routing only {parity:.2f}x least-loaded "
+        f"({cost_rps:.0f} vs {count_rps:.0f} req/s)")

@@ -489,7 +489,7 @@ def _serve_fleet(args, machine_name: str, routines, specs) -> int:
         watch_interval_s=args.watch_interval, seed=args.seed,
         repeats=args.repeats, cache_size=args.cache_size,
         max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
-        max_queue=args.max_queue)
+        max_batch_cost=args.cost_budget, max_queue=args.max_queue)
     print(f"replaying {len(trace)} requests at ~{args.rate:g}/s "
           f"({args.clients} clients) across {args.workers} workers "
           f"({args.router} routing)")
@@ -506,6 +506,8 @@ def _serve_fleet(args, machine_name: str, routines, specs) -> int:
                      "completed": counters.get("completed", 0),
                      "failed": counters.get("failed", 0),
                      "frames": counters.get("frames", 0),
+                     "outstanding_cost": counters.get(
+                         "outstanding_cost_flops", 0.0),
                      "reloads": entry.get("reloads", 0),
                      "versions": _worker_version_cell(
                          entry.get("versions", {}))})
@@ -566,12 +568,19 @@ def cmd_fleet(args) -> int:
                     f"({machine_name}, {args.router} routing)"))
     if assignment is not None:
         counts = Counter(assignment)
+        # Cost-weight the preview: per-worker predicted FLOPs shows
+        # whether the routing policy balances load, not just requests.
+        costs = server.cost_model.cost_of(specs)
+        cost_by_worker = Counter()
+        for name, cost in zip(assignment, costs):
+            cost_by_worker[name] += cost
         print()
         print(format_table(
-            [{"worker": name, "requests": counts.get(name, 0)}
+            [{"worker": name, "requests": counts.get(name, 0),
+              "predicted_cost_flops": round(cost_by_worker.get(name, 0.0))}
              for name in sorted(live)],
             title=f"routing preview: {len(assignment)} requests from "
-                  f"{args.route_file}"))
+                  f"{args.route_file} ({args.router} routing)"))
     return 0
 
 
@@ -583,6 +592,8 @@ def cmd_serve(args) -> int:
     try:
         if args.requests is not None and args.requests < 1:
             raise ValueError("--requests must be >= 1")
+        if args.cost_budget is not None and args.cost_budget <= 0:
+            raise ValueError("--cost-budget must be > 0 FLOPs")
         if args.refine_after is not None:
             if args.refine_after < 1:
                 raise ValueError("--refine-after must be >= 1")
@@ -654,6 +665,7 @@ def cmd_serve(args) -> int:
         server = GemmServer(shards, router=router,
                             max_batch=args.max_batch,
                             max_wait_ms=args.max_wait_ms,
+                            max_batch_cost=args.cost_budget,
                             max_queue=args.max_queue,
                             tracing=tracing)
     except (OSError, ValueError, RuntimeError) as exc:
@@ -680,12 +692,30 @@ def cmd_serve(args) -> int:
     if stats["batch_size_histogram"]:
         print()
         print(batch_size_table(stats["batch_size_histogram"]))
-    routine_rows = [{"routine": routine, **{k: v for k, v in entry.items()
-                                            if k != "latency_ms"}}
-                    for routine, entry in sorted(stats["routines"].items())]
+    closes_by_shard = stats.get("batch_closes_by_shard", {})
+    routine_rows = []
+    for routine, entry in sorted(stats["routines"].items()):
+        row = {"routine": routine,
+               **{k: v for k, v in entry.items()
+                  if k not in ("latency_ms", "queue_wait_ms")}}
+        if args.cost_budget is not None:
+            # Registry mode shards per routine, so a shard's batch-close
+            # counters are its routine's.
+            row["cost_closed"] = closes_by_shard.get(routine,
+                                                     {}).get("cost", 0)
+        routine_rows.append(row)
     if len(routine_rows) > 1:
         print()
         print(format_table(routine_rows, title="per-routine traffic"))
+    if args.cost_budget is not None:
+        cost_closed = stats.get("batch_close_reasons", {}).get("cost", 0)
+        batch_cost = stats.get("batch_cost", {})
+        line = (f"\ncost budget {args.cost_budget:g} FLOPs: "
+                f"{cost_closed} cost-closed batches")
+        if batch_cost.get("count"):
+            line += (f", mean batch cost "
+                     f"{batch_cost['mean']:.4g} FLOPs")
+        print(line)
     for name in sorted(shards):
         print()
         print(cache_effectiveness_table(stats["shards"][name],
@@ -991,10 +1021,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with --registry: spawn a multi-process fleet of "
                         "this many workers instead of one in-process "
                         "server (default: 1)")
-    p.add_argument("--router", choices=["least_loaded", "hash"],
+    p.add_argument("--router",
+                   choices=["least_loaded", "cost_least_loaded", "hash"],
                    default="least_loaded",
-                   help="fleet routing policy: live in-flight counts, or "
-                        "consistent-hash shape affinity (--workers > 1)")
+                   help="fleet routing policy: live in-flight counts, "
+                        "outstanding predicted FLOPs, or consistent-hash "
+                        "shape affinity (--workers > 1)")
     p.add_argument("--watch-interval", dest="watch_interval", type=float,
                    default=None, metavar="SECONDS",
                    help="fleet workers poll the registry's latest refs "
@@ -1007,6 +1039,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--clients", type=int, default=4)
     p.add_argument("--max-batch", type=int, default=16)
     p.add_argument("--max-wait-ms", type=float, default=2.0)
+    p.add_argument("--cost-budget", dest="cost_budget", type=float,
+                   default=None, metavar="FLOPS",
+                   help="cost-aware batch formation: also close a "
+                        "micro-batch when its summed predicted FLOPs "
+                        "would exceed this budget (heavy requests form "
+                        "small batches, light ones fill large ones; "
+                        "thread selections are unchanged)")
     p.add_argument("--max-queue", type=int, default=128)
     p.add_argument("--repeats", type=int, default=1)
     p.add_argument("--cache-size", type=int, default=256)
@@ -1043,7 +1082,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="routines to serve (default: all published for "
                         "the machine)")
     p.add_argument("--workers", type=int, default=2)
-    p.add_argument("--router", choices=["least_loaded", "hash"],
+    p.add_argument("--router",
+                   choices=["least_loaded", "cost_least_loaded", "hash"],
                    default="least_loaded")
     p.add_argument("--route-file", dest="route_file", default=None,
                    metavar="FILE",

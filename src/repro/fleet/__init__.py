@@ -16,12 +16,13 @@ from repro.fleet.telemetry import FleetTelemetry
 from repro.fleet.transport import (ErrorFrame, ReadyFrame, ReloadedFrame,
                                    ReloadFrame, ResultFrame, SlabFrame,
                                    StatsFrame, StatsReply, StopFrame,
-                                   StoppedFrame, chunk_slots)
+                                   StoppedFrame, chunk_slots,
+                                   chunk_slots_by_cost)
 from repro.fleet.worker import worker_main
 
 __all__ = [
     "FleetServer", "WorkerFailed", "WorkerSpec", "FleetTelemetry",
-    "resolve_factory", "worker_main", "chunk_slots",
+    "resolve_factory", "worker_main", "chunk_slots", "chunk_slots_by_cost",
     "SlabFrame", "ReloadFrame", "StatsFrame", "StopFrame",
     "ReadyFrame", "ResultFrame", "ErrorFrame", "ReloadedFrame",
     "StatsReply", "StoppedFrame",

@@ -42,10 +42,13 @@ from repro.fleet.telemetry import FleetTelemetry
 from repro.fleet.transport import (ErrorFrame, ReadyFrame, ReloadedFrame,
                                    ReloadFrame, ResultFrame, SlabFrame,
                                    StatsFrame, StatsReply, StopFrame,
-                                   StoppedFrame, chunk_slots)
+                                   StoppedFrame, chunk_slots,
+                                   chunk_slots_by_cost)
 from repro.fleet.worker import worker_main
+from repro.serve.cost import CostModel
 from repro.serve.request import ServerClosed, ServerOverloaded
 from repro.serve.router import (CanaryRouter, ConsistentHashRouter,
+                                CostAwareLeastLoadedRouter,
                                 LeastLoadedRouter)
 
 
@@ -63,8 +66,9 @@ class _Worker:
         self.pid = None
         self.alive = False
         self.dead_handled = False   # _on_death ran for this incarnation
-        self.pending: dict = {}     # msg_id -> (future, n_slots, t0)
+        self.pending: dict = {}     # msg_id -> (future, n_slots, t0, cost)
         self.in_flight = 0
+        self.cost_in_flight = 0.0   # outstanding predicted FLOPs
         self.versions: dict = {}
         self.reloads = 0
         self.final_stats = None
@@ -80,6 +84,7 @@ class _Worker:
         self.dead_handled = False
         self.pending = {}
         self.in_flight = 0
+        self.cost_in_flight = 0.0
         self.versions = {}
         self.final_stats = None
         self.reader = None
@@ -96,10 +101,17 @@ class FleetServer:
         backend factory) before anything spawns.
     router:
         ``"least_loaded"`` (default; live in-flight counts),
+        ``"cost_least_loaded"`` (live outstanding predicted FLOPs —
+        a worker holding two huge requests finally looks heavier than
+        one holding three tiny ones),
         ``"hash"``/``"consistent_hash"`` (stable shape→worker affinity
         on a hash ring), or any
         :class:`~repro.serve.router.ShardRouter` instance whose shard
         names are worker names.
+    cost_model:
+        The :class:`~repro.serve.cost.CostModel` pricing bursts for
+        slab chopping, the outstanding-cost gauges and the cost-aware
+        router (default: raw per-spec FLOPs).
     max_pending:
         Fleet-wide admission cap; defaults to twice the summed worker
         queue capacity (the front should reject before workers do).
@@ -110,7 +122,7 @@ class FleetServer:
 
     def __init__(self, specs, router="least_loaded", max_pending: int = None,
                  registry=None, spawn_timeout_s: float = 60.0,
-                 stats_timeout_s: float = 10.0):
+                 stats_timeout_s: float = 10.0, cost_model=None):
         specs = [s.validate() for s in specs]
         if not specs:
             raise ValueError("a fleet needs at least one worker spec")
@@ -118,6 +130,8 @@ class FleetServer:
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate worker names in {names}")
         self._workers = {s.name: _Worker(s) for s in specs}
+        self.cost_model = cost_model if cost_model is not None \
+            else CostModel()
         self.router = self._build_router(router)
         self.max_pending = (int(max_pending) if max_pending is not None
                             else 2 * sum(s.max_queue for s in specs))
@@ -162,15 +176,24 @@ class FleetServer:
         names = list(self._workers)
         if choice in ("least_loaded", "least-loaded"):
             return LeastLoadedRouter(names, loads=self._live_loads)
+        if choice in ("cost_least_loaded", "cost-least-loaded",
+                      "cost_aware"):
+            return CostAwareLeastLoadedRouter(names, loads=self._live_costs,
+                                              cost_model=self.cost_model)
         if choice in ("hash", "consistent_hash", "consistent-hash"):
             return ConsistentHashRouter(names)
         if isinstance(choice, str):
             raise ValueError(f"unknown router {choice!r} (expected "
-                             f"'least_loaded', 'hash', or a router instance)")
+                             f"'least_loaded', 'cost_least_loaded', 'hash', "
+                             f"or a router instance)")
         return choice
 
     def _live_loads(self) -> dict:
         return {name: worker.in_flight
+                for name, worker in self._workers.items() if worker.alive}
+
+    def _live_costs(self) -> dict:
+        return {name: worker.cost_in_flight
                 for name, worker in self._workers.items() if worker.alive}
 
     def _next_id(self) -> int:
@@ -251,9 +274,8 @@ class FleetServer:
             entry = worker.pending.pop(frame.msg_id, None)
             if entry is None:
                 return
-            future, n_slots, t0 = entry
-            worker.in_flight -= n_slots
-            self._pending -= n_slots
+            future, n_slots, t0, cost = entry
+            self._settle(worker, n_slots, cost)
             self.telemetry.record_completed(worker.spec.name, n_slots,
                                             loop.time() - t0)
             if not future.done():
@@ -267,9 +289,8 @@ class FleetServer:
             entry = worker.pending.pop(frame.msg_id, None)
             if entry is None:
                 return
-            future, n_slots, _ = entry
-            worker.in_flight -= n_slots
-            self._pending -= n_slots
+            future, n_slots, _, cost = entry
+            self._settle(worker, n_slots, cost)
             if n_slots:
                 self.telemetry.record_failure(worker.spec.name, n_slots)
             if not future.done():
@@ -307,9 +328,8 @@ class FleetServer:
         crashed = worker.final_stats is None and not self._closing
         worker.alive = False
         pending, worker.pending = worker.pending, {}
-        for future, n_slots, _ in pending.values():
-            worker.in_flight -= n_slots
-            self._pending -= n_slots
+        for future, n_slots, _, cost in pending.values():
+            self._settle(worker, n_slots, cost)
             if n_slots:
                 self.telemetry.record_failure(worker.spec.name, n_slots)
             if not future.done():
@@ -398,15 +418,28 @@ class FleetServer:
                     f"worker {worker.spec.name!r} pipe is gone: "
                     f"{exc!r}") from exc
 
-    def _register(self, worker: _Worker, n_slots: int):
-        """Allocate (msg_id, future) and account the slots as in flight."""
+    def _register(self, worker: _Worker, n_slots: int, cost: float = 0.0):
+        """Allocate (msg_id, future); account slots *and* predicted cost."""
         loop = asyncio.get_running_loop()
         msg_id = self._next_id()
         future = loop.create_future()
-        worker.pending[msg_id] = (future, n_slots, loop.time())
+        worker.pending[msg_id] = (future, n_slots, loop.time(), cost)
         worker.in_flight += n_slots
+        worker.cost_in_flight += cost
         self._pending += n_slots
+        if cost:
+            self.telemetry.record_outstanding(worker.spec.name,
+                                              worker.cost_in_flight)
         return msg_id, future
+
+    def _settle(self, worker: _Worker, n_slots: int, cost: float) -> None:
+        """Reverse one pending entry's in-flight accounting."""
+        worker.in_flight -= n_slots
+        self._pending -= n_slots
+        if cost:
+            worker.cost_in_flight = max(0.0, worker.cost_in_flight - cost)
+            self.telemetry.record_outstanding(worker.spec.name,
+                                              worker.cost_in_flight)
 
     # -- serving ----------------------------------------------------------
     async def submit(self, spec, client: str = "default",
@@ -458,12 +491,24 @@ class FleetServer:
         by_worker: dict = {}
         for i, name in enumerate(names):
             by_worker.setdefault(name, []).append(i)
+        # Priced once per burst: slab chopping honours per-worker cost
+        # budgets and every dispatch feeds the worker's outstanding-cost
+        # gauge (what the cost-aware router balances on).
+        costs = self.cost_model.cost_of(specs)
         entries = []  # (slot indices, future)
         sends = []
         for name, slots in by_worker.items():
             target = self._workers[name]
-            for chunk in chunk_slots(slots, target.spec.max_batch):
-                msg_id, future = self._register(target, len(chunk))
+            budget = target.spec.max_batch_cost
+            if budget is not None:
+                chunks = chunk_slots_by_cost(
+                    slots, [costs[i] for i in slots],
+                    target.spec.max_batch, budget)
+            else:
+                chunks = chunk_slots(slots, target.spec.max_batch)
+            for chunk in chunks:
+                msg_id, future = self._register(
+                    target, len(chunk), cost=sum(costs[i] for i in chunk))
                 self.telemetry.record_dispatch(name, len(chunk))
                 entries.append((chunk, future))
                 sends.append(self._send(target, SlabFrame(
@@ -609,6 +654,7 @@ class FleetServer:
         for name, worker in self._workers.items():
             entry = {"alive": worker.alive, "pid": worker.pid,
                      "in_flight": worker.in_flight,
+                     "cost_in_flight": worker.cost_in_flight,
                      "versions": dict(worker.versions),
                      "reloads": worker.reloads,
                      "counters": counters.get(name, {})}

@@ -67,6 +67,10 @@ class WorkerSpec:
     watch_interval_s:
         When set, the worker polls the registry's ``latest`` refs this
         often and hot-reloads changed cells on its own.
+    max_batch_cost:
+        Optional predicted-FLOPs budget per micro-batch inside the
+        worker's server (cost-aware batch formation); the front chops
+        slabs on the same budget so frames arrive pre-balanced.
     """
 
     name: str
@@ -83,6 +87,7 @@ class WorkerSpec:
     backend: str = None
     backend_args: tuple = ()
     watch_interval_s: float = None
+    max_batch_cost: float = None
 
     def __post_init__(self):
         object.__setattr__(self, "routines",
@@ -159,4 +164,5 @@ class WorkerSpec:
         # worker every request is already one fleet client's.
         return GemmServer(service, max_batch=self.max_batch,
                           max_wait_ms=self.max_wait_ms,
+                          max_batch_cost=self.max_batch_cost,
                           max_queue=self.max_queue, fair_share=None)

@@ -29,6 +29,7 @@ class FleetTelemetry:
         self.instance = next_instance_id("fleet")
         self._counts: dict = {}
         self._latency: dict = {}
+        self._outstanding: dict = {}   # worker -> predicted FLOPs in flight
         self._rejected = 0
         for worker in workers:
             self._ensure_worker(worker)
@@ -67,6 +68,20 @@ class FleetTelemetry:
                               instance=self.instance).inc(n)
         self._rejected += n
 
+    def record_outstanding(self, worker: str, cost: float) -> None:
+        """Set one worker's outstanding predicted-cost gauge (FLOPs).
+
+        Written by the front on every dispatch and completion, so the
+        cost-aware router's balance decisions are observable live: the
+        dict value feeds :meth:`stats`, the registry gauge feeds the
+        Prometheus dump as ``fleet_outstanding_cost_flops``.
+        """
+        self._ensure_worker(worker)
+        self._outstanding[worker] = float(cost)
+        self.registry.gauge("fleet_outstanding_cost_flops",
+                            component="fleet", instance=self.instance,
+                            worker=worker).set(cost)
+
     def record_reload(self, worker: str) -> None:
         self._inc(worker, "reloads")
 
@@ -95,6 +110,8 @@ class FleetTelemetry:
             reservoir = self._latency[name]
             if reservoir.count:
                 entry["latency_ms"] = reservoir.summary()
+            if name in self._outstanding:
+                entry["outstanding_cost_flops"] = self._outstanding[name]
             workers[name] = entry
         totals = {name: sum(c[name] for c in self._counts.values())
                   for name in self.COUNTERS}

@@ -123,3 +123,18 @@ def chunk_slots(slots, max_batch: int):
         raise ValueError("max_batch must be >= 1")
     for start in range(0, len(slots), max_batch):
         yield slots[start:start + max_batch]
+
+
+def chunk_slots_by_cost(slots, costs, max_batch: int, max_cost: float):
+    """Cost-budgeted slab framing: the predicted-FLOPs twin of
+    :func:`chunk_slots`.
+
+    Chunks close when either ``max_batch`` slots or ``max_cost`` summed
+    predicted cost would be exceeded (a single over-budget slot still
+    frames alone), so the slabs a worker receives are already the
+    micro-batches its cost-budgeted scheduler would form.  With
+    ``max_cost=None`` the boundaries are exactly :func:`chunk_slots`'s.
+    """
+    from repro.serve.cost import chunk_by_cost
+
+    yield from chunk_by_cost(slots, costs, max_batch, max_cost)

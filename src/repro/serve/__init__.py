@@ -38,11 +38,13 @@ Thread choices are bitwise identical to synchronous
 engine's batch prediction is exact.
 """
 
+from repro.serve.cost import CostModel, chunk_by_cost
 from repro.serve.request import (ReloadCommand, ServeRequest, ServerClosed,
                                  ServerOverloaded)
 from repro.serve.router import (CanaryRouter, ConsistentHashRouter,
-                                HashRouter, LeastLoadedRouter,
-                                RoundRobinRouter, RoutineRouter, ShardRouter,
+                                CostAwareLeastLoadedRouter, HashRouter,
+                                LeastLoadedRouter, RoundRobinRouter,
+                                RoutineRouter, ShardRouter,
                                 SingleShardRouter, SpecTypeRouter,
                                 TenantRouter, default_router)
 from repro.serve.scheduler import BatchPolicy, MicroBatcher
@@ -55,6 +57,8 @@ __all__ = [
     "BatchPolicy",
     "CanaryRouter",
     "ConsistentHashRouter",
+    "CostAwareLeastLoadedRouter",
+    "CostModel",
     "GemmServer",
     "HashRouter",
     "LeastLoadedRouter",
@@ -72,6 +76,7 @@ __all__ = [
     "SpecTypeRouter",
     "TenantRouter",
     "TimedRequest",
+    "chunk_by_cost",
     "default_router",
     "poisson_trace",
     "replay_trace",

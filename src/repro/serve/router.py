@@ -27,6 +27,7 @@ from typing import Protocol, runtime_checkable
 
 from repro.core.routines import routine_of
 from repro.engine.cache import routine_key
+from repro.serve.cost import CostModel
 
 
 @runtime_checkable
@@ -204,6 +205,36 @@ class LeastLoadedRouter:
         for _ in specs:
             shard = min(self.shards, key=lambda s: loads.get(s, 0))
             loads[shard] = loads.get(shard, 0) + 1
+            out.append(shard)
+        return out
+
+
+class CostAwareLeastLoadedRouter(LeastLoadedRouter):
+    """Least-loaded routing weighted by outstanding *predicted cost*.
+
+    :class:`LeastLoadedRouter` counts in-flight request slots, so a
+    worker holding two huge GEMMs looks less loaded than one holding
+    three tiny GEMVs.  This router reads ``loads`` as outstanding
+    predicted FLOPs per shard (the fleet front supplies its live
+    per-worker cost gauge) and ``route_batch`` simulates its own
+    assignments by each slot's *cost* rather than by 1 — a burst
+    spreads so every shard ends up with a near-equal predicted-FLOPs
+    share, whatever the request mix.  Tie-breaking stays registration
+    order, so identical load states still route identically.
+    """
+
+    def __init__(self, shards, loads=None, cost_model=None):
+        super().__init__(shards, loads=loads)
+        self.cost_model = cost_model if cost_model is not None \
+            else CostModel()
+
+    def route_batch(self, specs, client: str = "default") -> list:
+        loads = self.current_loads()
+        costs = self.cost_model.cost_of(specs)
+        out = []
+        for cost in costs:
+            shard = min(self.shards, key=lambda s: loads.get(s, 0))
+            loads[shard] = loads.get(shard, 0) + cost
             out.append(shard)
         return out
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from repro.core.routines import routine_of
 from repro.engine.cache import shape_key as _shape_key
+from repro.serve.cost import CostModel
 from repro.serve.request import ReloadCommand, SlabRequest
 
 #: Queue sentinel marking the end of the request stream for a shard.
@@ -46,16 +47,27 @@ class BatchPolicy:
         Dispatch at most this many milliseconds after the *first*
         request of the batch arrived, however few followed it — this is
         the straggler bound on added latency.
+    max_batch_cost:
+        Optional predicted-FLOPs budget (see
+        :class:`~repro.serve.cost.CostModel`): the batch also closes
+        when admitting the next entry would push its summed predicted
+        cost past this.  Heavy requests form small batches, light ones
+        fill large ones; a single over-budget request still gets a
+        batch of its own.  ``None`` (the default) keeps batch formation
+        count-only.
     """
 
     max_batch: int = 16
     max_wait_ms: float = 2.0
+    max_batch_cost: float = None
 
     def __post_init__(self):
         if self.max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if self.max_wait_ms < 0:
             raise ValueError("max_wait_ms must be >= 0")
+        if self.max_batch_cost is not None and self.max_batch_cost <= 0:
+            raise ValueError("max_batch_cost must be > 0 (or None)")
 
 
 class MicroBatcher:
@@ -84,10 +96,16 @@ class MicroBatcher:
         Optional zero-argument callback invoked once per executed batch
         after every future has resolved — the server evaluates its
         drift monitors here.
+    cost_model:
+        The :class:`~repro.serve.cost.CostModel` pricing entries when
+        the policy carries a ``max_batch_cost`` budget (a default model
+        is built when omitted).  With no budget the model is never
+        consulted, so the count-only hot path stays cost-free.
     """
 
     def __init__(self, service, policy: BatchPolicy, telemetry, release,
-                 shard: str = "default", collector=None, after_batch=None):
+                 shard: str = "default", collector=None, after_batch=None,
+                 cost_model=None):
         self.service = service
         self.policy = policy
         self.telemetry = telemetry
@@ -95,6 +113,13 @@ class MicroBatcher:
         self.shard = shard
         self.collector = collector
         self.after_batch = after_batch
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+
+    def _entry_cost(self, entry) -> float:
+        """Predicted cost of a queue entry (a slab prices all its slots)."""
+        if isinstance(entry, SlabRequest):
+            return self.cost_model.total_cost(entry.specs)
+        return self.cost_model.cost_of_one(entry.spec)
 
     async def run(self, queue: asyncio.Queue) -> None:
         """Consume ``queue`` until the shutdown sentinel arrives.
@@ -128,35 +153,55 @@ class MicroBatcher:
                 self._apply_reload(pending_reload)
 
     async def _collect(self, queue, batch, loop):
-        """Fill ``batch`` until size/window/control closes it.
+        """Fill ``batch`` until size/cost/window/control closes it.
 
         Size counts request *slots*, not queue entries — a
         :class:`SlabRequest` occupies ``count`` of them.  Returns
         ``(closing, pending_reload, carry)``: ``closing`` is True on
         shutdown; a :class:`ReloadCommand` stops collection so the
         in-flight batch stays on the bundle it was admitted under; an
-        entry that would push the batch past ``max_batch`` comes back
-        as ``carry`` and seeds the next batch (the queue is FIFO, so it
-        cannot be put back without reordering).
+        entry that would push the batch past ``max_batch`` — or, when
+        the policy carries a ``max_batch_cost`` budget, past the
+        predicted-cost budget — comes back as ``carry`` and seeds the
+        next batch (the queue is FIFO, so it cannot be put back without
+        reordering).  The first entry is always accepted, so a single
+        over-budget request forms a batch of its own.  Each close
+        records its reason (``size``/``cost``/``window``/``control``)
+        into telemetry.
         """
         size = sum(_entry_size(r) for r in batch)
+        budget = self.policy.max_batch_cost
+        cost = (sum(self._entry_cost(r) for r in batch)
+                if budget is not None else 0.0)
         deadline = loop.time() + self.policy.max_wait_ms / 1e3
         while size < self.policy.max_batch:
             remaining = deadline - loop.time()
             if remaining <= 0:
+                self.telemetry.record_close(self.shard, "window")
                 return False, None, None
             try:
                 item = await asyncio.wait_for(queue.get(), remaining)
             except asyncio.TimeoutError:
+                self.telemetry.record_close(self.shard, "window")
                 return False, None, None
             if item is SHUTDOWN:
+                self.telemetry.record_close(self.shard, "control")
                 return True, None, None
             if isinstance(item, ReloadCommand):
+                self.telemetry.record_close(self.shard, "control")
                 return False, item, None
             if size + _entry_size(item) > self.policy.max_batch:
+                self.telemetry.record_close(self.shard, "size")
                 return False, None, item
+            if budget is not None:
+                item_cost = self._entry_cost(item)
+                if cost + item_cost > budget:
+                    self.telemetry.record_close(self.shard, "cost")
+                    return False, None, item
+                cost += item_cost
             batch.append(item)
             size += _entry_size(item)
+        self.telemetry.record_close(self.shard, "size")
         return False, None, None
 
     def _apply_reload(self, command: ReloadCommand) -> None:
@@ -264,7 +309,11 @@ class MicroBatcher:
                 specs.extend(entry.specs)
             else:
                 specs.append(entry.spec)
-        self.telemetry.record_batch(self.shard, len(specs))
+        # Per-batch predicted cost is recorded only under a budget, so
+        # count-only serving pays no pricing work on the hot path.
+        batch_cost = (self.cost_model.total_cost(specs)
+                      if self.policy.max_batch_cost is not None else None)
+        self.telemetry.record_batch(self.shard, len(specs), cost=batch_cost)
         tables_before = self._table_snapshot()
         try:
             records = await loop.run_in_executor(

@@ -29,6 +29,7 @@ from typing import Optional
 
 from repro.core.routines import routine_of
 from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.serve.cost import CostModel, chunk_by_cost
 from repro.obs.monitors import MonitorSet
 from repro.obs.tracing import RequestTrace, SpanCollector, new_trace_id
 from repro.serve.request import (ReloadCommand, ServeRequest, ServerClosed,
@@ -52,6 +53,17 @@ class GemmServer:
         routing for one shard and deterministic shape hashing for many.
     max_batch / max_wait_ms:
         The :class:`~repro.serve.scheduler.BatchPolicy` thresholds.
+    max_batch_cost:
+        Optional predicted-FLOPs budget per micro-batch (cost-aware
+        batch formation; see :class:`~repro.serve.cost.CostModel`).
+        Batches close when *either* the slot count or the predicted
+        cost budget trips; slab chopping in :meth:`submit_many` honours
+        the same budget.  Thread selections stay bitwise identical to
+        count-only serving — only batch boundaries move.
+    cost_model:
+        The :class:`~repro.serve.cost.CostModel` pricing requests
+        (default: raw per-spec FLOPs).  Also consulted by
+        :meth:`cost_of` regardless of whether a budget is set.
     max_queue:
         Per-shard queue capacity; a full queue blocks ``submit`` until a
         batch drains (backpressure, never loss).
@@ -87,6 +99,7 @@ class GemmServer:
 
     def __init__(self, shards, router: Optional[ShardRouter] = None, *,
                  max_batch: int = 16, max_wait_ms: float = 2.0,
+                 max_batch_cost: Optional[float] = None, cost_model=None,
                  max_queue: int = 64, max_pending: Optional[int] = None,
                  fair_share: Optional[float] = 0.5, tracing: bool = False,
                  trace_capacity: int = 4096, monitors=None,
@@ -98,7 +111,10 @@ class GemmServer:
         self.shards = dict(shards)
         self.router = router if router is not None \
             else default_router(self.shards)
-        self.policy = BatchPolicy(max_batch=max_batch, max_wait_ms=max_wait_ms)
+        self.cost_model = cost_model if cost_model is not None \
+            else CostModel()
+        self.policy = BatchPolicy(max_batch=max_batch, max_wait_ms=max_wait_ms,
+                                  max_batch_cost=max_batch_cost)
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
         self.max_queue = int(max_queue)
@@ -137,7 +153,8 @@ class GemmServer:
             batcher = MicroBatcher(service, self.policy, self.telemetry,
                                    release=self._release, shard=name,
                                    collector=self.collector,
-                                   after_batch=after_batch)
+                                   after_batch=after_batch,
+                                   cost_model=self.cost_model)
             self._queues[name] = queue
             self._tasks.append(asyncio.ensure_future(batcher.run(queue)))
         return self
@@ -237,6 +254,17 @@ class GemmServer:
         """Per-executed-batch hook: evaluate the drift monitors."""
         self.monitors.evaluate(self)
 
+    # -- cost ------------------------------------------------------------
+    def cost_of(self, specs) -> list:
+        """Per-spec predicted costs (scaled FLOPs), one float per spec.
+
+        The same pricing batch formation and slab chopping use when a
+        ``max_batch_cost`` budget is set; exposed so operators and
+        routers can ask "what would this burst weigh?" without
+        submitting it.
+        """
+        return self.cost_model.cost_of(list(specs))
+
     # -- serving ---------------------------------------------------------
     async def submit(self, spec, client: str = "default",
                      shard: Optional[str] = None,
@@ -321,11 +349,18 @@ class GemmServer:
         self._admit_many(client, routines)
         loop = asyncio.get_running_loop()
         max_batch = self.policy.max_batch
+        budget = self.policy.max_batch_cost
+        costs = self.cost_model.cost_of(specs) if budget is not None else None
         slabs = []  # (slab, its input slots)
         for name, slots in by_shard.items():
             queue = self._queues[name]
-            for start in range(0, len(slots), max_batch):
-                chunk = slots[start:start + max_batch]
+            if budget is not None:
+                chunks = chunk_by_cost(slots, [costs[i] for i in slots],
+                                       max_batch, budget)
+            else:
+                chunks = (slots[start:start + max_batch]
+                          for start in range(0, len(slots), max_batch))
+            for chunk in chunks:
                 depth = queue.qsize()
                 t_submit = loop.time()
                 traces = None
@@ -430,6 +465,8 @@ class GemmServer:
         }
         # Observability keys appear only when the features are on, so
         # the default stats dict stays exactly its historic shape.
+        if self.policy.max_batch_cost is not None:
+            out["max_batch_cost"] = self.policy.max_batch_cost
         if self.collector is not None:
             out["trace"] = self.collector.stats()
         if self.monitors is not None and len(self.monitors):

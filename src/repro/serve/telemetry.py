@@ -62,10 +62,12 @@ class ServeTelemetry:
         # Bounded sample stores (exact count/sum/min/max; the retained
         # sample is exact below `capacity` observations).
         self.batch_sizes = Reservoir(capacity)   # one entry per batch
+        self.batch_costs = Reservoir(capacity)   # predicted FLOPs per batch
         self.queue_depths = Reservoir(capacity)  # sampled per admission
         self.latencies = Reservoir(capacity)     # s, submit -> resolve
         self.waits = Reservoir(capacity)         # s, submit -> batch start
         self._batch_size_counts: Counter = Counter()  # size -> n (exact)
+        self._batch_closes: Dict[str, Counter] = {}   # shard -> reason -> n
         self.per_client: Dict[str, dict] = {}    # client -> counters
         self.per_routine: Dict[str, dict] = {}   # routine -> counters+samples
         self.per_shard_batches: Counter = Counter()
@@ -83,7 +85,8 @@ class ServeTelemetry:
     def _routine(self, routine: str) -> dict:
         return self.per_routine.setdefault(
             routine, {"submitted": 0, "served": 0, "failed": 0,
-                      "rejected": 0, "latencies": Reservoir(self._capacity)})
+                      "rejected": 0, "latencies": Reservoir(self._capacity),
+                      "waits": Reservoir(self._capacity)})
 
     def record_admission(self, client: str, queue_depth: int,
                          routine: Optional[str] = None, n: int = 1) -> None:
@@ -106,10 +109,22 @@ class ServeTelemetry:
         if routine is not None:
             self._routine(routine)["rejected"] += n
 
-    def record_batch(self, shard: str, size: int) -> None:
+    def record_batch(self, shard: str, size: int,
+                     cost: Optional[float] = None) -> None:
+        """One executed batch; ``cost`` is its predicted-FLOPs total
+        (recorded only when the scheduler runs under a cost budget)."""
         self.batch_sizes.append(int(size))
         self._batch_size_counts[int(size)] += 1
         self.per_shard_batches[shard] += 1
+        if cost is not None:
+            self.batch_costs.append(float(cost))
+
+    def record_close(self, shard: str, reason: str) -> None:
+        """Why a forming batch stopped collecting: ``size`` (slot cap or
+        slot-overflow carry), ``cost`` (predicted-FLOPs budget carry),
+        ``window`` (straggler deadline) or ``control``
+        (shutdown/reload)."""
+        self._batch_closes.setdefault(shard, Counter())[reason] += 1
 
     def record_done(self, client: str, latency: float, wait: float,
                     routine: Optional[str] = None) -> None:
@@ -121,6 +136,7 @@ class ServeTelemetry:
             entry = self._routine(routine)
             entry["served"] += 1
             entry["latencies"].append(float(latency))
+            entry["waits"].append(float(wait))
 
     def record_failure(self, client: str,
                        routine: Optional[str] = None) -> None:
@@ -179,14 +195,24 @@ class ServeTelemetry:
         return latency_summary(
             self.per_routine.get(routine, {}).get("latencies", []))
 
+    def routine_wait(self, routine: str):
+        """:class:`~repro.bench.stats.LatencySummary` of one routine's
+        queue wait (submit -> batch execution start)."""
+        return latency_summary(
+            self.per_routine.get(routine, {}).get("waits", []))
+
     def routine_stats(self) -> dict:
         """Per-routine counters with latency percentiles (milliseconds)."""
         out = {}
         for routine, entry in self.per_routine.items():
-            row = {k: v for k, v in entry.items() if k != "latencies"}
+            row = {k: v for k, v in entry.items()
+                   if k not in ("latencies", "waits")}
             if entry["latencies"]:
                 row["latency_ms"] = latency_summary(
                     entry["latencies"]).as_row()
+            if entry["waits"]:
+                row["queue_wait_ms"] = latency_summary(
+                    entry["waits"]).as_row()
             out[routine] = row
         return out
 
@@ -209,6 +235,13 @@ class ServeTelemetry:
             out["serve_latency_p99_s"] = self.latencies.percentile(99)
             out["serve_latency_mean_s"] = (self.latencies.total
                                            / self.latencies.count)
+        cost_closed = sum(c.get("cost", 0)
+                          for c in self._batch_closes.values())
+        if cost_closed:
+            out["serve_cost_closed_batches"] = cost_closed
+        if self.batch_costs.count:
+            out["serve_batch_cost_mean_flops"] = (self.batch_costs.total
+                                                  / self.batch_costs.count)
         return out
 
     def stats(self) -> dict:
@@ -230,6 +263,16 @@ class ServeTelemetry:
             "routines": self.routine_stats(),
             "reloads": sum(self.reloads.values()),
         }
+        if self._batch_closes:
+            totals: Counter = Counter()
+            for counter in self._batch_closes.values():
+                totals.update(counter)
+            out["batch_close_reasons"] = dict(totals)
+            out["batch_closes_by_shard"] = {
+                shard: dict(counter)
+                for shard, counter in self._batch_closes.items()}
+        if self.batch_costs.count:
+            out["batch_cost"] = self.batch_costs.summary()
         if self.table_hits or self.table_fallbacks:
             out["table_hits"] = self.table_hits
             out["table_fallbacks"] = self.table_fallbacks

@@ -226,3 +226,89 @@ class TestFailurePropagation:
 
         with pytest.raises(KeyError):
             asyncio.run(run())
+
+
+class TestCarryPaths:
+    """An over-budget entry comes back as a carry and seeds the next
+    batch; control items (SHUTDOWN, reload) arriving while a carried
+    entry is collecting must not strand it."""
+
+    LIGHT = GemmSpec(8, 8, 8)
+    # Fits one light GEMM, not two: every second request is carried.
+    BUDGET = 1.5 * float(GemmSpec(8, 8, 8).flops)
+
+    def test_cost_carry_resolves_after_shutdown(self, make_service):
+        server = GemmServer(make_service(), max_batch=16, max_wait_ms=500.0,
+                            max_batch_cost=self.BUDGET)
+
+        async def scenario():
+            async with server:
+                tasks = [asyncio.create_task(server.submit(self.LIGHT))
+                         for _ in range(2)]
+                await asyncio.sleep(0.05)
+                # Exiting drains: SHUTDOWN lands while the carried
+                # request's 500 ms window is still open.
+            return await asyncio.gather(*tasks)
+
+        records = asyncio.run(scenario())
+        assert [r.n_threads for r in records] == [8, 8]
+        assert server.telemetry.batch_size_histogram() == {1: 2}
+        reasons = server.stats()["batch_close_reasons"]
+        assert reasons.get("cost", 0) == 1      # the carry that split them
+        assert reasons.get("control", 0) == 1   # shutdown closed the carry
+
+    def test_cost_carry_executes_before_reload(self, make_service):
+        """The carried request still resolves on the bundle it was
+        admitted under; the swap applies to the *next* batch."""
+        from repro.core.config import AdsalaConfig
+        from repro.core.training import TrainedBundle
+
+        from .conftest import GRID, OracleModel
+
+        spec_a = GemmSpec(24, 64, 48)
+        spec_b = GemmSpec(32, 64, 48)
+        budget = 1.2 * float(spec_a.flops)  # b never joins a's batch
+        bundle = TrainedBundle(
+            config=AdsalaConfig(machine="tiny", thread_grid=list(GRID),
+                                model_name="oracle-1"),
+            pipeline=None, model=OracleModel(target=1))
+        server = GemmServer(make_service(), max_batch=16, max_wait_ms=500.0,
+                            max_batch_cost=budget)
+
+        async def scenario():
+            async with server:
+                first = asyncio.create_task(server.submit(spec_a))
+                second = asyncio.create_task(server.submit(spec_b))
+                await asyncio.sleep(0)  # admit both ahead of the reload
+                await server.reload(bundle)
+                after = await server.submit(spec_a)
+                return await first, await second, after
+
+        r_a, r_b, r_after = asyncio.run(scenario())
+        assert (r_a.n_threads, r_b.n_threads) == (8, 8)  # old oracle
+        assert r_after.n_threads == 1                    # new oracle
+        stats = server.stats()
+        assert stats["reloads"] == 1
+        assert stats["batch_close_reasons"].get("cost", 0) == 1
+        assert stats["batch_close_reasons"].get("control", 0) == 1
+
+    def test_slab_carry_seeds_next_batch(self, make_service):
+        """A slab that would overflow max_batch is carried whole and
+        forms the next batch by itself."""
+        server = GemmServer(make_service(), max_batch=4, max_wait_ms=200.0)
+        scalar_spec = GemmSpec(16, 32, 24)
+        slab_specs = [GemmSpec(24 + 8 * i, 64, 48) for i in range(4)]
+
+        async def scenario():
+            async with server:
+                single = asyncio.create_task(server.submit(scalar_spec))
+                await asyncio.sleep(0)  # scalar heads the queue
+                slab = await server.submit_many(slab_specs)
+                return await single, slab
+
+        single, slab = asyncio.run(scenario())
+        assert single.spec == scalar_spec
+        assert [r.spec for r in slab] == slab_specs
+        # The slab (4 slots) could not join the scalar's batch (1 + 4 > 4).
+        assert server.telemetry.batch_size_histogram() == {1: 1, 4: 1}
+        assert server.stats()["batch_close_reasons"].get("size", 0) == 2
